@@ -1,0 +1,122 @@
+// Command gengraph generates synthetic graph datasets and writes them in
+// the repository's binary CSR container or as a text edge list.
+//
+// Usage:
+//
+//	gengraph -dataset LVJ -o lvj.bin            # a Table III stand-in
+//	gengraph -kind rmat -n 65536 -avgdeg 16 \
+//	         -maxw 1000 -seed 7 -o web.bin      # a custom R-MAT graph
+//	gengraph -dataset CTS -text -o cts.txt      # text edge list
+//	gengraph -list                              # available datasets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dsteiner/internal/gen"
+	"dsteiner/internal/graph"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "", "Table III stand-in name (overrides -kind)")
+		kind    = flag.String("kind", "rmat", "generator: rmat | er | ws | grid | citation")
+		n       = flag.Int("n", 1<<14, "vertex count")
+		avgdeg  = flag.Int("avgdeg", 16, "target average degree (rmat, er)")
+		rows    = flag.Int("rows", 0, "grid rows (grid)")
+		cols    = flag.Int("cols", 0, "grid cols (grid)")
+		k       = flag.Int("k", 4, "ring degree (ws)")
+		beta    = flag.Float64("beta", 0.1, "rewire probability (ws)")
+		outdeg  = flag.Int("outdeg", 3, "citations per vertex (citation)")
+		maxw    = flag.Uint("maxw", 1000, "max edge weight (uniform [1, maxw])")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		out     = flag.String("o", "", "output file ('-' or empty = stdout)")
+		text    = flag.Bool("text", false, "write a text edge list instead of binary CSR")
+		list    = flag.Bool("list", false, "list dataset stand-ins and exit")
+		scale   = flag.Float64("scale", 1.0, "dataset scale factor (with -dataset)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range gen.DatasetNames() {
+			info := gen.MustDataset(name)
+			fmt.Printf("%-6s %s (paper: |V|=%s, 2|E|=%s)\n",
+				name, info.Long, info.Paper.Vertices, info.Paper.Arcs)
+		}
+		return
+	}
+
+	var cfg gen.Config
+	if *dataset != "" {
+		info, err := gen.Dataset(*dataset)
+		if err != nil {
+			fatal(err)
+		}
+		cfg = info.Config
+		if *scale > 0 && *scale < 1 {
+			cfg = info.Scaled(*scale)
+		}
+	} else {
+		cfg = gen.Config{
+			Name: "custom", N: *n, AvgDegree: *avgdeg,
+			Rows: *rows, Cols: *cols, K: *k, Beta: *beta, OutDeg: *outdeg,
+			MaxWeight: uint32(*maxw), Seed: *seed, Backbone: true,
+		}
+		switch *kind {
+		case "rmat":
+			cfg.Kind = gen.KindRMAT
+		case "er":
+			cfg.Kind = gen.KindErdosRenyi
+		case "ws":
+			cfg.Kind = gen.KindWattsStrogatz
+		case "grid":
+			cfg.Kind = gen.KindGrid2D
+			cfg.Backbone = false
+			if cfg.Rows == 0 || cfg.Cols == 0 {
+				fatal(fmt.Errorf("grid needs -rows and -cols"))
+			}
+			cfg.N = cfg.Rows * cfg.Cols
+		case "citation":
+			cfg.Kind = gen.KindCitation
+			cfg.Backbone = false
+		default:
+			fatal(fmt.Errorf("unknown -kind %q", *kind))
+		}
+	}
+
+	g, err := cfg.Build()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "gengraph: %s: |V|=%d 2|E|=%d maxdeg=%d avgdeg=%.1f\n",
+		cfg.Name, g.NumVertices(), g.NumArcs(), g.MaxDegree(), g.AvgDegree())
+
+	w := os.Stdout
+	if *out != "" && *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	if *text {
+		err = graph.WriteEdgeList(w, g)
+	} else {
+		err = graph.WriteBinary(w, g)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+// Command steinersvc serves Steiner-tree queries over HTTP — the
+// interactive exploration framework the paper motivates in §I: "an
+// interactive framework is highly desired for exploring data
+// relationships... this framework needs to be scalable and efficient enough
+// to provide palatable interactivity." The graph is loaded (or generated)
+// once and held in memory; each query solves for a user-supplied seed set
+// and returns the tree as JSON.
+//
+// Usage:
+//
+//	steinersvc -dataset LVJ -addr :8080
+//	steinersvc -graph web.bin -ranks 8
+//
+// API:
+//
+//	GET  /info                       graph characteristics
+//	POST /solve {"seeds":[1,2,3]}    solve for explicit seeds
+//	POST /solve {"k":100}            solve for k BFS-level seeds
+//	GET  /solve?seeds=1,2,3          convenience form
+//
+// Response: {"seeds":[...], "edges":[{"u":..,"v":..,"w":..}], "total":...,
+// "steinerVertices":..., "phases":[{"name":..,"seconds":..,"sent":..}]}.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"dsteiner"
+	"dsteiner/internal/steinersvc"
+)
+
+func main() {
+	var (
+		graphFile = flag.String("graph", "", "binary CSR graph file")
+		dataset   = flag.String("dataset", "", "Table III stand-in name")
+		scale     = flag.Float64("scale", 1.0, "dataset scale factor")
+		addr      = flag.String("addr", ":8080", "listen address")
+		ranks     = flag.Int("ranks", 4, "simulated rank count per query")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*graphFile, *dataset, *scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "steinersvc: %v\n", err)
+		os.Exit(1)
+	}
+	srv := steinersvc.New(g, dsteiner.Defaults(*ranks))
+	log.Printf("steinersvc: serving |V|=%d 2|E|=%d on %s", g.NumVertices(), g.NumArcs(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+func loadGraph(file, dataset string, scale float64) (*dsteiner.Graph, error) {
+	switch {
+	case file != "":
+		return dsteiner.LoadGraphFile(file)
+	case dataset != "":
+		cfg, err := dsteiner.Dataset(dataset)
+		if err != nil {
+			return nil, err
+		}
+		if scale > 0 && scale < 1 {
+			cfg.N = int(float64(cfg.N) * scale)
+			if cfg.N < 64 {
+				cfg.N = 64
+			}
+		}
+		return cfg.Build()
+	default:
+		return nil, fmt.Errorf("need -graph FILE or -dataset NAME")
+	}
+}

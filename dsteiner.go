@@ -1,0 +1,179 @@
+// Package dsteiner computes 2-approximate Steiner minimal trees on large
+// weighted graphs with a distributed-style parallel algorithm, reproducing
+// "Towards Distributed 2-Approximation Steiner Minimal Trees in Billion-edge
+// Graphs" (Reza, Sanders, Pearce; IPDPS 2022, arXiv:2205.14503).
+//
+// Given an edge-weighted undirected graph G and a set of seed (terminal)
+// vertices S, Solve returns an acyclic connected subgraph spanning S whose
+// total distance is at most 2(1-1/l) times the optimum, where l is the
+// minimum number of leaves in any Steiner minimal tree. The algorithm
+// replaces the classic KMB all-pair-shortest-path step with Voronoi-cell
+// computation (Mehlhorn's construction) executed asynchronously over a
+// message-passing runtime with distance-prioritized visitor queues.
+//
+// # Quick start
+//
+//	b := dsteiner.NewBuilder(6)
+//	b.AddEdge(0, 1, 4)
+//	b.AddEdge(1, 2, 3)
+//	// ...
+//	g, err := b.Build()
+//	res, err := dsteiner.Solve(g, []dsteiner.VID{0, 2, 5}, dsteiner.Defaults(4))
+//	fmt.Println(res.TotalDistance, len(res.Tree))
+//
+// The packages under internal/ hold the full system: the message-passing
+// runtime (internal/runtime), Voronoi cells (internal/voronoi), the solver
+// (internal/core), sequential baselines (internal/baseline), the exact
+// Dreyfus–Wagner solver (internal/exact), dataset generators (internal/gen)
+// and the paper's experiment harness (internal/experiments). This facade
+// re-exports the surface a downstream user needs.
+package dsteiner
+
+import (
+	"io"
+	"os"
+
+	"dsteiner/internal/baseline"
+	"dsteiner/internal/core"
+	"dsteiner/internal/exact"
+	"dsteiner/internal/experiments"
+	"dsteiner/internal/gen"
+	"dsteiner/internal/graph"
+	rt "dsteiner/internal/runtime"
+	"dsteiner/internal/seeds"
+)
+
+// Core graph types.
+type (
+	// Graph is an immutable undirected weighted graph in CSR form.
+	Graph = graph.Graph
+	// Builder accumulates edges and produces a Graph.
+	Builder = graph.Builder
+	// VID identifies a vertex.
+	VID = graph.VID
+	// Dist is an accumulated path distance.
+	Dist = graph.Dist
+	// Edge is an undirected weighted edge.
+	Edge = graph.Edge
+)
+
+// Solver types.
+type (
+	// Options configures Solve; the zero value is a valid single-rank
+	// configuration. Use Defaults for the paper's tuned settings.
+	Options = core.Options
+	// Result is Solve's output: the tree, per-phase statistics and
+	// memory accounting.
+	Result = core.Result
+	// PhaseStat is one phase's timing and message statistics.
+	PhaseStat = core.PhaseStat
+	// QueueKind selects the per-rank message queue discipline.
+	QueueKind = rt.QueueKind
+	// SeedStrategy selects a seed-vertex selection algorithm.
+	SeedStrategy = seeds.Strategy
+	// DatasetConfig describes a synthetic graph generator configuration.
+	DatasetConfig = gen.Config
+	// BaselineTree is the output of the sequential baselines.
+	BaselineTree = baseline.Tree
+)
+
+// Queue disciplines (see the paper's §IV and the Fig. 5/6 ablation).
+const (
+	// QueueFIFO processes messages in arrival order (HavoqGT default).
+	QueueFIFO = rt.QueueFIFO
+	// QueuePriority processes messages in ascending distance order —
+	// the paper's key optimization.
+	QueuePriority = rt.QueuePriority
+	// QueueBucket is a Δ-stepping style bucket discipline.
+	QueueBucket = rt.QueueBucket
+)
+
+// Seed selection strategies (§V, §V-E).
+const (
+	SeedsBFSLevel      = seeds.BFSLevel
+	SeedsUniformRandom = seeds.UniformRandom
+	SeedsEccentric     = seeds.Eccentric
+	SeedsProximate     = seeds.Proximate
+)
+
+// NewBuilder returns a Builder for a graph with n vertices.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// Defaults returns the paper's tuned configuration at the given simulated
+// rank count: asynchronous processing with priority message queues and a
+// sequential Prim MST for the distance graph.
+func Defaults(ranks int) Options { return core.Default(ranks) }
+
+// Solve computes a 2-approximate Steiner minimal tree of g spanning the
+// seed vertices. All seeds must lie in one connected component.
+func Solve(g *Graph, seedSet []VID, opts Options) (*Result, error) {
+	return core.Solve(g, seedSet, opts)
+}
+
+// SelectSeeds picks k seed vertices from g's largest connected component
+// with the given strategy (deterministic per rngSeed).
+func SelectSeeds(g *Graph, k int, strategy SeedStrategy, rngSeed int64) ([]VID, error) {
+	return seeds.Select(g, k, strategy, rngSeed)
+}
+
+// Dataset returns the named Table III stand-in dataset configuration
+// (WDC12, CLW12, UKW07, FRS, LVJ, PTN, MCO, CTS; aliases accepted). Build
+// it with its Build/MustBuild method.
+func Dataset(name string) (DatasetConfig, error) {
+	info, err := gen.Dataset(name)
+	if err != nil {
+		return DatasetConfig{}, err
+	}
+	return info.Config, nil
+}
+
+// DatasetNames lists the available stand-in datasets, largest first.
+func DatasetNames() []string { return gen.DatasetNames() }
+
+// SolveKMB runs the sequential Kou–Markowsky–Berman 2-approximation.
+func SolveKMB(g *Graph, seedSet []VID) (BaselineTree, error) { return baseline.KMB(g, seedSet) }
+
+// SolveMehlhorn runs Mehlhorn's sequential 2-approximation.
+func SolveMehlhorn(g *Graph, seedSet []VID) (BaselineTree, error) {
+	return baseline.Mehlhorn(g, seedSet)
+}
+
+// SolveWWW runs the Wu–Widmayer–Wong sequential 2-approximation.
+func SolveWWW(g *Graph, seedSet []VID) (BaselineTree, error) { return baseline.WWW(g, seedSet) }
+
+// SolveExact computes a Steiner minimal tree with the Dreyfus–Wagner
+// dynamic program — exponential in |seedSet|, feasible up to ~12 seeds.
+// memoryLimit <= 0 applies a 1 GiB default.
+func SolveExact(g *Graph, seedSet []VID, memoryLimit int64) ([]Edge, Dist, error) {
+	sol, err := exact.Solve(g, seedSet, memoryLimit)
+	return sol.Edges, sol.Total, err
+}
+
+// ValidateSteinerTree checks that edges form a valid Steiner tree of g for
+// the seed set (a tree spanning all seeds whose leaves are all seeds).
+func ValidateSteinerTree(g *Graph, seedSet []VID, edges []Edge) error {
+	return graph.ValidateSteinerTree(g, seedSet, edges)
+}
+
+// WriteGraph serializes g in the binary CSR container format.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.WriteBinary(w, g) }
+
+// ReadGraph deserializes a graph written by WriteGraph.
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
+
+// LoadGraphFile reads a graph from a binary CSR file (as written by
+// cmd/gengraph).
+func LoadGraphFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.ReadBinary(f)
+}
+
+// WriteDOT emits a Graphviz rendering of a Steiner tree with seeds red and
+// Steiner vertices blue (the paper's Fig. 9 styling).
+func WriteDOT(w io.Writer, tree []Edge, seedSet []VID) {
+	experiments.WriteDOT(w, tree, seedSet)
+}

@@ -1,0 +1,164 @@
+package dsteiner_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dsteiner"
+)
+
+// buildDemoGraph returns the paper's Fig. 1 example graph (0-based IDs).
+func buildDemoGraph() *dsteiner.Graph {
+	b := dsteiner.NewBuilder(9)
+	type e struct {
+		u, v dsteiner.VID
+		w    uint32
+	}
+	for _, ed := range []e{
+		{0, 1, 16}, {0, 4, 2}, {4, 5, 4}, {1, 5, 2}, {1, 2, 20},
+		{5, 6, 1}, {2, 6, 1}, {2, 3, 24}, {6, 7, 2}, {3, 7, 2}, {7, 8, 2}, {3, 8, 18},
+	} {
+		b.AddEdge(ed.u, ed.v, ed.w)
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestFacadeSolve(t *testing.T) {
+	g := buildDemoGraph()
+	seeds := []dsteiner.VID{0, 2, 3, 7, 8}
+	res, err := dsteiner.Solve(g, seeds, dsteiner.Defaults(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dsteiner.ValidateSteinerTree(g, seeds, res.Tree); err != nil {
+		t.Fatal(err)
+	}
+	edges, optTotal, err := dsteiner.SolveExact(g, seeds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) == 0 || res.TotalDistance < optTotal {
+		t.Fatalf("exact %d vs approx %d inconsistent", optTotal, res.TotalDistance)
+	}
+	if float64(res.TotalDistance) > 2*float64(optTotal) {
+		t.Fatalf("bound violated")
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	g := buildDemoGraph()
+	seeds := []dsteiner.VID{0, 3, 8}
+	for name, solve := range map[string]func(*dsteiner.Graph, []dsteiner.VID) (dsteiner.BaselineTree, error){
+		"kmb": dsteiner.SolveKMB, "mehlhorn": dsteiner.SolveMehlhorn, "www": dsteiner.SolveWWW,
+	} {
+		tr, err := solve(g, seeds)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := dsteiner.ValidateSteinerTree(g, seeds, tr.Edges); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestFacadeDatasetsAndSeeds(t *testing.T) {
+	names := dsteiner.DatasetNames()
+	if len(names) != 8 {
+		t.Fatalf("datasets = %v", names)
+	}
+	cfg, err := dsteiner.Dataset("CTS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cfg.MustBuild()
+	seeds, err := dsteiner.SelectSeeds(g, 5, dsteiner.SeedsBFSLevel, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 5 {
+		t.Fatalf("seeds = %v", seeds)
+	}
+	res, err := dsteiner.Solve(g, seeds, dsteiner.Defaults(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tree) == 0 {
+		t.Fatal("empty tree for 5 seeds")
+	}
+	if _, err := dsteiner.Dataset("bogus"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestFacadeGraphIO(t *testing.T) {
+	g := buildDemoGraph()
+	var buf bytes.Buffer
+	if err := dsteiner.WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := dsteiner.ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatal("round trip mismatch")
+	}
+	// File round trip via LoadGraphFile.
+	path := filepath.Join(t.TempDir(), "g.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dsteiner.WriteGraph(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g3, err := dsteiner.LoadGraphFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.NumArcs() != g.NumArcs() {
+		t.Fatal("file round trip mismatch")
+	}
+}
+
+func TestFacadeDOT(t *testing.T) {
+	g := buildDemoGraph()
+	seeds := []dsteiner.VID{0, 8}
+	res, err := dsteiner.Solve(g, seeds, dsteiner.Defaults(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	dsteiner.WriteDOT(&buf, res.Tree, seeds)
+	if !strings.Contains(buf.String(), "graph steiner {") {
+		t.Fatal("DOT output malformed")
+	}
+}
+
+// ExampleSolve demonstrates the basic API on the paper's Fig. 1 graph.
+func ExampleSolve() {
+	b := dsteiner.NewBuilder(5)
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(1, 2, 2)
+	b.AddEdge(2, 3, 2)
+	b.AddEdge(3, 4, 2)
+	b.AddEdge(0, 4, 3)
+	g, _ := b.Build()
+	res, _ := dsteiner.Solve(g, []dsteiner.VID{0, 2, 4}, dsteiner.Defaults(2))
+	fmt.Println("total distance:", res.TotalDistance)
+	fmt.Println("tree edges:", len(res.Tree))
+	// Output:
+	// total distance: 7
+	// tree edges: 3
+}

@@ -1,0 +1,119 @@
+// Interactive exploration session — the paper's §I framing end to end:
+// "a user will interact with such computation in various ways, exploring
+// the relationships ... Such interaction warrants computations that can be
+// made as fast as possible." This example starts the Steiner query service
+// in-process, then plays a realistic analyst session against its HTTP API:
+// grow the entity set, switch seed strategies, and watch how the
+// explanation subgraph and per-query latency evolve.
+//
+//	go run ./examples/interactive
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"dsteiner"
+	"dsteiner/internal/steinersvc"
+)
+
+func main() {
+	// Load a social-network stand-in and serve it.
+	cfg, err := dsteiner.Dataset("LVJ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := cfg.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: steinersvc.New(g, dsteiner.Defaults(4))}
+	go func() {
+		if err := srv.Serve(ln); err != http.ErrServerClosed {
+			log.Print(err)
+		}
+	}()
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("query service on %s (|V|=%d, 2|E|=%d)\n\n", base, g.NumVertices(), g.NumArcs())
+
+	// Session step 1: what does the graph look like?
+	var info steinersvc.InfoResponse
+	mustGetJSON(base+"/info", &info)
+	fmt.Printf("analyst> info: %d vertices, max degree %d, weights [%d, %d]\n\n",
+		info.Vertices, info.MaxDegree, info.MinWeight, info.MaxWeight)
+
+	// Session step 2: start from two entities (shortest path), then keep
+	// adding entities of interest and re-solving — the interactive loop.
+	entities, err := dsteiner.SelectSeeds(g, 24, dsteiner.SeedsUniformRandom, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range []int{2, 4, 8, 16, 24} {
+		req := steinersvc.SolveRequest{Seeds: toInt32(entities[:n])}
+		var resp steinersvc.SolveResponse
+		elapsed := mustPostJSON(base+"/solve", req, &resp)
+		fmt.Printf("analyst> connect %2d entities: tree D=%-8d edges=%-5d steiner-vertices=%-4d (%.0fms round trip)\n",
+			n, resp.Total, len(resp.Edges), resp.SteinerVertices, elapsed.Seconds()*1000)
+	}
+
+	// Session step 3: "are these clustered or scattered?" — compare the
+	// same |S| under the proximate vs eccentric strategies (Table V).
+	fmt.Println()
+	for _, strat := range []string{"proximate", "eccentric"} {
+		req := steinersvc.SolveRequest{K: 16, Strategy: strat, RNGSeed: 7}
+		var resp steinersvc.SolveResponse
+		elapsed := mustPostJSON(base+"/solve", req, &resp)
+		fmt.Printf("analyst> 16 %-10s seeds: tree D=%-8d edges=%-5d (%.0fms)\n",
+			strat, resp.Total, len(resp.Edges), elapsed.Seconds()*1000)
+	}
+	fmt.Println("\n(proximate entities need a far lighter explanation subgraph — Table V's contrast)")
+}
+
+func toInt32(vs []dsteiner.VID) []int32 {
+	out := make([]int32, len(vs))
+	for i, v := range vs {
+		out[i] = int32(v)
+	}
+	return out
+}
+
+func mustGetJSON(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func mustPostJSON(url string, in, out any) time.Duration {
+	body, err := json.Marshal(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("POST %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+	return time.Since(start)
+}

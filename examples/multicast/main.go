@@ -1,0 +1,209 @@
+// Multicast-tree construction in a wireless sensor network — application
+// [7] in the paper (Gong et al., MobiHoc'15: "A distributed algorithm to
+// construct multicast trees in WSNs: an approximate Steiner tree
+// approach"). A gateway must deliver traffic to a set of receiver nodes;
+// link weights model transmission energy. The multicast tree is a Steiner
+// tree over {gateway} ∪ receivers, and its total weight is the energy cost
+// of one multicast round.
+//
+// The example compares three routing structures on a random-geometric-style
+// network:
+//
+//   - unicast star: independent shortest paths gateway → receiver
+//
+//   - broadcast backbone: whole-network MST pruned to the receivers
+//
+//   - Steiner multicast tree (this library)
+//
+//     go run ./examples/multicast
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dsteiner"
+)
+
+const (
+	nodes     = 4000
+	receivers = 25
+)
+
+func main() {
+	g := buildSensorNetwork(nodes, 99)
+	fmt.Printf("sensor network: %d nodes, %d links\n", g.NumVertices(), g.NumArcs()/2)
+
+	// Gateway plus receivers, spread across the network.
+	seeds, err := dsteiner.SelectSeeds(g, receivers+1, dsteiner.SeedsUniformRandom, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gateway := seeds[0]
+	fmt.Printf("gateway node %d, %d receivers\n\n", gateway, receivers)
+
+	// 1. Steiner multicast tree.
+	res, err := dsteiner.Solve(g, seeds, dsteiner.Defaults(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Unicast star: shortest path per receiver, shared links counted
+	// once (they would be transmitted once per multicast round anyway if
+	// the network deduplicates, so this is the generous comparison).
+	starCost, starLinks := unicastStar(g, gateway, seeds[1:])
+
+	// 3. Broadcast backbone: network-wide MST pruned to the multicast
+	// group (classic "prune the spanning tree" multicast).
+	mstCost, mstLinks := prunedMST(g, seeds)
+
+	fmt.Printf("%-28s %12s %8s\n", "structure", "energy cost", "links")
+	fmt.Printf("%-28s %12d %8d\n", "unicast star (dedup)", starCost, starLinks)
+	fmt.Printf("%-28s %12d %8d\n", "pruned network MST", mstCost, mstLinks)
+	fmt.Printf("%-28s %12d %8d\n", "steiner multicast (ours)", res.TotalDistance, len(res.Tree))
+	fmt.Printf("\nsavings vs unicast star: %.1f%%\n",
+		100*(1-float64(res.TotalDistance)/float64(starCost)))
+	fmt.Printf("savings vs pruned MST:   %.1f%%\n",
+		100*(1-float64(res.TotalDistance)/float64(mstCost)))
+	if err := dsteiner.ValidateSteinerTree(g, seeds, res.Tree); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmulticast tree validated: spans gateway + all receivers, leaves are group members")
+}
+
+// buildSensorNetwork creates a connected network whose link weights model
+// energy: a noisy grid with long-range shortcut links (sparse deployments
+// have a few high-power long links).
+func buildSensorNetwork(n int, seed int64) *dsteiner.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	side := 1
+	for side*side < n {
+		side++
+	}
+	b := dsteiner.NewBuilder(side * side)
+	id := func(r, c int) dsteiner.VID { return dsteiner.VID(r*side + c) }
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			if c+1 < side {
+				b.AddEdge(id(r, c), id(r, c+1), uint32(rng.Intn(20))+10)
+			}
+			if r+1 < side {
+				b.AddEdge(id(r, c), id(r+1, c), uint32(rng.Intn(20))+10)
+			}
+		}
+	}
+	// Long-range links: cheaper than multi-hop detours sometimes.
+	for i := 0; i < side*side/20; i++ {
+		u := dsteiner.VID(rng.Intn(side * side))
+		v := dsteiner.VID(rng.Intn(side * side))
+		b.AddEdge(u, v, uint32(rng.Intn(60))+40)
+	}
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return g
+}
+
+// unicastStar unions shortest paths gateway→receiver (2-terminal Steiner
+// trees), counting shared links once.
+func unicastStar(g *dsteiner.Graph, gateway dsteiner.VID, rx []dsteiner.VID) (dsteiner.Dist, int) {
+	type key [2]dsteiner.VID
+	union := map[key]uint32{}
+	for _, r := range rx {
+		res, err := dsteiner.Solve(g, []dsteiner.VID{gateway, r}, dsteiner.Defaults(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, e := range res.Tree {
+			c := e.Canon()
+			union[key{c.U, c.V}] = c.W
+		}
+	}
+	var total dsteiner.Dist
+	for _, w := range union {
+		total += dsteiner.Dist(w)
+	}
+	return total, len(union)
+}
+
+// prunedMST computes the whole-network MST with Kruskal and repeatedly
+// prunes non-group leaves.
+func prunedMST(g *dsteiner.Graph, group []dsteiner.VID) (dsteiner.Dist, int) {
+	type we struct {
+		e dsteiner.Edge
+	}
+	edges := make([]we, 0, g.NumEdges())
+	for v := 0; v < g.NumVertices(); v++ {
+		g.Neighbors(dsteiner.VID(v), func(u dsteiner.VID, w uint32) bool {
+			if dsteiner.VID(v) < u {
+				edges = append(edges, we{dsteiner.Edge{U: dsteiner.VID(v), V: u, W: w}})
+			}
+			return true
+		})
+	}
+	// Sort by weight (simple in-place quicksort via sort.Slice would pull
+	// another import; insertion is too slow here, so use a counting-ish
+	// bucket pass on the small weight domain).
+	buckets := map[uint32][]we{}
+	var maxW uint32
+	for _, e := range edges {
+		buckets[e.e.W] = append(buckets[e.e.W], e)
+		if e.e.W > maxW {
+			maxW = e.e.W
+		}
+	}
+	parent := make([]int32, g.NumVertices())
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	var mstEdges []dsteiner.Edge
+	for w := uint32(0); w <= maxW; w++ {
+		for _, e := range buckets[w] {
+			ru, rv := find(int32(e.e.U)), find(int32(e.e.V))
+			if ru != rv {
+				parent[ru] = rv
+				mstEdges = append(mstEdges, e.e)
+			}
+		}
+	}
+	// Prune leaves not in the multicast group.
+	inGroup := map[dsteiner.VID]bool{}
+	for _, s := range group {
+		inGroup[s] = true
+	}
+	for {
+		deg := map[dsteiner.VID]int{}
+		for _, e := range mstEdges {
+			deg[e.U]++
+			deg[e.V]++
+		}
+		next := mstEdges[:0]
+		removed := false
+		for _, e := range mstEdges {
+			if (deg[e.U] == 1 && !inGroup[e.U]) || (deg[e.V] == 1 && !inGroup[e.V]) {
+				removed = true
+				continue
+			}
+			next = append(next, e)
+		}
+		mstEdges = next
+		if !removed {
+			break
+		}
+	}
+	var total dsteiner.Dist
+	for _, e := range mstEdges {
+		total += dsteiner.Dist(e.W)
+	}
+	return total, len(mstEdges)
+}

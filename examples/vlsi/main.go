@@ -1,0 +1,152 @@
+// Rectilinear net routing on a VLSI-style grid — application [4]/[5] in the
+// paper (class Steiner trees and VLSI design; wirelength estimation for
+// placement). A net's pins must be connected by horizontal/vertical wire
+// segments over a routing grid whose edge weights model congestion; the
+// minimum-wirelength routing tree is a rectilinear Steiner minimal tree.
+//
+// The example routes several nets over a shared congestion map, prints an
+// ASCII rendering of one routed net, and compares total wirelength against
+// the half-perimeter wirelength (HPWL) lower-bound estimate used by
+// placers.
+//
+//	go run ./examples/vlsi
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"dsteiner"
+)
+
+const (
+	rows = 40
+	cols = 72
+)
+
+func main() {
+	g, congestion := buildRoutingGrid(rows, cols, 3)
+	fmt.Printf("routing grid: %dx%d (%d vertices, %d segments)\n\n",
+		rows, cols, g.NumVertices(), g.NumArcs()/2)
+
+	rng := rand.New(rand.NewSource(11))
+	totalWire, totalHPWL := 0, 0
+	var lastNet []dsteiner.VID
+	var lastTree []dsteiner.Edge
+	for net := 0; net < 5; net++ {
+		pins := placePins(rng, 4+net*2)
+		res, err := dsteiner.Solve(g, pins, dsteiner.Defaults(2))
+		if err != nil {
+			log.Fatal(err)
+		}
+		wire := len(res.Tree) // unit-length segments
+		hp := hpwl(pins)
+		totalWire += wire
+		totalHPWL += hp
+		fmt.Printf("net %d: %2d pins, wirelength %3d segments, HPWL bound %3d, congestion-weighted cost %d\n",
+			net, len(pins), wire, hp, res.TotalDistance)
+		lastNet, lastTree = pins, res.Tree
+	}
+	fmt.Printf("\ntotal wirelength %d vs HPWL lower bound %d (+%.1f%%)\n",
+		totalWire, totalHPWL, 100*float64(totalWire-totalHPWL)/float64(totalHPWL))
+	_ = congestion
+
+	fmt.Println("\nlast net's routing (P = pin, + = steiner wire):")
+	fmt.Print(renderNet(lastNet, lastTree))
+}
+
+// buildRoutingGrid returns a rows x cols grid whose edge weights are 1 plus
+// congestion penalties in a few hot rectangular regions (macros).
+func buildRoutingGrid(r, c int, macros int) (*dsteiner.Graph, [][]int) {
+	congestion := make([][]int, r)
+	for i := range congestion {
+		congestion[i] = make([]int, c)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for m := 0; m < macros; m++ {
+		r0, c0 := rng.Intn(r-8), rng.Intn(c-12)
+		for i := r0; i < r0+8; i++ {
+			for j := c0; j < c0+12; j++ {
+				congestion[i][j] += 4
+			}
+		}
+	}
+	b := dsteiner.NewBuilder(r * c)
+	id := func(i, j int) dsteiner.VID { return dsteiner.VID(i*c + j) }
+	w := func(i1, j1, i2, j2 int) uint32 {
+		return uint32(2 + congestion[i1][j1] + congestion[i2][j2])
+	}
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				b.AddEdge(id(i, j), id(i, j+1), w(i, j, i, j+1))
+			}
+			if i+1 < r {
+				b.AddEdge(id(i, j), id(i+1, j), w(i, j, i+1, j))
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return g, congestion
+}
+
+func placePins(rng *rand.Rand, n int) []dsteiner.VID {
+	seen := map[dsteiner.VID]bool{}
+	var pins []dsteiner.VID
+	for len(pins) < n {
+		p := dsteiner.VID(rng.Intn(rows * cols))
+		if !seen[p] {
+			seen[p] = true
+			pins = append(pins, p)
+		}
+	}
+	return pins
+}
+
+// hpwl computes the half-perimeter wirelength bound of a pin set.
+func hpwl(pins []dsteiner.VID) int {
+	minR, maxR, minC, maxC := rows, -1, cols, -1
+	for _, p := range pins {
+		r, c := int(p)/cols, int(p)%cols
+		if r < minR {
+			minR = r
+		}
+		if r > maxR {
+			maxR = r
+		}
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	return (maxR - minR) + (maxC - minC)
+}
+
+// renderNet draws the routed net on the grid.
+func renderNet(pins []dsteiner.VID, tree []dsteiner.Edge) string {
+	cell := make([][]byte, rows)
+	for i := range cell {
+		cell[i] = []byte(strings.Repeat(".", cols))
+	}
+	for _, e := range tree {
+		for _, v := range []dsteiner.VID{e.U, e.V} {
+			cell[int(v)/cols][int(v)%cols] = '+'
+		}
+	}
+	for _, p := range pins {
+		cell[int(p)/cols][int(p)%cols] = 'P'
+	}
+	var sb strings.Builder
+	for _, row := range cell {
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

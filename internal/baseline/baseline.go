@@ -1,0 +1,318 @@
+// Package baseline implements the sequential algorithms the paper compares
+// against in §V-G (Table VI/VII): the KMB algorithm of Kou, Markowsky and
+// Berman [14] (Alg. 1 of the paper), Mehlhorn's Voronoi-cell algorithm [17]
+// and the Wu–Widmayer–Wong (WWW) generalized-MST algorithm [15]. All three
+// guarantee D(G_S)/D_min <= 2(1-1/l). The Takahashi–Matsuyama shortest-path
+// heuristic [13] (bound 2(1-1/|S|)) is included as well — it is the paper's
+// §I reference point for the approximation-bound lineage.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"dsteiner/internal/graph"
+	"dsteiner/internal/mst"
+	"dsteiner/internal/sssp"
+)
+
+// Tree is the output of a sequential Steiner heuristic.
+type Tree struct {
+	Edges []graph.Edge
+	Total graph.Dist
+}
+
+// finishTree canonicalizes, dedups, MSTs and prunes an edge multiset into a
+// valid Steiner tree (KMB steps 4–5: MST of the expanded subgraph, then
+// delete non-seed leaves). It is shared by all three baselines.
+func finishTree(g *graph.Graph, seeds []graph.VID, edges []graph.Edge) (Tree, error) {
+	// Dedup on canonical form.
+	set := map[[2]graph.VID]graph.Edge{}
+	for _, e := range edges {
+		c := e.Canon()
+		set[[2]graph.VID{c.U, c.V}] = c
+	}
+	uniq := make([]graph.Edge, 0, len(set))
+	for _, e := range set {
+		uniq = append(uniq, e)
+	}
+	sort.Slice(uniq, func(i, j int) bool {
+		if uniq[i].U != uniq[j].U {
+			return uniq[i].U < uniq[j].U
+		}
+		return uniq[i].V < uniq[j].V
+	})
+	// Relabel vertices densely for the MST run.
+	idx := map[graph.VID]int32{}
+	var verts []graph.VID
+	id := func(v graph.VID) int32 {
+		if i, ok := idx[v]; ok {
+			return i
+		}
+		i := int32(len(verts))
+		idx[v] = i
+		verts = append(verts, v)
+		return i
+	}
+	wedges := make([]mst.WEdge, len(uniq))
+	for i, e := range uniq {
+		wedges[i] = mst.WEdge{U: id(e.U), V: id(e.V), W: graph.Dist(e.W)}
+	}
+	forest := mst.Kruskal(len(verts), wedges)
+	treeEdges := make([]graph.Edge, 0, len(forest.Edges))
+	for _, we := range forest.Edges {
+		u, v := verts[we.U], verts[we.V]
+		w, _ := g.HasEdge(u, v)
+		treeEdges = append(treeEdges, graph.Edge{U: u, V: v, W: w}.Canon())
+	}
+	pruned := graph.PruneNonSeedLeaves(treeEdges, seeds)
+	sort.Slice(pruned, func(i, j int) bool {
+		if pruned[i].U != pruned[j].U {
+			return pruned[i].U < pruned[j].U
+		}
+		return pruned[i].V < pruned[j].V
+	})
+	t := Tree{Edges: pruned, Total: graph.TotalWeight(pruned)}
+	if err := graph.ValidateSteinerTree(g, seeds, pruned); err != nil {
+		return Tree{}, fmt.Errorf("baseline: %w", err)
+	}
+	return t, nil
+}
+
+// dedupSeeds sorts and deduplicates the seed set.
+func dedupSeeds(seeds []graph.VID) []graph.VID {
+	out := append([]graph.VID(nil), seeds...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 0
+	for i, s := range out {
+		if i == 0 || s != out[i-1] {
+			out[w] = s
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// KMB runs Kou–Markowsky–Berman (the paper's Alg. 1): complete distance
+// graph G₁ by |S| Dijkstra sweeps, MST G₂, path expansion G₃, MST G₄, leaf
+// pruning G₅. O(|S|·(|E| + |V| log |V|)) with heap Dijkstra.
+func KMB(g *graph.Graph, seeds []graph.VID) (Tree, error) {
+	seeds = dedupSeeds(seeds)
+	if len(seeds) == 0 {
+		return Tree{}, fmt.Errorf("baseline: empty seed set")
+	}
+	if len(seeds) == 1 {
+		return Tree{}, nil
+	}
+	// Step 1: G₁ via APSP among seeds.
+	dist, preds := sssp.APSPAmongSeeds(g, seeds)
+	var wedges []mst.WEdge
+	for i := 0; i < len(seeds); i++ {
+		for j := i + 1; j < len(seeds); j++ {
+			if dist[i][j] >= graph.InfDist {
+				return Tree{}, fmt.Errorf("baseline: seeds %d and %d disconnected", seeds[i], seeds[j])
+			}
+			wedges = append(wedges, mst.WEdge{U: int32(i), V: int32(j), W: dist[i][j]})
+		}
+	}
+	// Step 2: MST G₂ of G₁.
+	g2 := mst.Kruskal(len(seeds), wedges)
+	// Step 3: G₃ — replace each G₂ edge by a shortest path in G.
+	var expanded []graph.Edge
+	for _, we := range g2.Edges {
+		// Walk predecessors of the sweep rooted at seeds[we.U] from
+		// seeds[we.V] back to the root.
+		root, target := seeds[we.U], seeds[we.V]
+		pred := preds[we.U]
+		for v := target; v != root; {
+			p := pred[v]
+			w, ok := g.HasEdge(p, v)
+			if !ok {
+				return Tree{}, fmt.Errorf("baseline: broken predecessor chain at %d", v)
+			}
+			expanded = append(expanded, graph.Edge{U: p, V: v, W: w})
+			v = p
+		}
+	}
+	// Steps 4–5: MST of G₃ and leaf pruning.
+	return finishTree(g, seeds, expanded)
+}
+
+// voronoiDistanceGraph builds Mehlhorn's G'₁ from a converged multi-source
+// state: for every cell pair (s, t), the minimum of d1(s,u)+d(u,v)+d1(v,t)
+// over cross-cell edges (u, v), with the bridging edge retained for path
+// expansion. Ties break on (D, u, v), matching the distributed solver.
+type bridgeEdge struct {
+	D    graph.Dist
+	U, V graph.VID
+}
+
+func voronoiDistanceGraph(g *graph.Graph, st *sssp.Result) map[[2]graph.VID]bridgeEdge {
+	table := map[[2]graph.VID]bridgeEdge{}
+	for u32 := 0; u32 < g.NumVertices(); u32++ {
+		u := graph.VID(u32)
+		su := st.Src[u]
+		if su == graph.NilVID {
+			continue
+		}
+		ts, ws := g.Adj(u)
+		for i, v := range ts {
+			if u >= v {
+				continue
+			}
+			sv := st.Src[v]
+			if sv == graph.NilVID || sv == su {
+				continue
+			}
+			s, t := su, sv
+			if s > t {
+				s, t = t, s
+			}
+			cand := bridgeEdge{D: st.Dist[u] + graph.Dist(ws[i]) + st.Dist[v], U: u, V: v}
+			key := [2]graph.VID{s, t}
+			cur, ok := table[key]
+			if !ok || cand.D < cur.D ||
+				(cand.D == cur.D && (cand.U < cur.U || (cand.U == cur.U && cand.V < cur.V))) {
+				table[key] = cand
+			}
+		}
+	}
+	return table
+}
+
+// Mehlhorn runs Mehlhorn's 2-approximation [17]: Voronoi cells by one
+// multi-source Dijkstra, distance graph G'₁ from cross-cell edges, MST,
+// path expansion, final MST + pruning. O(|E| + |V| log |V|) plus the small
+// MST.
+func Mehlhorn(g *graph.Graph, seeds []graph.VID) (Tree, error) {
+	seeds = dedupSeeds(seeds)
+	if len(seeds) == 0 {
+		return Tree{}, fmt.Errorf("baseline: empty seed set")
+	}
+	if len(seeds) == 1 {
+		return Tree{}, nil
+	}
+	st := sssp.MultiSource(g, seeds)
+	table := voronoiDistanceGraph(g, st)
+	seedIdx := map[graph.VID]int32{}
+	for i, s := range seeds {
+		seedIdx[s] = int32(i)
+	}
+	keys := make([][2]graph.VID, 0, len(table))
+	for k := range table {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	wedges := make([]mst.WEdge, len(keys))
+	for i, k := range keys {
+		wedges[i] = mst.WEdge{U: seedIdx[k[0]], V: seedIdx[k[1]], W: table[k].D}
+	}
+	g2 := mst.Prim(len(seeds), wedges)
+	if len(g2.Edges) < len(seeds)-1 {
+		return Tree{}, fmt.Errorf("baseline: seeds span multiple components")
+	}
+	var expanded []graph.Edge
+	appendPath := func(from graph.VID) {
+		for v := from; v != st.Src[v]; {
+			p := st.Pred[v]
+			w, _ := g.HasEdge(p, v)
+			expanded = append(expanded, graph.Edge{U: p, V: v, W: w})
+			v = p
+		}
+	}
+	for _, we := range g2.Edges {
+		s, t := seeds[we.U], seeds[we.V]
+		key := [2]graph.VID{s, t}
+		if s > t {
+			key = [2]graph.VID{t, s}
+		}
+		br := table[key]
+		w, _ := g.HasEdge(br.U, br.V)
+		expanded = append(expanded, graph.Edge{U: br.U, V: br.V, W: w})
+		appendPath(br.U)
+		appendPath(br.V)
+	}
+	return finishTree(g, seeds, expanded)
+}
+
+// WWW runs the Wu–Widmayer–Wong generalized-MST heuristic [15]: shortest
+// path wavefronts grow from all terminals simultaneously; bridge events
+// between different component fronts are processed in increasing total path
+// length, Kruskal-style, until all terminals merge. Same bound, one pass,
+// runtime essentially independent of |S|.
+func WWW(g *graph.Graph, seeds []graph.VID) (Tree, error) {
+	seeds = dedupSeeds(seeds)
+	if len(seeds) == 0 {
+		return Tree{}, fmt.Errorf("baseline: empty seed set")
+	}
+	if len(seeds) == 1 {
+		return Tree{}, nil
+	}
+	st := sssp.MultiSource(g, seeds)
+	seedIdx := map[graph.VID]int32{}
+	for i, s := range seeds {
+		seedIdx[s] = int32(i)
+	}
+	// Bridge events: every cross-cell edge with its total path length.
+	type event struct {
+		d    graph.Dist
+		u, v graph.VID
+	}
+	var events []event
+	for u32 := 0; u32 < g.NumVertices(); u32++ {
+		u := graph.VID(u32)
+		if st.Src[u] == graph.NilVID {
+			continue
+		}
+		ts, ws := g.Adj(u)
+		for i, v := range ts {
+			if u >= v || st.Src[v] == graph.NilVID || st.Src[v] == st.Src[u] {
+				continue
+			}
+			events = append(events, event{d: st.Dist[u] + graph.Dist(ws[i]) + st.Dist[v], u: u, v: v})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].d != events[j].d {
+			return events[i].d < events[j].d
+		}
+		if events[i].u != events[j].u {
+			return events[i].u < events[j].u
+		}
+		return events[i].v < events[j].v
+	})
+	uf := mst.NewUnionFind(len(seeds))
+	var expanded []graph.Edge
+	appendPath := func(from graph.VID) {
+		for v := from; v != st.Src[v]; {
+			p := st.Pred[v]
+			w, _ := g.HasEdge(p, v)
+			expanded = append(expanded, graph.Edge{U: p, V: v, W: w})
+			v = p
+		}
+	}
+	merges := 0
+	for _, ev := range events {
+		if merges == len(seeds)-1 {
+			break
+		}
+		cu, cv := seedIdx[st.Src[ev.u]], seedIdx[st.Src[ev.v]]
+		if !uf.Union(cu, cv) {
+			continue
+		}
+		merges++
+		w, _ := g.HasEdge(ev.u, ev.v)
+		expanded = append(expanded, graph.Edge{U: ev.u, V: ev.v, W: w})
+		appendPath(ev.u)
+		appendPath(ev.v)
+	}
+	if merges < len(seeds)-1 {
+		return Tree{}, fmt.Errorf("baseline: seeds span multiple components")
+	}
+	return finishTree(g, seeds, expanded)
+}

@@ -1,0 +1,203 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dsteiner/internal/exact"
+	"dsteiner/internal/graph"
+)
+
+func e(u, v graph.VID, w uint32) graph.Edge { return graph.Edge{U: u, V: v, W: w} }
+
+func paperFig1() *graph.Graph {
+	return graph.MustFromEdges(9, []graph.Edge{
+		e(0, 1, 16), e(0, 4, 2), e(4, 5, 4), e(1, 5, 2), e(1, 2, 20),
+		e(5, 6, 1), e(2, 6, 1), e(2, 3, 24), e(6, 7, 2), e(3, 7, 2), e(7, 8, 2), e(3, 8, 18),
+	})
+}
+
+func randomConnected(seed int64, n int, maxW uint32) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(graph.VID(rng.Intn(v)), graph.VID(v), uint32(rng.Intn(int(maxW)))+1)
+	}
+	for i := 0; i < 2*n; i++ {
+		b.AddEdge(graph.VID(rng.Intn(n)), graph.VID(rng.Intn(n)), uint32(rng.Intn(int(maxW)))+1)
+	}
+	g, _ := b.Build()
+	return g
+}
+
+func pickSeeds(rng *rand.Rand, n, k int) []graph.VID {
+	seen := map[graph.VID]bool{}
+	var out []graph.VID
+	for len(out) < k {
+		s := graph.VID(rng.Intn(n))
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+type algo struct {
+	name string
+	run  func(*graph.Graph, []graph.VID) (Tree, error)
+}
+
+var algos = []algo{
+	{"KMB", KMB},
+	{"Mehlhorn", Mehlhorn},
+	{"WWW", WWW},
+	{"Takahashi", Takahashi},
+}
+
+func TestAllAlgosOnPaperExample(t *testing.T) {
+	g := paperFig1()
+	seeds := []graph.VID{0, 2, 3, 7, 8}
+	opt, err := exact.Solve(g, seeds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range algos {
+		tr, err := a.run(g, seeds)
+		if err != nil {
+			t.Fatalf("%s: %v", a.name, err)
+		}
+		if err := graph.ValidateSteinerTree(g, seeds, tr.Edges); err != nil {
+			t.Fatalf("%s: invalid tree: %v", a.name, err)
+		}
+		if tr.Total < opt.Total || float64(tr.Total) > 2*float64(opt.Total) {
+			t.Fatalf("%s: total %d outside [opt, 2*opt] = [%d, %d]",
+				a.name, tr.Total, opt.Total, 2*opt.Total)
+		}
+	}
+}
+
+func TestSingleAndDuplicateSeeds(t *testing.T) {
+	g := paperFig1()
+	for _, a := range algos {
+		tr, err := a.run(g, []graph.VID{3})
+		if err != nil || len(tr.Edges) != 0 {
+			t.Errorf("%s single seed: %v %v", a.name, tr, err)
+		}
+		tr, err = a.run(g, []graph.VID{0, 7, 0, 7})
+		if err != nil {
+			t.Errorf("%s duplicate seeds: %v", a.name, err)
+		}
+		if err := graph.ValidateSteinerTree(g, []graph.VID{0, 7}, tr.Edges); err != nil {
+			t.Errorf("%s duplicate seeds tree invalid: %v", a.name, err)
+		}
+		if _, err := a.run(g, nil); err == nil {
+			t.Errorf("%s accepted empty seeds", a.name)
+		}
+	}
+}
+
+func TestDisconnectedSeedsRejected(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1)
+	g, _ := b.Build()
+	for _, a := range algos {
+		if _, err := a.run(g, []graph.VID{0, 2}); err == nil {
+			t.Errorf("%s accepted disconnected seeds", a.name)
+		}
+	}
+}
+
+func TestTwoSeedsGiveShortestPath(t *testing.T) {
+	g := randomConnected(3, 150, 20)
+	opt, err := exact.Solve(g, []graph.VID{0, 149}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range algos {
+		tr, err := a.run(g, []graph.VID{0, 149})
+		if err != nil {
+			t.Fatalf("%s: %v", a.name, err)
+		}
+		if tr.Total != opt.Total {
+			t.Errorf("%s: |S|=2 total %d != shortest path %d", a.name, tr.Total, opt.Total)
+		}
+	}
+}
+
+func TestPropertyBoundsAndValidity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 15 + rng.Intn(60)
+		g := randomConnected(seed, n, 10)
+		seeds := pickSeeds(rng, n, 2+rng.Intn(5))
+		opt, err := exact.Solve(g, seeds, 0)
+		if err != nil {
+			return false
+		}
+		for _, a := range algos {
+			tr, err := a.run(g, seeds)
+			if err != nil {
+				return false
+			}
+			if graph.ValidateSteinerTree(g, seeds, tr.Edges) != nil {
+				return false
+			}
+			if tr.Total < opt.Total || float64(tr.Total) > 2*float64(opt.Total) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := randomConnected(9, 120, 15)
+	rng := rand.New(rand.NewSource(10))
+	seeds := pickSeeds(rng, 120, 6)
+	for _, a := range algos {
+		t1, err1 := a.run(g, seeds)
+		t2, err2 := a.run(g, seeds)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: %v %v", a.name, err1, err2)
+		}
+		if t1.Total != t2.Total || len(t1.Edges) != len(t2.Edges) {
+			t.Fatalf("%s nondeterministic", a.name)
+		}
+		for i := range t1.Edges {
+			if t1.Edges[i] != t2.Edges[i] {
+				t.Fatalf("%s tree differs at %d", a.name, i)
+			}
+		}
+	}
+}
+
+func TestMehlhornAndKMBRelationship(t *testing.T) {
+	// Mehlhorn's G'1 MST weight equals KMB's G1 MST weight (Mehlhorn's
+	// theorem), so the final trees — both post-processed with MST+prune —
+	// are usually close; both must respect the same bound. This is a
+	// statistical smoke check rather than equality (pred tie-breaking
+	// differs).
+	for seed := int64(1); seed <= 8; seed++ {
+		g := randomConnected(seed, 100, 8)
+		rng := rand.New(rand.NewSource(seed))
+		seeds := pickSeeds(rng, 100, 5)
+		km, err := KMB(g, seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		me, err := Mehlhorn(g, seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(km.Total) / float64(me.Total)
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Fatalf("seed %d: KMB %d vs Mehlhorn %d implausibly far", seed, km.Total, me.Total)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package baseline
+
+import (
+	"fmt"
+
+	"dsteiner/internal/graph"
+	"dsteiner/internal/pq"
+)
+
+// Takahashi runs the Takahashi–Matsuyama shortest-path heuristic [13]: the
+// tree starts as one seed; each round, a Dijkstra from the current tree
+// (multi-source over all tree vertices) finds the closest not-yet-connected
+// seed and the connecting shortest path joins the tree. Approximation bound
+// 2(1-1/|S|). O(|S| * (|E| + |V| log |V|)).
+func Takahashi(g *graph.Graph, seedSet []graph.VID) (Tree, error) {
+	seedSet = dedupSeeds(seedSet)
+	if len(seedSet) == 0 {
+		return Tree{}, fmt.Errorf("baseline: empty seed set")
+	}
+	if len(seedSet) == 1 {
+		return Tree{}, nil
+	}
+	n := g.NumVertices()
+	inTree := make([]bool, n)
+	pending := make(map[graph.VID]bool, len(seedSet)-1)
+	for _, s := range seedSet[1:] {
+		pending[s] = true
+	}
+	inTree[seedSet[0]] = true
+	delete(pending, seedSet[0])
+	var edges []graph.Edge
+
+	dist := make([]graph.Dist, n)
+	pred := make([]graph.VID, n)
+	type qitem struct {
+		v graph.VID
+		d graph.Dist
+	}
+	for len(pending) > 0 {
+		// Multi-source Dijkstra from every tree vertex.
+		for i := range dist {
+			dist[i] = graph.InfDist
+			pred[i] = graph.NilVID
+		}
+		h := pq.NewHeap[qitem](64)
+		for v := 0; v < n; v++ {
+			if inTree[graph.VID(v)] {
+				dist[v] = 0
+				h.Push(qitem{v: graph.VID(v), d: 0}, 0)
+			}
+		}
+		var hit graph.VID = graph.NilVID
+		for {
+			it, ok := h.Pop()
+			if !ok {
+				break
+			}
+			if it.d > dist[it.v] {
+				continue
+			}
+			if pending[it.v] {
+				hit = it.v
+				break
+			}
+			ts, ws := g.Adj(it.v)
+			for i, u := range ts {
+				nd := it.d + graph.Dist(ws[i])
+				if nd < dist[u] {
+					dist[u] = nd
+					pred[u] = it.v
+					h.Push(qitem{v: u, d: nd}, uint64(nd))
+				}
+			}
+		}
+		if hit == graph.NilVID {
+			return Tree{}, fmt.Errorf("baseline: seeds span multiple components")
+		}
+		// Graft the connecting path.
+		for v := hit; pred[v] != graph.NilVID; v = pred[v] {
+			p := pred[v]
+			w, _ := g.HasEdge(p, v)
+			edges = append(edges, graph.Edge{U: p, V: v, W: w})
+			inTree[v] = true
+		}
+		inTree[hit] = true
+		delete(pending, hit)
+	}
+	return finishTree(g, seedSet, edges)
+}

@@ -1,0 +1,141 @@
+// Package core implements the paper's primary contribution: the distributed
+// 2-approximation Steiner minimal tree algorithm (Alg. 2, distributed as
+// Alg. 3/5/6). Solve orchestrates the six phases over the message-passing
+// runtime:
+//
+//  1. Voronoi Cell          — asynchronous multi-seed Bellman–Ford (Alg. 4)
+//  2. Local Min Dist. Edge  — per-rank min cross-cell edge per cell pair,
+//     with a request/reply exchange for remote endpoint distances (Alg. 5)
+//  3. Global Min Dist. Edge — Allreduce(MIN) merge of the per-rank tables
+//  4. MST                   — sequential Prim on the replicated distance
+//     graph G'₁ (the paper's design choice; Kruskal and Borůvka are
+//     available for the ablation benchmark)
+//  5. Global Edge Pruning   — drop cross-cell edges absent from the MST G'₂
+//  6. Steiner Tree Edge     — predecessor walks from surviving cross-cell
+//     edge endpoints back to each cell's seed (Alg. 6)
+//
+// The output tree satisfies D(G_S)/D_min(G) <= 2(1-1/l) by Mehlhorn's
+// theorem: every MST of G'₁ is an MST of the KMB distance graph G₁.
+package core
+
+import (
+	"fmt"
+
+	rt "dsteiner/internal/runtime"
+)
+
+// MSTAlgo selects the sequential MST routine for phase 4.
+type MSTAlgo int
+
+const (
+	// MSTPrim is the paper's choice (Boost Prim in the original).
+	MSTPrim MSTAlgo = iota
+	// MSTKruskal sorts + union-find.
+	MSTKruskal
+	// MSTBoruvka is the parallel-style algorithm used by the DESIGN.md
+	// ablation of the "sequential MST is sufficient" claim.
+	MSTBoruvka
+)
+
+func (a MSTAlgo) String() string {
+	switch a {
+	case MSTPrim:
+		return "prim"
+	case MSTKruskal:
+		return "kruskal"
+	case MSTBoruvka:
+		return "boruvka"
+	default:
+		return fmt.Sprintf("MSTAlgo(%d)", int(a))
+	}
+}
+
+// PartitionKind selects the vertex-to-rank mapping.
+type PartitionKind int
+
+const (
+	// PartitionBlock gives each rank a contiguous vertex range with an
+	// equal share of vertices (the paper's stated partitioning).
+	PartitionBlock PartitionKind = iota
+	// PartitionHash assigns vertex v to rank v mod P.
+	PartitionHash
+	// PartitionArcBlock gives each rank a contiguous vertex range with
+	// an approximately equal share of ARCS — better load balance on
+	// skewed graphs.
+	PartitionArcBlock
+)
+
+func (p PartitionKind) String() string {
+	switch p {
+	case PartitionHash:
+		return "hash"
+	case PartitionArcBlock:
+		return "arcblock"
+	default:
+		return "block"
+	}
+}
+
+// Options configures a Solve run. The zero value is a valid single-rank
+// configuration with the paper's defaults (priority queue, Prim MST,
+// asynchronous processing, block partition, no delegates).
+type Options struct {
+	// Ranks is the number of simulated MPI processes (default 1).
+	Ranks int
+	// Queue is the per-rank message discipline. The paper's optimized
+	// configuration is QueuePriority; QueueFIFO reproduces the HavoqGT
+	// baseline of Fig. 5/6. NOTE: the package default (zero value) is
+	// QueueFIFO because that is runtime's zero value; SolveDefaults sets
+	// priority.
+	Queue rt.QueueKind
+	// BucketDelta is the Δ for QueueBucket.
+	BucketDelta uint64
+	// BatchSize overrides the runtime's message batch size.
+	BatchSize int
+	// Partition picks the vertex partition (default block).
+	Partition PartitionKind
+	// DelegateThreshold marks vertices with degree >= threshold as
+	// high-degree delegates whose relaxation fans out across all ranks
+	// (HavoqGT vertex delegates). 0 disables.
+	DelegateThreshold int
+	// BSP runs the vertex-centric phases bulk-synchronously instead of
+	// asynchronously (the §IV ablation).
+	BSP bool
+	// MST selects the phase-4 algorithm (default Prim, as in the paper).
+	MST MSTAlgo
+	// CollectiveChunk, when positive, splits the Global Min Dist. Edge
+	// reduction into chunks of at most this many table entries — the
+	// paper's §V-F memory optimization ("multiple collective operations
+	// ... on smaller chunks, e.g., 500K or 1M items per chunk, at the
+	// expense of runtime performance"). 0 reduces the whole table at
+	// once.
+	CollectiveChunk int
+	// ShuffleDelivery randomizes message delivery order (robustness
+	// testing); ShuffleSeed makes it reproducible.
+	ShuffleDelivery bool
+	ShuffleSeed     int64
+	// SkipValidation skips the post-solve Steiner-tree validity check
+	// (benchmarks on large graphs).
+	SkipValidation bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Ranks <= 0 {
+		o.Ranks = 1
+	}
+	return o
+}
+
+// Default returns the paper's optimized configuration at the given rank
+// count: asynchronous processing with distance-priority message queues,
+// sequential Prim MST, and arc-balanced contiguous partitioning (our
+// equivalent of HavoqGT's edge-count load balancing for scale-free graphs —
+// see the DESIGN.md substitution table and BenchmarkAblation_Delegates).
+func Default(ranks int) Options {
+	return Options{
+		Ranks:     ranks,
+		Queue:     rt.QueuePriority,
+		MST:       MSTPrim,
+		Partition: PartitionArcBlock,
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"dsteiner/internal/graph"
+)
+
+// Phase names match the stacked-bar legends of the paper's Figs. 3–6.
+const (
+	PhaseVoronoi       = "Voronoi Cell"
+	PhaseLocalMinEdge  = "Local Min Dist. Edge"
+	PhaseGlobalMinEdge = "Global Min Dist. Edge"
+	PhaseMST           = "MST"
+	PhasePruning       = "Global Edge Pruning"
+	PhaseTreeEdge      = "Steiner Tree Edge"
+)
+
+// PhaseNames lists the six phases in execution order.
+var PhaseNames = []string{
+	PhaseVoronoi, PhaseLocalMinEdge, PhaseGlobalMinEdge,
+	PhaseMST, PhasePruning, PhaseTreeEdge,
+}
+
+// PhaseStat records one phase's wall time and message traffic.
+type PhaseStat struct {
+	Name    string
+	Seconds float64
+	// Sent and Processed are visitor-message counts attributable to this
+	// phase (collective-based phases show zero, as in Fig. 6's note).
+	Sent      int64
+	Processed int64
+	// MaxRankWork is the largest per-rank processed count — the
+	// critical-path work metric used to report machine-independent
+	// scaling shape (see DESIGN.md substitutions).
+	MaxRankWork int64
+}
+
+// MemoryStats is the Fig. 8 accounting: bytes for the in-memory graph
+// versus bytes for algorithm state (Voronoi arrays, cross-cell edge tables,
+// the replicated distance graph and message buffers).
+type MemoryStats struct {
+	GraphBytes     int64
+	StateBytes     int64 // per-vertex Voronoi state
+	EdgeTableBytes int64 // local + merged cross-cell edge tables
+	DistGraphBytes int64 // replicated G'₁ + MST per rank
+	BufferBytes    int64 // modeled message buffer residency
+}
+
+// AlgorithmBytes is everything except the graph.
+func (m MemoryStats) AlgorithmBytes() int64 {
+	return m.StateBytes + m.EdgeTableBytes + m.DistGraphBytes + m.BufferBytes
+}
+
+// TotalBytes is the cluster-wide peak estimate.
+func (m MemoryStats) TotalBytes() int64 { return m.GraphBytes + m.AlgorithmBytes() }
+
+// Result is the output of Solve.
+type Result struct {
+	// Tree is the Steiner tree edge set in canonical order. Empty for a
+	// single seed.
+	Tree []graph.Edge
+	// TotalDistance is D(G_S), the sum of tree edge weights.
+	TotalDistance graph.Dist
+	// Seeds is the deduplicated, sorted seed set actually solved.
+	Seeds []graph.VID
+	// SteinerVertices counts tree vertices that are not seeds (S').
+	SteinerVertices int
+	// Phases holds per-phase timing and message statistics in execution
+	// order.
+	Phases []PhaseStat
+	// Memory is the Fig. 8-style accounting.
+	Memory MemoryStats
+	// DistGraphEdges is |E'₁|, the number of cross-cell candidate edges
+	// after the global merge.
+	DistGraphEdges int
+	// MSTRounds reports Borůvka rounds when Options.MST == MSTBoruvka.
+	MSTRounds int
+	// CollectiveChunks is the number of chunked reductions used by the
+	// Global Min Dist. Edge phase (1 = single collective).
+	CollectiveChunks int
+}
+
+// Phase returns the named phase's stats (zero value if missing).
+func (res *Result) Phase(name string) PhaseStat {
+	for _, p := range res.Phases {
+		if p.Name == name {
+			return p
+		}
+	}
+	return PhaseStat{Name: name}
+}
+
+// TotalSeconds sums all phase times.
+func (res *Result) TotalSeconds() float64 {
+	var s float64
+	for _, p := range res.Phases {
+		s += p.Seconds
+	}
+	return s
+}
+
+// TotalMessages sums sent messages across phases.
+func (res *Result) TotalMessages() int64 {
+	var s int64
+	for _, p := range res.Phases {
+		s += p.Sent
+	}
+	return s
+}

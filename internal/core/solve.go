@@ -1,0 +1,441 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dsteiner/internal/graph"
+	"dsteiner/internal/mst"
+	"dsteiner/internal/partition"
+	rt "dsteiner/internal/runtime"
+	"dsteiner/internal/voronoi"
+)
+
+// Message kinds of the Local Min Dist. Edge phase (Alg. 5): a rank that
+// needs a remote endpoint's Voronoi state requests it and receives a reply.
+const (
+	kindReqDist uint8 = 1
+	kindRepDist uint8 = 2
+)
+
+// crossEdge is the value of the E_N table: the best background-graph edge
+// (U, V) bridging a cell pair, with D = d1(s,u) + d(u,v) + d1(v,t).
+type crossEdge struct {
+	D    graph.Dist
+	U, V graph.VID
+}
+
+// pickCross is the deterministic MIN used by both the local scan and the
+// global Allreduce merge: order by (D, U, V). The paper needs a
+// tie-breaking scheme to guarantee a unique cross-cell edge per cell pair
+// (§III Step 2, Alg. 5's second collective); a total order gives uniqueness
+// in a single reduction.
+func pickCross(a, b crossEdge) crossEdge {
+	if b.D != a.D {
+		if b.D < a.D {
+			return b
+		}
+		return a
+	}
+	if b.U != a.U {
+		if b.U < a.U {
+			return b
+		}
+		return a
+	}
+	if b.V < a.V {
+		return b
+	}
+	return a
+}
+
+// seedKey packs an ordered seed pair (s < t) into a map key.
+func seedKey(s, t graph.VID) int64 {
+	if s > t {
+		s, t = t, s
+	}
+	return int64(s)<<32 | int64(t)
+}
+
+func unpackSeedKey(k int64) (s, t graph.VID) {
+	return graph.VID(k >> 32), graph.VID(k & 0xffffffff)
+}
+
+// Solve computes a 2-approximate Steiner minimal tree of g for the given
+// seed vertices. Seeds are deduplicated; all must lie in one connected
+// component (guaranteed by the seed-selection strategies of
+// internal/seeds), otherwise an error is returned.
+func Solve(g *graph.Graph, seeds []graph.VID, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	n := g.NumVertices()
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("core: empty seed set")
+	}
+	dedup := make([]graph.VID, 0, len(seeds))
+	seen := make(map[graph.VID]bool, len(seeds))
+	for _, s := range seeds {
+		if s < 0 || int(s) >= n {
+			return nil, fmt.Errorf("core: seed %d out of range [0,%d)", s, n)
+		}
+		if !seen[s] {
+			seen[s] = true
+			dedup = append(dedup, s)
+		}
+	}
+	sort.Slice(dedup, func(i, j int) bool { return dedup[i] < dedup[j] })
+	res := &Result{Seeds: dedup}
+	if len(dedup) == 1 {
+		return res, nil
+	}
+
+	var part partition.Partition
+	var err error
+	switch opts.Partition {
+	case PartitionHash:
+		part, err = partition.NewHash(n, opts.Ranks)
+	case PartitionArcBlock:
+		part, err = partition.NewArcBlock(g, opts.Ranks)
+	default:
+		part, err = partition.NewBlock(n, opts.Ranks)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if opts.DelegateThreshold > 0 {
+		part = partition.WithDelegates(part, g, opts.DelegateThreshold)
+	}
+	comm, err := rt.New(rt.Config{
+		Ranks:           opts.Ranks,
+		Queue:           opts.Queue,
+		BucketDelta:     opts.BucketDelta,
+		BatchSize:       opts.BatchSize,
+		ShuffleDelivery: opts.ShuffleDelivery,
+		ShuffleSeed:     opts.ShuffleSeed,
+	}, part)
+	if err != nil {
+		return nil, err
+	}
+
+	st := voronoi.NewState(n)
+	walked := make([]bool, n)
+	localENs := make([]map[int64]crossEdge, opts.Ranks)
+	var solveErr error // written by rank 0 only
+
+	rec := &recorder{comm: comm, res: res}
+	comm.Run(func(r *rt.Rank) {
+		// Phase 1: Voronoi cells (Alg. 4).
+		rec.phase(r, PhaseVoronoi, func() int64 {
+			var ts rt.TraversalStats
+			if opts.BSP {
+				ts = voronoi.RunRankBSP(r, g, dedup, st)
+			} else {
+				ts = voronoi.RunRank(r, g, dedup, st)
+			}
+			return ts.Processed
+		})
+
+		// Phase 2: local min-distance cross-cell edges (Alg. 5,
+		// LOCAL_MIN_DIST_EDGE_ASYNC). Remote endpoint state is fetched
+		// with a request/reply visitor exchange.
+		localEN := map[int64]crossEdge{}
+		localENs[r.ID()] = localEN
+		recordCandidate := func(u, v graph.VID, dv graph.Dist, srcV graph.VID) {
+			su := st.Src[u]
+			if su == graph.NilVID || srcV == graph.NilVID || su == srcV {
+				return
+			}
+			w, ok := g.HasEdge(u, v)
+			if !ok {
+				return
+			}
+			cand := crossEdge{D: st.Dist[u] + graph.Dist(w) + dv, U: u, V: v}
+			key := seedKey(su, srcV)
+			if cur, ok := localEN[key]; ok {
+				localEN[key] = pickCross(cur, cand)
+			} else {
+				localEN[key] = cand
+			}
+		}
+		rec.phase(r, PhaseLocalMinEdge, func() int64 {
+			ts := r.Traverse(&rt.Traversal{
+				BSP: opts.BSP,
+				Init: func(r *rt.Rank) {
+					r.OwnedVertices(func(u graph.VID) {
+						if st.Src[u] == graph.NilVID {
+							return
+						}
+						adj, _ := g.Adj(u)
+						for _, v := range adj {
+							if u >= v {
+								continue // lower endpoint initiates
+							}
+							if r.Owns(v) {
+								recordCandidate(u, v, st.Dist[v], st.Src[v])
+							} else {
+								r.Send(rt.Msg{Target: v, From: u, Kind: kindReqDist})
+							}
+						}
+					})
+				},
+				Visit: func(r *rt.Rank, m rt.Msg) {
+					switch m.Kind {
+					case kindReqDist:
+						v := m.Target
+						r.Send(rt.Msg{
+							Target: m.From, From: v,
+							Seed: st.Src[v], Dist: st.Dist[v],
+							Kind: kindRepDist,
+						})
+					case kindRepDist:
+						recordCandidate(m.Target, m.From, m.Dist, m.Seed)
+					}
+				},
+			})
+			return ts.Processed
+		})
+
+		// Phase 3: global min-distance edges —
+		// MPI_Allreduce(MPI_MIN) over the per-rank E_N tables. With
+		// CollectiveChunk set, the table is reduced in key-partitioned
+		// chunks, trading collective-buffer memory for extra rounds
+		// (the paper's §V-F mitigation for the |S|=10K blowup).
+		var merged map[int64]crossEdge
+		rec.phase(r, PhaseGlobalMinEdge, func() int64 {
+			if opts.CollectiveChunk <= 0 {
+				merged = rt.ReduceMap(r, localEN, pickCross)
+				if r.ID() == 0 {
+					res.CollectiveChunks = 1
+				}
+				return 0
+			}
+			maxSize := r.AllreduceMaxInt64(int64(len(localEN)))
+			numChunks := int((maxSize + int64(opts.CollectiveChunk) - 1) / int64(opts.CollectiveChunk))
+			if numChunks < 1 {
+				numChunks = 1
+			}
+			merged = make(map[int64]crossEdge, len(localEN))
+			for c := 0; c < numChunks; c++ {
+				sub := map[int64]crossEdge{}
+				for k, v := range localEN {
+					if int(uint64(k)%uint64(numChunks)) == c {
+						sub[k] = v
+					}
+				}
+				for k, v := range rt.ReduceMap(r, sub, pickCross) {
+					merged[k] = v
+				}
+			}
+			if r.ID() == 0 {
+				res.CollectiveChunks = numChunks
+			}
+			return 0
+		})
+
+		// Phase 4: sequential MST of the replicated distance graph G'₁
+		// (Alg. 3 line 17). Every rank computes it locally — G'₁ is
+		// small, so replication avoids remote copies, as in the paper.
+		seedIdx := make(map[graph.VID]int32, len(dedup))
+		for i, s := range dedup {
+			seedIdx[s] = int32(i)
+		}
+		var mstPairs map[int64]bool
+		rec.phase(r, PhaseMST, func() int64 {
+			keys := make([]int64, 0, len(merged))
+			for k := range merged {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			wedges := make([]mst.WEdge, len(keys))
+			for i, k := range keys {
+				s, t := unpackSeedKey(k)
+				wedges[i] = mst.WEdge{U: seedIdx[s], V: seedIdx[t], W: merged[k].D}
+			}
+			var forest mst.Result
+			switch opts.MST {
+			case MSTKruskal:
+				forest = mst.Kruskal(len(dedup), wedges)
+			case MSTBoruvka:
+				var rounds int
+				forest, rounds = mst.Boruvka(len(dedup), wedges)
+				if r.ID() == 0 {
+					res.MSTRounds = rounds
+				}
+			default:
+				forest = mst.Prim(len(dedup), wedges)
+			}
+			if r.ID() == 0 {
+				res.DistGraphEdges = len(wedges)
+			}
+			if len(forest.Edges) < len(dedup)-1 {
+				if r.ID() == 0 {
+					solveErr = fmt.Errorf("core: seeds span %d connected components; Steiner tree requires one",
+						len(dedup)-len(forest.Edges))
+				}
+				mstPairs = nil
+				return 0
+			}
+			mstPairs = make(map[int64]bool, len(forest.Edges))
+			for _, e := range forest.Edges {
+				mstPairs[seedKey(dedup[e.U], dedup[e.V])] = true
+			}
+			return 0
+		})
+		if mstPairs == nil {
+			return // disconnected seeds: all ranks bail out identically
+		}
+
+		// Phase 5: global edge pruning (Alg. 5, EDGE_PRUNING_COLL) —
+		// cross-cell edges whose cell pair is not an MST edge are
+		// dropped. The total order in pickCross already guarantees a
+		// unique survivor per pair, so no second collective is needed.
+		pruned := map[int64]crossEdge{}
+		rec.phase(r, PhasePruning, func() int64 {
+			for k, ce := range merged {
+				if mstPairs[k] {
+					pruned[k] = ce
+				}
+			}
+			return 0
+		})
+
+		// Phase 6: Steiner tree edges (Alg. 6) — walk predecessor
+		// chains from surviving cross-cell endpoints to cell seeds.
+		var localTree []graph.Edge
+		rec.phase(r, PhaseTreeEdge, func() int64 {
+			ts := r.Traverse(&rt.Traversal{
+				BSP: opts.BSP,
+				Init: func(r *rt.Rank) {
+					for _, ce := range pruned {
+						if !r.Owns(ce.U) {
+							continue // u's home partition records the edge
+						}
+						w, _ := g.HasEdge(ce.U, ce.V)
+						localTree = append(localTree, graph.Edge{U: ce.U, V: ce.V, W: w}.Canon())
+						r.Send(rt.Msg{Target: ce.U})
+						r.Send(rt.Msg{Target: ce.V})
+					}
+				},
+				Visit: func(r *rt.Rank, m rt.Msg) {
+					vj := m.Target
+					if walked[vj] {
+						return
+					}
+					walked[vj] = true
+					if vj == st.Src[vj] {
+						return
+					}
+					p := st.Pred[vj]
+					w, _ := g.HasEdge(p, vj)
+					localTree = append(localTree, graph.Edge{U: p, V: vj, W: w}.Canon())
+					r.Send(rt.Msg{Target: p})
+				},
+			})
+			return ts.Processed
+		})
+
+		// Gather the final tree on every rank; rank 0 publishes it.
+		tree := rt.AllGather(r, localTree)
+		if r.ID() == 0 {
+			sorted := append([]graph.Edge(nil), tree...)
+			sort.Slice(sorted, func(i, j int) bool {
+				if sorted[i].U != sorted[j].U {
+					return sorted[i].U < sorted[j].U
+				}
+				return sorted[i].V < sorted[j].V
+			})
+			res.Tree = sorted
+			res.TotalDistance = graph.TotalWeight(sorted)
+		}
+	})
+	if solveErr != nil {
+		return nil, solveErr
+	}
+
+	res.SteinerVertices = countSteinerVertices(res.Tree, dedup)
+	res.Memory = memoryStats(g, st, localENs, res, opts)
+	if !opts.SkipValidation {
+		if err := graph.ValidateSteinerTree(g, dedup, res.Tree); err != nil {
+			return nil, fmt.Errorf("core: internal error, invalid output: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// countSteinerVertices counts tree vertices that are not seeds.
+func countSteinerVertices(tree []graph.Edge, seeds []graph.VID) int {
+	isSeed := make(map[graph.VID]bool, len(seeds))
+	for _, s := range seeds {
+		isSeed[s] = true
+	}
+	verts := map[graph.VID]bool{}
+	for _, e := range tree {
+		verts[e.U] = true
+		verts[e.V] = true
+	}
+	count := 0
+	for v := range verts {
+		if !isSeed[v] {
+			count++
+		}
+	}
+	return count
+}
+
+// memoryStats models the Fig. 8 accounting: measured sizes for the graph,
+// Voronoi state and edge tables, plus a buffer-residency model
+// (P outgoing buffers per rank at the configured batch size).
+func memoryStats(g *graph.Graph, st *voronoi.State, localENs []map[int64]crossEdge, res *Result, opts Options) MemoryStats {
+	const crossEntryBytes = 8 + 16 + 8 // key + crossEdge + map overhead approx
+	const msgBytes = 24
+	var tableBytes int64
+	for _, m := range localENs {
+		tableBytes += int64(len(m)) * crossEntryBytes
+	}
+	tableBytes += int64(res.DistGraphEdges) * crossEntryBytes // merged copy
+	batch := opts.BatchSize
+	if batch <= 0 {
+		batch = 64
+	}
+	return MemoryStats{
+		GraphBytes:     g.MemoryBytes(),
+		StateBytes:     st.MemoryBytes(),
+		EdgeTableBytes: tableBytes,
+		DistGraphBytes: int64(res.DistGraphEdges) * 20 * int64(opts.Ranks),
+		BufferBytes:    int64(opts.Ranks) * int64(opts.Ranks) * int64(batch) * msgBytes,
+	}
+}
+
+// recorder tracks per-phase wall time and message deltas. Rank 0 writes the
+// shared Result between barriers.
+type recorder struct {
+	comm *rt.Comm
+	res  *Result
+
+	t0 time.Time
+	s0 rt.Stats
+}
+
+// phase runs fn on every rank between barriers and records its duration,
+// message counts and max-per-rank work (fn's return value, reduced MAX).
+func (rec *recorder) phase(r *rt.Rank, name string, fn func() int64) {
+	r.Barrier()
+	if r.ID() == 0 {
+		rec.t0 = time.Now()
+		rec.s0 = rec.comm.Stats()
+	}
+	r.Barrier()
+	work := fn()
+	r.Barrier()
+	maxWork := r.AllreduceMaxInt64(work)
+	if r.ID() == 0 {
+		s1 := rec.comm.Stats()
+		rec.res.Phases = append(rec.res.Phases, PhaseStat{
+			Name:        name,
+			Seconds:     time.Since(rec.t0).Seconds(),
+			Sent:        s1.Sent - rec.s0.Sent,
+			Processed:   s1.Processed - rec.s0.Processed,
+			MaxRankWork: maxWork,
+		})
+	}
+}

@@ -1,0 +1,277 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dsteiner/internal/graph"
+)
+
+func e(u, v graph.VID, w uint32) graph.Edge { return graph.Edge{U: u, V: v, W: w} }
+
+func paperFig1() *graph.Graph {
+	return graph.MustFromEdges(9, []graph.Edge{
+		e(0, 1, 16), e(0, 4, 2), e(4, 5, 4), e(1, 5, 2), e(1, 2, 20),
+		e(5, 6, 1), e(2, 6, 1), e(2, 3, 24), e(6, 7, 2), e(3, 7, 2), e(7, 8, 2), e(3, 8, 18),
+	})
+}
+
+func randomConnected(seed int64, n int, maxW uint32) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(graph.VID(rng.Intn(v)), graph.VID(v), uint32(rng.Intn(int(maxW)))+1)
+	}
+	for i := 0; i < 2*n; i++ {
+		b.AddEdge(graph.VID(rng.Intn(n)), graph.VID(rng.Intn(n)), uint32(rng.Intn(int(maxW)))+1)
+	}
+	g, _ := b.Build()
+	return g
+}
+
+func TestPaperFig1Optimum(t *testing.T) {
+	g := paperFig1()
+	// Seeds of Fig. 1: 0-based {0,2,3,7,8}. The depicted Steiner tree
+	// uses edges 1-5(2), 5-6(4)... compute and verify structurally.
+	seeds := []graph.VID{0, 2, 3, 7, 8}
+	sol, err := Solve(g, seeds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.ValidateSteinerTree(g, seeds, sol.Edges); err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 1(b)'s tree: 1-5:2, 5-6:4, 6-2:2(paper 2-6), 6-7:1(paper),
+	// ... the paper's drawn tree weight (0-based edges {0,4}=2, {4,5}=4,
+	// {1,5}=2? Actually the known optimal total for this instance:
+	// verify the DP against brute force over spanning subsets instead.
+	want := bruteForce(g, seeds)
+	if sol.Total != want {
+		t.Fatalf("DP total = %d, brute force = %d", sol.Total, want)
+	}
+}
+
+// bruteForce enumerates all vertex subsets containing the seeds and takes
+// the best MST over the induced subgraph — exact for small n because an
+// optimal Steiner tree is an MST of the subgraph induced by its own
+// vertex set... which holds only when the induced subgraph's MST uses
+// exactly the tree edges; enumerating all supersets covers the optimum.
+func bruteForce(g *graph.Graph, seeds []graph.VID) graph.Dist {
+	n := g.NumVertices()
+	isSeed := make([]bool, n)
+	for _, s := range seeds {
+		isSeed[s] = true
+	}
+	var extras []graph.VID
+	for v := 0; v < n; v++ {
+		if !isSeed[v] {
+			extras = append(extras, graph.VID(v))
+		}
+	}
+	best := graph.InfDist
+	for mask := 0; mask < (1 << len(extras)); mask++ {
+		verts := append([]graph.VID(nil), seeds...)
+		for i, v := range extras {
+			if mask&(1<<i) != 0 {
+				verts = append(verts, v)
+			}
+		}
+		if w, ok := inducedMSTWeight(g, verts); ok && w < best {
+			best = w
+		}
+	}
+	return best
+}
+
+func inducedMSTWeight(g *graph.Graph, verts []graph.VID) (graph.Dist, bool) {
+	idx := map[graph.VID]int{}
+	for i, v := range verts {
+		idx[v] = i
+	}
+	type we struct {
+		u, v int
+		w    graph.Dist
+	}
+	var edges []we
+	for _, v := range verts {
+		ts, ws := g.Adj(v)
+		for i, u := range ts {
+			if j, ok := idx[u]; ok && v < u {
+				edges = append(edges, we{u: idx[v], v: j, w: graph.Dist(ws[i])})
+			}
+		}
+	}
+	// Kruskal.
+	for i := 1; i < len(edges); i++ {
+		for j := i; j > 0 && edges[j].w < edges[j-1].w; j-- {
+			edges[j], edges[j-1] = edges[j-1], edges[j]
+		}
+	}
+	parent := make([]int, len(verts))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	var total graph.Dist
+	merged := 0
+	for _, e := range edges {
+		ru, rv := find(e.u), find(e.v)
+		if ru != rv {
+			parent[ru] = rv
+			total += e.w
+			merged++
+		}
+	}
+	if merged != len(verts)-1 {
+		return 0, false // induced subgraph disconnected
+	}
+	return total, true
+}
+
+func TestTwoTerminalsIsShortestPath(t *testing.T) {
+	g := paperFig1()
+	sol, err := Solve(g, []graph.VID{0, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shortest 0->3 path: 0-4(2) 4-5(4) 5-6(1) 6-7(2) 7-3(2) = 11
+	// vs 0-1(16)... verify = 11.
+	if sol.Total != 11 {
+		t.Fatalf("shortest path = %d, want 11", sol.Total)
+	}
+	if len(sol.Edges) != 5 {
+		t.Fatalf("path edges = %d, want 5", len(sol.Edges))
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	g := paperFig1()
+	if _, err := Solve(g, nil, 0); err == nil {
+		t.Error("empty terminals accepted")
+	}
+	if _, err := Solve(g, []graph.VID{1, 1}, 0); err == nil {
+		t.Error("duplicate terminals accepted")
+	}
+	if _, err := Solve(g, []graph.VID{99}, 0); err == nil {
+		t.Error("out-of-range terminal accepted")
+	}
+	if _, err := Solve(g, []graph.VID{0, 1, 2, 3, 4, 5, 6, 7}, 100); err == nil {
+		t.Error("memory limit ignored")
+	}
+	// Single terminal: empty tree.
+	sol, err := Solve(g, []graph.VID{2}, 0)
+	if err != nil || len(sol.Edges) != 0 {
+		t.Errorf("single terminal: %v %v", sol, err)
+	}
+	// Disconnected terminals.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1)
+	g2, _ := b.Build()
+	if _, err := Solve(g2, []graph.VID{0, 2}, 0); err == nil {
+		t.Error("disconnected terminals accepted")
+	}
+}
+
+func TestPropertyMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(8) // brute force is 2^(n-k)
+		g := randomConnected(seed, n, 9)
+		k := 2 + rng.Intn(3)
+		seen := map[graph.VID]bool{}
+		var seeds []graph.VID
+		for len(seeds) < k {
+			s := graph.VID(rng.Intn(n))
+			if !seen[s] {
+				seen[s] = true
+				seeds = append(seeds, s)
+			}
+		}
+		sol, err := Solve(g, seeds, 0)
+		if err != nil {
+			return false
+		}
+		if graph.ValidateSteinerTree(g, seeds, sol.Edges) != nil {
+			return false
+		}
+		return sol.Total == bruteForce(g, seeds)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyOptimalityAgainstSpanningHeuristics(t *testing.T) {
+	// The optimum never exceeds any seed-spanning subtree we can build.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(40)
+		g := randomConnected(seed, n, 15)
+		k := 2 + rng.Intn(5)
+		seen := map[graph.VID]bool{}
+		var seeds []graph.VID
+		for len(seeds) < k {
+			s := graph.VID(rng.Intn(n))
+			if !seen[s] {
+				seen[s] = true
+				seeds = append(seeds, s)
+			}
+		}
+		sol, err := Solve(g, seeds, 0)
+		if err != nil {
+			return false
+		}
+		// Whole-graph MST pruned to seeds is one valid Steiner tree.
+		edges := g.Edges()
+		wedges := make([]we2, len(edges))
+		for i, e := range edges {
+			wedges[i] = we2{e: e}
+		}
+		pruned := graph.PruneNonSeedLeaves(mstEdges(g, wedges), seeds)
+		return sol.Total <= graph.TotalWeight(pruned)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type we2 struct{ e graph.Edge }
+
+// mstEdges computes an MST edge list of the whole graph with Kruskal.
+func mstEdges(g *graph.Graph, wedges []we2) []graph.Edge {
+	for i := 1; i < len(wedges); i++ {
+		for j := i; j > 0 && wedges[j].e.W < wedges[j-1].e.W; j-- {
+			wedges[j], wedges[j-1] = wedges[j-1], wedges[j]
+		}
+	}
+	parent := make([]int32, g.NumVertices())
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	var out []graph.Edge
+	for _, w := range wedges {
+		ru, rv := find(int32(w.e.U)), find(int32(w.e.V))
+		if ru != rv {
+			parent[ru] = rv
+			out = append(out, w.e)
+		}
+	}
+	return out
+}

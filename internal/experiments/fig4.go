@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dsteiner/internal/core"
+	"dsteiner/internal/tables"
+)
+
+// fig4Datasets are the six graphs of the paper's Fig. 4.
+var fig4Datasets = []string{"PTN", "LVJ", "FRS", "UKW07", "CLW12", "WDC12"}
+
+// Fig4 reproduces the seed-count sweep: per-phase runtime for |S| = 10,
+// 100, 1000, 10000 at a fixed rank count. The paper's shape: runtime grows
+// sub-linearly with |S| (Voronoi can even get FASTER at 10K seeds because
+// convergence accelerates with dense sources); the final four phases are
+// negligible until |S|=10K, where the distance graph G'₁ blows up.
+func Fig4(cfg Config) ([]tables.Table, error) {
+	var out []tables.Table
+	for _, name := range fig4Datasets {
+		g := cfg.Graph(name)
+		t := tables.Table{
+			Title: fmt.Sprintf("Fig. 4: |S| sweep, %s (P=%d)", name, cfg.Ranks),
+			Header: append([]string{"|S|"},
+				append(phaseShortNames(), "Total", "|E'1|", "|E_S|")...),
+		}
+		for _, k := range cfg.SeedCounts(name) {
+			cfg.logf("fig4: %s |S|=%d", name, k)
+			seedSet := cfg.Seeds(name, k)
+			res, err := core.Solve(g, seedSet, core.Default(cfg.Ranks))
+			if err != nil {
+				return nil, err
+			}
+			row := []string{itoa(k)}
+			for _, ph := range res.Phases {
+				row = append(row, tables.Seconds(ph.Seconds))
+			}
+			row = append(row, tables.Seconds(res.TotalSeconds()),
+				tables.Count(int64(res.DistGraphEdges)),
+				tables.Count(int64(len(res.Tree))))
+			t.AddRow(row...)
+		}
+		t.AddNote("paper: Voronoi time can drop at |S|=10K; G'1 reaches ~50M edges at 10K seeds")
+		out = append(out, t)
+	}
+	return out, nil
+}

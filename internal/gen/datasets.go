@@ -1,0 +1,170 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PaperStats records the characteristics the paper reports for a dataset in
+// Table III, for side-by-side comparison with the stand-in.
+type PaperStats struct {
+	Vertices  string // e.g. "3.5B"
+	Arcs      string // 2|E|, e.g. "257B"
+	MaxWeight uint32
+}
+
+// DatasetInfo couples a stand-in Config with the paper's reported numbers.
+type DatasetInfo struct {
+	Config Config
+	Paper  PaperStats
+	// Long is the paper's full dataset name.
+	Long string
+}
+
+// datasets mirrors Table III at roughly 1/1000–1/50000 scale while keeping
+// (a) the relative size ordering WDC > CLW > UKW > FRS > LVJ > PTN > MCO >
+// CTS, (b) the skewed degree distribution class of each graph, and (c) the
+// paper's per-dataset edge-weight ranges exactly.
+var datasets = map[string]DatasetInfo{
+	"WDC12": {
+		Long:  "Web Data Commons 2012 (web graph stand-in)",
+		Paper: PaperStats{Vertices: "3.5B", Arcs: "257B", MaxWeight: 500000},
+		Config: Config{
+			Name: "WDC12", Kind: KindRMAT, N: 1 << 16, AvgDegree: 36,
+			A: 0.57, B: 0.19, C: 0.19, D: 0.05,
+			MaxWeight: 500000, Seed: 120, Backbone: true,
+		},
+	},
+	"CLW12": {
+		Long:  "ClueWeb 2012 (web graph stand-in)",
+		Paper: PaperStats{Vertices: "978M", Arcs: "85B", MaxWeight: 100000},
+		Config: Config{
+			Name: "CLW12", Kind: KindRMAT, N: 3 << 14, AvgDegree: 32,
+			A: 0.57, B: 0.19, C: 0.19, D: 0.05,
+			MaxWeight: 100000, Seed: 121, Backbone: true,
+		},
+	},
+	"UKW07": {
+		Long:  "UK Web 2007-05 (web graph stand-in)",
+		Paper: PaperStats{Vertices: "105M", Arcs: "7.5B", MaxWeight: 75000},
+		Config: Config{
+			Name: "UKW07", Kind: KindRMAT, N: 1 << 15, AvgDegree: 28,
+			A: 0.57, B: 0.19, C: 0.19, D: 0.05,
+			MaxWeight: 75000, Seed: 122, Backbone: true,
+		},
+	},
+	"FRS": {
+		Long:  "Friendster (social network stand-in)",
+		Paper: PaperStats{Vertices: "66M", Arcs: "3.6B", MaxWeight: 50000},
+		Config: Config{
+			Name: "FRS", Kind: KindRMAT, N: 3 << 13, AvgDegree: 24,
+			// Milder skew: Friendster's max degree is only 5.2K.
+			A: 0.45, B: 0.22, C: 0.22, D: 0.11,
+			MaxWeight: 50000, Seed: 123, Backbone: true,
+		},
+	},
+	"LVJ": {
+		Long:  "LiveJournal (social network stand-in)",
+		Paper: PaperStats{Vertices: "4.8M", Arcs: "85.7M", MaxWeight: 5000},
+		Config: Config{
+			Name: "LVJ", Kind: KindRMAT, N: 1 << 13, AvgDegree: 17,
+			A: 0.5, B: 0.2, C: 0.2, D: 0.1,
+			MaxWeight: 5000, Seed: 124, Backbone: true,
+		},
+	},
+	"PTN": {
+		Long:  "Patent (citation graph stand-in)",
+		Paper: PaperStats{Vertices: "2.7M", Arcs: "28M", MaxWeight: 5000},
+		Config: Config{
+			Name: "PTN", Kind: KindCitation, N: 6 << 10, OutDeg: 5,
+			MaxWeight: 5000, Seed: 125,
+		},
+	},
+	"MCO": {
+		Long:  "MiCo Microsoft co-authorship (stand-in)",
+		Paper: PaperStats{Vertices: "100K", Arcs: "2.2M", MaxWeight: 2000},
+		Config: Config{
+			Name: "MCO", Kind: KindRMAT, N: 1 << 11, AvgDegree: 22,
+			A: 0.5, B: 0.2, C: 0.2, D: 0.1,
+			MaxWeight: 2000, Seed: 126, Backbone: true,
+		},
+	},
+	"CTS": {
+		Long:  "CiteSeer (citation graph stand-in)",
+		Paper: PaperStats{Vertices: "3.3K", Arcs: "9.4K", MaxWeight: 1000},
+		Config: Config{
+			Name: "CTS", Kind: KindCitation, N: 512, OutDeg: 2,
+			MaxWeight: 1000, Seed: 127,
+		},
+	},
+}
+
+// aliases maps alternative spellings used in the paper's prose to registry
+// keys.
+var aliases = map[string]string{
+	"WDC": "WDC12", "CLW": "CLW12", "CLUEWEB12": "CLW12",
+	"UKW": "UKW07", "UKWEB07": "UKW07",
+	"FRIENDSTER": "FRS", "LIVEJOURNAL": "LVJ",
+	"PATENT": "PTN", "MICO": "MCO", "CITESEER": "CTS",
+}
+
+// Dataset looks up a Table III stand-in by name (case-insensitive; paper
+// abbreviations and full names both accepted).
+func Dataset(name string) (DatasetInfo, error) {
+	key := strings.ToUpper(strings.TrimSpace(name))
+	if alias, ok := aliases[key]; ok {
+		key = alias
+	}
+	info, ok := datasets[key]
+	if !ok {
+		return DatasetInfo{}, fmt.Errorf("gen: unknown dataset %q (have %s)", name, strings.Join(DatasetNames(), ", "))
+	}
+	return info, nil
+}
+
+// MustDataset is Dataset that panics on unknown names.
+func MustDataset(name string) DatasetInfo {
+	info, err := Dataset(name)
+	if err != nil {
+		panic(err)
+	}
+	return info
+}
+
+// DatasetNames returns the registry keys sorted from largest to smallest
+// stand-in, matching the paper's Table III ordering.
+func DatasetNames() []string {
+	names := make([]string, 0, len(datasets))
+	for name := range datasets {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := datasets[names[i]].Config, datasets[names[j]].Config
+		if a.N != b.N {
+			return a.N > b.N
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// Scaled returns a copy of the Config shrunk by factor f (0 < f <= 1) for
+// quick tests: vertex counts scale linearly, degree parameters are
+// preserved.
+func (d DatasetInfo) Scaled(f float64) Config {
+	c := d.Config
+	if f <= 0 || f > 1 {
+		return c
+	}
+	n := int(float64(c.N) * f)
+	if n < 64 {
+		n = 64
+	}
+	c.N = n
+	if c.Kind == KindGrid2D {
+		// Not used by registry datasets; keep N consistent anyway.
+		c.Rows, c.Cols = n, 1
+	}
+	return c
+}

@@ -1,0 +1,261 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dsteiner/internal/graph"
+)
+
+func TestRMATBasic(t *testing.T) {
+	c := Config{Name: "t", Kind: KindRMAT, N: 1 << 10, AvgDegree: 8, MaxWeight: 100, Seed: 1, Backbone: true}
+	g, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1<<10 {
+		t.Fatalf("N = %d", g.NumVertices())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Backbone guarantees a single component.
+	if cc := graph.ConnectedComponents(g); cc.NumComponents() != 1 {
+		t.Fatalf("components = %d, want 1", cc.NumComponents())
+	}
+	minW, maxW := g.WeightRange()
+	if minW < 1 || maxW > 100 {
+		t.Fatalf("weight range (%d,%d) outside [1,100]", minW, maxW)
+	}
+	// RMAT with default skew should produce hubs well above average.
+	if g.MaxDegree() < 3*int(g.AvgDegree()) {
+		t.Errorf("max degree %d suspiciously close to avg %.1f for RMAT", g.MaxDegree(), g.AvgDegree())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	c := Config{Name: "t", Kind: KindRMAT, N: 512, AvgDegree: 8, MaxWeight: 50, Seed: 42, Backbone: true}
+	g1 := c.MustBuild()
+	g2 := c.MustBuild()
+	e1, e2 := g1.Edges(), g2.Edges()
+	if len(e1) != len(e2) {
+		t.Fatalf("edge counts differ: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+	// Different seed must differ (overwhelmingly likely).
+	c.Seed = 43
+	g3 := c.MustBuild()
+	same := g3.NumEdges() == g1.NumEdges()
+	if same {
+		e3 := g3.Edges()
+		same = true
+		for i := range e1 {
+			if e1[i] != e3[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	c := Config{Name: "er", Kind: KindErdosRenyi, N: 1000, AvgDegree: 10, MaxWeight: 10, Seed: 7}
+	g := c.MustBuild()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// ER degree distribution is tight: max degree should be modest.
+	if g.MaxDegree() > 10*10 {
+		t.Errorf("ER max degree %d too skewed", g.MaxDegree())
+	}
+	if g.AvgDegree() < 7 || g.AvgDegree() > 10.5 {
+		t.Errorf("ER avg degree %.1f far from target 10", g.AvgDegree())
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	c := Config{Name: "ws", Kind: KindWattsStrogatz, N: 500, K: 4, Beta: 0.1, MaxWeight: 5, Seed: 9}
+	g := c.MustBuild()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Each vertex contributes K edges; dedup can remove few.
+	if g.NumEdges() < int64(float64(500*4)*0.9) {
+		t.Errorf("WS edges = %d, want near %d", g.NumEdges(), 500*4)
+	}
+	if cc := graph.ConnectedComponents(g); cc.NumComponents() != 1 {
+		t.Errorf("WS ring should be connected, got %d components", cc.NumComponents())
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	c := Config{Name: "grid", Kind: KindGrid2D, N: 12, Rows: 3, Cols: 4, MaxWeight: 9, Seed: 3}
+	g := c.MustBuild()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 3x4 grid: 3*3 horizontal + 2*4 vertical = 17 edges.
+	if g.NumEdges() != 17 {
+		t.Fatalf("grid edges = %d, want 17", g.NumEdges())
+	}
+	if cc := graph.ConnectedComponents(g); cc.NumComponents() != 1 {
+		t.Errorf("grid disconnected")
+	}
+	// Corner degree 2, center degree 4.
+	if d := g.Degree(0); d != 2 {
+		t.Errorf("corner degree = %d, want 2", d)
+	}
+	if d := g.Degree(graph.VID(1*4 + 1)); d != 4 {
+		t.Errorf("center degree = %d, want 4", d)
+	}
+}
+
+func TestCitation(t *testing.T) {
+	c := Config{Name: "cit", Kind: KindCitation, N: 2000, OutDeg: 3, MaxWeight: 100, Seed: 5}
+	g := c.MustBuild()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cc := graph.ConnectedComponents(g); cc.NumComponents() != 1 {
+		t.Errorf("citation graph should be connected, got %d components", cc.NumComponents())
+	}
+	// Preferential attachment yields hubs.
+	if g.MaxDegree() < 4*3 {
+		t.Errorf("citation max degree %d shows no preferential attachment", g.MaxDegree())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{Name: "tiny", Kind: KindRMAT, N: 1, AvgDegree: 4},
+		{Name: "nodeg", Kind: KindRMAT, N: 100},
+		{Name: "badgrid", Kind: KindGrid2D, N: 10, Rows: 3, Cols: 4},
+		{Name: "badws", Kind: KindWattsStrogatz, N: 10, K: 0},
+		{Name: "badbeta", Kind: KindWattsStrogatz, N: 10, K: 2, Beta: 1.5},
+		{Name: "badcit", Kind: KindCitation, N: 10},
+		{Name: "badkind", Kind: Kind(99), N: 10, AvgDegree: 2},
+	}
+	for _, c := range cases {
+		if _, err := c.Build(); err == nil {
+			t.Errorf("config %q accepted, want error", c.Name)
+		}
+	}
+}
+
+func TestUnweightedDefaultsToOne(t *testing.T) {
+	c := Config{Name: "u", Kind: KindErdosRenyi, N: 100, AvgDegree: 4, Seed: 11}
+	g := c.MustBuild()
+	minW, maxW := g.WeightRange()
+	if minW != 1 || maxW != 1 {
+		t.Fatalf("unweighted graph has range (%d,%d)", minW, maxW)
+	}
+}
+
+func TestDatasetRegistry(t *testing.T) {
+	names := DatasetNames()
+	if len(names) != 8 {
+		t.Fatalf("registry has %d datasets, want 8", len(names))
+	}
+	// Size ordering must match Table III: WDC > CLW > UKW > FRS > LVJ >
+	// PTN > MCO > CTS.
+	want := []string{"WDC12", "CLW12", "UKW07", "FRS", "LVJ", "PTN", "MCO", "CTS"}
+	for i, w := range want {
+		if names[i] != w {
+			t.Fatalf("ordering = %v, want %v", names, want)
+		}
+	}
+	// Aliases resolve.
+	for _, alias := range []string{"wdc", "ClueWeb12", "LiveJournal", "patent", "MiCo", "citeseer", "ukweb07", "friendster"} {
+		if _, err := Dataset(alias); err != nil {
+			t.Errorf("alias %q not resolved: %v", alias, err)
+		}
+	}
+	if _, err := Dataset("nope"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	// Weight ranges match the paper exactly.
+	wantW := map[string]uint32{
+		"WDC12": 500000, "CLW12": 100000, "UKW07": 75000, "FRS": 50000,
+		"LVJ": 5000, "PTN": 5000, "MCO": 2000, "CTS": 1000,
+	}
+	for name, w := range wantW {
+		info := MustDataset(name)
+		if info.Config.MaxWeight != w {
+			t.Errorf("%s MaxWeight = %d, want %d", name, info.Config.MaxWeight, w)
+		}
+	}
+}
+
+func TestSmallDatasetsBuild(t *testing.T) {
+	// Build the four smallest registry datasets fully and sanity check.
+	for _, name := range []string{"LVJ", "PTN", "MCO", "CTS"} {
+		info := MustDataset(name)
+		g := info.Config.MustBuild()
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.NumVertices() != info.Config.N {
+			t.Errorf("%s: N = %d, want %d", name, g.NumVertices(), info.Config.N)
+		}
+		lcv := graph.LargestComponentVertices(g)
+		if len(lcv) < g.NumVertices()*9/10 {
+			t.Errorf("%s: largest component only %d of %d", name, len(lcv), g.NumVertices())
+		}
+		_, maxW := g.WeightRange()
+		if maxW > info.Config.MaxWeight {
+			t.Errorf("%s: max weight %d exceeds %d", name, maxW, info.Config.MaxWeight)
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	info := MustDataset("LVJ")
+	c := info.Scaled(0.125)
+	if c.N != info.Config.N/8 {
+		t.Fatalf("Scaled N = %d, want %d", c.N, info.Config.N/8)
+	}
+	g := c.MustBuild()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Degenerate factors fall back to the original config.
+	if got := info.Scaled(0); got.N != info.Config.N {
+		t.Errorf("Scaled(0) should be identity")
+	}
+	if got := info.Scaled(1e-9); got.N < 64 {
+		t.Errorf("Scaled floor violated: N=%d", got.N)
+	}
+}
+
+func TestPropertyGeneratorsAlwaysValid(t *testing.T) {
+	f := func(seed int64, kindPick uint8) bool {
+		kind := Kind(int(kindPick) % 3) // RMAT, ER, WS
+		c := Config{Name: "p", Kind: kind, N: 256, AvgDegree: 6, K: 3, Beta: 0.2, MaxWeight: 64, Seed: seed}
+		g, err := c.Build()
+		if err != nil {
+			return false
+		}
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindRMAT: "rmat", KindErdosRenyi: "er", KindWattsStrogatz: "ws",
+		KindGrid2D: "grid", KindCitation: "citation", Kind(42): "Kind(42)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package gen
+
+import (
+	"math/rand"
+
+	"dsteiner/internal/graph"
+)
+
+// rmatEdges samples N*AvgDegree/2 edges by R-MAT recursive quadrant descent.
+// Quadrant probabilities are perturbed per level with small noise (as in the
+// Graph500 reference generator) to avoid exact self-similarity artifacts.
+func rmatEdges(c Config, rng *rand.Rand) []graph.Edge {
+	a, b, cc, d := c.A, c.B, c.C, c.D
+	if a == 0 && b == 0 && cc == 0 && d == 0 {
+		a, b, cc, d = 0.57, 0.19, 0.19, 0.05
+	}
+	// levels = ceil(log2(N))
+	levels := 0
+	for (1 << levels) < c.N {
+		levels++
+	}
+	m := c.N * c.AvgDegree / 2
+	edges := make([]graph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		u, v := 0, 0
+		for l := 0; l < levels; l++ {
+			// Perturb quadrant probabilities by up to ±10%.
+			noise := func(p float64) float64 { return p * (0.9 + 0.2*rng.Float64()) }
+			pa, pb, pc, pd := noise(a), noise(b), noise(cc), noise(d)
+			sum := pa + pb + pc + pd
+			r := rng.Float64() * sum
+			u <<= 1
+			v <<= 1
+			switch {
+			case r < pa:
+				// top-left: no bits set
+			case r < pa+pb:
+				v |= 1
+			case r < pa+pb+pc:
+				u |= 1
+			default:
+				u |= 1
+				v |= 1
+			}
+		}
+		if u >= c.N || v >= c.N || u == v {
+			i-- // resample
+			continue
+		}
+		edges = append(edges, graph.Edge{U: graph.VID(u), V: graph.VID(v)})
+	}
+	return edges
+}
+
+// erEdges samples N*AvgDegree/2 uniform random edges (G(n, m) with
+// replacement; the builder deduplicates).
+func erEdges(c Config, rng *rand.Rand) []graph.Edge {
+	m := c.N * c.AvgDegree / 2
+	edges := make([]graph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		u := rng.Intn(c.N)
+		v := rng.Intn(c.N)
+		if u == v {
+			i--
+			continue
+		}
+		edges = append(edges, graph.Edge{U: graph.VID(u), V: graph.VID(v)})
+	}
+	return edges
+}
+
+// wsEdges builds a Watts–Strogatz small-world graph: ring lattice where each
+// vertex connects to its K nearest clockwise neighbors, each such edge
+// rewired to a random endpoint with probability Beta.
+func wsEdges(c Config, rng *rand.Rand) []graph.Edge {
+	edges := make([]graph.Edge, 0, c.N*c.K)
+	for v := 0; v < c.N; v++ {
+		for j := 1; j <= c.K; j++ {
+			u := (v + j) % c.N
+			if rng.Float64() < c.Beta {
+				u = rng.Intn(c.N)
+				if u == v {
+					u = (v + 1) % c.N
+				}
+			}
+			edges = append(edges, graph.Edge{U: graph.VID(v), V: graph.VID(u)})
+		}
+	}
+	return edges
+}
+
+// gridEdges builds a Rows x Cols 4-neighbor mesh; vertex (r, c) has ID
+// r*Cols + c.
+func gridEdges(c Config) []graph.Edge {
+	edges := make([]graph.Edge, 0, 2*c.N)
+	id := func(r, col int) graph.VID { return graph.VID(r*c.Cols + col) }
+	for r := 0; r < c.Rows; r++ {
+		for col := 0; col < c.Cols; col++ {
+			if col+1 < c.Cols {
+				edges = append(edges, graph.Edge{U: id(r, col), V: id(r, col+1)})
+			}
+			if r+1 < c.Rows {
+				edges = append(edges, graph.Edge{U: id(r, col), V: id(r+1, col)})
+			}
+		}
+	}
+	return edges
+}
+
+// citationEdges grows the graph one vertex at a time; each new vertex cites
+// OutDeg earlier vertices chosen by preferential attachment (picking a
+// uniform endpoint of an existing edge; falling back to uniform for the
+// first vertices). The result is connected with a heavy-tailed in-degree
+// distribution, like the paper's Patent and CiteSeer graphs.
+func citationEdges(c Config, rng *rand.Rand) []graph.Edge {
+	edges := make([]graph.Edge, 0, c.N*c.OutDeg)
+	// endpoints is a flat multiset of edge endpoints for O(1) preferential
+	// sampling.
+	endpoints := make([]graph.VID, 0, 2*c.N*c.OutDeg)
+	for v := 1; v < c.N; v++ {
+		cited := map[graph.VID]bool{}
+		for j := 0; j < c.OutDeg && j < v; j++ {
+			var u graph.VID
+			if len(endpoints) > 0 && rng.Float64() < 0.8 {
+				u = endpoints[rng.Intn(len(endpoints))]
+			} else {
+				u = graph.VID(rng.Intn(v))
+			}
+			if int(u) >= v || cited[u] {
+				j--
+				// Avoid infinite loops on tiny prefixes.
+				if len(cited) >= v {
+					break
+				}
+				continue
+			}
+			cited[u] = true
+			edges = append(edges, graph.Edge{U: u, V: graph.VID(v)})
+			endpoints = append(endpoints, u, graph.VID(v))
+		}
+	}
+	return edges
+}

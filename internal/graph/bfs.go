@@ -1,0 +1,77 @@
+package graph
+
+// BFSResult holds the outcome of an unweighted breadth-first search.
+type BFSResult struct {
+	Source VID
+	// Level[v] is the hop distance from Source, or -1 if unreachable.
+	Level []int32
+	// Parent[v] is the BFS-tree parent, or NilVID for the source and
+	// unreachable vertices.
+	Parent []VID
+	// MaxLevel is the eccentricity of Source within its component.
+	MaxLevel int32
+	// Reached is the number of vertices in Source's component.
+	Reached int
+}
+
+// BFS runs a breadth-first search from source over the unweighted topology.
+// The paper uses BFS levels both for seed selection (§V) and for identifying
+// the largest connected component.
+func BFS(g *Graph, source VID) *BFSResult {
+	n := g.NumVertices()
+	res := &BFSResult{
+		Source: source,
+		Level:  make([]int32, n),
+		Parent: make([]VID, n),
+	}
+	for i := range res.Level {
+		res.Level[i] = -1
+		res.Parent[i] = NilVID
+	}
+	res.Level[source] = 0
+	frontier := []VID{source}
+	next := []VID{}
+	res.Reached = 1
+	for level := int32(1); len(frontier) > 0; level++ {
+		for _, v := range frontier {
+			ts, _ := g.Adj(v)
+			for _, u := range ts {
+				if res.Level[u] < 0 {
+					res.Level[u] = level
+					res.Parent[u] = v
+					next = append(next, u)
+					res.Reached++
+				}
+			}
+		}
+		if len(next) > 0 {
+			res.MaxLevel = level
+		}
+		frontier, next = next, frontier[:0]
+	}
+	return res
+}
+
+// LevelHistogram returns, for each BFS level 0..MaxLevel, the number of
+// vertices at that level. Used by BFS-level seed selection, which samples
+// proportionally to level population (§V "Seed Vertex Selection").
+func (r *BFSResult) LevelHistogram() []int {
+	hist := make([]int, r.MaxLevel+1)
+	for _, l := range r.Level {
+		if l >= 0 {
+			hist[l]++
+		}
+	}
+	return hist
+}
+
+// VerticesAtLevel collects the vertices with the given BFS level.
+func (r *BFSResult) VerticesAtLevel(level int32) []VID {
+	var out []VID
+	for v, l := range r.Level {
+		if l == level {
+			out = append(out, VID(v))
+		}
+	}
+	return out
+}

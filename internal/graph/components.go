@@ -1,0 +1,72 @@
+package graph
+
+// Components labels connected components by iterative BFS. Component IDs are
+// dense, assigned in order of the lowest vertex in the component.
+type Components struct {
+	// Label[v] is the component ID of v.
+	Label []int32
+	// Size[c] is the number of vertices in component c.
+	Size []int
+}
+
+// NumComponents returns the number of connected components.
+func (c *Components) NumComponents() int { return len(c.Size) }
+
+// Largest returns the ID of the largest component (lowest ID wins ties).
+func (c *Components) Largest() int32 {
+	best, bestSize := int32(0), -1
+	for id, sz := range c.Size {
+		if sz > bestSize {
+			best, bestSize = int32(id), sz
+		}
+	}
+	return best
+}
+
+// ConnectedComponents computes the connected components of g.
+func ConnectedComponents(g *Graph) *Components {
+	n := g.NumVertices()
+	c := &Components{Label: make([]int32, n)}
+	for i := range c.Label {
+		c.Label[i] = -1
+	}
+	var queue []VID
+	for v := 0; v < n; v++ {
+		if c.Label[v] >= 0 {
+			continue
+		}
+		id := int32(len(c.Size))
+		size := 1
+		c.Label[v] = id
+		queue = append(queue[:0], VID(v))
+		for len(queue) > 0 {
+			x := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			ts, _ := g.Adj(x)
+			for _, u := range ts {
+				if c.Label[u] < 0 {
+					c.Label[u] = id
+					size++
+					queue = append(queue, u)
+				}
+			}
+		}
+		c.Size = append(c.Size, size)
+	}
+	return c
+}
+
+// LargestComponentVertices returns the vertices of the largest connected
+// component in increasing order. Seed selection draws only from this set,
+// guaranteeing all seeds are mutually reachable (§V).
+func LargestComponentVertices(g *Graph) []VID {
+	c := ConnectedComponents(g)
+	want := c.Largest()
+	out := make([]VID, 0, c.Size[want])
+	for v, l := range c.Label {
+		if l == want {
+			out = append(out, VID(v))
+		}
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadEdgeList checks that the text parser never panics and that any
+// accepted graph validates and round-trips.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1 5\n1 2 3\n")
+	f.Add("# comment\n\n0 1\n")
+	f.Add("0 1 -5\n")
+	f.Add("garbage line\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadEdgeList(bytes.NewReader([]byte(in)))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed edge count %d -> %d", g.NumEdges(), g2.NumEdges())
+		}
+	})
+}
+
+// FuzzReadBinary checks that the binary reader never panics on corrupt
+// containers and that anything accepted validates.
+func FuzzReadBinary(f *testing.F) {
+	var seed bytes.Buffer
+	g := MustFromEdges(3, []Edge{{U: 0, V: 1, W: 2}, {U: 1, V: 2, W: 3}})
+	if err := WriteBinary(&seed, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("DSTEINR1 but short"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		g, err := ReadBinary(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted binary graph fails validation: %v", err)
+		}
+	})
+}

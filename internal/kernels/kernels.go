@@ -1,0 +1,154 @@
+// Package kernels implements additional distributed vertex-centric graph
+// kernels on the message-passing runtime: breadth-first search and
+// connected components. They play two roles in the reproduction: (a) they
+// are the standard algorithm suite of the HavoqGT-class framework the paper
+// extends (its §IV lists BFS-style traversals as the framework's bread and
+// butter), and (b) the paper's seed-selection methodology (§V) needs BFS
+// levels and largest-component membership, which at the paper's scale must
+// themselves run distributed.
+package kernels
+
+import (
+	"dsteiner/internal/graph"
+	rt "dsteiner/internal/runtime"
+)
+
+// BFSResult is the distributed BFS output (hop levels and parents).
+type BFSResult struct {
+	// Level[v] is the hop distance from the source, -1 if unreached.
+	Level []int32
+	// Parent[v] is the BFS-tree parent with deterministic tie-breaking
+	// (smallest parent ID per level), NilVID for source/unreached.
+	Parent []graph.VID
+}
+
+// BFSRank runs one rank's share of a distributed BFS from source (call
+// inside Comm.Run). The result arrays are shared across ranks with
+// per-vertex ownership. Deterministic: a vertex adopts the smallest-ID
+// parent among those offering its final level.
+func BFSRank(r *rt.Rank, g *graph.Graph, source graph.VID, res *BFSResult) rt.TraversalStats {
+	return r.Traverse(&rt.Traversal{
+		Key: rt.DistKey, // level-priority accelerates convergence like Alg. 4
+		Init: func(r *rt.Rank) {
+			if r.Owns(source) {
+				r.Send(rt.Msg{Target: source, From: graph.NilVID, Dist: 0})
+			}
+		},
+		Visit: func(r *rt.Rank, m rt.Msg) {
+			v := m.Target
+			level := int32(m.Dist)
+			cur := res.Level[v]
+			switch {
+			case cur >= 0 && cur < level:
+				return // already better
+			case cur == level:
+				// Same level: keep the smaller parent, no re-relax.
+				if m.From != graph.NilVID && m.From < res.Parent[v] {
+					res.Parent[v] = m.From
+				}
+				return
+			}
+			res.Level[v] = level
+			res.Parent[v] = m.From
+			ts, _ := g.Adj(v)
+			for _, u := range ts {
+				r.Send(rt.Msg{Target: u, From: v, Dist: m.Dist + 1})
+			}
+		},
+	})
+}
+
+// BFS runs a standalone distributed BFS over the communicator.
+func BFS(c *rt.Comm, g *graph.Graph, source graph.VID) *BFSResult {
+	n := g.NumVertices()
+	res := &BFSResult{
+		Level:  make([]int32, n),
+		Parent: make([]graph.VID, n),
+	}
+	for i := 0; i < n; i++ {
+		res.Level[i] = -1
+		res.Parent[i] = graph.NilVID
+	}
+	c.Run(func(r *rt.Rank) {
+		BFSRank(r, g, source, res)
+	})
+	return res
+}
+
+// ComponentsResult is the distributed connected-components output.
+type ComponentsResult struct {
+	// Label[v] is the smallest vertex ID in v's component (the classic
+	// min-label fixed point), -1 only for graphs with zero vertices.
+	Label []graph.VID
+}
+
+// NumComponents counts distinct labels.
+func (cr *ComponentsResult) NumComponents() int {
+	seen := map[graph.VID]bool{}
+	for _, l := range cr.Label {
+		seen[l] = true
+	}
+	return len(seen)
+}
+
+// ComponentsRank runs one rank's share of min-label propagation: every
+// vertex starts labelled with its own ID and adopts any smaller label,
+// notifying neighbors — the asynchronous HashMin algorithm.
+func ComponentsRank(r *rt.Rank, g *graph.Graph, res *ComponentsResult) rt.TraversalStats {
+	return r.Traverse(&rt.Traversal{
+		Key: func(m rt.Msg) uint64 { return uint64(m.Seed) }, // small labels first
+		Init: func(r *rt.Rank) {
+			r.OwnedVertices(func(v graph.VID) {
+				r.Send(rt.Msg{Target: v, Seed: v})
+			})
+		},
+		Visit: func(r *rt.Rank, m rt.Msg) {
+			v := m.Target
+			if res.Label[v] != graph.NilVID && res.Label[v] <= m.Seed {
+				return
+			}
+			res.Label[v] = m.Seed
+			ts, _ := g.Adj(v)
+			for _, u := range ts {
+				r.Send(rt.Msg{Target: u, Seed: m.Seed})
+			}
+		},
+	})
+}
+
+// Components runs standalone distributed connected components.
+func Components(c *rt.Comm, g *graph.Graph) *ComponentsResult {
+	n := g.NumVertices()
+	res := &ComponentsResult{Label: make([]graph.VID, n)}
+	for i := 0; i < n; i++ {
+		res.Label[i] = graph.NilVID
+	}
+	c.Run(func(r *rt.Rank) {
+		ComponentsRank(r, g, res)
+	})
+	return res
+}
+
+// LargestComponent returns the vertices of the largest component (ties to
+// the smaller label), in increasing order — the distributed counterpart of
+// graph.LargestComponentVertices used by seed selection at scale.
+func LargestComponent(c *rt.Comm, g *graph.Graph) []graph.VID {
+	res := Components(c, g)
+	counts := map[graph.VID]int{}
+	for _, l := range res.Label {
+		counts[l]++
+	}
+	best, bestN := graph.NilVID, -1
+	for l, n := range counts {
+		if n > bestN || (n == bestN && l < best) {
+			best, bestN = l, n
+		}
+	}
+	var out []graph.VID
+	for v, l := range res.Label {
+		if l == best {
+			out = append(out, graph.VID(v))
+		}
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dsteiner/internal/graph"
+	"dsteiner/internal/partition"
+	rt "dsteiner/internal/runtime"
+)
+
+func randomGraph(seed int64, n int, connected bool) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	if connected {
+		for v := 1; v < n; v++ {
+			b.AddEdge(graph.VID(rng.Intn(v)), graph.VID(v), 1)
+		}
+	}
+	for i := 0; i < 2*n; i++ {
+		b.AddEdge(graph.VID(rng.Intn(n)), graph.VID(rng.Intn(n)), 1)
+	}
+	g, _ := b.Build()
+	return g
+}
+
+func newComm(t testing.TB, n, ranks int) *rt.Comm {
+	t.Helper()
+	part, err := partition.NewBlock(n, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt.MustNew(rt.Config{Ranks: ranks, Queue: rt.QueuePriority}, part)
+}
+
+func TestBFSMatchesSequential(t *testing.T) {
+	g := randomGraph(1, 300, true)
+	want := graph.BFS(g, 7)
+	for _, ranks := range []int{1, 2, 4, 8} {
+		got := BFS(newComm(t, 300, ranks), g, 7)
+		for v := 0; v < g.NumVertices(); v++ {
+			if got.Level[v] != want.Level[v] {
+				t.Fatalf("ranks=%d: Level[%d] = %d, want %d", ranks, v, got.Level[v], want.Level[v])
+			}
+		}
+	}
+}
+
+func TestBFSParentsConsistent(t *testing.T) {
+	g := randomGraph(3, 200, true)
+	res := BFS(newComm(t, 200, 4), g, 0)
+	for v := 0; v < g.NumVertices(); v++ {
+		if v == 0 {
+			if res.Parent[0] != graph.NilVID || res.Level[0] != 0 {
+				t.Fatal("source state wrong")
+			}
+			continue
+		}
+		p := res.Parent[v]
+		if p == graph.NilVID {
+			t.Fatalf("vertex %d unreached in connected graph", v)
+		}
+		if _, ok := g.HasEdge(p, graph.VID(v)); !ok {
+			t.Fatalf("parent edge (%d,%d) missing", p, v)
+		}
+		if res.Level[p]+1 != res.Level[v] {
+			t.Fatalf("level inconsistency at %d", v)
+		}
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	b := graph.NewBuilder(5)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1)
+	g, _ := b.Build()
+	res := BFS(newComm(t, 5, 2), g, 0)
+	for _, v := range []int{2, 3, 4} {
+		if res.Level[v] != -1 {
+			t.Fatalf("Level[%d] = %d, want -1", v, res.Level[v])
+		}
+	}
+}
+
+func TestBFSDeterministicParents(t *testing.T) {
+	g := randomGraph(5, 150, true)
+	var ref *BFSResult
+	for _, ranks := range []int{1, 3, 6} {
+		got := BFS(newComm(t, 150, ranks), g, 2)
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for v := range got.Parent {
+			if got.Parent[v] != ref.Parent[v] {
+				t.Fatalf("ranks=%d: Parent[%d] = %d, ref %d", ranks, v, got.Parent[v], ref.Parent[v])
+			}
+		}
+	}
+}
+
+func TestComponentsMatchSequential(t *testing.T) {
+	g := randomGraph(7, 250, false) // possibly disconnected
+	want := graph.ConnectedComponents(g)
+	for _, ranks := range []int{1, 2, 4} {
+		got := Components(newComm(t, 250, ranks), g)
+		if got.NumComponents() != want.NumComponents() {
+			t.Fatalf("ranks=%d: %d components, want %d",
+				ranks, got.NumComponents(), want.NumComponents())
+		}
+		// Same-component relation must match.
+		for v := 1; v < g.NumVertices(); v++ {
+			sameSeq := want.Label[v] == want.Label[v-1]
+			sameDist := got.Label[v] == got.Label[v-1]
+			if sameSeq != sameDist {
+				t.Fatalf("ranks=%d: component relation differs at %d", ranks, v)
+			}
+		}
+		// Labels are component minima.
+		for v, l := range got.Label {
+			if l > graph.VID(v) {
+				t.Fatalf("label[%d] = %d not a minimum", v, l)
+			}
+		}
+	}
+}
+
+func TestLargestComponentMatchesSequential(t *testing.T) {
+	b := graph.NewBuilder(60)
+	for v := 1; v < 40; v++ {
+		b.AddEdge(graph.VID(v-1), graph.VID(v), 1)
+	}
+	for v := 41; v < 50; v++ {
+		b.AddEdge(graph.VID(v-1), graph.VID(v), 1)
+	}
+	g, _ := b.Build()
+	got := LargestComponent(newComm(t, 60, 4), g)
+	want := graph.LargestComponentVertices(g)
+	if len(got) != len(want) {
+		t.Fatalf("size %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("vertex %d: %d != %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPropertyKernelsAgreeWithSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(120)
+		g := randomGraph(seed, n, rng.Intn(2) == 0)
+		ranks := 1 + rng.Intn(6)
+		part, _ := partition.NewBlock(n, ranks)
+		q := []rt.QueueKind{rt.QueueFIFO, rt.QueuePriority, rt.QueueBucket}[rng.Intn(3)]
+		c := rt.MustNew(rt.Config{
+			Ranks: ranks, Queue: q,
+			ShuffleDelivery: true, ShuffleSeed: seed,
+		}, part)
+		src := graph.VID(rng.Intn(n))
+		bfs := BFS(c, g, src)
+		wantBFS := graph.BFS(g, src)
+		for v := 0; v < n; v++ {
+			if bfs.Level[v] != wantBFS.Level[v] {
+				return false
+			}
+		}
+		c2 := rt.MustNew(rt.Config{Ranks: ranks, Queue: q}, part)
+		cc := Components(c2, g)
+		wantCC := graph.ConnectedComponents(g)
+		return cc.NumComponents() == wantCC.NumComponents()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

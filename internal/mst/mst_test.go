@@ -1,0 +1,268 @@
+package mst
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dsteiner/internal/graph"
+)
+
+func TestUnionFindBasics(t *testing.T) {
+	u := NewUnionFind(5)
+	if u.Count() != 5 {
+		t.Fatalf("Count = %d", u.Count())
+	}
+	if !u.Union(0, 1) {
+		t.Fatal("first union failed")
+	}
+	if u.Union(1, 0) {
+		t.Fatal("repeat union succeeded")
+	}
+	if !u.Connected(0, 1) || u.Connected(0, 2) {
+		t.Fatal("connectivity wrong")
+	}
+	u.Union(2, 3)
+	u.Union(0, 3)
+	if u.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", u.Count())
+	}
+	if !u.Connected(1, 2) {
+		t.Fatal("transitive connectivity lost")
+	}
+}
+
+func TestPropertyUnionFindEquivalence(t *testing.T) {
+	// Union-find must agree with a naive label array.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		uf := NewUnionFind(n)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = i
+		}
+		for step := 0; step < 3*n; step++ {
+			a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+			naiveSame := labels[a] == labels[b]
+			if uf.Connected(a, b) != naiveSame {
+				return false
+			}
+			if uf.Union(a, b) == naiveSame {
+				return false // Union result must be !same
+			}
+			if !naiveSame {
+				old, repl := labels[b], labels[a]
+				for i := range labels {
+					if labels[i] == old {
+						labels[i] = repl
+					}
+				}
+			}
+		}
+		distinct := map[int]bool{}
+		for _, l := range labels {
+			distinct[l] = true
+		}
+		return uf.Count() == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func knownGraph() (int, []WEdge) {
+	// Classic example with unique MST of weight 37 (CLRS Fig 23.4-like).
+	edges := []WEdge{
+		{0, 1, 4}, {0, 7, 8}, {1, 2, 8}, {1, 7, 11}, {2, 3, 7}, {2, 8, 2},
+		{2, 5, 4}, {3, 4, 9}, {3, 5, 14}, {4, 5, 10}, {5, 6, 2}, {6, 7, 1},
+		{6, 8, 6}, {7, 8, 7},
+	}
+	return 9, edges
+}
+
+func TestPrimKnownWeight(t *testing.T) {
+	n, edges := knownGraph()
+	res := Prim(n, edges)
+	if res.Total != 37 {
+		t.Fatalf("Prim total = %d, want 37", res.Total)
+	}
+	if len(res.Edges) != n-1 {
+		t.Fatalf("Prim edges = %d, want %d", len(res.Edges), n-1)
+	}
+}
+
+func TestKruskalKnownWeight(t *testing.T) {
+	n, edges := knownGraph()
+	res := Kruskal(n, edges)
+	if res.Total != 37 {
+		t.Fatalf("Kruskal total = %d, want 37", res.Total)
+	}
+}
+
+func TestBoruvkaKnownWeight(t *testing.T) {
+	n, edges := knownGraph()
+	res, rounds := Boruvka(n, edges)
+	if res.Total != 37 {
+		t.Fatalf("Boruvka total = %d, want 37", res.Total)
+	}
+	if rounds < 1 || rounds > 4 {
+		t.Fatalf("Boruvka rounds = %d, want O(log n)", rounds)
+	}
+}
+
+func TestForestOnDisconnectedInput(t *testing.T) {
+	edges := []WEdge{{0, 1, 3}, {2, 3, 5}}
+	for name, res := range map[string]Result{
+		"prim":    Prim(5, edges),
+		"kruskal": Kruskal(5, edges),
+	} {
+		if len(res.Edges) != 2 || res.Total != 8 {
+			t.Errorf("%s: got %d edges total %d, want forest of both", name, len(res.Edges), res.Total)
+		}
+	}
+	res, _ := Boruvka(5, edges)
+	if len(res.Edges) != 2 || res.Total != 8 {
+		t.Errorf("boruvka: got %d edges total %d", len(res.Edges), res.Total)
+	}
+}
+
+func TestEmptyAndSingletonInputs(t *testing.T) {
+	if res := Prim(3, nil); len(res.Edges) != 0 || res.Total != 0 {
+		t.Errorf("Prim on empty edges: %+v", res)
+	}
+	if res := Kruskal(0, nil); len(res.Edges) != 0 {
+		t.Errorf("Kruskal on empty graph: %+v", res)
+	}
+	res, rounds := Boruvka(1, nil)
+	if len(res.Edges) != 0 || rounds != 0 {
+		t.Errorf("Boruvka on singleton: %+v rounds=%d", res, rounds)
+	}
+}
+
+// randomWEdges builds a connected random weighted graph.
+func randomWEdges(rng *rand.Rand, n int) []WEdge {
+	edges := make([]WEdge, 0, 3*n)
+	for v := 1; v < n; v++ {
+		edges = append(edges, WEdge{U: int32(rng.Intn(v)), V: int32(v), W: graph.Dist(rng.Intn(100) + 1)})
+	}
+	for i := 0; i < 2*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			edges = append(edges, WEdge{U: int32(u), V: int32(v), W: graph.Dist(rng.Intn(100) + 1)})
+		}
+	}
+	return edges
+}
+
+func TestPropertyThreeAlgorithmsAgreeOnWeight(t *testing.T) {
+	// MST weight is unique even when the MST itself is not.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		edges := randomWEdges(rng, n)
+		p := Prim(n, edges)
+		k := Kruskal(n, edges)
+		b, _ := Boruvka(n, edges)
+		if p.Total != k.Total || k.Total != b.Total {
+			return false
+		}
+		return len(p.Edges) == n-1 && len(k.Edges) == n-1 && len(b.Edges) == n-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySpanningTreeIsAcyclicAndSpanning(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		edges := randomWEdges(rng, n)
+		res := Prim(n, edges)
+		uf := NewUnionFind(n)
+		for _, e := range res.Edges {
+			if !uf.Union(e.U, e.V) {
+				return false // cycle
+			}
+		}
+		return uf.Count() == 1 // spanning
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCutProperty(t *testing.T) {
+	// For a random cut, the minimum crossing edge's weight must appear in
+	// the MST's crossing edges (cut property holds for some MST; weights
+	// are compared rather than identities since ties allow multiple MSTs).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		edges := randomWEdges(rng, n)
+		res := Kruskal(n, edges)
+		side := make([]bool, n)
+		hasBoth := false
+		for i := range side {
+			side[i] = rng.Intn(2) == 0
+		}
+		side[0] = true
+		side[1] = false
+		hasBoth = true
+		if !hasBoth {
+			return true
+		}
+		minCross := graph.Dist(1 << 60)
+		for _, e := range edges {
+			if side[e.U] != side[e.V] && e.W < minCross {
+				minCross = e.W
+			}
+		}
+		treeMinCross := graph.Dist(1 << 60)
+		for _, e := range res.Edges {
+			if side[e.U] != side[e.V] && e.W < treeMinCross {
+				treeMinCross = e.W
+			}
+		}
+		// The connected input guarantees a crossing edge exists in both.
+		return treeMinCross == minCross
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphMST(t *testing.T) {
+	// Square with diagonal: 0-1:1, 1-2:2, 2-3:1, 3-0:2, 0-2:10.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 2)
+	b.AddEdge(2, 3, 1)
+	b.AddEdge(3, 0, 2)
+	b.AddEdge(0, 2, 10)
+	g, _ := b.Build()
+	res := GraphMST(g)
+	if res.Total != 4 {
+		t.Fatalf("GraphMST total = %d, want 4", res.Total)
+	}
+	if len(res.Edges) != 3 {
+		t.Fatalf("GraphMST edges = %d, want 3", len(res.Edges))
+	}
+}
+
+func TestPrimDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	n := 40
+	edges := randomWEdges(rng, n)
+	r1 := Prim(n, edges)
+	r2 := Prim(n, edges)
+	if len(r1.Edges) != len(r2.Edges) {
+		t.Fatal("nondeterministic edge count")
+	}
+	for i := range r1.Edges {
+		if r1.Edges[i] != r2.Edges[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, r1.Edges[i], r2.Edges[i])
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Package mst provides minimum-spanning-tree algorithms (Prim, Kruskal,
+// Borůvka) and a union-find structure. The paper computes the MST G'₂ of the
+// small distance graph G'₁ with a sequential Prim implementation (Alg. 3
+// line 17, "our current implementation uses Boost's implementation of Prim's
+// algorithm"); Kruskal and Borůvka are included for the WWW baseline and for
+// the ablation benchmark quantifying the paper's sequential-MST design
+// choice (§III).
+package mst
+
+// UnionFind is a disjoint-set forest with union by rank and path
+// compression.
+type UnionFind struct {
+	parent []int32
+	rank   []int8
+	count  int // number of disjoint sets
+}
+
+// NewUnionFind returns n singleton sets {0}, {1}, ..., {n-1}.
+func NewUnionFind(n int) *UnionFind {
+	u := &UnionFind{
+		parent: make([]int32, n),
+		rank:   make([]int8, n),
+		count:  n,
+	}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+	}
+	return u
+}
+
+// Find returns the canonical representative of x's set.
+func (u *UnionFind) Find(x int32) int32 {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b; it reports whether a merge happened
+// (false when already in the same set).
+func (u *UnionFind) Union(a, b int32) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	u.count--
+	return true
+}
+
+// Connected reports whether a and b are in the same set.
+func (u *UnionFind) Connected(a, b int32) bool { return u.Find(a) == u.Find(b) }
+
+// Count returns the number of disjoint sets.
+func (u *UnionFind) Count() int { return u.count }

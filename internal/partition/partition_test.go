@@ -1,0 +1,246 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dsteiner/internal/graph"
+)
+
+func TestBlockCoversAllVerticesExactlyOnce(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{
+		{10, 3}, {10, 1}, {7, 7}, {100, 8}, {5, 8}, {1, 1},
+	} {
+		b, err := NewBlock(tc.n, tc.p)
+		if err != nil {
+			t.Fatalf("NewBlock(%d,%d): %v", tc.n, tc.p, err)
+		}
+		seen := make([]int, tc.n)
+		for rank := 0; rank < tc.p; rank++ {
+			b.OwnedVertices(rank, func(v graph.VID) {
+				seen[v]++
+				if b.Owner(v) != rank {
+					t.Fatalf("n=%d p=%d: Owner(%d)=%d but iterated on rank %d",
+						tc.n, tc.p, v, b.Owner(v), rank)
+				}
+			})
+		}
+		for v, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d p=%d: vertex %d covered %d times", tc.n, tc.p, v, c)
+			}
+		}
+	}
+}
+
+func TestBlockBalance(t *testing.T) {
+	b, _ := NewBlock(103, 8)
+	minSz, maxSz := 1<<30, 0
+	for rank := 0; rank < 8; rank++ {
+		lo, hi := b.Range(rank)
+		sz := int(hi - lo)
+		if sz < minSz {
+			minSz = sz
+		}
+		if sz > maxSz {
+			maxSz = sz
+		}
+	}
+	if maxSz-minSz > 1 {
+		t.Fatalf("block imbalance: min=%d max=%d", minSz, maxSz)
+	}
+}
+
+func TestHashCoversAllVerticesExactlyOnce(t *testing.T) {
+	h, err := NewHash(57, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]int, 57)
+	for rank := 0; rank < 4; rank++ {
+		h.OwnedVertices(rank, func(v graph.VID) {
+			seen[v]++
+			if h.Owner(v) != rank {
+				t.Fatalf("Owner(%d)=%d on rank %d", v, h.Owner(v), rank)
+			}
+		})
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("vertex %d covered %d times", v, c)
+		}
+	}
+}
+
+func TestInvalidConfigs(t *testing.T) {
+	if _, err := NewBlock(0, 4); err == nil {
+		t.Error("NewBlock(0,4) accepted")
+	}
+	if _, err := NewBlock(4, 0); err == nil {
+		t.Error("NewBlock(4,0) accepted")
+	}
+	if _, err := NewHash(-1, 2); err == nil {
+		t.Error("NewHash(-1,2) accepted")
+	}
+}
+
+func TestPropertyBlockOwnerMatchesRange(t *testing.T) {
+	f := func(nRaw, pRaw uint16, vRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		p := int(pRaw%16) + 1
+		v := graph.VID(int(vRaw) % n)
+		b, err := NewBlock(n, p)
+		if err != nil {
+			return false
+		}
+		rank := b.Owner(v)
+		if rank < 0 || rank >= p {
+			return false
+		}
+		lo, hi := b.Range(rank)
+		return v >= lo && v < hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func skewedGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	// Vertex 0 is a hub with half of all arcs; the rest form a path.
+	b := graph.NewBuilder(100)
+	for v := graph.VID(1); v < 100; v++ {
+		b.AddEdge(0, v, 1)
+		if v > 1 {
+			b.AddEdge(v-1, v, 1)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestArcBlockCoversAllVerticesExactlyOnce(t *testing.T) {
+	g := skewedGraph(t)
+	for _, p := range []int{1, 2, 4, 7} {
+		ab, err := NewArcBlock(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]int, g.NumVertices())
+		for rank := 0; rank < p; rank++ {
+			ab.OwnedVertices(rank, func(v graph.VID) {
+				seen[v]++
+				if ab.Owner(v) != rank {
+					t.Fatalf("p=%d: Owner(%d)=%d, iterated on %d", p, v, ab.Owner(v), rank)
+				}
+			})
+		}
+		for v, c := range seen {
+			if c != 1 {
+				t.Fatalf("p=%d: vertex %d covered %d times", p, v, c)
+			}
+		}
+	}
+}
+
+func TestArcBlockBalancesArcsNotVertices(t *testing.T) {
+	g := skewedGraph(t)
+	ab, err := NewArcBlock(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hub (vertex 0, ~1/2 of arcs) must sit alone or nearly alone in
+	// rank 0's range; a vertex-balanced block would put 25 vertices there.
+	lo, hi := ab.Range(0)
+	if lo != 0 {
+		t.Fatalf("range 0 starts at %d", lo)
+	}
+	if int(hi-lo) > 10 {
+		t.Fatalf("hub range holds %d vertices; arcs not balanced", hi-lo)
+	}
+	// Per-rank arc shares must be far more even than vertex shares.
+	var arcShares []int64
+	for rank := 0; rank < 4; rank++ {
+		var arcs int64
+		ab.OwnedVertices(rank, func(v graph.VID) { arcs += int64(g.Degree(v)) })
+		arcShares = append(arcShares, arcs)
+		if arcs == 0 {
+			t.Fatalf("rank %d owns no arcs", rank)
+		}
+	}
+	maxA, minA := arcShares[0], arcShares[0]
+	for _, a := range arcShares {
+		if a > maxA {
+			maxA = a
+		}
+		if a < minA {
+			minA = a
+		}
+	}
+	if float64(maxA) > 2.5*float64(minA) {
+		t.Fatalf("arc imbalance too high: %v", arcShares)
+	}
+}
+
+func TestArcBlockInvalidConfigs(t *testing.T) {
+	g := skewedGraph(t)
+	if _, err := NewArcBlock(g, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+}
+
+func TestArcBlockMoreRanksThanVertices(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	g, _ := b.Build()
+	ab, err := NewArcBlock(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for rank := 0; rank < 8; rank++ {
+		ab.OwnedVertices(rank, func(v graph.VID) { seen++ })
+	}
+	if seen != 3 {
+		t.Fatalf("covered %d vertices, want 3", seen)
+	}
+}
+
+func TestDelegates(t *testing.T) {
+	// Star: vertex 0 has degree 5, leaves degree 1.
+	b := graph.NewBuilder(6)
+	for v := graph.VID(1); v <= 5; v++ {
+		b.AddEdge(0, v, 1)
+	}
+	g, _ := b.Build()
+	base, _ := NewBlock(6, 2)
+	d := WithDelegates(base, g, 5)
+	if !d.IsDelegate(0) {
+		t.Error("hub not marked as delegate")
+	}
+	for v := graph.VID(1); v <= 5; v++ {
+		if d.IsDelegate(v) {
+			t.Errorf("leaf %d marked as delegate", v)
+		}
+	}
+	if d.NumDelegates() != 1 {
+		t.Errorf("NumDelegates = %d, want 1", d.NumDelegates())
+	}
+	// Delegation disabled.
+	d0 := WithDelegates(base, g, 0)
+	if d0.NumDelegates() != 0 || d0.IsDelegate(0) {
+		t.Error("threshold 0 should disable delegation")
+	}
+	// Base partition behaviour passes through.
+	if d.Owner(3) != base.Owner(3) || d.NumRanks() != 2 {
+		t.Error("delegated wrapper broke base partition")
+	}
+	// Plain partitions never report delegates.
+	if base.IsDelegate(0) {
+		t.Error("block partition reported a delegate")
+	}
+}

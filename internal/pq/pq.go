@@ -1,0 +1,244 @@
+// Package pq provides the queue substrate behind the runtime's message
+// scheduling: a binary-heap priority queue, a ring-buffer FIFO, and a
+// monotone bucket queue (Δ-stepping style). The paper's key optimization
+// (§IV, §V-C) is draining each partition's visitor queue in
+// distance-priority order instead of FIFO order; both disciplines are
+// implemented here behind the same interface so the ablation in Fig. 5/6 is
+// a one-flag switch.
+package pq
+
+// Queue is the common discipline-independent interface used by the runtime
+// engine. Implementations are not safe for concurrent use; the engine owns
+// one queue per rank.
+type Queue[T any] interface {
+	// Push inserts an item with the given priority key (lower = sooner).
+	Push(item T, key uint64)
+	// Pop removes the next item according to the discipline. ok is false
+	// when the queue is empty.
+	Pop() (item T, ok bool)
+	// Len returns the number of queued items.
+	Len() int
+}
+
+// Heap is a binary min-heap priority queue. Ties are broken by insertion
+// order (FIFO among equal keys) so that behaviour is deterministic.
+type Heap[T any] struct {
+	keys  []uint64
+	seqs  []uint64
+	items []T
+	seq   uint64
+}
+
+// NewHeap returns an empty priority queue with optional capacity hint.
+func NewHeap[T any](capacity int) *Heap[T] {
+	return &Heap[T]{
+		keys:  make([]uint64, 0, capacity),
+		seqs:  make([]uint64, 0, capacity),
+		items: make([]T, 0, capacity),
+	}
+}
+
+// Push inserts item with priority key.
+func (h *Heap[T]) Push(item T, key uint64) {
+	h.keys = append(h.keys, key)
+	h.seqs = append(h.seqs, h.seq)
+	h.items = append(h.items, item)
+	h.seq++
+	h.up(len(h.keys) - 1)
+}
+
+// Pop removes the minimum-key item.
+func (h *Heap[T]) Pop() (T, bool) {
+	var zero T
+	n := len(h.keys)
+	if n == 0 {
+		return zero, false
+	}
+	top := h.items[0]
+	last := n - 1
+	h.keys[0], h.seqs[0], h.items[0] = h.keys[last], h.seqs[last], h.items[last]
+	h.items[last] = zero // release reference
+	h.keys, h.seqs, h.items = h.keys[:last], h.seqs[:last], h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return top, true
+}
+
+// PeekKey returns the minimum key without removing it.
+func (h *Heap[T]) PeekKey() (uint64, bool) {
+	if len(h.keys) == 0 {
+		return 0, false
+	}
+	return h.keys[0], true
+}
+
+// Len returns the number of queued items.
+func (h *Heap[T]) Len() int { return len(h.keys) }
+
+func (h *Heap[T]) less(i, j int) bool {
+	if h.keys[i] != h.keys[j] {
+		return h.keys[i] < h.keys[j]
+	}
+	return h.seqs[i] < h.seqs[j]
+}
+
+func (h *Heap[T]) swap(i, j int) {
+	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
+	h.seqs[i], h.seqs[j] = h.seqs[j], h.seqs[i]
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+}
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.keys)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+// FIFO is a growable ring buffer implementing Queue with first-in-first-out
+// discipline (priority keys are ignored). This is HavoqGT's default message
+// queue, used as the baseline in the Fig. 5/6 ablation.
+type FIFO[T any] struct {
+	buf        []T
+	head, size int
+}
+
+// NewFIFO returns an empty FIFO with optional capacity hint.
+func NewFIFO[T any](capacity int) *FIFO[T] {
+	if capacity < 4 {
+		capacity = 4
+	}
+	return &FIFO[T]{buf: make([]T, capacity)}
+}
+
+// Push appends item; key is ignored.
+func (q *FIFO[T]) Push(item T, _ uint64) {
+	if q.size == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = item
+	q.size++
+}
+
+// Pop removes the oldest item.
+func (q *FIFO[T]) Pop() (T, bool) {
+	var zero T
+	if q.size == 0 {
+		return zero, false
+	}
+	item := q.buf[q.head]
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	return item, true
+}
+
+// Len returns the number of queued items.
+func (q *FIFO[T]) Len() int { return q.size }
+
+func (q *FIFO[T]) grow() {
+	nbuf := make([]T, 2*len(q.buf))
+	for i := 0; i < q.size; i++ {
+		nbuf[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = nbuf
+	q.head = 0
+}
+
+// Bucket is a monotone bucket queue: items with keys in [iΔ, (i+1)Δ) share
+// bucket i and are drained FIFO within a bucket. It approximates a priority
+// queue with O(1) operations and is the discipline behind Δ-stepping SSSP
+// (discussed as related work in §III). Keys smaller than the current bucket
+// are tolerated (they land in the current bucket), so Bellman-Ford-style
+// re-relaxations remain correct.
+type Bucket[T any] struct {
+	delta   uint64
+	buckets map[uint64]*FIFO[T]
+	cur     uint64
+	size    int
+}
+
+// NewBucket returns a bucket queue with width delta (0 means delta 1).
+func NewBucket[T any](delta uint64) *Bucket[T] {
+	if delta == 0 {
+		delta = 1
+	}
+	return &Bucket[T]{delta: delta, buckets: map[uint64]*FIFO[T]{}}
+}
+
+// Push inserts item into bucket key/delta (clamped to the current bucket).
+func (b *Bucket[T]) Push(item T, key uint64) {
+	idx := key / b.delta
+	if idx < b.cur {
+		idx = b.cur
+	}
+	q := b.buckets[idx]
+	if q == nil {
+		q = NewFIFO[T](8)
+		b.buckets[idx] = q
+	}
+	q.Push(item, key)
+	b.size++
+}
+
+// Pop removes an item from the lowest non-empty bucket. When the current
+// bucket drains, the cursor jumps directly to the smallest non-empty bucket
+// index (an O(#buckets) scan — buckets are few because only keys between
+// the frontier and frontier+maxEdgeWeight are live in SSSP workloads).
+func (b *Bucket[T]) Pop() (T, bool) {
+	var zero T
+	if b.size == 0 {
+		return zero, false
+	}
+	q := b.buckets[b.cur]
+	if q == nil || q.Len() == 0 {
+		first := true
+		for idx := range b.buckets {
+			if first || idx < b.cur {
+				b.cur = idx
+				first = false
+			}
+		}
+		q = b.buckets[b.cur]
+	}
+	item, _ := q.Pop()
+	b.size--
+	if q.Len() == 0 {
+		delete(b.buckets, b.cur)
+	}
+	return item, true
+}
+
+// Len returns the number of queued items.
+func (b *Bucket[T]) Len() int { return b.size }
+
+// Compile-time interface checks.
+var (
+	_ Queue[int] = (*Heap[int])(nil)
+	_ Queue[int] = (*FIFO[int])(nil)
+	_ Queue[int] = (*Bucket[int])(nil)
+)

@@ -1,0 +1,183 @@
+package runtime
+
+import "sync"
+
+// collective implements all blocking collectives (barrier and allreduce)
+// with a single serialized reduction round. Like MPI, every rank must call
+// collectives in the same program order; a rank that panics poisons the
+// communicator so blocked peers abort instead of hanging.
+type collective struct {
+	mu      sync.Mutex
+	n       int
+	arrived int
+	acc     any
+	ch      chan any
+	abort   <-chan struct{}
+}
+
+func newCollective(n int, abort <-chan struct{}) *collective {
+	return &collective{n: n, ch: make(chan any, n-1), abort: abort}
+}
+
+// errAborted is the panic payload raised on ranks blocked in a collective
+// or traversal when a peer rank panics.
+const errAborted = "runtime: communicator poisoned by a peer rank panic"
+
+// poison unblocks every rank waiting on collectives or traversals.
+func (c *Comm) poison() {
+	c.abortOnce.Do(func() { close(c.abort) })
+}
+
+// reduce combines each rank's contribution with an associative,
+// commutative combiner and returns the result to every rank.
+func (c *collective) reduce(local any, combine func(a, b any) any) any {
+	c.mu.Lock()
+	if c.arrived == 0 {
+		c.acc = local
+	} else {
+		c.acc = combine(c.acc, local)
+	}
+	c.arrived++
+	if c.arrived == c.n {
+		res := c.acc
+		ch := c.ch
+		c.arrived = 0
+		c.acc = nil
+		c.ch = make(chan any, c.n-1)
+		c.mu.Unlock()
+		for i := 0; i < c.n-1; i++ {
+			ch <- res
+		}
+		return res
+	}
+	ch := c.ch
+	c.mu.Unlock()
+	select {
+	case res := <-ch:
+		return res
+	case <-c.abort:
+		panic(errAborted)
+	}
+}
+
+// Barrier blocks until every rank reaches it (MPI_Barrier).
+func (r *Rank) Barrier() {
+	r.comm.coll.reduce(nil, func(a, _ any) any { return a })
+}
+
+// AllreduceSumInt64 returns the sum of every rank's x (MPI_Allreduce SUM).
+func (r *Rank) AllreduceSumInt64(x int64) int64 {
+	res := r.comm.coll.reduce(x, func(a, b any) any { return a.(int64) + b.(int64) })
+	return res.(int64)
+}
+
+// AllreduceMinInt64 returns the minimum of every rank's x
+// (MPI_Allreduce MIN).
+func (r *Rank) AllreduceMinInt64(x int64) int64 {
+	res := r.comm.coll.reduce(x, func(a, b any) any {
+		if b.(int64) < a.(int64) {
+			return b
+		}
+		return a
+	})
+	return res.(int64)
+}
+
+// AllreduceMaxInt64 returns the maximum of every rank's x
+// (MPI_Allreduce MAX).
+func (r *Rank) AllreduceMaxInt64(x int64) int64 {
+	res := r.comm.coll.reduce(x, func(a, b any) any {
+		if b.(int64) > a.(int64) {
+			return b
+		}
+		return a
+	})
+	return res.(int64)
+}
+
+// Allreduce combines each rank's value with an associative, commutative
+// combiner and returns the global result on every rank. The returned value
+// may be shared between ranks; treat it as read-only.
+func Allreduce[T any](r *Rank, local T, combine func(a, b T) T) T {
+	res := r.comm.coll.reduce(local, func(a, b any) any { return combine(a.(T), b.(T)) })
+	return res.(T)
+}
+
+// ReduceMap merges per-rank maps: for keys present on several ranks, pick
+// chooses the surviving value (it must be associative and commutative, e.g.
+// a min with deterministic tie-breaking). This is the repository's
+// MPI_Allreduce(MPI_MIN)-over-edge-buffers equivalent used by Alg. 5. The
+// returned map is shared by all ranks and must be treated as read-only; the
+// local map's entries are copied, so callers keep ownership of their input.
+func ReduceMap[K comparable, V any](r *Rank, local map[K]V, pick func(a, b V) V) map[K]V {
+	cp := make(map[K]V, len(local))
+	for k, v := range local {
+		cp[k] = v
+	}
+	res := r.comm.coll.reduce(cp, func(a, b any) any {
+		am, bm := a.(map[K]V), b.(map[K]V)
+		// Merge the smaller map into the larger to bound work.
+		if len(am) < len(bm) {
+			am, bm = bm, am
+		}
+		for k, v := range bm {
+			if cur, ok := am[k]; ok {
+				am[k] = pick(cur, v)
+			} else {
+				am[k] = v
+			}
+		}
+		return am
+	})
+	merged := res.(map[K]V)
+	if merged == nil {
+		merged = map[K]V{}
+	}
+	return merged
+}
+
+// AllGather concatenates every rank's slice in rank order and returns the
+// result to all ranks (MPI_Allgatherv). The result is shared; treat as
+// read-only.
+func AllGather[T any](r *Rank, local []T) []T {
+	type contrib struct {
+		rank int
+		vals []T
+	}
+	res := r.comm.coll.reduce([]contrib{{rank: r.id, vals: local}}, func(a, b any) any {
+		return append(a.([]contrib), b.([]contrib)...)
+	})
+	parts := res.([]contrib)
+	// Deterministic rank order regardless of arrival order.
+	ordered := make([][]T, r.NumRanks())
+	total := 0
+	for _, p := range parts {
+		ordered[p.rank] = p.vals
+		total += len(p.vals)
+	}
+	out := make([]T, 0, total)
+	for _, vals := range ordered {
+		out = append(out, vals...)
+	}
+	return out
+}
+
+// Broadcast1 distributes root's value to every rank (MPI_Bcast).
+func Broadcast1[T any](r *Rank, root int, val T) T {
+	type tagged struct {
+		has bool
+		val T
+	}
+	in := tagged{}
+	if r.id == root {
+		in = tagged{has: true, val: val}
+	}
+	res := r.comm.coll.reduce(in, func(a, b any) any {
+		at, bt := a.(tagged), b.(tagged)
+		if at.has {
+			return at
+		}
+		return bt
+	})
+	return res.(tagged).val
+}

@@ -1,0 +1,48 @@
+package runtime
+
+import "sync"
+
+// mailbox is an unbounded, non-blocking inbound message store. Senders never
+// block (avoiding distributed send-cycle deadlock by construction); the
+// owning rank drains it between local-queue work. A 1-slot notification
+// channel lets the owner sleep when idle without busy polling.
+type mailbox struct {
+	mu      sync.Mutex
+	batches [][]Msg
+	note    chan struct{}
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{note: make(chan struct{}, 1)}
+}
+
+// put appends a batch and nudges the owner. The batch is owned by the
+// mailbox afterwards.
+func (mb *mailbox) put(batch []Msg) {
+	if len(batch) == 0 {
+		return
+	}
+	mb.mu.Lock()
+	mb.batches = append(mb.batches, batch)
+	mb.mu.Unlock()
+	select {
+	case mb.note <- struct{}{}:
+	default:
+	}
+}
+
+// takeAll removes and returns all queued batches (nil when empty).
+func (mb *mailbox) takeAll() [][]Msg {
+	mb.mu.Lock()
+	bs := mb.batches
+	mb.batches = nil
+	mb.mu.Unlock()
+	return bs
+}
+
+// len returns the number of queued batches (racy; used for diagnostics).
+func (mb *mailbox) len() int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return len(mb.batches)
+}

@@ -1,0 +1,150 @@
+package runtime
+
+import (
+	"math/rand"
+
+	"dsteiner/internal/graph"
+	"dsteiner/internal/pq"
+)
+
+// Rank is one simulated MPI process. All methods are valid only on the
+// rank's own goroutine (inside Comm.Run's body).
+type Rank struct {
+	comm *Comm
+	id   int
+	box  *mailbox
+	out  [][]Msg // per-destination outgoing buffers
+
+	// Traversal-scoped state.
+	queue   pq.Queue[Msg]
+	keyOf   KeyFunc
+	visit   VisitFunc
+	shuffle *rand.Rand
+	// bsp defers local sends to the next superstep via the mailbox.
+	bsp bool
+
+	// Per-traversal counters (reset by Traverse).
+	sentHere      int64
+	processedHere int64
+}
+
+// ID returns this rank's index in [0, NumRanks).
+func (r *Rank) ID() int { return r.id }
+
+// NumRanks returns the communicator size.
+func (r *Rank) NumRanks() int { return r.comm.cfg.Ranks }
+
+// Owner returns the rank owning vertex v's state.
+func (r *Rank) Owner(v graph.VID) int { return r.comm.part.Owner(v) }
+
+// Owns reports whether this rank owns v.
+func (r *Rank) Owns(v graph.VID) bool { return r.comm.part.Owner(v) == r.id }
+
+// OwnedVertices iterates this rank's vertices.
+func (r *Rank) OwnedVertices(fn func(v graph.VID)) {
+	r.comm.part.OwnedVertices(r.id, fn)
+}
+
+// IsDelegate reports whether v is a high-degree delegate vertex.
+func (r *Rank) IsDelegate(v graph.VID) bool { return r.comm.part.IsDelegate(v) }
+
+// Send routes m to the owner of m.Target. Valid inside a traversal (the
+// visit callback or init function). Messages to the local rank skip the
+// mailbox and go straight to the local queue.
+func (r *Rank) Send(m Msg) {
+	c := r.comm
+	c.pending.Add(1)
+	c.sent.Add(1)
+	r.sentHere++
+	dest := c.part.Owner(m.Target)
+	if dest == r.id && !r.bsp {
+		r.enqueueLocal(m)
+		return
+	}
+	r.out[dest] = append(r.out[dest], m)
+	if len(r.out[dest]) >= c.cfg.BatchSize {
+		r.flushTo(dest)
+	}
+}
+
+// Broadcast routes m to every rank including this one (used for delegate
+// hub updates). Each copy counts as one sent message.
+func (r *Rank) Broadcast(m Msg) {
+	for dest := 0; dest < r.NumRanks(); dest++ {
+		c := r.comm
+		c.pending.Add(1)
+		c.sent.Add(1)
+		r.sentHere++
+		if dest == r.id && !r.bsp {
+			r.enqueueLocal(m)
+			continue
+		}
+		r.out[dest] = append(r.out[dest], m)
+		if len(r.out[dest]) >= c.cfg.BatchSize {
+			r.flushTo(dest)
+		}
+	}
+}
+
+// enqueueLocal pushes m onto the local discipline queue.
+func (r *Rank) enqueueLocal(m Msg) {
+	r.queue.Push(m, r.keyOf(m))
+}
+
+// flushTo delivers the outgoing buffer for dest.
+func (r *Rank) flushTo(dest int) {
+	buf := r.out[dest]
+	if len(buf) == 0 {
+		return
+	}
+	r.out[dest] = nil
+	r.comm.batches.Add(1)
+	r.comm.ranks[dest].box.put(buf)
+}
+
+// flushAll delivers every non-empty outgoing buffer.
+func (r *Rank) flushAll() {
+	for dest := range r.out {
+		r.flushTo(dest)
+	}
+}
+
+// drainInbox moves all mailbox batches into the local queue, optionally in
+// randomized order (failure injection). It reports whether any message was
+// moved.
+func (r *Rank) drainInbox() bool {
+	batches := r.box.takeAll()
+	if len(batches) == 0 {
+		return false
+	}
+	if r.shuffle != nil {
+		r.shuffle.Shuffle(len(batches), func(i, j int) {
+			batches[i], batches[j] = batches[j], batches[i]
+		})
+	}
+	moved := false
+	for _, batch := range batches {
+		if r.shuffle != nil {
+			r.shuffle.Shuffle(len(batch), func(i, j int) {
+				batch[i], batch[j] = batch[j], batch[i]
+			})
+		}
+		for _, m := range batch {
+			r.enqueueLocal(m)
+			moved = true
+		}
+	}
+	return moved
+}
+
+// newQueue builds this rank's local queue per the configured discipline.
+func (r *Rank) newQueue() pq.Queue[Msg] {
+	switch r.comm.cfg.Queue {
+	case QueuePriority:
+		return pq.NewHeap[Msg](1024)
+	case QueueBucket:
+		return pq.NewBucket[Msg](r.comm.cfg.BucketDelta)
+	default:
+		return pq.NewFIFO[Msg](1024)
+	}
+}

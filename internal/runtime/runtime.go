@@ -1,0 +1,239 @@
+// Package runtime is the repository's message-passing substrate — the
+// substitute for MPI + HavoqGT that the paper's distributed implementation
+// (§IV) is built on. Each *rank* is a goroutine with a private mailbox;
+// algorithm state is partitioned per rank and all cross-rank interaction
+// goes through explicit messages or collectives, mirroring an MPI program:
+//
+//   - Comm.Run executes an SPMD body on every rank (like mpirun).
+//   - Rank.Traverse runs an asynchronous vertex-centric traversal: the
+//     equivalent of HavoqGT's do_traversal() with visitor queues. Each rank
+//     drains a local queue whose discipline is FIFO (HavoqGT's default) or
+//     distance-priority (the paper's key optimization, §IV/§V-C), while
+//     batched messages flow between ranks. Global quiescence is detected
+//     with a distributed-termination counter.
+//   - Collectives (Barrier, Allreduce, map reduction) mirror
+//     MPI_Allreduce(MPI_MIN) etc., used by Alg. 5's edge phases.
+//
+// The engine also supports a bulk-synchronous (BSP) traversal mode and
+// seeded randomized message delivery, used by the ablation benchmarks and
+// robustness tests.
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"dsteiner/internal/graph"
+	"dsteiner/internal/partition"
+)
+
+// QueueKind selects the local message-queue discipline of each rank.
+type QueueKind int
+
+const (
+	// QueueFIFO processes messages in arrival order (HavoqGT default).
+	QueueFIFO QueueKind = iota
+	// QueuePriority processes messages in ascending key order — the
+	// paper's message-prioritization optimization, approximating
+	// Dijkstra's settling order.
+	QueuePriority
+	// QueueBucket processes messages in Δ-stepping bucket order.
+	QueueBucket
+)
+
+func (k QueueKind) String() string {
+	switch k {
+	case QueueFIFO:
+		return "fifo"
+	case QueuePriority:
+		return "priority"
+	case QueueBucket:
+		return "bucket"
+	default:
+		return fmt.Sprintf("QueueKind(%d)", int(k))
+	}
+}
+
+// Msg is the visitor message exchanged between ranks. Algorithms interpret
+// the payload fields per phase: for Voronoi cells (Alg. 4) Target is the
+// vertex being visited, From the sending vertex (predecessor candidate),
+// Seed the source seed and Dist the tentative distance. Kind discriminates
+// message roles within one traversal.
+type Msg struct {
+	Target graph.VID
+	From   graph.VID
+	Seed   graph.VID
+	Dist   graph.Dist
+	Kind   uint8
+}
+
+// VisitFunc handles one message on one rank, HavoqGT's visit() callback.
+// It may send further messages through r.Send/r.Broadcast.
+type VisitFunc func(r *Rank, m Msg)
+
+// KeyFunc extracts the priority key of a message (lower = sooner). Only
+// consulted by QueuePriority/QueueBucket.
+type KeyFunc func(m Msg) uint64
+
+// DistKey is the standard KeyFunc: priority by tentative distance.
+func DistKey(m Msg) uint64 { return uint64(m.Dist) }
+
+// Config parameterizes a Comm.
+type Config struct {
+	// Ranks is the number of simulated MPI processes (P >= 1).
+	Ranks int
+	// Queue is the per-rank message-queue discipline.
+	Queue QueueKind
+	// BucketDelta is the bucket width for QueueBucket (default 64).
+	BucketDelta uint64
+	// BatchSize is the number of messages coalesced per cross-rank
+	// delivery (default 64). Batching models MPI message aggregation.
+	BatchSize int
+	// ShuffleDelivery randomizes the order in which queued inbound
+	// batches are handed to a rank (failure-injection / robustness
+	// testing: asynchronous convergence must not depend on delivery
+	// order). Seeded by ShuffleSeed for reproducibility.
+	ShuffleDelivery bool
+	ShuffleSeed     int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ranks <= 0 {
+		c.Ranks = 1
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.BucketDelta == 0 {
+		c.BucketDelta = 64
+	}
+	return c
+}
+
+// Comm is a communicator: a fixed group of ranks over a vertex partition,
+// analogous to MPI_COMM_WORLD plus the partitioned graph handle.
+type Comm struct {
+	cfg   Config
+	part  partition.Partition
+	ranks []*Rank
+
+	// Distributed-termination state for the current traversal.
+	pending  atomic.Int64
+	done     chan struct{}
+	doneOnce *sync.Once
+
+	// Collective infrastructure.
+	coll      *collective
+	abort     chan struct{}
+	abortOnce sync.Once
+
+	// Global message counters (monotonic across phases; read via Stats).
+	sent      atomic.Int64
+	processed atomic.Int64
+	batches   atomic.Int64
+}
+
+// New builds a communicator with cfg.Ranks ranks over the given partition.
+// The partition's rank count must match cfg.Ranks.
+func New(cfg Config, part partition.Partition) (*Comm, error) {
+	cfg = cfg.withDefaults()
+	if part.NumRanks() != cfg.Ranks {
+		return nil, fmt.Errorf("runtime: partition has %d ranks, config wants %d", part.NumRanks(), cfg.Ranks)
+	}
+	c := &Comm{
+		cfg:   cfg,
+		part:  part,
+		abort: make(chan struct{}),
+	}
+	c.coll = newCollective(cfg.Ranks, c.abort)
+	c.ranks = make([]*Rank, cfg.Ranks)
+	for i := 0; i < cfg.Ranks; i++ {
+		r := &Rank{
+			comm: c,
+			id:   i,
+			box:  newMailbox(),
+			out:  make([][]Msg, cfg.Ranks),
+		}
+		if cfg.ShuffleDelivery {
+			r.shuffle = rand.New(rand.NewSource(cfg.ShuffleSeed + int64(i)*7919))
+		}
+		c.ranks[i] = r
+	}
+	return c, nil
+}
+
+// MustNew is New that panics on error (for tests and examples with known
+// good configs).
+func MustNew(cfg Config, part partition.Partition) *Comm {
+	c, err := New(cfg, part)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NumRanks returns the communicator size P.
+func (c *Comm) NumRanks() int { return c.cfg.Ranks }
+
+// Partition returns the vertex partition.
+func (c *Comm) Partition() partition.Partition { return c.part }
+
+// Config returns the configuration (with defaults applied).
+func (c *Comm) Config() Config { return c.cfg }
+
+// Run executes body on every rank concurrently (SPMD) and returns when all
+// ranks finish, like mpirun of a single program. A panic on any rank is
+// re-raised on the caller after all ranks stop.
+func (c *Comm) Run(body func(r *Rank)) {
+	var wg sync.WaitGroup
+	panics := make([]any, c.cfg.Ranks)
+	for i := range c.ranks {
+		wg.Add(1)
+		go func(r *Rank) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[r.id] = p
+					// Unblock peers waiting on collectives/traversals.
+					c.poison()
+				}
+			}()
+			body(r)
+		}(c.ranks[i])
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}
+
+// Stats is a snapshot of the communicator's message counters.
+type Stats struct {
+	// Sent counts point-to-point visitor messages (broadcasts count once
+	// per destination rank, matching the paper's message-count metric).
+	Sent int64
+	// Processed counts visit() invocations.
+	Processed int64
+	// Batches counts cross-rank batch deliveries.
+	Batches int64
+}
+
+// Stats returns current global counters.
+func (c *Comm) Stats() Stats {
+	return Stats{
+		Sent:      c.sent.Load(),
+		Processed: c.processed.Load(),
+		Batches:   c.batches.Load(),
+	}
+}
+
+// ResetStats zeroes the message counters (used between experiment phases).
+func (c *Comm) ResetStats() {
+	c.sent.Store(0)
+	c.processed.Store(0)
+	c.batches.Store(0)
+}

@@ -1,0 +1,171 @@
+package runtime
+
+import (
+	"runtime"
+	"sync"
+)
+
+// goyield cooperatively yields the processor to other goroutines.
+func goyield() { runtime.Gosched() }
+
+// Traversal describes one vertex-centric computation phase, the analogue of
+// a HavoqGT do_traversal() round. Every rank must call Rank.Traverse with
+// the same Traversal value (SPMD), like a collective.
+type Traversal struct {
+	// Visit is the per-message callback (HavoqGT's visit()).
+	Visit VisitFunc
+	// Key extracts message priorities; nil means DistKey. Ignored by
+	// FIFO queues.
+	Key KeyFunc
+	// Init runs once per rank before processing starts; it seeds the
+	// traversal by calling r.Send (HavoqGT's init_all visitors). May be
+	// nil.
+	Init func(r *Rank)
+	// BSP switches from asynchronous processing to bulk-synchronous
+	// supersteps separated by barriers (the ablation of §IV's async
+	// design choice). Messages sent in superstep i are processed in
+	// superstep i+1.
+	BSP bool
+}
+
+// TraversalStats reports per-rank work done in one Traverse call.
+type TraversalStats struct {
+	Processed  int64 // visit() invocations on this rank
+	Sent       int64 // messages sent by this rank
+	Supersteps int64 // BSP supersteps (0 for async mode)
+}
+
+// Traverse runs t to global quiescence and returns this rank's work
+// counters. It must be invoked on all ranks in the same order, like an MPI
+// collective. Visit callbacks may send messages freely; termination is
+// detected when every sent message has been processed.
+func (r *Rank) Traverse(t *Traversal) TraversalStats {
+	key := t.Key
+	if key == nil {
+		key = DistKey
+	}
+	r.queue = r.newQueue()
+	r.keyOf = key
+	r.visit = t.Visit
+	r.sentHere, r.processedHere = 0, 0
+
+	c := r.comm
+	// Reset shared termination state with all ranks quiescent.
+	r.Barrier()
+	if r.id == 0 {
+		c.pending.Store(0)
+		c.done = make(chan struct{})
+		c.doneOnce = new(sync.Once)
+	}
+	r.Barrier()
+
+	if t.Init != nil {
+		t.Init(r)
+	}
+
+	if t.BSP {
+		return r.runBSP()
+	}
+	return r.runAsync()
+}
+
+// closeDone signals global quiescence exactly once.
+func (c *Comm) closeDone() {
+	c.doneOnce.Do(func() { close(c.done) })
+}
+
+// runAsync is the asynchronous engine loop: drain the local queue in
+// discipline order, interleaving inbound batches, until the communicator
+// detects that every message ever sent has been processed.
+func (r *Rank) runAsync() TraversalStats {
+	c := r.comm
+	// Initial messages are already counted in pending (Send). Flush them
+	// and synchronize so the zero-message case is decided globally.
+	r.flushAll()
+	r.Barrier()
+	if r.id == 0 && c.pending.Load() == 0 {
+		c.closeDone()
+	}
+	done := c.done
+	// Flush outgoing buffers at least this often even while local work
+	// remains: hoarding frontier updates would let peers burn cycles on
+	// stale distances (HavoqGT likewise aggregates but sends eagerly).
+	flushEvery := int64(c.cfg.BatchSize)
+	sinceFlush := int64(0)
+	for {
+		// Opportunistically pull fresh inbound batches so the priority
+		// discipline sees remote messages early.
+		select {
+		case <-r.box.note:
+			r.drainInbox()
+		default:
+		}
+		if m, ok := r.queue.Pop(); ok {
+			r.visit(r, m)
+			c.processed.Add(1)
+			r.processedHere++
+			sinceFlush++
+			if sinceFlush >= flushEvery {
+				sinceFlush = 0
+				r.flushAll()
+				// Yield so peer ranks advance at a similar rate even
+				// when simulated ranks outnumber physical cores:
+				// real MPI ranks run on dedicated cores, and without
+				// the yield one rank can burn a whole scheduler slice
+				// on stale distances.
+				goyield()
+			}
+			if c.pending.Add(-1) == 0 {
+				c.closeDone()
+			}
+			continue
+		}
+		// Local queue empty: everything buffered must go out before we
+		// sleep, or the system deadlocks with work parked in buffers.
+		r.flushAll()
+		if r.drainInbox() {
+			continue
+		}
+		select {
+		case <-r.box.note:
+			r.drainInbox()
+		case <-done:
+			return TraversalStats{Processed: r.processedHere, Sent: r.sentHere}
+		case <-c.abort:
+			panic(errAborted)
+		}
+	}
+}
+
+// runBSP is the bulk-synchronous engine loop: process the entire local
+// queue, exchange messages, barrier, repeat until no rank received
+// anything.
+func (r *Rank) runBSP() TraversalStats {
+	c := r.comm
+	r.bsp = true
+	defer func() { r.bsp = false }()
+	// Move init messages (buffered, including self-sends) into round 1.
+	r.flushAll()
+	r.Barrier()
+	r.drainInbox()
+	steps := int64(0)
+	for {
+		pending := int64(r.queue.Len())
+		if r.AllreduceSumInt64(pending) == 0 {
+			return TraversalStats{Processed: r.processedHere, Sent: r.sentHere, Supersteps: steps}
+		}
+		steps++
+		for {
+			m, ok := r.queue.Pop()
+			if !ok {
+				break
+			}
+			r.visit(r, m)
+			c.processed.Add(1)
+			r.processedHere++
+		}
+		r.flushAll()
+		r.Barrier()
+		r.drainInbox()
+	}
+}

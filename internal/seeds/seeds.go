@@ -1,0 +1,239 @@
+// Package seeds implements the paper's seed-vertex selection strategies
+// (§V "Seed Vertex Selection" and §V-E "Studying Seed Selection
+// Alternatives"). All strategies draw from the largest connected component
+// so every seed pair is mutually reachable:
+//
+//   - BFSLevel (the paper's default evaluation strategy): run BFS from a
+//     random component vertex and sample seeds across BFS levels
+//     proportionally to each level's population, avoiding directly-connected
+//     seed clusters that would make Voronoi computation converge trivially.
+//   - UniformRandom: uniform over the component.
+//   - Eccentric: the k-BFS heuristic [31] — BFS sources chosen to maximize
+//     the sum of BFS levels from previous rounds, yielding mutually faraway
+//     seeds.
+//   - Proximate: the same machinery minimizing the sum, yielding mutually
+//     close seeds (produces much smaller trees, Table V).
+package seeds
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dsteiner/internal/graph"
+)
+
+// Strategy selects a seed-selection algorithm.
+type Strategy int
+
+const (
+	// BFSLevel samples proportionally to BFS-level populations.
+	BFSLevel Strategy = iota
+	// UniformRandom samples uniformly from the largest component.
+	UniformRandom
+	// Eccentric picks mutually faraway seeds (k-BFS max).
+	Eccentric
+	// Proximate picks mutually close seeds (k-BFS min).
+	Proximate
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case BFSLevel:
+		return "BFS-level"
+	case UniformRandom:
+		return "Uniform Random"
+	case Eccentric:
+		return "Eccentric"
+	case Proximate:
+		return "Proximate"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// maxKBFSRounds caps the number of BFS rounds used by the Eccentric and
+// Proximate strategies; beyond it, remaining seeds are chosen by the
+// accumulated level score in one shot (a documented scale substitution —
+// the exact k-BFS heuristic needs one BFS per seed, infeasible at |S|=10K).
+const maxKBFSRounds = 48
+
+// Select returns k distinct seed vertices from g's largest connected
+// component using the given strategy. The rng seed makes selection
+// deterministic.
+func Select(g *graph.Graph, k int, strat Strategy, seed int64) ([]graph.VID, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("seeds: k=%d must be positive", k)
+	}
+	comp := graph.LargestComponentVertices(g)
+	if k > len(comp) {
+		return nil, fmt.Errorf("seeds: k=%d exceeds largest component size %d", k, len(comp))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch strat {
+	case BFSLevel:
+		return bfsLevel(g, comp, k, rng), nil
+	case UniformRandom:
+		return uniform(comp, k, rng), nil
+	case Eccentric:
+		return kBFS(g, comp, k, rng, true), nil
+	case Proximate:
+		return kBFS(g, comp, k, rng, false), nil
+	default:
+		return nil, fmt.Errorf("seeds: unknown strategy %d", int(strat))
+	}
+}
+
+// MustSelect is Select that panics on error (experiment configs are known
+// valid).
+func MustSelect(g *graph.Graph, k int, strat Strategy, seed int64) []graph.VID {
+	s, err := Select(g, k, strat, seed)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func uniform(comp []graph.VID, k int, rng *rand.Rand) []graph.VID {
+	perm := rng.Perm(len(comp))
+	out := make([]graph.VID, k)
+	for i := 0; i < k; i++ {
+		out[i] = comp[perm[i]]
+	}
+	sortVIDs(out)
+	return out
+}
+
+// bfsLevel allocates per-level quotas proportional to level populations
+// and samples within each level without replacement.
+func bfsLevel(g *graph.Graph, comp []graph.VID, k int, rng *rand.Rand) []graph.VID {
+	root := comp[rng.Intn(len(comp))]
+	bfs := graph.BFS(g, root)
+	byLevel := make([][]graph.VID, bfs.MaxLevel+1)
+	total := 0
+	for _, v := range comp {
+		l := bfs.Level[v]
+		byLevel[l] = append(byLevel[l], v)
+		total++
+	}
+	// Largest-remainder quota allocation.
+	type alloc struct {
+		level int
+		quota int
+		frac  float64
+	}
+	allocs := make([]alloc, 0, len(byLevel))
+	assigned := 0
+	for l, vs := range byLevel {
+		exact := float64(k) * float64(len(vs)) / float64(total)
+		q := int(exact)
+		if q > len(vs) {
+			q = len(vs)
+		}
+		allocs = append(allocs, alloc{level: l, quota: q, frac: exact - float64(q)})
+		assigned += q
+	}
+	// Distribute the remainder by weighted sampling without replacement
+	// (Efraimidis–Spirakis A-Res keys: rank by log(u)/w descending),
+	// weight = fractional part: levels with larger remainders are more
+	// likely to gain the extra seed, but the remainder spreads over the
+	// whole level range instead of clustering at the lowest levels.
+	for i := range allocs {
+		w := allocs[i].frac + 1e-3
+		u := rng.Float64()
+		if u == 0 {
+			u = 1e-12
+		}
+		allocs[i].frac = math.Log(u) / w
+	}
+	sort.Slice(allocs, func(i, j int) bool { return allocs[i].frac > allocs[j].frac })
+	for i := 0; assigned < k; i = (i + 1) % len(allocs) {
+		a := &allocs[i]
+		if a.quota < len(byLevel[a.level]) {
+			a.quota++
+			assigned++
+		}
+	}
+	var out []graph.VID
+	for _, a := range allocs {
+		vs := byLevel[a.level]
+		perm := rng.Perm(len(vs))
+		for i := 0; i < a.quota; i++ {
+			out = append(out, vs[perm[i]])
+		}
+	}
+	sortVIDs(out)
+	return out
+}
+
+// kBFS implements the eccentric/proximate heuristic: each round's BFS
+// source is the vertex maximizing (eccentric) or minimizing (proximate) the
+// sum of BFS levels over all previous rounds; sources become seeds. After
+// maxKBFSRounds rounds the remaining seeds are taken from the accumulated
+// score ranking in one step.
+func kBFS(g *graph.Graph, comp []graph.VID, k int, rng *rand.Rand, maximize bool) []graph.VID {
+	inComp := make(map[graph.VID]bool, len(comp))
+	for _, v := range comp {
+		inComp[v] = true
+	}
+	score := make([]int64, g.NumVertices())
+	chosen := map[graph.VID]bool{}
+	var out []graph.VID
+	cur := comp[rng.Intn(len(comp))]
+	rounds := k
+	if rounds > maxKBFSRounds {
+		rounds = maxKBFSRounds
+	}
+	for round := 0; round < rounds && len(out) < k; round++ {
+		chosen[cur] = true
+		out = append(out, cur)
+		bfs := graph.BFS(g, cur)
+		for _, v := range comp {
+			score[v] += int64(bfs.Level[v])
+		}
+		// Next source: arg max/min of accumulated score among unchosen.
+		var best graph.VID = graph.NilVID
+		for _, v := range comp {
+			if chosen[v] {
+				continue
+			}
+			if best == graph.NilVID {
+				best = v
+				continue
+			}
+			if maximize && score[v] > score[best] {
+				best = v
+			} else if !maximize && score[v] < score[best] {
+				best = v
+			}
+		}
+		cur = best
+	}
+	if len(out) < k {
+		// Bulk tail: rank remaining component vertices by score.
+		rest := make([]graph.VID, 0, len(comp)-len(out))
+		for _, v := range comp {
+			if !chosen[v] {
+				rest = append(rest, v)
+			}
+		}
+		sort.Slice(rest, func(i, j int) bool {
+			si, sj := score[rest[i]], score[rest[j]]
+			if si != sj {
+				if maximize {
+					return si > sj
+				}
+				return si < sj
+			}
+			return rest[i] < rest[j]
+		})
+		out = append(out, rest[:k-len(out)]...)
+	}
+	sortVIDs(out)
+	return out
+}
+
+func sortVIDs(v []graph.VID) {
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+}

@@ -1,0 +1,199 @@
+// Package steinersvc implements the HTTP query service behind
+// cmd/steinersvc: the paper's §I interactive-exploration framework. A
+// loaded graph is shared read-only across queries; each request runs the
+// distributed solver and streams the resulting tree back as JSON.
+package steinersvc
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"dsteiner/internal/core"
+	"dsteiner/internal/graph"
+	"dsteiner/internal/seeds"
+)
+
+// Service is an http.Handler answering Steiner-tree queries on one graph.
+type Service struct {
+	g    *graph.Graph
+	opts core.Options
+	mux  *http.ServeMux
+	// One solve at a time: the solver already saturates the simulated
+	// ranks; queueing queries keeps per-query latency predictable
+	// (matching the interactive framing rather than maximizing QPS).
+	mu sync.Mutex
+}
+
+// New builds a Service over g with per-query solver options.
+func New(g *graph.Graph, opts core.Options) *Service {
+	s := &Service{g: g, opts: opts, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/info", s.handleInfo)
+	s.mux.HandleFunc("/solve", s.handleSolve)
+	return s
+}
+
+// ServeHTTP dispatches to the API endpoints.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// InfoResponse describes the loaded graph.
+type InfoResponse struct {
+	Vertices  int     `json:"vertices"`
+	Arcs      int64   `json:"arcs"`
+	MaxDegree int     `json:"maxDegree"`
+	AvgDegree float64 `json:"avgDegree"`
+	MinWeight uint32  `json:"minWeight"`
+	MaxWeight uint32  `json:"maxWeight"`
+}
+
+// SolveRequest is the /solve request body. Exactly one of Seeds or K must
+// be set; Strategy defaults to BFS-level when K is used.
+type SolveRequest struct {
+	Seeds    []int32 `json:"seeds,omitempty"`
+	K        int     `json:"k,omitempty"`
+	Strategy string  `json:"strategy,omitempty"`
+	RNGSeed  int64   `json:"rngSeed,omitempty"`
+}
+
+// TreeEdge is one Steiner tree edge.
+type TreeEdge struct {
+	U int32  `json:"u"`
+	V int32  `json:"v"`
+	W uint32 `json:"w"`
+}
+
+// PhaseInfo reports one solver phase.
+type PhaseInfo struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	Sent    int64   `json:"sent"`
+}
+
+// SolveResponse is the /solve reply.
+type SolveResponse struct {
+	Seeds           []int32     `json:"seeds"`
+	Edges           []TreeEdge  `json:"edges"`
+	Total           int64       `json:"total"`
+	SteinerVertices int         `json:"steinerVertices"`
+	Phases          []PhaseInfo `json:"phases"`
+}
+
+func (s *Service) handleInfo(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	minW, maxW := s.g.WeightRange()
+	writeJSON(w, InfoResponse{
+		Vertices:  s.g.NumVertices(),
+		Arcs:      s.g.NumArcs(),
+		MaxDegree: s.g.MaxDegree(),
+		AvgDegree: s.g.AvgDegree(),
+		MinWeight: minW,
+		MaxWeight: maxW,
+	})
+}
+
+func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
+	req, err := parseSolveRequest(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	seedSet, err := s.resolveSeeds(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	res, err := core.Solve(s.g, seedSet, s.opts)
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	resp := SolveResponse{
+		Total:           int64(res.TotalDistance),
+		SteinerVertices: res.SteinerVertices,
+	}
+	for _, sd := range res.Seeds {
+		resp.Seeds = append(resp.Seeds, int32(sd))
+	}
+	for _, e := range res.Tree {
+		resp.Edges = append(resp.Edges, TreeEdge{U: int32(e.U), V: int32(e.V), W: e.W})
+	}
+	for _, ph := range res.Phases {
+		resp.Phases = append(resp.Phases, PhaseInfo{Name: ph.Name, Seconds: ph.Seconds, Sent: ph.Sent})
+	}
+	writeJSON(w, resp)
+}
+
+func parseSolveRequest(r *http.Request) (SolveRequest, error) {
+	var req SolveRequest
+	switch r.Method {
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return req, fmt.Errorf("bad JSON body: %w", err)
+		}
+	case http.MethodGet:
+		if q := r.URL.Query().Get("seeds"); q != "" {
+			for _, part := range strings.Split(q, ",") {
+				id, err := strconv.ParseInt(strings.TrimSpace(part), 10, 32)
+				if err != nil {
+					return req, fmt.Errorf("bad seed %q", part)
+				}
+				req.Seeds = append(req.Seeds, int32(id))
+			}
+		}
+		if q := r.URL.Query().Get("k"); q != "" {
+			k, err := strconv.Atoi(q)
+			if err != nil {
+				return req, fmt.Errorf("bad k %q", q)
+			}
+			req.K = k
+		}
+		req.Strategy = r.URL.Query().Get("strategy")
+	default:
+		return req, fmt.Errorf("GET or POST only")
+	}
+	if len(req.Seeds) == 0 && req.K <= 0 {
+		return req, fmt.Errorf("need seeds or k")
+	}
+	if len(req.Seeds) > 0 && req.K > 0 {
+		return req, fmt.Errorf("use either seeds or k, not both")
+	}
+	return req, nil
+}
+
+func (s *Service) resolveSeeds(req SolveRequest) ([]graph.VID, error) {
+	if len(req.Seeds) > 0 {
+		out := make([]graph.VID, len(req.Seeds))
+		for i, id := range req.Seeds {
+			out[i] = graph.VID(id)
+		}
+		return out, nil
+	}
+	strat := seeds.BFSLevel
+	switch strings.ToLower(req.Strategy) {
+	case "", "bfs-level":
+	case "uniform":
+		strat = seeds.UniformRandom
+	case "eccentric":
+		strat = seeds.Eccentric
+	case "proximate":
+		strat = seeds.Proximate
+	default:
+		return nil, fmt.Errorf("unknown strategy %q", req.Strategy)
+	}
+	return seeds.Select(s.g, req.K, strat, req.RNGSeed)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,186 @@
+package steinersvc
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dsteiner/internal/core"
+	"dsteiner/internal/graph"
+)
+
+func testService(t *testing.T) *Service {
+	t.Helper()
+	b := graph.NewBuilder(9)
+	for _, e := range [][3]int32{
+		{0, 1, 16}, {0, 4, 2}, {4, 5, 4}, {1, 5, 2}, {1, 2, 20}, {5, 6, 1},
+		{2, 6, 1}, {2, 3, 24}, {6, 7, 2}, {3, 7, 2}, {7, 8, 2}, {3, 8, 18},
+	} {
+		b.AddEdge(graph.VID(e[0]), graph.VID(e[1]), uint32(e[2]))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(g, core.Default(2))
+}
+
+func TestInfoEndpoint(t *testing.T) {
+	srv := httptest.NewServer(testService(t))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info InfoResponse
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Vertices != 9 || info.Arcs != 24 {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.MaxWeight != 24 || info.MinWeight != 1 {
+		t.Fatalf("weights = %+v", info)
+	}
+}
+
+func TestSolvePostExplicitSeeds(t *testing.T) {
+	srv := httptest.NewServer(testService(t))
+	defer srv.Close()
+	body, _ := json.Marshal(SolveRequest{Seeds: []int32{0, 2, 3, 7, 8}})
+	resp, err := http.Post(srv.URL+"/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Total != 14 { // the paper's Fig. 1 optimal tree weight
+		t.Fatalf("total = %d, want 14", out.Total)
+	}
+	if len(out.Edges) != 7 || len(out.Seeds) != 5 {
+		t.Fatalf("edges=%d seeds=%d", len(out.Edges), len(out.Seeds))
+	}
+	if len(out.Phases) != 6 {
+		t.Fatalf("phases = %d", len(out.Phases))
+	}
+}
+
+func TestSolveGetConvenienceForm(t *testing.T) {
+	srv := httptest.NewServer(testService(t))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/solve?seeds=0,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	// Shortest 0-8 path: 0-4-5-6-7-8 = 2+4+1+2+2 = 11.
+	if out.Total != 11 {
+		t.Fatalf("total = %d, want 11", out.Total)
+	}
+}
+
+func TestSolveByK(t *testing.T) {
+	srv := httptest.NewServer(testService(t))
+	defer srv.Close()
+	body, _ := json.Marshal(SolveRequest{K: 3, Strategy: "uniform"})
+	resp, err := http.Post(srv.URL+"/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Seeds) != 3 {
+		t.Fatalf("seeds = %v", out.Seeds)
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	srv := httptest.NewServer(testService(t))
+	defer srv.Close()
+	cases := []struct {
+		name string
+		do   func() (*http.Response, error)
+		want int
+	}{
+		{"empty body", func() (*http.Response, error) {
+			return http.Post(srv.URL+"/solve", "application/json", strings.NewReader("{}"))
+		}, http.StatusBadRequest},
+		{"both seeds and k", func() (*http.Response, error) {
+			return http.Post(srv.URL+"/solve", "application/json",
+				strings.NewReader(`{"seeds":[1],"k":3}`))
+		}, http.StatusBadRequest},
+		{"bad json", func() (*http.Response, error) {
+			return http.Post(srv.URL+"/solve", "application/json", strings.NewReader("{"))
+		}, http.StatusBadRequest},
+		{"out of range seed", func() (*http.Response, error) {
+			return http.Get(srv.URL + "/solve?seeds=0,99999")
+		}, http.StatusUnprocessableEntity},
+		{"bad strategy", func() (*http.Response, error) {
+			return http.Post(srv.URL+"/solve", "application/json",
+				strings.NewReader(`{"k":2,"strategy":"nope"}`))
+		}, http.StatusBadRequest},
+		{"wrong method on info", func() (*http.Response, error) {
+			return http.Post(srv.URL+"/info", "", nil)
+		}, http.StatusMethodNotAllowed},
+		{"delete on solve", func() (*http.Response, error) {
+			req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/solve", nil)
+			return http.DefaultClient.Do(req)
+		}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, err := tc.do()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	srv := httptest.NewServer(testService(t))
+	defer srv.Close()
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			resp, err := http.Get(srv.URL + "/solve?seeds=0,3,8")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					err = &http.ProtocolError{ErrorString: "bad status"}
+				}
+			}
+			done <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

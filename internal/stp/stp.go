@@ -1,0 +1,287 @@
+// Package stp reads and writes the SteinLib / DIMACS STP file format — the
+// standard interchange format for Steiner tree problem instances, consumed
+// by SCIP-Jack [20] and the 11th DIMACS challenge the paper references. A
+// credible Steiner solver must speak it: it lets this library run the
+// public SteinLib benchmark instances and lets its outputs be checked by
+// other solvers.
+//
+// The supported subset covers the graph sections used by SteinLib's
+// classic (unrooted, edge-weighted) instances:
+//
+//	33D32945 STP File, STP Format Version 1.0
+//	SECTION Comment ... END
+//	SECTION Graph
+//	Nodes n
+//	Edges m
+//	E u v w        (1-based vertex IDs)
+//	END
+//	SECTION Terminals
+//	Terminals k
+//	T t
+//	END
+//	EOF
+package stp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dsteiner/internal/graph"
+)
+
+// Instance is a parsed STP problem: the graph plus its terminal set.
+type Instance struct {
+	Name      string
+	Graph     *graph.Graph
+	Terminals []graph.VID
+}
+
+// magic is the STP format's first-line marker (a checksum constant defined
+// by the format specification).
+const magic = "33D32945 STP File, STP Format Version 1.0"
+
+// Read parses an STP instance. Unknown sections are skipped; Graph and
+// Terminals sections are required. Vertex IDs are converted from the
+// format's 1-based to this repository's 0-based convention.
+func Read(r io.Reader) (*Instance, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	inst := &Instance{}
+	lineNo := 0
+	nextLine := func() (string, bool) {
+		for sc.Scan() {
+			lineNo++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			return line, true
+		}
+		return "", false
+	}
+	first, ok := nextLine()
+	if !ok || !strings.EqualFold(first, magic) {
+		return nil, fmt.Errorf("stp: missing format header (got %q)", first)
+	}
+	var n int
+	var edges []graph.Edge
+	var terminals []graph.VID
+	sawGraph, sawTerminals := false, false
+	for {
+		line, ok := nextLine()
+		if !ok {
+			return nil, fmt.Errorf("stp: unexpected end of file (missing EOF marker)")
+		}
+		upper := strings.ToUpper(line)
+		switch {
+		case upper == "EOF":
+			if !sawGraph {
+				return nil, fmt.Errorf("stp: no Graph section")
+			}
+			if !sawTerminals {
+				return nil, fmt.Errorf("stp: no Terminals section")
+			}
+			b := graph.NewBuilder(n)
+			b.AddEdges(edges)
+			g, err := b.Build()
+			if err != nil {
+				return nil, fmt.Errorf("stp: %w", err)
+			}
+			inst.Graph = g
+			inst.Terminals = terminals
+			return inst, nil
+		case strings.HasPrefix(upper, "SECTION"):
+			section := strings.ToUpper(strings.TrimSpace(line[len("SECTION"):]))
+			switch section {
+			case "COMMENT":
+				if err := parseComment(nextLine, inst); err != nil {
+					return nil, err
+				}
+			case "GRAPH":
+				var err error
+				n, edges, err = parseGraph(nextLine)
+				if err != nil {
+					return nil, err
+				}
+				sawGraph = true
+			case "TERMINALS":
+				var err error
+				terminals, err = parseTerminals(nextLine, n)
+				if err != nil {
+					return nil, err
+				}
+				sawTerminals = true
+			default:
+				// Skip unknown sections (Coordinates, etc.).
+				for {
+					l, ok := nextLine()
+					if !ok {
+						return nil, fmt.Errorf("stp: unterminated section %q", section)
+					}
+					if strings.EqualFold(l, "END") {
+						break
+					}
+				}
+			}
+		default:
+			return nil, fmt.Errorf("stp: line %d: unexpected %q", lineNo, line)
+		}
+	}
+}
+
+func parseComment(nextLine func() (string, bool), inst *Instance) error {
+	for {
+		l, ok := nextLine()
+		if !ok {
+			return fmt.Errorf("stp: unterminated Comment section")
+		}
+		if strings.EqualFold(l, "END") {
+			return nil
+		}
+		fields := strings.Fields(l)
+		if len(fields) >= 2 && strings.EqualFold(fields[0], "Name") {
+			inst.Name = strings.Trim(strings.Join(fields[1:], " "), `"`)
+		}
+	}
+}
+
+func parseGraph(nextLine func() (string, bool)) (int, []graph.Edge, error) {
+	n, m := -1, -1
+	var edges []graph.Edge
+	for {
+		l, ok := nextLine()
+		if !ok {
+			return 0, nil, fmt.Errorf("stp: unterminated Graph section")
+		}
+		if strings.EqualFold(l, "END") {
+			if n < 0 {
+				return 0, nil, fmt.Errorf("stp: Graph section missing Nodes")
+			}
+			if m >= 0 && len(edges) != m {
+				return 0, nil, fmt.Errorf("stp: Edges declares %d but %d E lines found", m, len(edges))
+			}
+			return n, edges, nil
+		}
+		fields := strings.Fields(l)
+		switch strings.ToUpper(fields[0]) {
+		case "NODES":
+			v, err := atoi(fields, 1)
+			if err != nil {
+				return 0, nil, err
+			}
+			n = v
+		case "EDGES", "ARCS":
+			v, err := atoi(fields, 1)
+			if err != nil {
+				return 0, nil, err
+			}
+			m = v
+		case "E", "A":
+			if len(fields) != 4 {
+				return 0, nil, fmt.Errorf("stp: bad edge line %q", l)
+			}
+			u, err1 := strconv.ParseInt(fields[1], 10, 32)
+			v, err2 := strconv.ParseInt(fields[2], 10, 32)
+			w, err3 := strconv.ParseInt(fields[3], 10, 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return 0, nil, fmt.Errorf("stp: bad edge line %q", l)
+			}
+			if u < 1 || v < 1 || (n >= 0 && (int(u) > n || int(v) > n)) {
+				return 0, nil, fmt.Errorf("stp: edge (%d,%d) out of 1-based range", u, v)
+			}
+			if w < 1 || w > int64(^uint32(0)) {
+				return 0, nil, fmt.Errorf("stp: weight %d out of range", w)
+			}
+			edges = append(edges, graph.Edge{U: graph.VID(u - 1), V: graph.VID(v - 1), W: uint32(w)})
+		default:
+			return 0, nil, fmt.Errorf("stp: unexpected Graph line %q", l)
+		}
+	}
+}
+
+func parseTerminals(nextLine func() (string, bool), n int) ([]graph.VID, error) {
+	k := -1
+	var terminals []graph.VID
+	for {
+		l, ok := nextLine()
+		if !ok {
+			return nil, fmt.Errorf("stp: unterminated Terminals section")
+		}
+		if strings.EqualFold(l, "END") {
+			if k >= 0 && len(terminals) != k {
+				return nil, fmt.Errorf("stp: Terminals declares %d but %d T lines found", k, len(terminals))
+			}
+			return terminals, nil
+		}
+		fields := strings.Fields(l)
+		switch strings.ToUpper(fields[0]) {
+		case "TERMINALS":
+			v, err := atoi(fields, 1)
+			if err != nil {
+				return nil, err
+			}
+			k = v
+		case "T":
+			t, err := atoi(fields, 1)
+			if err != nil {
+				return nil, err
+			}
+			if t < 1 || (n > 0 && t > n) {
+				return nil, fmt.Errorf("stp: terminal %d out of 1-based range", t)
+			}
+			terminals = append(terminals, graph.VID(t-1))
+		case "ROOT", "ROOTP", "TP":
+			// Rooted / prize-collecting variants: tolerate and ignore
+			// the extra markers, solving the unrooted problem.
+		default:
+			return nil, fmt.Errorf("stp: unexpected Terminals line %q", l)
+		}
+	}
+}
+
+func atoi(fields []string, idx int) (int, error) {
+	if idx >= len(fields) {
+		return 0, fmt.Errorf("stp: missing numeric field in %q", strings.Join(fields, " "))
+	}
+	v, err := strconv.Atoi(fields[idx])
+	if err != nil {
+		return 0, fmt.Errorf("stp: bad number %q", fields[idx])
+	}
+	return v, nil
+}
+
+// Write serializes an instance in STP format (1-based IDs).
+func Write(w io.Writer, inst *Instance) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, magic)
+	fmt.Fprintln(bw)
+	fmt.Fprintln(bw, "SECTION Comment")
+	name := inst.Name
+	if name == "" {
+		name = "dsteiner instance"
+	}
+	fmt.Fprintf(bw, "Name    \"%s\"\n", name)
+	fmt.Fprintln(bw, "Creator \"dsteiner\"")
+	fmt.Fprintln(bw, "END")
+	fmt.Fprintln(bw)
+	fmt.Fprintln(bw, "SECTION Graph")
+	fmt.Fprintf(bw, "Nodes %d\n", inst.Graph.NumVertices())
+	fmt.Fprintf(bw, "Edges %d\n", inst.Graph.NumEdges())
+	for _, e := range inst.Graph.Edges() {
+		fmt.Fprintf(bw, "E %d %d %d\n", e.U+1, e.V+1, e.W)
+	}
+	fmt.Fprintln(bw, "END")
+	fmt.Fprintln(bw)
+	fmt.Fprintln(bw, "SECTION Terminals")
+	fmt.Fprintf(bw, "Terminals %d\n", len(inst.Terminals))
+	for _, t := range inst.Terminals {
+		fmt.Fprintf(bw, "T %d\n", t+1)
+	}
+	fmt.Fprintln(bw, "END")
+	fmt.Fprintln(bw)
+	fmt.Fprintln(bw, "EOF")
+	return bw.Flush()
+}

@@ -1,0 +1,185 @@
+package stp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dsteiner/internal/baseline"
+	"dsteiner/internal/exact"
+	"dsteiner/internal/graph"
+)
+
+// sampleB is a hand-written instance in the style of SteinLib's B set.
+const sampleB = `33D32945 STP File, STP Format Version 1.0
+
+SECTION Comment
+Name    "demo-b01"
+Creator "test"
+END
+
+SECTION Graph
+Nodes 9
+Edges 12
+E 1 2 16
+E 1 5 2
+E 5 6 4
+E 2 6 2
+E 2 3 20
+E 6 7 1
+E 3 7 1
+E 3 4 24
+E 7 8 2
+E 4 8 2
+E 8 9 2
+E 4 9 18
+END
+
+SECTION Terminals
+Terminals 5
+T 1
+T 3
+T 4
+T 8
+T 9
+END
+
+EOF
+`
+
+func TestReadSample(t *testing.T) {
+	inst, err := Read(strings.NewReader(sampleB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Name != "demo-b01" {
+		t.Errorf("Name = %q", inst.Name)
+	}
+	if inst.Graph.NumVertices() != 9 || inst.Graph.NumEdges() != 12 {
+		t.Fatalf("graph shape %d/%d", inst.Graph.NumVertices(), inst.Graph.NumEdges())
+	}
+	// 1-based -> 0-based conversion.
+	want := []graph.VID{0, 2, 3, 7, 8}
+	if len(inst.Terminals) != len(want) {
+		t.Fatalf("terminals = %v", inst.Terminals)
+	}
+	for i, tv := range want {
+		if inst.Terminals[i] != tv {
+			t.Fatalf("terminals = %v, want %v", inst.Terminals, want)
+		}
+	}
+	if w, ok := inst.Graph.HasEdge(0, 4); !ok || w != 2 {
+		t.Fatalf("edge (1,5)w2 lost: (%d,%v)", w, ok)
+	}
+}
+
+func TestSolveParsedInstance(t *testing.T) {
+	inst, err := Read(strings.NewReader(sampleB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := baseline.Mehlhorn(inst.Graph, inst.Terminals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := exact.Solve(inst.Graph, inst.Terminals, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Total != 14 { // the paper's Fig. 1 optimum
+		t.Fatalf("optimum = %d, want 14", opt.Total)
+	}
+	if tr.Total < opt.Total || float64(tr.Total) > 2*float64(opt.Total) {
+		t.Fatalf("heuristic %d outside bounds of optimum %d", tr.Total, opt.Total)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	inst, err := Read(strings.NewReader(sampleB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, inst); err != nil {
+		t.Fatal(err)
+	}
+	inst2, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("re-read: %v\n%s", err, buf.String())
+	}
+	if inst2.Graph.NumEdges() != inst.Graph.NumEdges() {
+		t.Fatal("edge count changed")
+	}
+	if len(inst2.Terminals) != len(inst.Terminals) {
+		t.Fatal("terminals changed")
+	}
+	e1, e2 := inst.Graph.Edges(), inst2.Graph.Edges()
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d: %v != %v", i, e1[i], e2[i])
+		}
+	}
+}
+
+func TestUnknownSectionsSkipped(t *testing.T) {
+	in := strings.Replace(sampleB, "SECTION Terminals",
+		"SECTION Coordinates\nDD 1 0 0\nEND\n\nSECTION Terminals", 1)
+	inst, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Terminals) != 5 {
+		t.Fatalf("terminals = %v", inst.Terminals)
+	}
+}
+
+func TestRejectsMalformedInputs(t *testing.T) {
+	cases := map[string]string{
+		"no header":      "hello\nEOF\n",
+		"no graph":       magic + "\nSECTION Terminals\nTerminals 0\nEND\nEOF\n",
+		"no terminals":   magic + "\nSECTION Graph\nNodes 2\nEdges 1\nE 1 2 5\nEND\nEOF\n",
+		"no eof":         magic + "\nSECTION Graph\nNodes 2\nEdges 1\nE 1 2 5\nEND\n",
+		"bad edge count": magic + "\nSECTION Graph\nNodes 2\nEdges 2\nE 1 2 5\nEND\nSECTION Terminals\nTerminals 0\nEND\nEOF\n",
+		"edge oob":       magic + "\nSECTION Graph\nNodes 2\nEdges 1\nE 1 9 5\nEND\nSECTION Terminals\nTerminals 0\nEND\nEOF\n",
+		"terminal oob":   magic + "\nSECTION Graph\nNodes 2\nEdges 1\nE 1 2 5\nEND\nSECTION Terminals\nTerminals 1\nT 7\nEND\nEOF\n",
+		"zero weight":    magic + "\nSECTION Graph\nNodes 2\nEdges 1\nE 1 2 0\nEND\nSECTION Terminals\nTerminals 0\nEND\nEOF\n",
+		"junk line":      magic + "\nwhat is this\nEOF\n",
+		"bad number":     magic + "\nSECTION Graph\nNodes two\nEND\nEOF\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestRootedMarkersTolerated(t *testing.T) {
+	in := strings.Replace(sampleB, "T 1\n", "Root 1\nT 1\n", 1)
+	inst, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Terminals) != 5 {
+		t.Fatalf("terminals = %v", inst.Terminals)
+	}
+}
+
+func FuzzRead(f *testing.F) {
+	f.Add(sampleB)
+	f.Add(magic + "\nEOF\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, in string) {
+		inst, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Any accepted instance must round-trip.
+		var buf bytes.Buffer
+		if err := Write(&buf, inst); err != nil {
+			t.Fatalf("write of accepted instance failed: %v", err)
+		}
+		if _, err := Read(&buf); err != nil {
+			t.Fatalf("round trip of accepted instance failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,146 @@
+// Package tables renders experiment results as aligned text tables, the
+// output format of cmd/experiments and the benchmark harness.
+package tables
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is a titled grid with optional footnotes.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	totalW := 0
+	for _, w := range widths {
+		totalW += w + 2
+	}
+	if totalW < len(t.Title) {
+		totalW = len(t.Title)
+	}
+	fmt.Fprintln(w, t.Title)
+	fmt.Fprintln(w, strings.Repeat("=", totalW))
+	line := func(cells []string) {
+		var sb strings.Builder
+		for i, cell := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&sb, "%-*s", widths[i]+2, cell)
+			} else {
+				sb.WriteString(cell)
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	}
+	line(t.Header)
+	fmt.Fprintln(w, strings.Repeat("-", totalW))
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  * %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderCSV writes the table as comma-separated values (header first, then
+// rows; the title and notes become '#' comment lines) for plotting
+// pipelines.
+func (t *Table) RenderCSV(w io.Writer) {
+	fmt.Fprintf(w, "# %s\n", t.Title)
+	writeCSVLine(w, t.Header)
+	for _, row := range t.Rows {
+		writeCSVLine(w, row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "# %s\n", n)
+	}
+}
+
+func writeCSVLine(w io.Writer, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			io.WriteString(w, ",")
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+		}
+		io.WriteString(w, c)
+	}
+	io.WriteString(w, "\n")
+}
+
+// Seconds formats a duration in the paper's style: ms below one second,
+// s / m / h above.
+func Seconds(sec float64) string {
+	d := time.Duration(sec * float64(time.Second))
+	switch {
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	case d < time.Minute:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	case d < time.Hour:
+		return fmt.Sprintf("%.1fm", d.Minutes())
+	default:
+		return fmt.Sprintf("%.1fh", d.Hours())
+	}
+}
+
+// Count formats a count with K/M/B suffixes.
+func Count(n int64) string {
+	switch {
+	case n >= 1_000_000_000:
+		return fmt.Sprintf("%.1fB", float64(n)/1e9)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 10_000:
+		return fmt.Sprintf("%.1fK", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// Bytes formats a byte size with binary suffixes.
+func Bytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(n)/float64(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/float64(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/float64(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// Ratio formats an approximation ratio to 4 decimals (Table VII style).
+func Ratio(r float64) string { return fmt.Sprintf("%.4f", r) }

@@ -1,0 +1,106 @@
+package tables
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := Table{
+		Title:  "Demo",
+		Header: []string{"A", "LongHeader", "C"},
+	}
+	tb.AddRow("x", "1", "z")
+	tb.AddRow("longcell", "2", "w")
+	tb.AddNote("note %d", 7)
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	lines := strings.Split(out, "\n")
+	if lines[0] != "Demo" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.Contains(out, "LongHeader") || !strings.Contains(out, "longcell") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	if !strings.Contains(out, "* note 7") {
+		t.Fatalf("missing note:\n%s", out)
+	}
+	// Column alignment: "1" and "2" start at the same offset.
+	var rowA, rowB string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "x") {
+			rowA = l
+		}
+		if strings.HasPrefix(l, "longcell") {
+			rowB = l
+		}
+	}
+	if strings.Index(rowA, "1") != strings.Index(rowB, "2") {
+		t.Fatalf("columns misaligned:\n%q\n%q", rowA, rowB)
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := Table{Title: "T", Header: []string{"a", "b"}}
+	tb.AddRow("1", "x,y")
+	tb.AddRow(`q"z`, "2")
+	tb.AddNote("n")
+	var buf bytes.Buffer
+	tb.RenderCSV(&buf)
+	out := buf.String()
+	want := "# T\na,b\n1,\"x,y\"\n\"q\"\"z\",2\n# n\n"
+	if out != want {
+		t.Fatalf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	cases := map[float64]string{
+		0.0051: "5.1ms",
+		1.5:    "1.5s",
+		90:     "1.5m",
+		7200:   "2.0h",
+	}
+	for in, want := range cases {
+		if got := Seconds(in); got != want {
+			t.Errorf("Seconds(%f) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	cases := map[int64]string{
+		7:             "7",
+		9999:          "9999",
+		10000:         "10.0K",
+		2_500_000:     "2.5M",
+		3_000_000_000: "3.0B",
+	}
+	for in, want := range cases {
+		if got := Count(in); got != want {
+			t.Errorf("Count(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:     "512B",
+		2048:    "2.0KB",
+		3 << 20: "3.0MB",
+		5 << 30: "5.0GB",
+	}
+	for in, want := range cases {
+		if got := Bytes(in); got != want {
+			t.Errorf("Bytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(1.05271); got != "1.0527" {
+		t.Errorf("Ratio = %q", got)
+	}
+}

@@ -1,0 +1,227 @@
+// Package voronoi implements the paper's distributed Voronoi-cell
+// computation (Alg. 4): an asynchronous, Bellman–Ford-based flood from all
+// seed vertices simultaneously. Every vertex ends up knowing the closest
+// seed (its cell owner src), its tentative shortest distance to that seed
+// (d1), and the predecessor on that shortest path (pred) — the state later
+// phases use to build the distance graph G'₁ and to expand tree edges.
+//
+// Tie-breaking is total and deterministic: a vertex adopts an offer
+// (dist, seed, pred) iff it is lexicographically smaller than its current
+// state. Distance/seed improvements trigger re-relaxation of the vertex's
+// neighbors; predecessor-only improvements do not (they cannot change any
+// neighbor's offer). The unique fixed point therefore does not depend on
+// rank count, queue discipline or message timing — property-tested in
+// voronoi_test.go and relied on by the paper-reproduction experiments.
+package voronoi
+
+import (
+	"dsteiner/internal/graph"
+	rt "dsteiner/internal/runtime"
+)
+
+// State is the per-vertex Voronoi state. Entries are partitioned by
+// ownership: only the owner rank of v may touch Src[v], Pred[v], Dist[v]
+// while a traversal is running. A seed s has Src[s] = s, Pred[s] = s,
+// Dist[s] = 0. Vertices unreached (disconnected from all seeds) keep
+// Src = NilVID, Dist = InfDist.
+type State struct {
+	Src  []graph.VID
+	Pred []graph.VID
+	Dist []graph.Dist
+}
+
+// NewState allocates initialized (unreached) state for n vertices.
+func NewState(n int) *State {
+	st := &State{
+		Src:  make([]graph.VID, n),
+		Pred: make([]graph.VID, n),
+		Dist: make([]graph.Dist, n),
+	}
+	for i := 0; i < n; i++ {
+		st.Src[i] = graph.NilVID
+		st.Pred[i] = graph.NilVID
+		st.Dist[i] = graph.InfDist
+	}
+	return st
+}
+
+// MemoryBytes reports the state's footprint (Fig. 8 accounting).
+func (st *State) MemoryBytes() int64 {
+	return int64(len(st.Src))*4 + int64(len(st.Pred))*4 + int64(len(st.Dist))*8
+}
+
+// offerBetter implements the deterministic total order on (dist, seed,
+// pred) offers described in the package comment.
+func offerBetter(nd graph.Dist, ns, np graph.VID, od graph.Dist, os, op graph.VID) bool {
+	if nd != od {
+		return nd < od
+	}
+	if ns != os {
+		return ns < os
+	}
+	return np < op
+}
+
+// delegateRelax marks broadcast messages that ask every rank to relax its
+// stripe of a high-degree delegate's adjacency.
+const delegateRelax uint8 = 1
+
+// RunRank executes the Voronoi-cell traversal on one rank (call inside
+// Comm.Run alongside the other ranks). It returns the rank's traversal work
+// counters. st must be shared by all ranks of the communicator.
+func RunRank(r *rt.Rank, g *graph.Graph, seeds []graph.VID, st *State) rt.TraversalStats {
+	return run(r, g, seeds, st, false)
+}
+
+// RunRankBSP is RunRank under bulk-synchronous supersteps instead of
+// asynchronous processing — the §IV async-vs-BSP ablation.
+func RunRankBSP(r *rt.Rank, g *graph.Graph, seeds []graph.VID, st *State) rt.TraversalStats {
+	return run(r, g, seeds, st, true)
+}
+
+func run(r *rt.Rank, g *graph.Graph, seeds []graph.VID, st *State, bsp bool) rt.TraversalStats {
+	relaxNeighbors := func(r *rt.Rank, v graph.VID, src graph.VID, dist graph.Dist) {
+		if r.IsDelegate(v) {
+			// Hub: fan the relaxation out to all ranks; each scans its
+			// stripe of v's (large) adjacency.
+			r.Broadcast(rt.Msg{Target: v, From: v, Seed: src, Dist: dist, Kind: delegateRelax})
+			return
+		}
+		ts, ws := g.Adj(v)
+		for i, u := range ts {
+			r.Send(rt.Msg{Target: u, From: v, Seed: src, Dist: dist + graph.Dist(ws[i])})
+		}
+	}
+
+	return r.Traverse(&rt.Traversal{
+		Key: rt.DistKey,
+		BSP: bsp,
+		Init: func(r *rt.Rank) {
+			for _, s := range seeds {
+				if r.Owns(s) {
+					r.Send(rt.Msg{Target: s, From: s, Seed: s, Dist: 0})
+				}
+			}
+		},
+		Visit: func(r *rt.Rank, m rt.Msg) {
+			if m.Kind == delegateRelax {
+				// Relax this rank's stripe of the delegate's adjacency.
+				// State was already updated by the delegate's owner.
+				v := m.Target
+				ts, ws := g.Adj(v)
+				p := r.NumRanks()
+				for i := r.ID(); i < len(ts); i += p {
+					u := ts[i]
+					r.Send(rt.Msg{Target: u, From: v, Seed: m.Seed, Dist: m.Dist + graph.Dist(ws[i])})
+				}
+				return
+			}
+			vj := m.Target
+			if !offerBetter(m.Dist, m.Seed, m.From, st.Dist[vj], st.Src[vj], st.Pred[vj]) {
+				return
+			}
+			distImproved := m.Dist != st.Dist[vj] || m.Seed != st.Src[vj]
+			st.Dist[vj] = m.Dist
+			st.Src[vj] = m.Seed
+			st.Pred[vj] = m.From
+			if distImproved {
+				relaxNeighbors(r, vj, m.Seed, m.Dist)
+			}
+		},
+	})
+}
+
+// Compute runs the Voronoi-cell phase standalone on a fresh traversal over
+// the given communicator and returns the converged state (convenience for
+// tests, Table I and examples; the Steiner solver calls RunRank inside its
+// own SPMD body).
+func Compute(c *rt.Comm, g *graph.Graph, seeds []graph.VID) *State {
+	st := NewState(g.NumVertices())
+	c.Run(func(r *rt.Rank) {
+		RunRank(r, g, seeds, st)
+	})
+	return st
+}
+
+// Sequential computes the same fixed point as RunRank with a sequential
+// Dijkstra-like sweep — including the full (dist, seed, pred) tie-breaking
+// — and is the verification oracle for the distributed implementation.
+func Sequential(g *graph.Graph, seeds []graph.VID) *State {
+	st := NewState(g.NumVertices())
+	type item struct {
+		v    graph.VID
+		d    graph.Dist
+		src  graph.VID
+		pred graph.VID
+	}
+	// Simple heap on (d, src, pred) triples.
+	h := make([]item, 0, len(seeds)*4)
+	less := func(a, b item) bool {
+		if a.d != b.d {
+			return a.d < b.d
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.pred < b.pred
+	}
+	push := func(it item) {
+		h = append(h, it)
+		i := len(h) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if !less(h[i], h[p]) {
+				break
+			}
+			h[i], h[p] = h[p], h[i]
+			i = p
+		}
+	}
+	pop := func() item {
+		top := h[0]
+		last := len(h) - 1
+		h[0] = h[last]
+		h = h[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(h) && less(h[l], h[m]) {
+				m = l
+			}
+			if r < len(h) && less(h[r], h[m]) {
+				m = r
+			}
+			if m == i {
+				break
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
+		return top
+	}
+	for _, s := range seeds {
+		push(item{v: s, d: 0, src: s, pred: s})
+	}
+	for len(h) > 0 {
+		it := pop()
+		if !offerBetter(it.d, it.src, it.pred, st.Dist[it.v], st.Src[it.v], st.Pred[it.v]) {
+			continue
+		}
+		improved := it.d != st.Dist[it.v] || it.src != st.Src[it.v]
+		st.Dist[it.v] = it.d
+		st.Src[it.v] = it.src
+		st.Pred[it.v] = it.pred
+		if !improved {
+			continue
+		}
+		ts, ws := g.Adj(it.v)
+		for i, u := range ts {
+			nd := it.d + graph.Dist(ws[i])
+			if offerBetter(nd, it.src, it.v, st.Dist[u], st.Src[u], st.Pred[u]) {
+				push(item{v: u, d: nd, src: it.src, pred: it.v})
+			}
+		}
+	}
+	return st
+}
