@@ -9,11 +9,16 @@
 // Usage:
 //
 //	steinersvc -dataset LVJ -addr :8080
-//	steinersvc -graph web.bin -ranks 8
+//	steinersvc -graph web.bin -ranks 8 -engines 4
+//
+// -engines N keeps a pool of N resident solver engines, so up to N queries
+// run concurrently on the shared graph; further requests queue for the next
+// free engine.
 //
 // API:
 //
 //	GET  /info                       graph characteristics
+//	GET  /stats                      engine-pool utilization + phase timings
 //	POST /solve {"seeds":[1,2,3]}    solve for explicit seeds
 //	POST /solve {"k":100}            solve for k BFS-level seeds
 //	GET  /solve?seeds=1,2,3          convenience form
@@ -40,6 +45,7 @@ func main() {
 		scale     = flag.Float64("scale", 1.0, "dataset scale factor")
 		addr      = flag.String("addr", ":8080", "listen address")
 		ranks     = flag.Int("ranks", 4, "simulated rank count per query")
+		engines   = flag.Int("engines", 1, "resident solver engines (max concurrent queries)")
 	)
 	flag.Parse()
 
@@ -48,8 +54,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "steinersvc: %v\n", err)
 		os.Exit(1)
 	}
-	srv := steinersvc.New(g, dsteiner.Defaults(*ranks))
-	log.Printf("steinersvc: serving |V|=%d 2|E|=%d on %s", g.NumVertices(), g.NumArcs(), *addr)
+	srv, err := steinersvc.New(g, dsteiner.Defaults(*ranks), *engines)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "steinersvc: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("steinersvc: serving |V|=%d 2|E|=%d on %s with %d engine(s) x %d ranks",
+		g.NumVertices(), g.NumArcs(), *addr, srv.NumEngines(), *ranks)
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }
 

@@ -59,6 +59,11 @@ type (
 
 // Solver types.
 type (
+	// Engine is a long-lived solver session bound to one graph: the
+	// partition, communicator and all O(|V|) state are built once and
+	// pooled across Solve calls. Use for interactive workloads issuing
+	// many queries against one resident graph; see NewEngine.
+	Engine = core.Engine
 	// Options configures Solve; the zero value is a valid single-rank
 	// configuration. Use Defaults for the paper's tuned settings.
 	Options = core.Options
@@ -105,9 +110,29 @@ func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
 func Defaults(ranks int) Options { return core.Default(ranks) }
 
 // Solve computes a 2-approximate Steiner minimal tree of g spanning the
-// seed vertices. All seeds must lie in one connected component.
+// seed vertices. All seeds must lie in one connected component. Solve is
+// the one-shot form: it pays O(|V|) session setup per call. Query-heavy
+// callers should hold an Engine (see NewEngine) instead.
 func Solve(g *Graph, seedSet []VID, opts Options) (*Result, error) {
 	return core.Solve(g, seedSet, opts)
+}
+
+// NewEngine builds a reusable solver session bound to g: repeated
+// Engine.Solve calls reuse the partition, the communicator's pinned rank
+// goroutines and epoch-versioned per-query state, so each query does work
+// proportional to the query rather than to |V|. Close the engine to
+// release its goroutines. Engine.Solve serializes internally; for
+// concurrent queries run one Engine per in-flight query over the shared
+// immutable Graph.
+//
+//	e, err := dsteiner.NewEngine(g, dsteiner.Defaults(4))
+//	defer e.Close()
+//	for _, q := range queries {
+//		res, err := e.Solve(q.Seeds)
+//		// ...
+//	}
+func NewEngine(g *Graph, opts Options) (*Engine, error) {
+	return core.NewEngine(g, opts)
 }
 
 // SelectSeeds picks k seed vertices from g's largest connected component

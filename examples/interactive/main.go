@@ -36,7 +36,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &http.Server{Handler: steinersvc.New(g, dsteiner.Defaults(4))}
+	svc := steinersvc.MustNew(g, dsteiner.Defaults(4), 2)
+	defer svc.Close()
+	srv := &http.Server{Handler: svc}
 	go func() {
 		if err := srv.Serve(ln); err != http.ErrServerClosed {
 			log.Print(err)

@@ -1,0 +1,3 @@
+module dsteiner
+
+go 1.24

@@ -1,0 +1,402 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dsteiner/internal/graph"
+	"dsteiner/internal/mst"
+	"dsteiner/internal/partition"
+	rt "dsteiner/internal/runtime"
+	"dsteiner/internal/voronoi"
+)
+
+// Engine is a long-lived solver session bound to one graph: the partition,
+// the communicator (with its pinned rank goroutines) and all O(|V|)
+// algorithm state are built once and reused across Solve calls, so a query
+// against a resident graph pays only work proportional to the query — the
+// paper's §I interactive-exploration requirement. A cold Solve per query
+// instead pays O(|V|) re-initialization (three Voronoi arrays, a walked
+// bitmap, a fresh partition and P new goroutines) every time.
+//
+// Engine.Solve is safe for concurrent use but serializes internally; run
+// several Engines over the same *graph.Graph (it is immutable and shared)
+// for concurrent queries, as internal/steinersvc's engine pool does.
+type Engine struct {
+	g    *graph.Graph
+	opts Options
+	comm *rt.Comm
+
+	mu sync.Mutex // serializes Solve on this engine
+
+	// Pooled per-query state, reset in O(1) or O(query) between solves.
+	st        *voronoi.State        // epoch-versioned Voronoi arrays
+	walked    []uint64              // epoch-versioned phase-6 "walked" marks
+	walkedGen uint64                // current walked epoch
+	localENs  []map[int64]crossEdge // per-rank E_N tables, cleared per query
+	seen      map[graph.VID]bool    // seed-dedup scratch
+	seedIdx   map[graph.VID]int32   // seed -> dense index, rebuilt per query
+	pruneds   []map[int64]crossEdge // per-rank phase-5 survivors
+	trees     [][]graph.Edge        // per-rank phase-6 edge accumulators
+}
+
+// NewEngine builds a reusable solver session for g. The returned Engine
+// holds opts.Ranks pinned goroutines until Close.
+func NewEngine(g *graph.Graph, opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	n := g.NumVertices()
+
+	var part partition.Partition
+	var err error
+	switch opts.Partition {
+	case PartitionHash:
+		part, err = partition.NewHash(n, opts.Ranks)
+	case PartitionArcBlock:
+		part, err = partition.NewArcBlock(g, opts.Ranks)
+	default:
+		part, err = partition.NewBlock(n, opts.Ranks)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if opts.DelegateThreshold > 0 {
+		part = partition.WithDelegates(part, g, opts.DelegateThreshold)
+	}
+	comm, err := rt.New(rt.Config{
+		Ranks:           opts.Ranks,
+		Queue:           opts.Queue,
+		BucketDelta:     opts.BucketDelta,
+		BatchSize:       opts.BatchSize,
+		ShuffleDelivery: opts.ShuffleDelivery,
+		ShuffleSeed:     opts.ShuffleSeed,
+	}, part)
+	if err != nil {
+		return nil, err
+	}
+	comm.Start()
+
+	e := &Engine{
+		g:        g,
+		opts:     opts,
+		comm:     comm,
+		st:       voronoi.NewState(n),
+		walked:   make([]uint64, n),
+		localENs: make([]map[int64]crossEdge, opts.Ranks),
+		seen:     make(map[graph.VID]bool),
+		seedIdx:  make(map[graph.VID]int32),
+		pruneds:  make([]map[int64]crossEdge, opts.Ranks),
+		trees:    make([][]graph.Edge, opts.Ranks),
+	}
+	for i := range e.localENs {
+		e.localENs[i] = map[int64]crossEdge{}
+		e.pruneds[i] = map[int64]crossEdge{}
+	}
+	return e, nil
+}
+
+// Close releases the engine's pinned rank goroutines. The Engine must not
+// be used afterwards.
+func (e *Engine) Close() { e.comm.Close() }
+
+// Graph returns the resident graph the engine is bound to.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Options returns the engine's configuration with defaults applied.
+func (e *Engine) Options() Options { return e.opts }
+
+// dedupSeedSet validates seeds against an n-vertex graph and returns them
+// sorted and deduplicated. seen is the dedup scratch (cleared first); the
+// returned slice is freshly allocated, so it may be published in a Result
+// without aliasing pooled state.
+func dedupSeedSet(n int, seeds []graph.VID, seen map[graph.VID]bool) ([]graph.VID, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("core: empty seed set")
+	}
+	clear(seen)
+	dedup := make([]graph.VID, 0, len(seeds))
+	for _, s := range seeds {
+		if s < 0 || int(s) >= n {
+			return nil, fmt.Errorf("core: seed %d out of range [0,%d)", s, n)
+		}
+		if !seen[s] {
+			seen[s] = true
+			dedup = append(dedup, s)
+		}
+	}
+	sort.Slice(dedup, func(i, j int) bool { return dedup[i] < dedup[j] })
+	return dedup, nil
+}
+
+// Solve computes a 2-approximate Steiner minimal tree of the resident graph
+// for the given seed vertices. Seeds are deduplicated; all must lie in one
+// connected component, otherwise an error is returned. Results are
+// identical to a cold Solve with the same options and seeds.
+func (e *Engine) Solve(seeds []graph.VID) (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	dedup, err := dedupSeedSet(e.g.NumVertices(), seeds, e.seen)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Seeds: dedup}
+	if len(dedup) == 1 {
+		return res, nil
+	}
+
+	g, st, opts := e.g, e.st, e.opts
+	st.Reset()
+	e.walkedGen++
+	for i := range e.localENs {
+		clear(e.localENs[i])
+		clear(e.pruneds[i])
+		e.trees[i] = e.trees[i][:0]
+	}
+	clear(e.seedIdx)
+	seedIdx := e.seedIdx
+	for i, s := range dedup {
+		seedIdx[s] = int32(i)
+	}
+	var solveErr error // written by rank 0 only
+
+	rec := &recorder{comm: e.comm, res: res}
+	e.comm.Run(func(r *rt.Rank) {
+		// Phase 1: Voronoi cells (Alg. 4).
+		rec.phase(r, PhaseVoronoi, func() int64 {
+			var ts rt.TraversalStats
+			if opts.BSP {
+				ts = voronoi.RunRankBSP(r, g, dedup, st)
+			} else {
+				ts = voronoi.RunRank(r, g, dedup, st)
+			}
+			return ts.Processed
+		})
+
+		// Phase 2: local min-distance cross-cell edges (Alg. 5,
+		// LOCAL_MIN_DIST_EDGE_ASYNC). Remote endpoint state is fetched
+		// with a request/reply visitor exchange.
+		localEN := e.localENs[r.ID()]
+		recordCandidate := func(u, v graph.VID, dv graph.Dist, srcV graph.VID) {
+			su := st.Src(u)
+			if su == graph.NilVID || srcV == graph.NilVID || su == srcV {
+				return
+			}
+			w, ok := g.HasEdge(u, v)
+			if !ok {
+				return
+			}
+			cand := crossEdge{D: st.Dist(u) + graph.Dist(w) + dv, U: u, V: v}
+			key := seedKey(su, srcV)
+			if cur, ok := localEN[key]; ok {
+				localEN[key] = pickCross(cur, cand)
+			} else {
+				localEN[key] = cand
+			}
+		}
+		rec.phase(r, PhaseLocalMinEdge, func() int64 {
+			ts := r.Traverse(&rt.Traversal{
+				BSP: opts.BSP,
+				Init: func(r *rt.Rank) {
+					r.OwnedVertices(func(u graph.VID) {
+						if st.Src(u) == graph.NilVID {
+							return
+						}
+						adj, _ := g.Adj(u)
+						for _, v := range adj {
+							if u >= v {
+								continue // lower endpoint initiates
+							}
+							if r.Owns(v) {
+								recordCandidate(u, v, st.Dist(v), st.Src(v))
+							} else {
+								r.Send(rt.Msg{Target: v, From: u, Kind: kindReqDist})
+							}
+						}
+					})
+				},
+				Visit: func(r *rt.Rank, m rt.Msg) {
+					switch m.Kind {
+					case kindReqDist:
+						v := m.Target
+						r.Send(rt.Msg{
+							Target: m.From, From: v,
+							Seed: st.Src(v), Dist: st.Dist(v),
+							Kind: kindRepDist,
+						})
+					case kindRepDist:
+						recordCandidate(m.Target, m.From, m.Dist, m.Seed)
+					}
+				},
+			})
+			return ts.Processed
+		})
+
+		// Phase 3: global min-distance edges —
+		// MPI_Allreduce(MPI_MIN) over the per-rank E_N tables. With
+		// CollectiveChunk set, the table is reduced in key-partitioned
+		// chunks, trading collective-buffer memory for extra rounds
+		// (the paper's §V-F mitigation for the |S|=10K blowup).
+		var merged map[int64]crossEdge
+		rec.phase(r, PhaseGlobalMinEdge, func() int64 {
+			if opts.CollectiveChunk <= 0 {
+				merged = rt.ReduceMap(r, localEN, pickCross)
+				if r.ID() == 0 {
+					res.CollectiveChunks = 1
+				}
+				return 0
+			}
+			maxSize := r.AllreduceMaxInt64(int64(len(localEN)))
+			numChunks := int((maxSize + int64(opts.CollectiveChunk) - 1) / int64(opts.CollectiveChunk))
+			if numChunks < 1 {
+				numChunks = 1
+			}
+			merged = make(map[int64]crossEdge, len(localEN))
+			for c := 0; c < numChunks; c++ {
+				sub := map[int64]crossEdge{}
+				for k, v := range localEN {
+					if int(uint64(k)%uint64(numChunks)) == c {
+						sub[k] = v
+					}
+				}
+				for k, v := range rt.ReduceMap(r, sub, pickCross) {
+					merged[k] = v
+				}
+			}
+			if r.ID() == 0 {
+				res.CollectiveChunks = numChunks
+			}
+			return 0
+		})
+
+		// Phase 4: sequential MST of the replicated distance graph G'₁
+		// (Alg. 3 line 17). Every rank computes it locally — G'₁ is
+		// small, so replication avoids remote copies, as in the paper.
+		// seedIdx is shared read-only (built before the SPMD body).
+		var mstPairs map[int64]bool
+		rec.phase(r, PhaseMST, func() int64 {
+			keys := make([]int64, 0, len(merged))
+			for k := range merged {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			wedges := make([]mst.WEdge, len(keys))
+			for i, k := range keys {
+				s, t := unpackSeedKey(k)
+				wedges[i] = mst.WEdge{U: seedIdx[s], V: seedIdx[t], W: merged[k].D}
+			}
+			var forest mst.Result
+			switch opts.MST {
+			case MSTKruskal:
+				forest = mst.Kruskal(len(dedup), wedges)
+			case MSTBoruvka:
+				var rounds int
+				forest, rounds = mst.Boruvka(len(dedup), wedges)
+				if r.ID() == 0 {
+					res.MSTRounds = rounds
+				}
+			default:
+				forest = mst.Prim(len(dedup), wedges)
+			}
+			if r.ID() == 0 {
+				res.DistGraphEdges = len(wedges)
+			}
+			if len(forest.Edges) < len(dedup)-1 {
+				if r.ID() == 0 {
+					solveErr = fmt.Errorf("core: seeds span %d connected components; Steiner tree requires one",
+						len(dedup)-len(forest.Edges))
+				}
+				mstPairs = nil
+				return 0
+			}
+			mstPairs = make(map[int64]bool, len(forest.Edges))
+			for _, fe := range forest.Edges {
+				mstPairs[seedKey(dedup[fe.U], dedup[fe.V])] = true
+			}
+			return 0
+		})
+		if mstPairs == nil {
+			return // disconnected seeds: all ranks bail out identically
+		}
+
+		// Phase 5: global edge pruning (Alg. 5, EDGE_PRUNING_COLL) —
+		// cross-cell edges whose cell pair is not an MST edge are
+		// dropped. The total order in pickCross already guarantees a
+		// unique survivor per pair, so no second collective is needed.
+		pruned := e.pruneds[r.ID()]
+		rec.phase(r, PhasePruning, func() int64 {
+			for k, ce := range merged {
+				if mstPairs[k] {
+					pruned[k] = ce
+				}
+			}
+			return 0
+		})
+
+		// Phase 6: Steiner tree edges (Alg. 6) — walk predecessor
+		// chains from surviving cross-cell endpoints to cell seeds.
+		// The walked marks are epoch-versioned like the Voronoi state,
+		// so no O(|V|) bitmap is re-zeroed between queries, and the
+		// per-rank accumulator keeps its capacity (the published tree
+		// is a sorted copy, so reuse cannot leak across queries).
+		localTree := e.trees[r.ID()]
+		rec.phase(r, PhaseTreeEdge, func() int64 {
+			ts := r.Traverse(&rt.Traversal{
+				BSP: opts.BSP,
+				Init: func(r *rt.Rank) {
+					for _, ce := range pruned {
+						if !r.Owns(ce.U) {
+							continue // u's home partition records the edge
+						}
+						w, _ := g.HasEdge(ce.U, ce.V)
+						localTree = append(localTree, graph.Edge{U: ce.U, V: ce.V, W: w}.Canon())
+						r.Send(rt.Msg{Target: ce.U})
+						r.Send(rt.Msg{Target: ce.V})
+					}
+				},
+				Visit: func(r *rt.Rank, m rt.Msg) {
+					vj := m.Target
+					if e.walked[vj] == e.walkedGen {
+						return
+					}
+					e.walked[vj] = e.walkedGen
+					if vj == st.Src(vj) {
+						return
+					}
+					p := st.Pred(vj)
+					w, _ := g.HasEdge(p, vj)
+					localTree = append(localTree, graph.Edge{U: p, V: vj, W: w}.Canon())
+					r.Send(rt.Msg{Target: p})
+				},
+			})
+			return ts.Processed
+		})
+		e.trees[r.ID()] = localTree // keep the grown capacity pooled
+
+		// Gather the final tree on every rank; rank 0 publishes it.
+		tree := rt.AllGather(r, localTree)
+		if r.ID() == 0 {
+			sorted := append([]graph.Edge(nil), tree...)
+			sort.Slice(sorted, func(i, j int) bool {
+				if sorted[i].U != sorted[j].U {
+					return sorted[i].U < sorted[j].U
+				}
+				return sorted[i].V < sorted[j].V
+			})
+			res.Tree = sorted
+			res.TotalDistance = graph.TotalWeight(sorted)
+		}
+	})
+	if solveErr != nil {
+		return nil, solveErr
+	}
+
+	res.SteinerVertices = countSteinerVertices(res.Tree, dedup)
+	res.Memory = memoryStats(g, st, e.localENs, res, opts)
+	if !opts.SkipValidation {
+		if err := graph.ValidateSteinerTree(g, dedup, res.Tree); err != nil {
+			return nil, fmt.Errorf("core: internal error, invalid output: %w", err)
+		}
+	}
+	return res, nil
+}

@@ -1,13 +1,10 @@
 package core
 
 import (
-	"fmt"
 	"sort"
 	"time"
 
 	"dsteiner/internal/graph"
-	"dsteiner/internal/mst"
-	"dsteiner/internal/partition"
 	rt "dsteiner/internal/runtime"
 	"dsteiner/internal/voronoi"
 )
@@ -66,318 +63,52 @@ func unpackSeedKey(k int64) (s, t graph.VID) {
 // seed vertices. Seeds are deduplicated; all must lie in one connected
 // component (guaranteed by the seed-selection strategies of
 // internal/seeds), otherwise an error is returned.
+//
+// Solve is the one-shot convenience form: it builds a throwaway Engine,
+// paying the O(|V|) session setup every call. Interactive workloads that
+// issue many queries against one resident graph should hold an Engine (or
+// internal/steinersvc's engine pool) instead.
 func Solve(g *graph.Graph, seeds []graph.VID, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
-	n := g.NumVertices()
-	if len(seeds) == 0 {
-		return nil, fmt.Errorf("core: empty seed set")
+	// Validate seeds and take the trivial single-seed exit before paying
+	// the engine's O(|V|) session setup.
+	dedup, err := dedupSeedSet(g.NumVertices(), seeds, make(map[graph.VID]bool, len(seeds)))
+	if err != nil {
+		return nil, err
 	}
-	dedup := make([]graph.VID, 0, len(seeds))
-	seen := make(map[graph.VID]bool, len(seeds))
-	for _, s := range seeds {
-		if s < 0 || int(s) >= n {
-			return nil, fmt.Errorf("core: seed %d out of range [0,%d)", s, n)
-		}
-		if !seen[s] {
-			seen[s] = true
-			dedup = append(dedup, s)
-		}
-	}
-	sort.Slice(dedup, func(i, j int) bool { return dedup[i] < dedup[j] })
-	res := &Result{Seeds: dedup}
 	if len(dedup) == 1 {
-		return res, nil
+		return &Result{Seeds: dedup}, nil
 	}
-
-	var part partition.Partition
-	var err error
-	switch opts.Partition {
-	case PartitionHash:
-		part, err = partition.NewHash(n, opts.Ranks)
-	case PartitionArcBlock:
-		part, err = partition.NewArcBlock(g, opts.Ranks)
-	default:
-		part, err = partition.NewBlock(n, opts.Ranks)
-	}
+	e, err := NewEngine(g, opts)
 	if err != nil {
 		return nil, err
 	}
-	if opts.DelegateThreshold > 0 {
-		part = partition.WithDelegates(part, g, opts.DelegateThreshold)
-	}
-	comm, err := rt.New(rt.Config{
-		Ranks:           opts.Ranks,
-		Queue:           opts.Queue,
-		BucketDelta:     opts.BucketDelta,
-		BatchSize:       opts.BatchSize,
-		ShuffleDelivery: opts.ShuffleDelivery,
-		ShuffleSeed:     opts.ShuffleSeed,
-	}, part)
-	if err != nil {
-		return nil, err
-	}
-
-	st := voronoi.NewState(n)
-	walked := make([]bool, n)
-	localENs := make([]map[int64]crossEdge, opts.Ranks)
-	var solveErr error // written by rank 0 only
-
-	rec := &recorder{comm: comm, res: res}
-	comm.Run(func(r *rt.Rank) {
-		// Phase 1: Voronoi cells (Alg. 4).
-		rec.phase(r, PhaseVoronoi, func() int64 {
-			var ts rt.TraversalStats
-			if opts.BSP {
-				ts = voronoi.RunRankBSP(r, g, dedup, st)
-			} else {
-				ts = voronoi.RunRank(r, g, dedup, st)
-			}
-			return ts.Processed
-		})
-
-		// Phase 2: local min-distance cross-cell edges (Alg. 5,
-		// LOCAL_MIN_DIST_EDGE_ASYNC). Remote endpoint state is fetched
-		// with a request/reply visitor exchange.
-		localEN := map[int64]crossEdge{}
-		localENs[r.ID()] = localEN
-		recordCandidate := func(u, v graph.VID, dv graph.Dist, srcV graph.VID) {
-			su := st.Src[u]
-			if su == graph.NilVID || srcV == graph.NilVID || su == srcV {
-				return
-			}
-			w, ok := g.HasEdge(u, v)
-			if !ok {
-				return
-			}
-			cand := crossEdge{D: st.Dist[u] + graph.Dist(w) + dv, U: u, V: v}
-			key := seedKey(su, srcV)
-			if cur, ok := localEN[key]; ok {
-				localEN[key] = pickCross(cur, cand)
-			} else {
-				localEN[key] = cand
-			}
-		}
-		rec.phase(r, PhaseLocalMinEdge, func() int64 {
-			ts := r.Traverse(&rt.Traversal{
-				BSP: opts.BSP,
-				Init: func(r *rt.Rank) {
-					r.OwnedVertices(func(u graph.VID) {
-						if st.Src[u] == graph.NilVID {
-							return
-						}
-						adj, _ := g.Adj(u)
-						for _, v := range adj {
-							if u >= v {
-								continue // lower endpoint initiates
-							}
-							if r.Owns(v) {
-								recordCandidate(u, v, st.Dist[v], st.Src[v])
-							} else {
-								r.Send(rt.Msg{Target: v, From: u, Kind: kindReqDist})
-							}
-						}
-					})
-				},
-				Visit: func(r *rt.Rank, m rt.Msg) {
-					switch m.Kind {
-					case kindReqDist:
-						v := m.Target
-						r.Send(rt.Msg{
-							Target: m.From, From: v,
-							Seed: st.Src[v], Dist: st.Dist[v],
-							Kind: kindRepDist,
-						})
-					case kindRepDist:
-						recordCandidate(m.Target, m.From, m.Dist, m.Seed)
-					}
-				},
-			})
-			return ts.Processed
-		})
-
-		// Phase 3: global min-distance edges —
-		// MPI_Allreduce(MPI_MIN) over the per-rank E_N tables. With
-		// CollectiveChunk set, the table is reduced in key-partitioned
-		// chunks, trading collective-buffer memory for extra rounds
-		// (the paper's §V-F mitigation for the |S|=10K blowup).
-		var merged map[int64]crossEdge
-		rec.phase(r, PhaseGlobalMinEdge, func() int64 {
-			if opts.CollectiveChunk <= 0 {
-				merged = rt.ReduceMap(r, localEN, pickCross)
-				if r.ID() == 0 {
-					res.CollectiveChunks = 1
-				}
-				return 0
-			}
-			maxSize := r.AllreduceMaxInt64(int64(len(localEN)))
-			numChunks := int((maxSize + int64(opts.CollectiveChunk) - 1) / int64(opts.CollectiveChunk))
-			if numChunks < 1 {
-				numChunks = 1
-			}
-			merged = make(map[int64]crossEdge, len(localEN))
-			for c := 0; c < numChunks; c++ {
-				sub := map[int64]crossEdge{}
-				for k, v := range localEN {
-					if int(uint64(k)%uint64(numChunks)) == c {
-						sub[k] = v
-					}
-				}
-				for k, v := range rt.ReduceMap(r, sub, pickCross) {
-					merged[k] = v
-				}
-			}
-			if r.ID() == 0 {
-				res.CollectiveChunks = numChunks
-			}
-			return 0
-		})
-
-		// Phase 4: sequential MST of the replicated distance graph G'₁
-		// (Alg. 3 line 17). Every rank computes it locally — G'₁ is
-		// small, so replication avoids remote copies, as in the paper.
-		seedIdx := make(map[graph.VID]int32, len(dedup))
-		for i, s := range dedup {
-			seedIdx[s] = int32(i)
-		}
-		var mstPairs map[int64]bool
-		rec.phase(r, PhaseMST, func() int64 {
-			keys := make([]int64, 0, len(merged))
-			for k := range merged {
-				keys = append(keys, k)
-			}
-			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-			wedges := make([]mst.WEdge, len(keys))
-			for i, k := range keys {
-				s, t := unpackSeedKey(k)
-				wedges[i] = mst.WEdge{U: seedIdx[s], V: seedIdx[t], W: merged[k].D}
-			}
-			var forest mst.Result
-			switch opts.MST {
-			case MSTKruskal:
-				forest = mst.Kruskal(len(dedup), wedges)
-			case MSTBoruvka:
-				var rounds int
-				forest, rounds = mst.Boruvka(len(dedup), wedges)
-				if r.ID() == 0 {
-					res.MSTRounds = rounds
-				}
-			default:
-				forest = mst.Prim(len(dedup), wedges)
-			}
-			if r.ID() == 0 {
-				res.DistGraphEdges = len(wedges)
-			}
-			if len(forest.Edges) < len(dedup)-1 {
-				if r.ID() == 0 {
-					solveErr = fmt.Errorf("core: seeds span %d connected components; Steiner tree requires one",
-						len(dedup)-len(forest.Edges))
-				}
-				mstPairs = nil
-				return 0
-			}
-			mstPairs = make(map[int64]bool, len(forest.Edges))
-			for _, e := range forest.Edges {
-				mstPairs[seedKey(dedup[e.U], dedup[e.V])] = true
-			}
-			return 0
-		})
-		if mstPairs == nil {
-			return // disconnected seeds: all ranks bail out identically
-		}
-
-		// Phase 5: global edge pruning (Alg. 5, EDGE_PRUNING_COLL) —
-		// cross-cell edges whose cell pair is not an MST edge are
-		// dropped. The total order in pickCross already guarantees a
-		// unique survivor per pair, so no second collective is needed.
-		pruned := map[int64]crossEdge{}
-		rec.phase(r, PhasePruning, func() int64 {
-			for k, ce := range merged {
-				if mstPairs[k] {
-					pruned[k] = ce
-				}
-			}
-			return 0
-		})
-
-		// Phase 6: Steiner tree edges (Alg. 6) — walk predecessor
-		// chains from surviving cross-cell endpoints to cell seeds.
-		var localTree []graph.Edge
-		rec.phase(r, PhaseTreeEdge, func() int64 {
-			ts := r.Traverse(&rt.Traversal{
-				BSP: opts.BSP,
-				Init: func(r *rt.Rank) {
-					for _, ce := range pruned {
-						if !r.Owns(ce.U) {
-							continue // u's home partition records the edge
-						}
-						w, _ := g.HasEdge(ce.U, ce.V)
-						localTree = append(localTree, graph.Edge{U: ce.U, V: ce.V, W: w}.Canon())
-						r.Send(rt.Msg{Target: ce.U})
-						r.Send(rt.Msg{Target: ce.V})
-					}
-				},
-				Visit: func(r *rt.Rank, m rt.Msg) {
-					vj := m.Target
-					if walked[vj] {
-						return
-					}
-					walked[vj] = true
-					if vj == st.Src[vj] {
-						return
-					}
-					p := st.Pred[vj]
-					w, _ := g.HasEdge(p, vj)
-					localTree = append(localTree, graph.Edge{U: p, V: vj, W: w}.Canon())
-					r.Send(rt.Msg{Target: p})
-				},
-			})
-			return ts.Processed
-		})
-
-		// Gather the final tree on every rank; rank 0 publishes it.
-		tree := rt.AllGather(r, localTree)
-		if r.ID() == 0 {
-			sorted := append([]graph.Edge(nil), tree...)
-			sort.Slice(sorted, func(i, j int) bool {
-				if sorted[i].U != sorted[j].U {
-					return sorted[i].U < sorted[j].U
-				}
-				return sorted[i].V < sorted[j].V
-			})
-			res.Tree = sorted
-			res.TotalDistance = graph.TotalWeight(sorted)
-		}
-	})
-	if solveErr != nil {
-		return nil, solveErr
-	}
-
-	res.SteinerVertices = countSteinerVertices(res.Tree, dedup)
-	res.Memory = memoryStats(g, st, localENs, res, opts)
-	if !opts.SkipValidation {
-		if err := graph.ValidateSteinerTree(g, dedup, res.Tree); err != nil {
-			return nil, fmt.Errorf("core: internal error, invalid output: %w", err)
-		}
-	}
-	return res, nil
+	defer e.Close()
+	return e.Solve(dedup)
 }
 
-// countSteinerVertices counts tree vertices that are not seeds.
+// countSteinerVertices counts tree vertices that are not seeds. seeds must
+// be sorted (Solve's dedup guarantees it). Sorted-slice dedup plus a merge
+// against the seed list keeps this map-free — on large trees the map
+// version's overflow buckets dominated a warm Engine solve's allocations.
 func countSteinerVertices(tree []graph.Edge, seeds []graph.VID) int {
-	isSeed := make(map[graph.VID]bool, len(seeds))
-	for _, s := range seeds {
-		isSeed[s] = true
-	}
-	verts := map[graph.VID]bool{}
+	verts := make([]graph.VID, 0, 2*len(tree))
 	for _, e := range tree {
-		verts[e.U] = true
-		verts[e.V] = true
+		verts = append(verts, e.U, e.V)
 	}
+	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
 	count := 0
-	for v := range verts {
-		if !isSeed[v] {
-			count++
+	si := 0
+	for i, v := range verts {
+		if i > 0 && verts[i-1] == v {
+			continue
 		}
+		for si < len(seeds) && seeds[si] < v {
+			si++
+		}
+		if si < len(seeds) && seeds[si] == v {
+			continue
+		}
+		count++
 	}
 	return count
 }

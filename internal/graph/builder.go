@@ -119,6 +119,7 @@ func FromEdges(n int, edges []Edge) (*Graph, error) {
 		lo, hi := g.offsets[v], g.offsets[v+1]
 		sortAdj(g.targets[lo:hi], g.weights[lo:hi])
 	}
+	g.computeMaxDegree()
 	return g, nil
 }
 

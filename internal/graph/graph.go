@@ -55,6 +55,7 @@ type Graph struct {
 	numEdge int64    // undirected edge count |E|
 	minW    uint32
 	maxW    uint32
+	maxDeg  int // cached at construction; O(|V|) to recompute
 }
 
 // NumVertices returns |V|.
@@ -122,15 +123,20 @@ func (g *Graph) HasEdge(u, v VID) (uint32, bool) {
 // graph returns (0, 0).
 func (g *Graph) WeightRange() (min, max uint32) { return g.minW, g.maxW }
 
-// MaxDegree returns the largest vertex degree (counting arcs).
-func (g *Graph) MaxDegree() int {
+// MaxDegree returns the largest vertex degree (counting arcs). The value is
+// computed once at construction, so serving paths (steinersvc's /info) pay
+// O(1) instead of an O(|V|) scan per request.
+func (g *Graph) MaxDegree() int { return g.maxDeg }
+
+// computeMaxDegree scans the offsets array; called by the constructors.
+func (g *Graph) computeMaxDegree() {
 	maxDeg := 0
 	for v := 0; v < g.NumVertices(); v++ {
 		if d := g.Degree(VID(v)); d > maxDeg {
 			maxDeg = d
 		}
 	}
-	return maxDeg
+	g.maxDeg = maxDeg
 }
 
 // AvgDegree returns the average number of arcs per vertex, 2|E| / |V|.

@@ -111,6 +111,7 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	g.computeMaxDegree()
 	return g, nil
 }
 

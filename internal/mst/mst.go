@@ -35,12 +35,20 @@ func Prim(n int, edges []WEdge) Result {
 		edgeIdx int32
 		newV    int32
 	}
+	// One heap shared by all components: worst case every edge is pushed
+	// from both endpoints, so sizing it once up front avoids repeated
+	// growth on large distance graphs without re-allocating per component.
+	capHint := 2 * len(edges)
+	if capHint < 16 {
+		capHint = 16
+	}
+	h := pq.NewHeap[heapItem](capHint)
 	for start := int32(0); int(start) < n; start++ {
 		if inTree[start] {
 			continue
 		}
 		inTree[start] = true
-		h := pq.NewHeap[heapItem](16)
+		h.Reset()
 		push := func(v int32) {
 			for ei := adjHead[v]; ei >= 0; ei = adjNext[ei] {
 				e := edges[adjEdge[ei]]

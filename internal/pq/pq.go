@@ -18,6 +18,10 @@ type Queue[T any] interface {
 	Pop() (item T, ok bool)
 	// Len returns the number of queued items.
 	Len() int
+	// Reset empties the queue and rewinds discipline state (the bucket
+	// cursor, FIFO ring indices) while keeping allocated capacity, so
+	// one queue can serve many traversals without reallocation.
+	Reset()
 }
 
 // Heap is a binary min-heap priority queue. Ties are broken by insertion
@@ -75,6 +79,16 @@ func (h *Heap[T]) PeekKey() (uint64, bool) {
 
 // Len returns the number of queued items.
 func (h *Heap[T]) Len() int { return len(h.keys) }
+
+// Reset empties the heap, keeping the allocated arrays.
+func (h *Heap[T]) Reset() {
+	var zero T
+	for i := range h.items {
+		h.items[i] = zero // release references
+	}
+	h.keys, h.seqs, h.items = h.keys[:0], h.seqs[:0], h.items[:0]
+	h.seq = 0
+}
 
 func (h *Heap[T]) less(i, j int) bool {
 	if h.keys[i] != h.keys[j] {
@@ -160,6 +174,17 @@ func (q *FIFO[T]) Pop() (T, bool) {
 // Len returns the number of queued items.
 func (q *FIFO[T]) Len() int { return q.size }
 
+// Reset empties the ring, keeping the allocated buffer.
+func (q *FIFO[T]) Reset() {
+	var zero T
+	for q.size > 0 {
+		q.buf[q.head] = zero
+		q.head = (q.head + 1) % len(q.buf)
+		q.size--
+	}
+	q.head = 0
+}
+
 func (q *FIFO[T]) grow() {
 	nbuf := make([]T, 2*len(q.buf))
 	for i := 0; i < q.size; i++ {
@@ -235,6 +260,15 @@ func (b *Bucket[T]) Pop() (T, bool) {
 
 // Len returns the number of queued items.
 func (b *Bucket[T]) Len() int { return b.size }
+
+// Reset empties the queue and rewinds the bucket cursor to zero so a fresh
+// traversal's small keys open new low buckets instead of being clamped to
+// the previous run's final bucket.
+func (b *Bucket[T]) Reset() {
+	clear(b.buckets)
+	b.cur = 0
+	b.size = 0
+}
 
 // Compile-time interface checks.
 var (

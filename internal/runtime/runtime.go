@@ -114,6 +114,12 @@ func (c Config) withDefaults() Config {
 
 // Comm is a communicator: a fixed group of ranks over a vertex partition,
 // analogous to MPI_COMM_WORLD plus the partitioned graph handle.
+//
+// A Comm is reusable: Run may be called any number of times (sequentially —
+// runs must not overlap), and each call starts from a clean termination,
+// abort and collective state, even after a previous run panicked. Long-lived
+// callers (core.Engine) call Start once to pin a persistent goroutine per
+// rank, avoiding per-run goroutine churn, and Close when done.
 type Comm struct {
 	cfg   Config
 	part  partition.Partition
@@ -129,10 +135,26 @@ type Comm struct {
 	abort     chan struct{}
 	abortOnce sync.Once
 
+	// Persistent-worker state (Start/Close). work is nil until Start;
+	// each rank's goroutine loops over its job channel.
+	workMu sync.Mutex
+	work   []chan job
+
+	// Shared overflow pool of recycled batch buffers (see Rank.getBuf).
+	bufMu sync.Mutex
+	bufs  [][]Msg
+
 	// Global message counters (monotonic across phases; read via Stats).
 	sent      atomic.Int64
 	processed atomic.Int64
 	batches   atomic.Int64
+}
+
+// job is one Run body dispatched to a persistent rank worker.
+type job struct {
+	body   func(r *Rank)
+	wg     *sync.WaitGroup
+	panics []any
 }
 
 // New builds a communicator with cfg.Ranks ranks over the given partition.
@@ -186,28 +208,143 @@ func (c *Comm) Config() Config { return c.cfg }
 // Run executes body on every rank concurrently (SPMD) and returns when all
 // ranks finish, like mpirun of a single program. A panic on any rank is
 // re-raised on the caller after all ranks stop.
+//
+// Runs must not overlap, but the Comm may be reused: each call resets the
+// termination, abort and collective state left by the previous run. After
+// Start, bodies execute on the persistent rank goroutines; otherwise a fresh
+// goroutine per rank is spawned for this run only.
 func (c *Comm) Run(body func(r *Rank)) {
-	var wg sync.WaitGroup
+	c.resetForRun()
 	panics := make([]any, c.cfg.Ranks)
-	for i := range c.ranks {
-		wg.Add(1)
-		go func(r *Rank) {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					panics[r.id] = p
-					// Unblock peers waiting on collectives/traversals.
-					c.poison()
-				}
-			}()
-			body(r)
-		}(c.ranks[i])
+	var wg sync.WaitGroup
+	wg.Add(c.cfg.Ranks)
+
+	c.workMu.Lock()
+	work := c.work
+	c.workMu.Unlock()
+
+	if work != nil {
+		j := job{body: body, wg: &wg, panics: panics}
+		for i := range work {
+			work[i] <- j
+		}
+	} else {
+		for i := range c.ranks {
+			go func(r *Rank) {
+				c.runBody(r, job{body: body, wg: &wg, panics: panics})
+			}(c.ranks[i])
+		}
 	}
 	wg.Wait()
 	for _, p := range panics {
 		if p != nil {
 			panic(p)
 		}
+	}
+}
+
+// runBody executes one Run body on one rank, capturing a panic and poisoning
+// the communicator so blocked peers abort instead of hanging.
+func (c *Comm) runBody(r *Rank, j job) {
+	defer j.wg.Done()
+	defer func() {
+		if p := recover(); p != nil {
+			j.panics[r.id] = p
+			// Unblock peers waiting on collectives/traversals.
+			c.poison()
+		}
+	}()
+	j.body(r)
+}
+
+// Start pins one persistent goroutine per rank; subsequent Run calls
+// dispatch to them instead of spawning P goroutines per run. Idempotent.
+// Callers that Start must Close to release the goroutines.
+func (c *Comm) Start() {
+	c.workMu.Lock()
+	defer c.workMu.Unlock()
+	if c.work != nil {
+		return
+	}
+	c.work = make([]chan job, c.cfg.Ranks)
+	for i := range c.work {
+		ch := make(chan job, 1)
+		c.work[i] = ch
+		go func(r *Rank) {
+			for j := range ch {
+				c.runBody(r, j)
+			}
+		}(c.ranks[i])
+	}
+}
+
+// Close stops the persistent rank goroutines pinned by Start. Idempotent;
+// a Comm that never called Start closes as a no-op. Run must not be in
+// flight. After Close the Comm still works in spawn-per-run mode.
+func (c *Comm) Close() {
+	c.workMu.Lock()
+	defer c.workMu.Unlock()
+	if c.work == nil {
+		return
+	}
+	for _, ch := range c.work {
+		close(ch)
+	}
+	c.work = nil
+}
+
+// sharedBuf pops a batch buffer from the communicator-wide overflow pool.
+func (c *Comm) sharedBuf() ([]Msg, bool) {
+	c.bufMu.Lock()
+	defer c.bufMu.Unlock()
+	n := len(c.bufs)
+	if n == 0 {
+		return nil, false
+	}
+	buf := c.bufs[n-1]
+	c.bufs[n-1] = nil
+	c.bufs = c.bufs[:n-1]
+	return buf, true
+}
+
+// shareBuf parks a batch buffer in the overflow pool, bounded so a
+// pathological workload cannot pin unbounded memory.
+func (c *Comm) shareBuf(buf []Msg) {
+	c.bufMu.Lock()
+	if len(c.bufs) < 4096*c.cfg.Ranks {
+		c.bufs = append(c.bufs, buf)
+	}
+	c.bufMu.Unlock()
+}
+
+// resetForRun restores the communicator to a clean quiescent state at the
+// start of a Run: leftover termination counts, buffered or mailboxed
+// messages, and — after a run that panicked — the poisoned abort channel and
+// collective are all discarded. All ranks are idle between runs, so plain
+// field writes are safe.
+func (c *Comm) resetForRun() {
+	c.pending.Store(0)
+	for _, r := range c.ranks {
+		r.box.takeAll()
+		select {
+		case <-r.box.note:
+		default:
+		}
+		for i, buf := range r.out {
+			if buf != nil {
+				r.out[i] = nil
+				r.recycleBuf(buf)
+			}
+		}
+	}
+	select {
+	case <-c.abort:
+		// Previous run was poisoned by a rank panic; arm fresh abort and
+		// collective state so this run can proceed.
+		c.abort = make(chan struct{})
+		c.abortOnce = sync.Once{}
+		c.coll = newCollective(c.cfg.Ranks, c.abort)
+	default:
 	}
 }
 

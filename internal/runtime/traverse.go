@@ -44,7 +44,13 @@ func (r *Rank) Traverse(t *Traversal) TraversalStats {
 	if key == nil {
 		key = DistKey
 	}
-	r.queue = r.newQueue()
+	// The queue is empty at the end of every traversal; reuse its
+	// allocated capacity across phases and queries.
+	if r.queue == nil {
+		r.queue = r.newQueue()
+	} else {
+		r.queue.Reset()
+	}
 	r.keyOf = key
 	r.visit = t.Visit
 	r.sentHere, r.processedHere = 0, 0

@@ -1,7 +1,11 @@
 // Package steinersvc implements the HTTP query service behind
 // cmd/steinersvc: the paper's §I interactive-exploration framework. A
-// loaded graph is shared read-only across queries; each request runs the
-// distributed solver and streams the resulting tree back as JSON.
+// loaded graph is shared read-only across queries; each request checks a
+// solver Engine out of a bounded pool, runs the query on pooled per-query
+// state, and streams the resulting tree back as JSON. With a pool of N
+// engines, N queries run concurrently on one resident graph; further
+// requests queue for the next free engine, keeping memory bounded and
+// per-query latency predictable.
 package steinersvc
 
 import (
@@ -11,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"dsteiner/internal/core"
 	"dsteiner/internal/graph"
@@ -22,18 +27,80 @@ type Service struct {
 	g    *graph.Graph
 	opts core.Options
 	mux  *http.ServeMux
-	// One solve at a time: the solver already saturates the simulated
-	// ranks; queueing queries keeps per-query latency predictable
-	// (matching the interactive framing rather than maximizing QPS).
-	mu sync.Mutex
+
+	// engines is the bounded pool: a query blocks here until an engine is
+	// free, so at most cap(engines) solves are in flight at once.
+	engines chan *core.Engine
+
+	stats serviceStats
 }
 
-// New builds a Service over g with per-query solver options.
-func New(g *graph.Graph, opts core.Options) *Service {
-	s := &Service{g: g, opts: opts, mux: http.NewServeMux()}
+// serviceStats aggregates pool utilization and per-query phase timings for
+// the /stats endpoint.
+type serviceStats struct {
+	mu           sync.Mutex
+	inFlight     int
+	maxInFlight  int
+	queries      int64
+	errors       int64
+	solveSeconds float64
+	phaseSeconds map[string]float64
+	phaseCalls   map[string]int64
+}
+
+// New builds a Service over g with per-query solver options and a pool of
+// the given number of engines (minimum 1). Each engine pins opts.Ranks
+// goroutines and O(|V|) solver state for its lifetime.
+func New(g *graph.Graph, opts core.Options, engines int) (*Service, error) {
+	if engines < 1 {
+		engines = 1
+	}
+	s := &Service{
+		g:       g,
+		opts:    opts,
+		mux:     http.NewServeMux(),
+		engines: make(chan *core.Engine, engines),
+	}
+	s.stats.phaseSeconds = make(map[string]float64, len(core.PhaseNames))
+	s.stats.phaseCalls = make(map[string]int64, len(core.PhaseNames))
+	for i := 0; i < engines; i++ {
+		e, err := core.NewEngine(g, opts)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("steinersvc: engine %d: %w", i, err)
+		}
+		s.engines <- e
+	}
 	s.mux.HandleFunc("/info", s.handleInfo)
 	s.mux.HandleFunc("/solve", s.handleSolve)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s, nil
+}
+
+// MustNew is New that panics on error, for tests and examples with known
+// good configurations.
+func MustNew(g *graph.Graph, opts core.Options, engines int) *Service {
+	s, err := New(g, opts, engines)
+	if err != nil {
+		panic(err)
+	}
 	return s
+}
+
+// NumEngines returns the engine pool capacity.
+func (s *Service) NumEngines() int { return cap(s.engines) }
+
+// Close releases every pooled engine's pinned goroutines. In-flight
+// requests must have drained first.
+func (s *Service) Close() {
+	for {
+		select {
+		case e := <-s.engines:
+			e.Close()
+		default:
+			return
+		}
+	}
 }
 
 // ServeHTTP dispatches to the API endpoints.
@@ -47,6 +114,7 @@ type InfoResponse struct {
 	AvgDegree float64 `json:"avgDegree"`
 	MinWeight uint32  `json:"minWeight"`
 	MaxWeight uint32  `json:"maxWeight"`
+	Engines   int     `json:"engines"`
 }
 
 // SolveRequest is the /solve request body. Exactly one of Seeds or K must
@@ -81,6 +149,27 @@ type SolveResponse struct {
 	Phases          []PhaseInfo `json:"phases"`
 }
 
+// PhaseStats aggregates one solver phase across all served queries.
+type PhaseStats struct {
+	Name         string  `json:"name"`
+	Calls        int64   `json:"calls"`
+	TotalSeconds float64 `json:"totalSeconds"`
+	AvgSeconds   float64 `json:"avgSeconds"`
+}
+
+// StatsResponse is the /stats reply: engine-pool utilization plus
+// cumulative per-phase timings.
+type StatsResponse struct {
+	Engines         int          `json:"engines"`
+	EnginesIdle     int          `json:"enginesIdle"`
+	InFlight        int          `json:"inFlight"`
+	MaxInFlight     int          `json:"maxInFlight"`
+	Queries         int64        `json:"queries"`
+	Errors          int64        `json:"errors"`
+	AvgSolveSeconds float64      `json:"avgSolveSeconds"`
+	Phases          []PhaseStats `json:"phases"`
+}
+
 func (s *Service) handleInfo(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
@@ -94,7 +183,83 @@ func (s *Service) handleInfo(w http.ResponseWriter, r *http.Request) {
 		AvgDegree: s.g.AvgDegree(),
 		MinWeight: minW,
 		MaxWeight: maxW,
+		Engines:   s.NumEngines(),
 	})
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	st := &s.stats
+	st.mu.Lock()
+	resp := StatsResponse{
+		Engines:     s.NumEngines(),
+		EnginesIdle: len(s.engines),
+		InFlight:    st.inFlight,
+		MaxInFlight: st.maxInFlight,
+		Queries:     st.queries,
+		Errors:      st.errors,
+	}
+	if st.queries > 0 {
+		resp.AvgSolveSeconds = st.solveSeconds / float64(st.queries)
+	}
+	for _, name := range core.PhaseNames {
+		calls := st.phaseCalls[name]
+		if calls == 0 {
+			continue
+		}
+		total := st.phaseSeconds[name]
+		resp.Phases = append(resp.Phases, PhaseStats{
+			Name:         name,
+			Calls:        calls,
+			TotalSeconds: total,
+			AvgSeconds:   total / float64(calls),
+		})
+	}
+	st.mu.Unlock()
+	writeJSON(w, resp)
+}
+
+// acquire checks an engine out of the pool, blocking until one is free or
+// the request is cancelled.
+func (s *Service) acquire(r *http.Request) (*core.Engine, error) {
+	select {
+	case e := <-s.engines:
+		s.stats.mu.Lock()
+		s.stats.inFlight++
+		if s.stats.inFlight > s.stats.maxInFlight {
+			s.stats.maxInFlight = s.stats.inFlight
+		}
+		s.stats.mu.Unlock()
+		return e, nil
+	case <-r.Context().Done():
+		return nil, r.Context().Err()
+	}
+}
+
+// release folds the query's outcome into the aggregate statistics, then
+// returns the engine to the pool. Stats go first: once the engine is back
+// on the channel a blocked request resumes and increments inFlight, and the
+// stale not-yet-decremented count would let maxInFlight exceed the pool
+// size.
+func (s *Service) release(e *core.Engine, res *core.Result, elapsed time.Duration, err error) {
+	st := &s.stats
+	st.mu.Lock()
+	st.inFlight--
+	st.queries++
+	st.solveSeconds += elapsed.Seconds()
+	if err != nil {
+		st.errors++
+	} else {
+		for _, ph := range res.Phases {
+			st.phaseSeconds[ph.Name] += ph.Seconds
+			st.phaseCalls[ph.Name]++
+		}
+	}
+	st.mu.Unlock()
+	s.engines <- e
 }
 
 func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -108,9 +273,14 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
-	res, err := core.Solve(s.g, seedSet, s.opts)
-	s.mu.Unlock()
+	eng, err := s.acquire(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	start := time.Now()
+	res, err := eng.Solve(seedSet)
+	s.release(eng, res, time.Since(start), err)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
@@ -176,6 +346,9 @@ func (s *Service) resolveSeeds(req SolveRequest) ([]graph.VID, error) {
 		}
 		return out, nil
 	}
+	if req.K > s.g.NumVertices() {
+		return nil, fmt.Errorf("k=%d exceeds graph size %d", req.K, s.g.NumVertices())
+	}
 	strat := seeds.BFSLevel
 	switch strings.ToLower(req.Strategy) {
 	case "", "bfs-level":
@@ -191,9 +364,16 @@ func (s *Service) resolveSeeds(req SolveRequest) ([]graph.VID, error) {
 	return seeds.Select(s.g, req.K, strat, req.RNGSeed)
 }
 
+// writeJSON marshals v before touching the ResponseWriter, so an encoding
+// failure surfaces as a 500 instead of a silently truncated 200. Errors
+// writing the marshaled bytes to a departed client are unrecoverable and
+// intentionally dropped.
 func writeJSON(w http.ResponseWriter, v any) {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, fmt.Sprintf("encoding response: %v", err), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_, _ = w.Write(append(buf, '\n'))
 }

@@ -3,9 +3,11 @@ package steinersvc
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"dsteiner/internal/core"
@@ -13,6 +15,11 @@ import (
 )
 
 func testService(t *testing.T) *Service {
+	t.Helper()
+	return testServicePool(t, 1)
+}
+
+func testServicePool(t *testing.T, engines int) *Service {
 	t.Helper()
 	b := graph.NewBuilder(9)
 	for _, e := range [][3]int32{
@@ -25,7 +32,12 @@ func testService(t *testing.T) *Service {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return New(g, core.Default(2))
+	s, err := New(g, core.Default(2), engines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
 }
 
 func TestInfoEndpoint(t *testing.T) {
@@ -182,5 +194,164 @@ func TestConcurrentQueries(t *testing.T) {
 		if err := <-done; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+func TestKTooLargeRejectedWith400(t *testing.T) {
+	srv := httptest.NewServer(testService(t))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/solve?k=1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestEnginePoolConcurrentQueries fires many parallel queries with distinct
+// expected answers at a 4-engine pool; run under -race this is the
+// acceptance test for concurrent in-flight solves with no cross-query state
+// leakage (a leaked Voronoi entry or walked mark would corrupt a tree and
+// change its total).
+func TestEnginePoolConcurrentQueries(t *testing.T) {
+	svc := testServicePool(t, 4)
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+	cases := []struct {
+		query string
+		total int64
+	}{
+		{"/solve?seeds=0,2,3,7,8", 14}, // the paper's Fig. 1 tree
+		{"/solve?seeds=0,8", 11},       // shortest 0-8 path
+		{"/solve?seeds=0,3", 11},       // 0-4-5-6-7-3 = 2+4+1+2+2
+		{"/solve?seeds=2,5", 2},        // 5-6-2
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for round := 0; round < 8; round++ {
+		for _, tc := range cases {
+			wg.Add(1)
+			go func(query string, want int64) {
+				defer wg.Done()
+				resp, err := http.Get(srv.URL + query)
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("%s: status %d", query, resp.StatusCode)
+					return
+				}
+				var out SolveResponse
+				if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+					errs <- err
+					return
+				}
+				if out.Total != want {
+					errs <- fmt.Errorf("%s: total %d, want %d", query, out.Total, want)
+				}
+			}(tc.query, tc.total)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// The pool must have been exercised and returned to idle.
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Engines != 4 || st.EnginesIdle != 4 || st.InFlight != 0 {
+		t.Fatalf("pool not drained: %+v", st)
+	}
+	if st.Queries != 32 || st.Errors != 0 {
+		t.Fatalf("queries=%d errors=%d, want 32/0", st.Queries, st.Errors)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	svc := testServicePool(t, 2)
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(srv.URL + "/solve?seeds=0,8")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	// One failing query must count as an error, not a phase sample.
+	resp, err := http.Get(srv.URL + "/solve?seeds=0,99999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Engines != 2 || st.Queries != 4 || st.Errors != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(st.Phases) != 6 {
+		t.Fatalf("phases = %d, want 6", len(st.Phases))
+	}
+	for _, ph := range st.Phases {
+		if ph.Calls != 3 {
+			t.Fatalf("phase %q calls = %d, want 3", ph.Name, ph.Calls)
+		}
+	}
+	if st.AvgSolveSeconds <= 0 {
+		t.Fatalf("avgSolveSeconds = %v", st.AvgSolveSeconds)
+	}
+
+	// /stats is GET only.
+	post, err := http.Post(srv.URL+"/stats", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /stats status = %d", post.StatusCode)
+	}
+}
+
+// TestInfoReportsEngines checks /info includes the pool size.
+func TestInfoReportsEngines(t *testing.T) {
+	svc := testServicePool(t, 3)
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info InfoResponse
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Engines != 3 {
+		t.Fatalf("engines = %d, want 3", info.Engines)
 	}
 }

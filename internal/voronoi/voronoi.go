@@ -20,34 +20,92 @@ import (
 )
 
 // State is the per-vertex Voronoi state. Entries are partitioned by
-// ownership: only the owner rank of v may touch Src[v], Pred[v], Dist[v]
-// while a traversal is running. A seed s has Src[s] = s, Pred[s] = s,
-// Dist[s] = 0. Vertices unreached (disconnected from all seeds) keep
-// Src = NilVID, Dist = InfDist.
+// ownership: only the owner rank of v may touch v's entry while a traversal
+// is running. A seed s has Src(s) = s, Pred(s) = s, Dist(s) = 0. Vertices
+// unreached (disconnected from all seeds) report Src = NilVID,
+// Dist = InfDist.
+//
+// Entries are epoch-versioned: an entry is valid only while
+// epoch[v] == cur, so Reset invalidates the whole state in O(1) instead of
+// re-filling three O(n) arrays. That is what makes State pool-able across
+// queries of a long-lived solver session (core.Engine): per-query work is
+// proportional to the vertices the query actually touches, not to |V|.
 type State struct {
-	Src  []graph.VID
-	Pred []graph.VID
-	Dist []graph.Dist
+	src   []graph.VID
+	pred  []graph.VID
+	dist  []graph.Dist
+	epoch []uint64
+	cur   uint64
 }
 
 // NewState allocates initialized (unreached) state for n vertices.
 func NewState(n int) *State {
-	st := &State{
-		Src:  make([]graph.VID, n),
-		Pred: make([]graph.VID, n),
-		Dist: make([]graph.Dist, n),
+	return &State{
+		src:   make([]graph.VID, n),
+		pred:  make([]graph.VID, n),
+		dist:  make([]graph.Dist, n),
+		epoch: make([]uint64, n),
+		cur:   1,
 	}
-	for i := 0; i < n; i++ {
-		st.Src[i] = graph.NilVID
-		st.Pred[i] = graph.NilVID
-		st.Dist[i] = graph.InfDist
-	}
-	return st
 }
 
-// MemoryBytes reports the state's footprint (Fig. 8 accounting).
+// Len returns the number of vertices the state covers.
+func (st *State) Len() int { return len(st.src) }
+
+// Reset invalidates every entry in O(1) by advancing the epoch. Call
+// between queries; must not be called while a traversal is running.
+func (st *State) Reset() { st.cur++ }
+
+// Reached reports whether v has a valid (current-epoch) entry.
+func (st *State) Reached(v graph.VID) bool { return st.epoch[v] == st.cur }
+
+// Src returns v's cell seed, or NilVID if v is unreached this epoch.
+func (st *State) Src(v graph.VID) graph.VID {
+	if st.epoch[v] != st.cur {
+		return graph.NilVID
+	}
+	return st.src[v]
+}
+
+// Pred returns v's shortest-path predecessor, or NilVID if unreached.
+func (st *State) Pred(v graph.VID) graph.VID {
+	if st.epoch[v] != st.cur {
+		return graph.NilVID
+	}
+	return st.pred[v]
+}
+
+// Dist returns v's distance to its cell seed, or InfDist if unreached.
+func (st *State) Dist(v graph.VID) graph.Dist {
+	if st.epoch[v] != st.cur {
+		return graph.InfDist
+	}
+	return st.dist[v]
+}
+
+// Get returns v's full (src, pred, dist) entry with a single epoch check,
+// yielding the unreached sentinel triple when stale.
+func (st *State) Get(v graph.VID) (src, pred graph.VID, dist graph.Dist) {
+	if st.epoch[v] != st.cur {
+		return graph.NilVID, graph.NilVID, graph.InfDist
+	}
+	return st.src[v], st.pred[v], st.dist[v]
+}
+
+// Set installs v's entry and stamps it with the current epoch. Only v's
+// owner rank may call this while a traversal is running.
+func (st *State) Set(v graph.VID, src, pred graph.VID, dist graph.Dist) {
+	st.epoch[v] = st.cur
+	st.src[v] = src
+	st.pred[v] = pred
+	st.dist[v] = dist
+}
+
+// MemoryBytes reports the state's footprint (Fig. 8 accounting), including
+// the epoch array that buys O(1) reuse.
 func (st *State) MemoryBytes() int64 {
-	return int64(len(st.Src))*4 + int64(len(st.Pred))*4 + int64(len(st.Dist))*8
+	return int64(len(st.src))*4 + int64(len(st.pred))*4 + int64(len(st.dist))*8 +
+		int64(len(st.epoch))*8
 }
 
 // offerBetter implements the deterministic total order on (dist, seed,
@@ -117,13 +175,12 @@ func run(r *rt.Rank, g *graph.Graph, seeds []graph.VID, st *State, bsp bool) rt.
 				return
 			}
 			vj := m.Target
-			if !offerBetter(m.Dist, m.Seed, m.From, st.Dist[vj], st.Src[vj], st.Pred[vj]) {
+			os, op, od := st.Get(vj)
+			if !offerBetter(m.Dist, m.Seed, m.From, od, os, op) {
 				return
 			}
-			distImproved := m.Dist != st.Dist[vj] || m.Seed != st.Src[vj]
-			st.Dist[vj] = m.Dist
-			st.Src[vj] = m.Seed
-			st.Pred[vj] = m.From
+			distImproved := m.Dist != od || m.Seed != os
+			st.Set(vj, m.Seed, m.From, m.Dist)
 			if distImproved {
 				relaxNeighbors(r, vj, m.Seed, m.Dist)
 			}
@@ -205,20 +262,20 @@ func Sequential(g *graph.Graph, seeds []graph.VID) *State {
 	}
 	for len(h) > 0 {
 		it := pop()
-		if !offerBetter(it.d, it.src, it.pred, st.Dist[it.v], st.Src[it.v], st.Pred[it.v]) {
+		os, op, od := st.Get(it.v)
+		if !offerBetter(it.d, it.src, it.pred, od, os, op) {
 			continue
 		}
-		improved := it.d != st.Dist[it.v] || it.src != st.Src[it.v]
-		st.Dist[it.v] = it.d
-		st.Src[it.v] = it.src
-		st.Pred[it.v] = it.pred
+		improved := it.d != od || it.src != os
+		st.Set(it.v, it.src, it.pred, it.d)
 		if !improved {
 			continue
 		}
 		ts, ws := g.Adj(it.v)
 		for i, u := range ts {
 			nd := it.d + graph.Dist(ws[i])
-			if offerBetter(nd, it.src, it.v, st.Dist[u], st.Src[u], st.Pred[u]) {
+			us, up, ud := st.Get(u)
+			if offerBetter(nd, it.src, it.v, ud, us, up) {
 				push(item{v: u, d: nd, src: it.src, pred: it.v})
 			}
 		}

@@ -52,11 +52,11 @@ func TestSequentialMatchesSSSPOracle(t *testing.T) {
 	st := Sequential(g, seeds)
 	oracle := sssp.MultiSource(g, seeds)
 	for v := 0; v < g.NumVertices(); v++ {
-		if st.Dist[v] != oracle.Dist[v] {
-			t.Fatalf("Dist[%d] = %d, oracle %d", v, st.Dist[v], oracle.Dist[v])
+		if st.Dist(graph.VID(v)) != oracle.Dist[v] {
+			t.Fatalf("Dist[%d] = %d, oracle %d", v, st.Dist(graph.VID(v)), oracle.Dist[v])
 		}
-		if st.Src[v] != oracle.Src[v] {
-			t.Fatalf("Src[%d] = %d, oracle %d", v, st.Src[v], oracle.Src[v])
+		if st.Src(graph.VID(v)) != oracle.Src[v] {
+			t.Fatalf("Src[%d] = %d, oracle %d", v, st.Src(graph.VID(v)), oracle.Src[v])
 		}
 	}
 }
@@ -71,11 +71,11 @@ func TestDistributedMatchesSequential(t *testing.T) {
 			c := newComm(t, g.NumVertices(), ranks, q)
 			got := Compute(c, g, seeds)
 			for v := 0; v < g.NumVertices(); v++ {
-				if got.Dist[v] != want.Dist[v] || got.Src[v] != want.Src[v] || got.Pred[v] != want.Pred[v] {
+				if got.Dist(graph.VID(v)) != want.Dist(graph.VID(v)) || got.Src(graph.VID(v)) != want.Src(graph.VID(v)) || got.Pred(graph.VID(v)) != want.Pred(graph.VID(v)) {
 					t.Fatalf("ranks=%d q=%v vertex %d: got (%d,%d,%d), want (%d,%d,%d)",
 						ranks, q, v,
-						got.Dist[v], got.Src[v], got.Pred[v],
-						want.Dist[v], want.Src[v], want.Pred[v])
+						got.Dist(graph.VID(v)), got.Src(graph.VID(v)), got.Pred(graph.VID(v)),
+						want.Dist(graph.VID(v)), want.Src(graph.VID(v)), want.Pred(graph.VID(v)))
 				}
 			}
 		}
@@ -88,8 +88,8 @@ func TestSeedStateAfterConvergence(t *testing.T) {
 	c := newComm(t, 100, 2, rt.QueuePriority)
 	st := Compute(c, g, seeds)
 	for _, s := range seeds {
-		if st.Dist[s] != 0 || st.Src[s] != s || st.Pred[s] != s {
-			t.Fatalf("seed %d state (%d,%d,%d)", s, st.Dist[s], st.Src[s], st.Pred[s])
+		if st.Dist(s) != 0 || st.Src(s) != s || st.Pred(s) != s {
+			t.Fatalf("seed %d state (%d,%d,%d)", s, st.Dist(s), st.Src(s), st.Pred(s))
 		}
 	}
 }
@@ -101,11 +101,11 @@ func TestCellsPartitionTheComponent(t *testing.T) {
 	st := Compute(c, g, seeds)
 	isSeed := map[graph.VID]bool{0: true, 50: true, 150: true}
 	for v := 0; v < g.NumVertices(); v++ {
-		if st.Src[v] == graph.NilVID {
+		if st.Src(graph.VID(v)) == graph.NilVID {
 			t.Fatalf("vertex %d unreached in connected graph", v)
 		}
-		if !isSeed[st.Src[v]] {
-			t.Fatalf("vertex %d assigned to non-seed %d", v, st.Src[v])
+		if !isSeed[st.Src(graph.VID(v))] {
+			t.Fatalf("vertex %d assigned to non-seed %d", v, st.Src(graph.VID(v)))
 		}
 	}
 }
@@ -119,19 +119,19 @@ func TestPredecessorChainsLeadToCellSeed(t *testing.T) {
 		// Walk predecessors; must reach src(v) within n hops with
 		// monotonically decreasing distance, staying inside the cell.
 		cur := graph.VID(v)
-		for hops := 0; cur != st.Src[cur]; hops++ {
+		for hops := 0; cur != st.Src(cur); hops++ {
 			if hops > g.NumVertices() {
 				t.Fatalf("pred cycle starting at %d", v)
 			}
-			p := st.Pred[cur]
+			p := st.Pred(cur)
 			w, ok := g.HasEdge(p, cur)
 			if !ok {
 				t.Fatalf("pred edge (%d,%d) not in graph", p, cur)
 			}
-			if st.Src[p] != st.Src[cur] {
+			if st.Src(p) != st.Src(cur) {
 				t.Fatalf("pred %d of %d in different cell", p, cur)
 			}
-			if st.Dist[p]+graph.Dist(w) != st.Dist[cur] {
+			if st.Dist(p)+graph.Dist(w) != st.Dist(cur) {
 				t.Fatalf("pred distance inconsistent at %d", cur)
 			}
 			cur = p
@@ -148,8 +148,8 @@ func TestDisconnectedVerticesStayUnreached(t *testing.T) {
 	c := newComm(t, 6, 2, rt.QueuePriority)
 	st := Compute(c, g, []graph.VID{0})
 	for _, v := range []graph.VID{3, 4, 5} {
-		if st.Src[v] != graph.NilVID || st.Dist[v] != graph.InfDist {
-			t.Fatalf("vertex %d should be unreached, got src=%d dist=%d", v, st.Src[v], st.Dist[v])
+		if st.Src(graph.VID(v)) != graph.NilVID || st.Dist(graph.VID(v)) != graph.InfDist {
+			t.Fatalf("vertex %d should be unreached, got src=%d dist=%d", v, st.Src(graph.VID(v)), st.Dist(graph.VID(v)))
 		}
 	}
 }
@@ -174,9 +174,9 @@ func TestDelegatesProduceSameFixedPoint(t *testing.T) {
 		c := rt.MustNew(rt.Config{Ranks: ranks, Queue: rt.QueuePriority}, part)
 		got := Compute(c, g, seeds)
 		for v := 0; v < n; v++ {
-			if got.Dist[v] != want.Dist[v] || got.Src[v] != want.Src[v] {
+			if got.Dist(graph.VID(v)) != want.Dist(graph.VID(v)) || got.Src(graph.VID(v)) != want.Src(graph.VID(v)) {
 				t.Fatalf("ranks=%d vertex %d: got (%d,%d), want (%d,%d)",
-					ranks, v, got.Dist[v], got.Src[v], want.Dist[v], want.Src[v])
+					ranks, v, got.Dist(graph.VID(v)), got.Src(graph.VID(v)), want.Dist(graph.VID(v)), want.Src(graph.VID(v)))
 			}
 		}
 	}
@@ -199,7 +199,7 @@ func TestPropertyDeterministicAcrossRanksQueuesAndShuffles(t *testing.T) {
 		}, part)
 		got := Compute(c, g, seeds)
 		for v := 0; v < n; v++ {
-			if got.Dist[v] != want.Dist[v] || got.Src[v] != want.Src[v] || got.Pred[v] != want.Pred[v] {
+			if got.Dist(graph.VID(v)) != want.Dist(graph.VID(v)) || got.Src(graph.VID(v)) != want.Src(graph.VID(v)) || got.Pred(graph.VID(v)) != want.Pred(graph.VID(v)) {
 				return false
 			}
 		}
@@ -224,17 +224,59 @@ func TestBSPMatchesAsync(t *testing.T) {
 		RunRankBSP(r, g, seeds, st)
 	})
 	for v := 0; v < g.NumVertices(); v++ {
-		if st.Dist[v] != want.Dist[v] || st.Src[v] != want.Src[v] {
+		if st.Dist(graph.VID(v)) != want.Dist(graph.VID(v)) || st.Src(graph.VID(v)) != want.Src(graph.VID(v)) {
 			t.Fatalf("BSP vertex %d: got (%d,%d), want (%d,%d)",
-				v, st.Dist[v], st.Src[v], want.Dist[v], want.Src[v])
+				v, st.Dist(graph.VID(v)), st.Src(graph.VID(v)), want.Dist(graph.VID(v)), want.Src(graph.VID(v)))
 		}
 	}
 }
 
 func TestStateMemoryBytes(t *testing.T) {
 	st := NewState(100)
-	if got := st.MemoryBytes(); got != 100*(4+4+8) {
+	if got := st.MemoryBytes(); got != 100*(4+4+8+8) {
 		t.Fatalf("MemoryBytes = %d", got)
+	}
+}
+
+func TestStateResetInvalidatesInO1(t *testing.T) {
+	st := NewState(10)
+	st.Set(3, 1, 2, 7)
+	if !st.Reached(3) || st.Src(3) != 1 || st.Pred(3) != 2 || st.Dist(3) != 7 {
+		t.Fatalf("entry not readable: %v %v %v", st.Src(3), st.Pred(3), st.Dist(3))
+	}
+	st.Reset()
+	if st.Reached(3) {
+		t.Fatal("entry survived Reset")
+	}
+	if s, p, d := st.Get(3); s != graph.NilVID || p != graph.NilVID || d != graph.InfDist {
+		t.Fatalf("stale entry visible after Reset: (%d,%d,%d)", s, p, d)
+	}
+}
+
+func TestStateReuseAcrossQueriesMatchesFresh(t *testing.T) {
+	// One pooled State driven through several different seed sets must
+	// produce exactly the fixed point a fresh State produces: stale
+	// entries from earlier epochs must be invisible.
+	g := randomConnected(17, 300, 25)
+	rng := rand.New(rand.NewSource(18))
+	part, _ := partition.NewBlock(300, 4)
+	c := rt.MustNew(rt.Config{Ranks: 4, Queue: rt.QueuePriority}, part)
+	pooled := NewState(g.NumVertices())
+	for q := 0; q < 5; q++ {
+		seeds := pickSeeds(rng, g.NumVertices(), 2+q)
+		pooled.Reset()
+		c.Run(func(r *rt.Rank) {
+			RunRank(r, g, seeds, pooled)
+		})
+		fresh := Compute(newComm(t, 300, 4, rt.QueuePriority), g, seeds)
+		for v := 0; v < g.NumVertices(); v++ {
+			gs, gp, gd := pooled.Get(graph.VID(v))
+			ws, wp, wd := fresh.Get(graph.VID(v))
+			if gs != ws || gp != wp || gd != wd {
+				t.Fatalf("query %d vertex %d: pooled (%d,%d,%d), fresh (%d,%d,%d)",
+					q, v, gs, gp, gd, ws, wp, wd)
+			}
+		}
 	}
 }
 
