@@ -1,0 +1,241 @@
+// Command benchgate is the CI performance-regression gate: it parses two
+// `go test -bench` text outputs (a checked-in baseline and the current run),
+// emits the current run as JSON, and fails when a gated benchmark's ns/op
+// regressed beyond a threshold.
+//
+//	go test -bench . -benchtime 1x -run '^$' -short . ./internal/steinersvc | tee bench_pr.txt
+//	go run ./cmd/benchgate -baseline ci/bench_baseline.txt -current bench_pr.txt \
+//	    -gate BenchmarkEngineReuse -max-regress 0.20 -json BENCH_pr.json
+//
+// With several samples per benchmark (go test -count=N) the minimum ns/op is
+// compared — the least-noisy estimate of the code's true cost. Benchmarks
+// present in only one file are reported but never gate. Refresh the baseline
+// with:
+//
+//	go test -bench . -benchtime 1x -run '^$' -short . ./internal/steinersvc > ci/bench_baseline.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one parsed benchmark result line.
+type sample struct {
+	NsPerOp     float64
+	BytesPerOp  float64
+	AllocsPerOp float64
+}
+
+// benchResult aggregates all samples of one benchmark name.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Samples     int     `json:"samples"`
+	NsPerOp     float64 `json:"nsPerOp"`               // min across samples
+	BytesPerOp  float64 `json:"bytesPerOp,omitempty"`  // min across samples
+	AllocsPerOp float64 `json:"allocsPerOp,omitempty"` // min across samples
+}
+
+// gomaxprocsSuffix strips the "-8" style suffix go test appends to
+// benchmark names.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts benchmark results from `go test -bench` text output.
+// Non-benchmark lines (experiment tables, PASS/ok, build noise) are skipped.
+func parseBench(r io.Reader) (map[string]*benchResult, error) {
+	out := make(map[string]*benchResult)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then value/unit pairs: "BenchmarkX-8 10 123 ns/op ...".
+		if len(fields) < 4 {
+			continue
+		}
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue // "BenchmarkX ... some prose", not a result line
+		}
+		var s sample
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.NsPerOp = v
+				seen = true
+			case "B/op":
+				s.BytesPerOp = v
+			case "allocs/op":
+				s.AllocsPerOp = v
+			}
+		}
+		if !seen {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		res, ok := out[name]
+		if !ok {
+			res = &benchResult{Name: name, NsPerOp: s.NsPerOp, BytesPerOp: s.BytesPerOp, AllocsPerOp: s.AllocsPerOp}
+			out[name] = res
+		}
+		res.Samples++
+		if s.NsPerOp < res.NsPerOp {
+			res.NsPerOp = s.NsPerOp
+		}
+		if s.BytesPerOp < res.BytesPerOp {
+			res.BytesPerOp = s.BytesPerOp
+		}
+		if s.AllocsPerOp < res.AllocsPerOp {
+			res.AllocsPerOp = s.AllocsPerOp
+		}
+	}
+	return out, sc.Err()
+}
+
+func parseBenchFile(path string) (map[string]*benchResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	res, err := parseBench(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return res, nil
+}
+
+// gateVerdict is one gated benchmark's comparison.
+type gateVerdict struct {
+	Name     string
+	Baseline float64 // ns/op
+	Current  float64 // ns/op
+	Ratio    float64 // current / baseline
+	Failed   bool
+}
+
+// compare gates the named benchmarks: current ns/op may exceed baseline by
+// at most maxRegress (0.20 = +20%). A gated benchmark missing from either
+// side is an error — a silently skipped gate is a broken gate.
+func compare(baseline, current map[string]*benchResult, gates []string, maxRegress float64) ([]gateVerdict, error) {
+	verdicts := make([]gateVerdict, 0, len(gates))
+	for _, name := range gates {
+		b, okB := baseline[name]
+		c, okC := current[name]
+		if !okB || !okC {
+			return nil, fmt.Errorf("gated benchmark %s missing (baseline: %v, current: %v)", name, okB, okC)
+		}
+		v := gateVerdict{Name: name, Baseline: b.NsPerOp, Current: c.NsPerOp}
+		v.Ratio = c.NsPerOp / b.NsPerOp
+		v.Failed = v.Ratio > 1+maxRegress
+		verdicts = append(verdicts, v)
+	}
+	return verdicts, nil
+}
+
+// report is the JSON document written to -json.
+type report struct {
+	Benchmarks []*benchResult `json:"benchmarks"`
+}
+
+func writeJSONReport(path string, current map[string]*benchResult) error {
+	var rep report
+	for _, r := range current {
+		rep.Benchmarks = append(rep.Benchmarks, r)
+	}
+	sort.Slice(rep.Benchmarks, func(i, j int) bool { return rep.Benchmarks[i].Name < rep.Benchmarks[j].Name })
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+func run(baselinePath, currentPath, gateList, jsonPath string, maxRegress float64, stdout io.Writer) error {
+	baseline, err := parseBenchFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	current, err := parseBenchFile(currentPath)
+	if err != nil {
+		return err
+	}
+	if len(current) == 0 {
+		return fmt.Errorf("%s: no benchmark results found", currentPath)
+	}
+	if jsonPath != "" {
+		if err := writeJSONReport(jsonPath, current); err != nil {
+			return err
+		}
+	}
+
+	// Informational table over all common benchmarks, then the gate.
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(stdout, "%-40s %14s %14s %8s\n", "benchmark", "base ns/op", "cur ns/op", "ratio")
+	for _, name := range names {
+		c := current[name]
+		if b, ok := baseline[name]; ok {
+			fmt.Fprintf(stdout, "%-40s %14.0f %14.0f %7.2fx\n", name, b.NsPerOp, c.NsPerOp, c.NsPerOp/b.NsPerOp)
+		} else {
+			fmt.Fprintf(stdout, "%-40s %14s %14.0f %8s\n", name, "(new)", c.NsPerOp, "-")
+		}
+	}
+
+	var gates []string
+	for _, g := range strings.Split(gateList, ",") {
+		if g = strings.TrimSpace(g); g != "" {
+			gates = append(gates, g)
+		}
+	}
+	verdicts, err := compare(baseline, current, gates, maxRegress)
+	if err != nil {
+		return err
+	}
+	failed := false
+	for _, v := range verdicts {
+		status := "ok"
+		if v.Failed {
+			status = fmt.Sprintf("FAIL (> +%.0f%%)", maxRegress*100)
+			failed = true
+		}
+		fmt.Fprintf(stdout, "gate %-35s %7.2fx %s\n", v.Name, v.Ratio, status)
+	}
+	if failed {
+		return fmt.Errorf("benchmark regression beyond %.0f%%", maxRegress*100)
+	}
+	return nil
+}
+
+func main() {
+	var (
+		baseline   = flag.String("baseline", "ci/bench_baseline.txt", "checked-in baseline bench output")
+		current    = flag.String("current", "bench_pr.txt", "current bench output")
+		gates      = flag.String("gate", "BenchmarkEngineReuse", "comma-separated benchmarks that gate")
+		maxRegress = flag.Float64("max-regress", 0.20, "max allowed ns/op regression (0.20 = +20%)")
+		jsonOut    = flag.String("json", "", "write current results as JSON to this path")
+	)
+	flag.Parse()
+	if err := run(*baseline, *current, *gates, *jsonOut, *maxRegress, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `
+goos: linux
+goarch: amd64
+pkg: dsteiner
+cpu: Intel(R) Xeon(R)
+BenchmarkColdSolve-8            	       1	  95000000 ns/op	 5000000 B/op	   40000 allocs/op
+BenchmarkEngineReuse-8          	       1	  10000000 ns/op	  400000 B/op	    2000 allocs/op
+BenchmarkEngineReuse-8          	       1	  12000000 ns/op	  500000 B/op	    2100 allocs/op
+BenchmarkEnginePoolConcurrent-8 	       1	   8000000 ns/op
+| Table V | prose that mentions BenchmarkSomething in passing |
+PASS
+ok  	dsteiner	12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	res, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(res), res)
+	}
+	reuse := res["BenchmarkEngineReuse"]
+	if reuse == nil {
+		t.Fatal("BenchmarkEngineReuse missing (GOMAXPROCS suffix not stripped?)")
+	}
+	if reuse.Samples != 2 {
+		t.Fatalf("samples = %d, want 2", reuse.Samples)
+	}
+	if reuse.NsPerOp != 10000000 {
+		t.Fatalf("ns/op = %v, want the min across samples", reuse.NsPerOp)
+	}
+	if reuse.BytesPerOp != 400000 || reuse.AllocsPerOp != 2000 {
+		t.Fatalf("mem stats = %v B/op %v allocs/op", reuse.BytesPerOp, reuse.AllocsPerOp)
+	}
+	if pool := res["BenchmarkEnginePoolConcurrent"]; pool == nil || pool.NsPerOp != 8000000 {
+		t.Fatalf("no-mem-stats line mis-parsed: %+v", pool)
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	baseline, _ := parseBench(strings.NewReader(
+		"BenchmarkEngineReuse-8 1 10000000 ns/op\nBenchmarkColdSolve-8 1 90000000 ns/op\n"))
+	// +15% passes a 20% gate.
+	current, _ := parseBench(strings.NewReader("BenchmarkEngineReuse-8 1 11500000 ns/op\n"))
+	v, err := compare(baseline, current, []string{"BenchmarkEngineReuse"}, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0].Failed {
+		t.Fatalf("+15%% failed a 20%% gate: %+v", v[0])
+	}
+	// +25% fails it.
+	current, _ = parseBench(strings.NewReader("BenchmarkEngineReuse-8 1 12500000 ns/op\n"))
+	v, err = compare(baseline, current, []string{"BenchmarkEngineReuse"}, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v[0].Failed {
+		t.Fatalf("+25%% passed a 20%% gate: %+v", v[0])
+	}
+	// A gated benchmark missing from the current run is an error, not a
+	// silent pass.
+	if _, err := compare(baseline, current, []string{"BenchmarkColdSolve"}, 0.20); err == nil {
+		t.Fatal("missing gated benchmark did not error")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.txt")
+	cur := filepath.Join(dir, "cur.txt")
+	jsonOut := filepath.Join(dir, "BENCH_pr.json")
+	if err := os.WriteFile(base, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cur, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(base, cur, "BenchmarkEngineReuse", jsonOut, 0.20, &out); err != nil {
+		t.Fatalf("identical runs failed the gate: %v\n%s", err, out.String())
+	}
+	data, err := os.ReadFile(jsonOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name": "BenchmarkEngineReuse"`, `"nsPerOp": 10000000`, `"samples": 2`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("JSON report missing %q:\n%s", want, data)
+		}
+	}
+	if !strings.Contains(out.String(), "gate BenchmarkEngineReuse") {
+		t.Fatalf("missing gate line:\n%s", out.String())
+	}
+
+	// A regressed current run fails with a non-nil error.
+	regressed := strings.ReplaceAll(sampleOutput, "10000000 ns/op", "20000000 ns/op")
+	regressed = strings.ReplaceAll(regressed, "12000000 ns/op", "22000000 ns/op")
+	if err := os.WriteFile(cur, []byte(regressed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(base, cur, "BenchmarkEngineReuse", "", 0.20, &out); err == nil {
+		t.Fatal("2x regression passed the gate")
+	}
+}

@@ -9,30 +9,44 @@
 // Usage:
 //
 //	steinersvc -dataset LVJ -addr :8080
-//	steinersvc -graph web.bin -ranks 8 -engines 4
+//	steinersvc -graph web.bin -ranks 8 -engines 4 -cache 512 -jobs 128
 //
 // -engines N keeps a pool of N resident solver engines, so up to N queries
 // run concurrently on the shared graph; further requests queue for the next
-// free engine.
+// free engine. -cache N keeps the N most recently used solutions, keyed by
+// the canonical (sorted) terminal set, with single-flight coalescing of
+// concurrent identical queries. -jobs N bounds the async job queue; a full
+// queue answers 429.
 //
 // API:
 //
-//	GET  /info                       graph characteristics
-//	GET  /stats                      engine-pool utilization + phase timings
-//	POST /solve {"seeds":[1,2,3]}    solve for explicit seeds
-//	POST /solve {"k":100}            solve for k BFS-level seeds
-//	GET  /solve?seeds=1,2,3          convenience form
+//	GET  /info                            graph characteristics
+//	GET  /stats                           pool/cache/job utilization + phase timings
+//	POST /solve {"seeds":[1,2,3]}         solve for explicit seeds
+//	POST /solve {"k":100}                 solve for k BFS-level seeds
+//	GET  /solve?seeds=1,2,3               convenience form
+//	POST /solve/batch {"queries":[...]}   many queries, one engine checkout
+//	POST /solve/async {"seeds":[...]}     enqueue job, returns {"id":...}
+//	GET  /jobs/{id}                       poll an async job
 //
 // Response: {"seeds":[...], "edges":[{"u":..,"v":..,"w":..}], "total":...,
 // "steinerVertices":..., "phases":[{"name":..,"seconds":..,"sent":..}]}.
+//
+// On SIGINT/SIGTERM the server stops accepting requests, finishes in-flight
+// and queued work, and releases the engine pool before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"dsteiner"
 	"dsteiner/internal/steinersvc"
@@ -46,6 +60,9 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address")
 		ranks     = flag.Int("ranks", 4, "simulated rank count per query")
 		engines   = flag.Int("engines", 1, "resident solver engines (max concurrent queries)")
+		cache     = flag.Int("cache", 256, "LRU solution cache entries (0 disables)")
+		jobs      = flag.Int("jobs", 64, "async job queue bound (0 disables /solve/async)")
+		drainWait = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 	)
 	flag.Parse()
 
@@ -54,14 +71,44 @@ func main() {
 		fmt.Fprintf(os.Stderr, "steinersvc: %v\n", err)
 		os.Exit(1)
 	}
-	srv, err := steinersvc.New(g, dsteiner.Defaults(*ranks), *engines)
+	svc, err := steinersvc.New(g, dsteiner.Defaults(*ranks), steinersvc.Config{
+		Engines:      *engines,
+		CacheEntries: *cache,
+		JobQueue:     *jobs,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "steinersvc: %v\n", err)
 		os.Exit(1)
 	}
-	log.Printf("steinersvc: serving |V|=%d 2|E|=%d on %s with %d engine(s) x %d ranks",
-		g.NumVertices(), g.NumArcs(), *addr, srv.NumEngines(), *ranks)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	log.Printf("steinersvc: serving |V|=%d 2|E|=%d on %s with %d engine(s) x %d ranks, cache=%d, jobs=%d",
+		g.NumVertices(), g.NumArcs(), *addr, svc.NumEngines(), *ranks, *cache, *jobs)
+
+	srv := &http.Server{Addr: *addr, Handler: svc}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-httpDone:
+		// Listener failed before any signal (port in use, ...).
+		log.Fatalf("steinersvc: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("steinersvc: shutting down (up to %v)", *drainWait)
+	sctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	// Stop accepting HTTP first so no new queries race the engine drain,
+	// then finish the async backlog and reclaim the engine pool.
+	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("steinersvc: http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(sctx); err != nil {
+		log.Printf("steinersvc: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("steinersvc: drained cleanly")
 }
 
 func loadGraph(file, dataset string, scale float64) (*dsteiner.Graph, error) {

@@ -68,8 +68,10 @@ type (
 	// configuration. Use Defaults for the paper's tuned settings.
 	Options = core.Options
 	// Result is Solve's output: the tree, per-phase statistics and
-	// memory accounting.
+	// memory accounting. Result.Clone deep-copies it for cache storage.
 	Result = core.Result
+	// BatchItem is one query's outcome within Engine.SolveBatch.
+	BatchItem = core.BatchItem
 	// PhaseStat is one phase's timing and message statistics.
 	PhaseStat = core.PhaseStat
 	// QueueKind selects the per-rank message queue discipline.
@@ -101,6 +103,11 @@ const (
 	SeedsProximate     = seeds.Proximate
 )
 
+// ErrDuplicateSeed marks a seed set naming the same terminal more than
+// once; Solve and Engine.Solve/SolveBatch reject such sets instead of
+// silently deduplicating them.
+var ErrDuplicateSeed = core.ErrDuplicateSeed
+
 // NewBuilder returns a Builder for a graph with n vertices.
 func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
 
@@ -123,7 +130,8 @@ func Solve(g *Graph, seedSet []VID, opts Options) (*Result, error) {
 // proportional to the query rather than to |V|. Close the engine to
 // release its goroutines. Engine.Solve serializes internally; for
 // concurrent queries run one Engine per in-flight query over the shared
-// immutable Graph.
+// immutable Graph. Engine.SolveBatch answers a slice of queries with one
+// pass through that serialization — the amortized form for query lists.
 //
 //	e, err := dsteiner.NewEngine(g, dsteiner.Defaults(4))
 //	defer e.Close()

@@ -36,7 +36,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	svc := steinersvc.MustNew(g, dsteiner.Defaults(4), 2)
+	svc := steinersvc.MustNew(g, dsteiner.Defaults(4), steinersvc.Config{
+		Engines:      2,
+		CacheEntries: 128,
+		JobQueue:     16,
+	})
 	defer svc.Close()
 	srv := &http.Server{Handler: svc}
 	go func() {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -124,14 +125,17 @@ func TestErrorCases(t *testing.T) {
 	}
 }
 
-func TestDuplicateSeedsDeduped(t *testing.T) {
+func TestDuplicateSeedsRejected(t *testing.T) {
 	g := paperFig1()
-	res, err := Solve(g, []graph.VID{0, 7, 0, 7, 0}, Default(2))
-	if err != nil {
-		t.Fatal(err)
+	_, err := Solve(g, []graph.VID{0, 7, 0, 7, 0}, Default(2))
+	if err == nil {
+		t.Fatal("duplicate seeds accepted")
 	}
-	if len(res.Seeds) != 2 {
-		t.Fatalf("Seeds = %v", res.Seeds)
+	if !errors.Is(err, ErrDuplicateSeed) {
+		t.Fatalf("err = %v, want ErrDuplicateSeed", err)
+	}
+	if !strings.Contains(err.Error(), "0") {
+		t.Fatalf("error does not name the offending seed: %v", err)
 	}
 }
 

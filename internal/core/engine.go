@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -35,7 +37,7 @@ type Engine struct {
 	walked    []uint64              // epoch-versioned phase-6 "walked" marks
 	walkedGen uint64                // current walked epoch
 	localENs  []map[int64]crossEdge // per-rank E_N tables, cleared per query
-	seen      map[graph.VID]bool    // seed-dedup scratch
+	seen      map[graph.VID]bool    // seed-validation scratch
 	seedIdx   map[graph.VID]int32   // seed -> dense index, rebuilt per query
 	pruneds   []map[int64]crossEdge // per-rank phase-5 survivors
 	trees     [][]graph.Edge        // per-rank phase-6 edge accumulators
@@ -105,41 +107,100 @@ func (e *Engine) Graph() *graph.Graph { return e.g }
 // Options returns the engine's configuration with defaults applied.
 func (e *Engine) Options() Options { return e.opts }
 
-// dedupSeedSet validates seeds against an n-vertex graph and returns them
-// sorted and deduplicated. seen is the dedup scratch (cleared first); the
-// returned slice is freshly allocated, so it may be published in a Result
-// without aliasing pooled state.
-func dedupSeedSet(n int, seeds []graph.VID, seen map[graph.VID]bool) ([]graph.VID, error) {
+// ErrDuplicateSeed marks a seed set that names the same terminal more than
+// once. A repeated terminal is almost always a caller bug (a broken seed
+// generator, a double-submitted form) and silently collapsing it would
+// change the query's |S|, so it is rejected instead of deduplicated.
+// Serving layers should surface it as a client error (internal/steinersvc
+// maps it to HTTP 400).
+var ErrDuplicateSeed = errors.New("duplicate seed")
+
+// canonSeedSet validates seeds against an n-vertex graph and returns the
+// canonical query form: the same terminals sorted ascending. Duplicate
+// terminals are rejected with ErrDuplicateSeed. seen is the duplicate-check
+// scratch (cleared first); the returned slice is freshly allocated, so it
+// may be published in a Result without aliasing pooled state.
+func canonSeedSet(n int, seeds []graph.VID, seen map[graph.VID]bool) ([]graph.VID, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("core: empty seed set")
 	}
 	clear(seen)
-	dedup := make([]graph.VID, 0, len(seeds))
+	canon := make([]graph.VID, 0, len(seeds))
 	for _, s := range seeds {
 		if s < 0 || int(s) >= n {
 			return nil, fmt.Errorf("core: seed %d out of range [0,%d)", s, n)
 		}
-		if !seen[s] {
-			seen[s] = true
-			dedup = append(dedup, s)
+		if seen[s] {
+			return nil, fmt.Errorf("core: %w: %d appears more than once", ErrDuplicateSeed, s)
 		}
+		seen[s] = true
+		canon = append(canon, s)
 	}
-	sort.Slice(dedup, func(i, j int) bool { return dedup[i] < dedup[j] })
-	return dedup, nil
+	sort.Slice(canon, func(i, j int) bool { return canon[i] < canon[j] })
+	return canon, nil
 }
 
 // Solve computes a 2-approximate Steiner minimal tree of the resident graph
-// for the given seed vertices. Seeds are deduplicated; all must lie in one
-// connected component, otherwise an error is returned. Results are
-// identical to a cold Solve with the same options and seeds.
+// for the given seed vertices. Duplicate seeds are rejected with
+// ErrDuplicateSeed; all seeds must lie in one connected component, otherwise
+// an error is returned. Results are identical to a cold Solve with the same
+// options and seeds.
 func (e *Engine) Solve(seeds []graph.VID) (*Result, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-
-	dedup, err := dedupSeedSet(e.g.NumVertices(), seeds, e.seen)
+	dedup, err := canonSeedSet(e.g.NumVertices(), seeds, e.seen)
 	if err != nil {
 		return nil, err
 	}
+	return e.solveCanonLocked(dedup)
+}
+
+// BatchItem is one query's outcome within a SolveBatch call. Items succeed
+// or fail independently: a bad seed set yields an Err without disturbing the
+// other queries in the batch.
+type BatchItem struct {
+	Result *Result
+	Err    error
+}
+
+// SolveBatch solves each terminal set in order on this engine's warm pooled
+// state, entering the engine's internal serialization once for the whole
+// slice instead of once per query — the amortized form for callers holding a
+// list of queries (internal/steinersvc's POST /solve/batch). The returned
+// slice has one BatchItem per input seed set, in input order. ctx is checked
+// between items: once it is cancelled the remaining items fail with its
+// error instead of pinning the engine on work nobody will read.
+func (e *Engine) SolveBatch(ctx context.Context, seedSets [][]graph.VID) []BatchItem {
+	out := make([]BatchItem, len(seedSets))
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, seeds := range seedSets {
+		if err := ctx.Err(); err != nil {
+			out[i].Err = err
+			continue
+		}
+		dedup, err := canonSeedSet(e.g.NumVertices(), seeds, e.seen)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		out[i].Result, out[i].Err = e.solveCanonLocked(dedup)
+	}
+	return out
+}
+
+// ValidateSeedSet checks seeds against an n-vertex graph without solving:
+// empty, out-of-range and duplicate seed sets are rejected with the same
+// errors Solve would return. Serving layers use it to fail submissions fast
+// (before a job is queued) with exactly the solver's rules.
+func ValidateSeedSet(n int, seeds []graph.VID) error {
+	_, err := canonSeedSet(n, seeds, make(map[graph.VID]bool, len(seeds)))
+	return err
+}
+
+// solveCanonLocked runs the six solver phases for a validated, sorted,
+// duplicate-free seed set. The caller holds e.mu.
+func (e *Engine) solveCanonLocked(dedup []graph.VID) (*Result, error) {
 	res := &Result{Seeds: dedup}
 	if len(dedup) == 1 {
 		return res, nil

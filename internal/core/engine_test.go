@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -139,7 +141,7 @@ func TestEngineRecoversAfterQueryError(t *testing.T) {
 }
 
 // TestEngineSingleSeed covers the degenerate single-seed fast path on a
-// reused engine.
+// reused engine, and the duplicate-seed rejection next to it.
 func TestEngineSingleSeed(t *testing.T) {
 	g := engineTestGraph(11, 50)
 	e, err := NewEngine(g, Default(2))
@@ -147,16 +149,135 @@ func TestEngineSingleSeed(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer e.Close()
-	res, err := e.Solve([]graph.VID{7, 7, 7})
+	res, err := e.Solve([]graph.VID{7})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Tree) != 0 || len(res.Seeds) != 1 || res.Seeds[0] != 7 {
 		t.Fatalf("res = %+v", res)
 	}
+	if _, err := e.Solve([]graph.VID{7, 7, 7}); !errors.Is(err, ErrDuplicateSeed) {
+		t.Fatalf("duplicate seeds: err = %v, want ErrDuplicateSeed", err)
+	}
 	// A real query must still work afterwards.
 	if _, err := e.Solve([]graph.VID{0, 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestEngineSolveBatch checks SolveBatch against per-query Solve: same
+// results in input order, with per-item errors that leave the rest of the
+// batch untouched.
+func TestEngineSolveBatch(t *testing.T) {
+	g := engineTestGraph(23, 300)
+	opts := Default(3)
+	e, err := NewEngine(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	sets := [][]graph.VID{
+		{0, 100, 250},
+		{5, 5}, // duplicate: must fail alone
+		{12, 200},
+		nil, // empty: must fail alone
+		{7, 70, 170, 299},
+		{1, 999},      // out of range: must fail alone
+		{0, 100, 250}, // repeat of the first set
+	}
+	items := e.SolveBatch(context.Background(), sets)
+	if len(items) != len(sets) {
+		t.Fatalf("items = %d, want %d", len(items), len(sets))
+	}
+	for _, i := range []int{1, 3, 5} {
+		if items[i].Err == nil || items[i].Result != nil {
+			t.Fatalf("item %d: expected error, got %+v", i, items[i])
+		}
+	}
+	if !errors.Is(items[1].Err, ErrDuplicateSeed) {
+		t.Fatalf("item 1: err = %v, want ErrDuplicateSeed", items[1].Err)
+	}
+	for _, i := range []int{0, 2, 4, 6} {
+		if items[i].Err != nil {
+			t.Fatalf("item %d: %v", i, items[i].Err)
+		}
+		want, err := Solve(g, sets[i], opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(items[i].Result.Tree, want.Tree) ||
+			items[i].Result.TotalDistance != want.TotalDistance {
+			t.Fatalf("item %d: batch result differs from cold solve", i)
+		}
+	}
+}
+
+// TestSolveBatchCancelledContext checks the remaining items of a batch fail
+// with the context's error once it is cancelled, instead of solving work
+// nobody will read.
+func TestSolveBatchCancelledContext(t *testing.T) {
+	g := engineTestGraph(31, 100)
+	e, err := NewEngine(g, Default(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	items := e.SolveBatch(ctx, [][]graph.VID{{0, 50}, {1, 60}})
+	for i, it := range items {
+		if !errors.Is(it.Err, context.Canceled) || it.Result != nil {
+			t.Fatalf("item %d: %+v, want context.Canceled", i, it)
+		}
+	}
+	// The engine must still serve live contexts afterwards.
+	items = e.SolveBatch(context.Background(), [][]graph.VID{{0, 50}})
+	if items[0].Err != nil {
+		t.Fatal(items[0].Err)
+	}
+}
+
+// TestValidateSeedSet checks the exported validation matches Solve's rules.
+func TestValidateSeedSet(t *testing.T) {
+	if err := ValidateSeedSet(10, []graph.VID{3, 1, 2}); err != nil {
+		t.Fatalf("valid set rejected: %v", err)
+	}
+	if err := ValidateSeedSet(10, nil); err == nil {
+		t.Error("empty set accepted")
+	}
+	if err := ValidateSeedSet(10, []graph.VID{3, 10}); err == nil {
+		t.Error("out-of-range seed accepted")
+	}
+	if err := ValidateSeedSet(10, []graph.VID{3, 3}); !errors.Is(err, ErrDuplicateSeed) {
+		t.Errorf("duplicate: err = %v, want ErrDuplicateSeed", err)
+	}
+}
+
+// TestResultClone verifies a clone shares no slices with the original — the
+// property the steinersvc solution cache relies on to serve one stored
+// Result to many readers.
+func TestResultClone(t *testing.T) {
+	g := engineTestGraph(29, 120)
+	res, err := Solve(g, []graph.VID{0, 60, 110}, Default(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := res.Clone()
+	if !reflect.DeepEqual(cp, res) {
+		t.Fatalf("clone differs: %+v vs %+v", cp, res)
+	}
+	if len(res.Tree) == 0 || len(res.Phases) == 0 {
+		t.Fatal("test needs a non-trivial result")
+	}
+	res.Tree[0].W++
+	res.Seeds[0]++
+	res.Phases[0].Seconds++
+	if cp.Tree[0] == res.Tree[0] || cp.Seeds[0] == res.Seeds[0] || cp.Phases[0].Seconds == res.Phases[0].Seconds {
+		t.Fatal("clone aliases the original's slices")
+	}
+	var nilRes *Result
+	if nilRes.Clone() != nil {
+		t.Fatal("nil clone should be nil")
 	}
 }
 

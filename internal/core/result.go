@@ -79,6 +79,28 @@ type Result struct {
 	CollectiveChunks int
 }
 
+// Clone returns a deep copy of res that shares no slices with the receiver.
+// A solution cache stores a clone once and serves it to many concurrent
+// readers, insulated from whatever the original caller does with its copy;
+// a caller that wants to mutate a shared cached Result takes its own clone
+// first.
+func (res *Result) Clone() *Result {
+	if res == nil {
+		return nil
+	}
+	cp := *res
+	if res.Tree != nil {
+		cp.Tree = append([]graph.Edge(nil), res.Tree...)
+	}
+	if res.Seeds != nil {
+		cp.Seeds = append([]graph.VID(nil), res.Seeds...)
+	}
+	if res.Phases != nil {
+		cp.Phases = append([]PhaseStat(nil), res.Phases...)
+	}
+	return &cp
+}
+
 // Phase returns the named phase's stats (zero value if missing).
 func (res *Result) Phase(name string) PhaseStat {
 	for _, p := range res.Phases {

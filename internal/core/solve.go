@@ -60,9 +60,10 @@ func unpackSeedKey(k int64) (s, t graph.VID) {
 }
 
 // Solve computes a 2-approximate Steiner minimal tree of g for the given
-// seed vertices. Seeds are deduplicated; all must lie in one connected
-// component (guaranteed by the seed-selection strategies of
-// internal/seeds), otherwise an error is returned.
+// seed vertices. Duplicate seeds are rejected with ErrDuplicateSeed; all
+// seeds must lie in one connected component (guaranteed by the
+// seed-selection strategies of internal/seeds), otherwise an error is
+// returned.
 //
 // Solve is the one-shot convenience form: it builds a throwaway Engine,
 // paying the O(|V|) session setup every call. Interactive workloads that
@@ -71,7 +72,7 @@ func unpackSeedKey(k int64) (s, t graph.VID) {
 func Solve(g *graph.Graph, seeds []graph.VID, opts Options) (*Result, error) {
 	// Validate seeds and take the trivial single-seed exit before paying
 	// the engine's O(|V|) session setup.
-	dedup, err := dedupSeedSet(g.NumVertices(), seeds, make(map[graph.VID]bool, len(seeds)))
+	dedup, err := canonSeedSet(g.NumVertices(), seeds, make(map[graph.VID]bool, len(seeds)))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,243 @@
+package steinersvc
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dsteiner/internal/core"
+	"dsteiner/internal/graph"
+)
+
+func TestCacheKeyCanonicalization(t *testing.T) {
+	base := cacheKey([]graph.VID{1, 2, 3})
+	for _, perm := range [][]graph.VID{{3, 1, 2}, {2, 3, 1}, {3, 2, 1}, {1, 3, 2}} {
+		if cacheKey(perm) != base {
+			t.Fatalf("permutation %v maps to a different key", perm)
+		}
+	}
+	for _, other := range [][]graph.VID{{1, 2}, {1, 2, 4}, {1, 2, 3, 4}, {}} {
+		if cacheKey(other) == base {
+			t.Fatalf("distinct set %v collides with {1,2,3}", other)
+		}
+	}
+	// The key must be the set's value, not its slice identity.
+	if cacheKey([]graph.VID{0}) == cacheKey([]graph.VID{}) {
+		t.Fatal("empty and single-seed keys collide")
+	}
+}
+
+func cacheTestResult(total graph.Dist) *core.Result {
+	return &core.Result{
+		TotalDistance: total,
+		Seeds:         []graph.VID{0, 1},
+		Tree:          []graph.Edge{{U: 0, V: 1, W: uint32(total)}},
+	}
+}
+
+func TestResultCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	for i, key := range []string{"a", "b", "c"} {
+		c.put(key, cacheTestResult(graph.Dist(i)))
+	}
+	if _, ok := c.get("a"); ok {
+		t.Fatal("oldest entry survived past capacity")
+	}
+	for _, key := range []string{"b", "c"} {
+		if _, ok := c.get(key); !ok {
+			t.Fatalf("entry %q evicted too early", key)
+		}
+	}
+	// The gets above left "c" most recently used, so "b" is the next
+	// victim.
+	c.put("d", cacheTestResult(3))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("least recently used entry survived")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("recently used entry evicted before LRU")
+	}
+	cc := c.counters()
+	if cc.evicted != 2 || cc.size != 2 || cc.capacity != 2 {
+		t.Fatalf("counters = %+v", cc)
+	}
+}
+
+func TestResultCacheStoresClone(t *testing.T) {
+	c := newResultCache(4)
+	orig := cacheTestResult(7)
+	c.put("k", orig)
+	orig.Tree[0].W = 99 // caller mutates its copy
+	got, ok := c.get("k")
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	if got.Tree[0].W != 7 {
+		t.Fatal("cache entry aliases the caller's result")
+	}
+}
+
+// TestResultCacheSingleFlight launches one leader and several followers on
+// the same key: the leader's solve must run exactly once, the followers must
+// coalesce onto it, and everyone must observe the same result.
+func TestResultCacheSingleFlight(t *testing.T) {
+	c := newResultCache(4)
+	const followers = 8
+	var solves atomic.Int64
+	release := make(chan struct{})
+	leaderIn := make(chan struct{})
+	solve := func() (*core.Result, error) {
+		solves.Add(1)
+		close(leaderIn)
+		<-release
+		return cacheTestResult(42), nil
+	}
+
+	var wg sync.WaitGroup
+	results := make([]*core.Result, followers+1)
+	hits := make([]bool, followers+1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results[0], hits[0], _ = c.Do(context.Background(), "k", solve)
+	}()
+	<-leaderIn // leader is inside solve; key is in flight
+	for i := 1; i <= followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], hits[i], _ = c.Do(context.Background(), "k", func() (*core.Result, error) {
+				t.Error("follower ran its own solve")
+				return nil, errors.New("unexpected")
+			})
+		}(i)
+	}
+	// Wait until every follower has registered on the flight, then let the
+	// leader finish.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.counters().coalesced < followers {
+		if time.Now().After(deadline) {
+			t.Fatalf("followers never coalesced: %+v", c.counters())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := solves.Load(); n != 1 {
+		t.Fatalf("solve ran %d times, want 1", n)
+	}
+	if hits[0] {
+		t.Fatal("leader reported a hit")
+	}
+	for i := 1; i <= followers; i++ {
+		if !hits[i] {
+			t.Fatalf("follower %d reported a miss", i)
+		}
+		if results[i] == nil || results[i].TotalDistance != 42 {
+			t.Fatalf("follower %d result = %+v", i, results[i])
+		}
+	}
+	cc := c.counters()
+	if cc.misses != 1 || cc.coalesced != followers || cc.size != 1 {
+		t.Fatalf("counters = %+v", cc)
+	}
+}
+
+// TestResultCacheFollowerHonorsOwnContext checks a coalesced follower stops
+// waiting when its own context expires instead of staying pinned behind a
+// slow leader.
+func TestResultCacheFollowerHonorsOwnContext(t *testing.T) {
+	c := newResultCache(4)
+	release := make(chan struct{})
+	leaderIn := make(chan struct{})
+	go func() {
+		_, _, _ = c.Do(context.Background(), "k", func() (*core.Result, error) {
+			close(leaderIn)
+			<-release
+			return cacheTestResult(1), nil
+		})
+	}()
+	<-leaderIn
+	ctx, cancel := context.WithCancel(context.Background())
+	followerDone := make(chan error, 1)
+	go func() {
+		_, hit, err := c.Do(ctx, "k", func() (*core.Result, error) {
+			t.Error("follower ran its own solve")
+			return nil, errors.New("unexpected")
+		})
+		if !hit {
+			t.Error("abandoning follower should still report coalescing")
+		}
+		followerDone <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.counters().coalesced < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never coalesced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel() // follower must return now, leader still blocked
+	select {
+	case err := <-followerDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("follower err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower stayed pinned behind the leader")
+	}
+	close(release) // leader completes and caches as usual
+	if res, _, err := c.Do(context.Background(), "k", nil); err != nil || res.TotalDistance != 1 {
+		t.Fatalf("post-flight lookup: res=%+v err=%v", res, err)
+	}
+}
+
+func TestResultCacheErrorsNotCached(t *testing.T) {
+	c := newResultCache(4)
+	boom := errors.New("boom")
+	calls := 0
+	fail := func() (*core.Result, error) { calls++; return nil, boom }
+	if _, _, err := c.Do(context.Background(), "k", fail); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := c.Do(context.Background(), "k", fail); !errors.Is(err, boom) {
+		t.Fatalf("retry err = %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("solve calls = %d, want 2 (errors must not be cached)", calls)
+	}
+	if cc := c.counters(); cc.size != 0 {
+		t.Fatalf("failed solve was stored: %+v", cc)
+	}
+}
+
+func TestResultCacheDisabled(t *testing.T) {
+	c := newResultCache(0)
+	if c != nil {
+		t.Fatal("capacity 0 should disable the cache")
+	}
+	calls := 0
+	for i := 0; i < 2; i++ {
+		res, hit, err := c.Do(context.Background(), "k", func() (*core.Result, error) {
+			calls++
+			return cacheTestResult(1), nil
+		})
+		if err != nil || hit || res == nil {
+			t.Fatalf("disabled Do: res=%v hit=%v err=%v", res, hit, err)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want passthrough", calls)
+	}
+	if res, ok := c.get("k"); ok || res != nil {
+		t.Fatal("disabled get returned an entry")
+	}
+	c.put("k", cacheTestResult(1)) // must not panic
+	if cc := c.counters(); cc != (cacheCounters{}) {
+		t.Fatalf("disabled counters = %+v", cc)
+	}
+}

@@ -6,10 +6,25 @@
 // engines, N queries run concurrently on one resident graph; further
 // requests queue for the next free engine, keeping memory bounded and
 // per-query latency predictable.
+//
+// On top of the pool sit the multi-tenant serving layers:
+//
+//   - an LRU solution cache keyed by the canonicalized terminal set, with
+//     single-flight coalescing so N concurrent identical queries cost one
+//     engine solve (resultCache);
+//   - POST /solve/batch, which answers a slice of queries with one engine
+//     checkout via Engine.SolveBatch;
+//   - POST /solve/async + GET /jobs/{id}, a bounded job queue with explicit
+//     429 backpressure so long solves never pin HTTP connections (jobStore);
+//   - Shutdown, which drains the job queue and the engine pool so in-flight
+//     solves finish cleanly before the engines' rank goroutines are
+//     released.
 package steinersvc
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -22,6 +37,24 @@ import (
 	"dsteiner/internal/seeds"
 )
 
+// maxBatchQueries bounds one POST /solve/batch request, so a single request
+// body cannot monopolize an engine indefinitely.
+const maxBatchQueries = 1024
+
+// Config sizes the service's serving layers.
+type Config struct {
+	// Engines is the solver pool size (minimum 1): the maximum number of
+	// concurrently executing solves. Each engine pins opts.Ranks goroutines
+	// and O(|V|) solver state for its lifetime.
+	Engines int
+	// CacheEntries bounds the LRU solution cache; 0 disables caching and
+	// single-flight coalescing.
+	CacheEntries int
+	// JobQueue bounds the async job queue; 0 disables the /solve/async and
+	// /jobs/{id} endpoints.
+	JobQueue int
+}
+
 // Service is an http.Handler answering Steiner-tree queries on one graph.
 type Service struct {
 	g    *graph.Graph
@@ -32,55 +65,85 @@ type Service struct {
 	// free, so at most cap(engines) solves are in flight at once.
 	engines chan *core.Engine
 
+	cache *resultCache // nil when disabled
+	jobs  *jobStore    // nil when disabled
+
+	workerWG sync.WaitGroup
+	shutdown struct {
+		once sync.Once
+		err  error
+	}
+
 	stats serviceStats
 }
 
 // serviceStats aggregates pool utilization and per-query phase timings for
 // the /stats endpoint.
 type serviceStats struct {
-	mu           sync.Mutex
-	inFlight     int
-	maxInFlight  int
-	queries      int64
-	errors       int64
-	solveSeconds float64
-	phaseSeconds map[string]float64
-	phaseCalls   map[string]int64
+	mu            sync.Mutex
+	inFlight      int
+	maxInFlight   int
+	queries       int64
+	errors        int64
+	batchRequests int64
+	batchQueries  int64
+	solveSeconds  float64
+	phaseSeconds  map[string]float64
+	phaseCalls    map[string]int64
 }
 
-// New builds a Service over g with per-query solver options and a pool of
-// the given number of engines (minimum 1). Each engine pins opts.Ranks
-// goroutines and O(|V|) solver state for its lifetime.
-func New(g *graph.Graph, opts core.Options, engines int) (*Service, error) {
-	if engines < 1 {
-		engines = 1
+// New builds a Service over g with per-query solver options. See Config for
+// the pool, cache and job-queue sizing.
+func New(g *graph.Graph, opts core.Options, cfg Config) (*Service, error) {
+	if cfg.Engines < 1 {
+		cfg.Engines = 1
 	}
 	s := &Service{
 		g:       g,
 		opts:    opts,
 		mux:     http.NewServeMux(),
-		engines: make(chan *core.Engine, engines),
+		engines: make(chan *core.Engine, cfg.Engines),
+		cache:   newResultCache(cfg.CacheEntries),
 	}
 	s.stats.phaseSeconds = make(map[string]float64, len(core.PhaseNames))
 	s.stats.phaseCalls = make(map[string]int64, len(core.PhaseNames))
-	for i := 0; i < engines; i++ {
+	for i := 0; i < cfg.Engines; i++ {
 		e, err := core.NewEngine(g, opts)
 		if err != nil {
-			s.Close()
-			return nil, fmt.Errorf("steinersvc: engine %d: %w", i, err)
+			// Release the engines already built; workers have not started.
+			for {
+				select {
+				case built := <-s.engines:
+					built.Close()
+				default:
+					return nil, fmt.Errorf("steinersvc: engine %d: %w", i, err)
+				}
+			}
 		}
 		s.engines <- e
 	}
+	if cfg.JobQueue > 0 {
+		s.jobs = newJobStore(cfg.JobQueue)
+		// One worker per engine: more could not solve concurrently anyway,
+		// and fewer would leave engines idle while jobs queue.
+		for i := 0; i < cfg.Engines; i++ {
+			s.workerWG.Add(1)
+			go s.jobWorker()
+		}
+		s.mux.HandleFunc("/solve/async", s.handleSolveAsync)
+		s.mux.HandleFunc("/jobs/{id}", s.handleJob)
+	}
 	s.mux.HandleFunc("/info", s.handleInfo)
 	s.mux.HandleFunc("/solve", s.handleSolve)
+	s.mux.HandleFunc("/solve/batch", s.handleSolveBatch)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	return s, nil
 }
 
 // MustNew is New that panics on error, for tests and examples with known
 // good configurations.
-func MustNew(g *graph.Graph, opts core.Options, engines int) *Service {
-	s, err := New(g, opts, engines)
+func MustNew(g *graph.Graph, opts core.Options, cfg Config) *Service {
+	s, err := New(g, opts, cfg)
 	if err != nil {
 		panic(err)
 	}
@@ -90,18 +153,45 @@ func MustNew(g *graph.Graph, opts core.Options, engines int) *Service {
 // NumEngines returns the engine pool capacity.
 func (s *Service) NumEngines() int { return cap(s.engines) }
 
-// Close releases every pooled engine's pinned goroutines. In-flight
-// requests must have drained first.
-func (s *Service) Close() {
-	for {
+// Shutdown drains the service: async intake stops (submissions fail with
+// 503), the workers finish the queued backlog, and every pooled engine is
+// reclaimed — waiting for in-flight solves — and closed. Call after
+// http.Server.Shutdown so no new requests are arriving; a request still
+// blocked in the engine queue at that point fails with 503 when its context
+// is cancelled. ctx bounds the drain; on expiry the remaining engines are
+// left to die with the process. Subsequent calls return the first outcome.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.shutdown.once.Do(func() { s.shutdown.err = s.drain(ctx) })
+	return s.shutdown.err
+}
+
+func (s *Service) drain(ctx context.Context) error {
+	if s.jobs != nil {
+		s.jobs.close()
+		workersDone := make(chan struct{})
+		go func() {
+			s.workerWG.Wait()
+			close(workersDone)
+		}()
+		select {
+		case <-workersDone:
+		case <-ctx.Done():
+			return fmt.Errorf("steinersvc: shutdown: job drain: %w", ctx.Err())
+		}
+	}
+	for i := 0; i < cap(s.engines); i++ {
 		select {
 		case e := <-s.engines:
 			e.Close()
-		default:
-			return
+		case <-ctx.Done():
+			return fmt.Errorf("steinersvc: shutdown: engine drain: %w", ctx.Err())
 		}
 	}
+	return nil
 }
+
+// Close is Shutdown without a deadline, for tests and defer-style cleanup.
+func (s *Service) Close() { _ = s.Shutdown(context.Background()) }
 
 // ServeHTTP dispatches to the API endpoints.
 func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -140,13 +230,51 @@ type PhaseInfo struct {
 	Sent    int64   `json:"sent"`
 }
 
-// SolveResponse is the /solve reply.
+// SolveResponse is the /solve reply. Cached reports whether the answer came
+// from the solution cache (including coalescing onto another request's
+// in-flight solve) rather than a dedicated engine solve.
 type SolveResponse struct {
 	Seeds           []int32     `json:"seeds"`
 	Edges           []TreeEdge  `json:"edges"`
 	Total           int64       `json:"total"`
 	SteinerVertices int         `json:"steinerVertices"`
 	Phases          []PhaseInfo `json:"phases"`
+	Cached          bool        `json:"cached,omitempty"`
+}
+
+// BatchRequest is the POST /solve/batch body: a slice of independent
+// queries answered with one engine checkout.
+type BatchRequest struct {
+	Queries []SolveRequest `json:"queries"`
+}
+
+// BatchItemResponse is one query's outcome within a BatchResponse: exactly
+// one of Result or Error is set.
+type BatchItemResponse struct {
+	Result *SolveResponse `json:"result,omitempty"`
+	Error  string         `json:"error,omitempty"`
+}
+
+// BatchResponse is the POST /solve/batch reply, item i answering query i.
+type BatchResponse struct {
+	Results []BatchItemResponse `json:"results"`
+}
+
+// JobAccepted is the POST /solve/async reply.
+type JobAccepted struct {
+	ID       string `json:"id"`
+	Location string `json:"location"`
+}
+
+// JobResponse is the GET /jobs/{id} reply. State is queued, running, done
+// or failed; Result is set once done, Error once failed.
+type JobResponse struct {
+	ID            string         `json:"id"`
+	State         string         `json:"state"`
+	QueuedSeconds float64        `json:"queuedSeconds"`
+	RunSeconds    float64        `json:"runSeconds,omitempty"`
+	Error         string         `json:"error,omitempty"`
+	Result        *SolveResponse `json:"result,omitempty"`
 }
 
 // PhaseStats aggregates one solver phase across all served queries.
@@ -157,8 +285,33 @@ type PhaseStats struct {
 	AvgSeconds   float64 `json:"avgSeconds"`
 }
 
-// StatsResponse is the /stats reply: engine-pool utilization plus
-// cumulative per-phase timings.
+// CacheStats reports the solution cache for /stats. HitRate counts
+// coalesced queries as hits: they were answered without a dedicated solve.
+type CacheStats struct {
+	Capacity  int     `json:"capacity"`
+	Size      int     `json:"size"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Coalesced int64   `json:"coalesced"`
+	Evictions int64   `json:"evictions"`
+	HitRate   float64 `json:"hitRate"`
+}
+
+// JobStats reports the async job queue for /stats. Completed counts
+// successful jobs only; Completed + Failed is everything that finished.
+type JobStats struct {
+	QueueCapacity int   `json:"queueCapacity"`
+	QueueDepth    int   `json:"queueDepth"`
+	Running       int   `json:"running"`
+	Completed     int64 `json:"completed"`
+	Failed        int64 `json:"failed"`
+	Rejected      int64 `json:"rejected"`
+}
+
+// StatsResponse is the /stats reply: engine-pool utilization, cumulative
+// per-phase timings, and the cache/job-queue counters when those layers are
+// enabled. Queries counts engine solves; cache hits answer requests without
+// one.
 type StatsResponse struct {
 	Engines         int          `json:"engines"`
 	EnginesIdle     int          `json:"enginesIdle"`
@@ -166,8 +319,12 @@ type StatsResponse struct {
 	MaxInFlight     int          `json:"maxInFlight"`
 	Queries         int64        `json:"queries"`
 	Errors          int64        `json:"errors"`
+	BatchRequests   int64        `json:"batchRequests"`
+	BatchQueries    int64        `json:"batchQueries"`
 	AvgSolveSeconds float64      `json:"avgSolveSeconds"`
 	Phases          []PhaseStats `json:"phases"`
+	Cache           *CacheStats  `json:"cache,omitempty"`
+	Jobs            *JobStats    `json:"jobs,omitempty"`
 }
 
 func (s *Service) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -195,12 +352,14 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := &s.stats
 	st.mu.Lock()
 	resp := StatsResponse{
-		Engines:     s.NumEngines(),
-		EnginesIdle: len(s.engines),
-		InFlight:    st.inFlight,
-		MaxInFlight: st.maxInFlight,
-		Queries:     st.queries,
-		Errors:      st.errors,
+		Engines:       s.NumEngines(),
+		EnginesIdle:   len(s.engines),
+		InFlight:      st.inFlight,
+		MaxInFlight:   st.maxInFlight,
+		Queries:       st.queries,
+		Errors:        st.errors,
+		BatchRequests: st.batchRequests,
+		BatchQueries:  st.batchQueries,
 	}
 	if st.queries > 0 {
 		resp.AvgSolveSeconds = st.solveSeconds / float64(st.queries)
@@ -219,12 +378,38 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	st.mu.Unlock()
+	if s.cache != nil {
+		cc := s.cache.counters()
+		cs := &CacheStats{
+			Capacity:  cc.capacity,
+			Size:      cc.size,
+			Hits:      cc.hits,
+			Misses:    cc.misses,
+			Coalesced: cc.coalesced,
+			Evictions: cc.evicted,
+		}
+		if lookups := cc.hits + cc.coalesced + cc.misses; lookups > 0 {
+			cs.HitRate = float64(cc.hits+cc.coalesced) / float64(lookups)
+		}
+		resp.Cache = cs
+	}
+	if s.jobs != nil {
+		jc := s.jobs.counters()
+		resp.Jobs = &JobStats{
+			QueueCapacity: jc.queueCapacity,
+			QueueDepth:    jc.queueDepth,
+			Running:       jc.running,
+			Completed:     jc.completed,
+			Failed:        jc.failed,
+			Rejected:      jc.rejected,
+		}
+	}
 	writeJSON(w, resp)
 }
 
 // acquire checks an engine out of the pool, blocking until one is free or
-// the request is cancelled.
-func (s *Service) acquire(r *http.Request) (*core.Engine, error) {
+// ctx is cancelled.
+func (s *Service) acquire(ctx context.Context) (*core.Engine, error) {
 	select {
 	case e := <-s.engines:
 		s.stats.mu.Lock()
@@ -234,20 +419,18 @@ func (s *Service) acquire(r *http.Request) (*core.Engine, error) {
 		}
 		s.stats.mu.Unlock()
 		return e, nil
-	case <-r.Context().Done():
-		return nil, r.Context().Err()
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
 }
 
-// release folds the query's outcome into the aggregate statistics, then
-// returns the engine to the pool. Stats go first: once the engine is back
-// on the channel a blocked request resumes and increments inFlight, and the
-// stale not-yet-decremented count would let maxInFlight exceed the pool
-// size.
-func (s *Service) release(e *core.Engine, res *core.Result, elapsed time.Duration, err error) {
+// recordQuery folds one engine solve's outcome into the aggregate
+// statistics. Call before returnEngine: once the engine is back on the
+// channel a blocked request resumes and increments inFlight, and a stale
+// not-yet-decremented count would let maxInFlight exceed the pool size.
+func (s *Service) recordQuery(res *core.Result, elapsed time.Duration, err error) {
 	st := &s.stats
 	st.mu.Lock()
-	st.inFlight--
 	st.queries++
 	st.solveSeconds += elapsed.Seconds()
 	if err != nil {
@@ -259,7 +442,61 @@ func (s *Service) release(e *core.Engine, res *core.Result, elapsed time.Duratio
 		}
 	}
 	st.mu.Unlock()
+}
+
+// returnEngine puts an engine back on the pool.
+func (s *Service) returnEngine(e *core.Engine) {
+	s.stats.mu.Lock()
+	s.stats.inFlight--
+	s.stats.mu.Unlock()
 	s.engines <- e
+}
+
+// solveCached is the shared query path for /solve and async jobs: canonical
+// cache key, single-flight coalescing, engine-pool solve on a miss. The
+// returned Result may be cache-shared: read-only.
+func (s *Service) solveCached(ctx context.Context, seedSet []graph.VID) (*core.Result, bool, error) {
+	key := cacheKey(seedSet)
+	solve := func() (*core.Result, error) {
+		eng, err := s.acquire(ctx)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res, err := eng.Solve(seedSet)
+		s.recordQuery(res, time.Since(start), err)
+		s.returnEngine(eng)
+		return res, err
+	}
+	for {
+		res, hit, err := s.cache.Do(ctx, key, solve)
+		// A coalesced follower inherits its leader's error — including the
+		// leader's own context cancellation, which says nothing about this
+		// request (an async job runs on context.Background and must not be
+		// failed by some HTTP client disconnecting). While our context is
+		// live, retry; the flight is gone, so we lead the next attempt.
+		if hit && ctx.Err() == nil &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			continue
+		}
+		return res, hit, err
+	}
+}
+
+// solveErrStatus maps a solve-path error to its HTTP status: client mistakes
+// (duplicate terminals) are 400, cancellations and shutdown are 503, and
+// everything else — unsolvable but well-formed queries like disconnected or
+// out-of-range seeds — is 422.
+func solveErrStatus(err error) int {
+	switch {
+	case errors.Is(err, core.ErrDuplicateSeed):
+		return http.StatusBadRequest
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, errJobsClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusUnprocessableEntity
+	}
 }
 
 func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -273,18 +510,193 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	eng, err := s.acquire(r)
+	res, cached, err := s.solveCached(r.Context(), seedSet)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		http.Error(w, err.Error(), solveErrStatus(err))
 		return
 	}
-	start := time.Now()
-	res, err := eng.Solve(seedSet)
-	s.release(eng, res, time.Since(start), err)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+	resp := solveResponse(res)
+	resp.Cached = cached
+	writeJSON(w, resp)
+}
+
+func (s *Service) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad JSON body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Queries) == 0 {
+		http.Error(w, "empty batch", http.StatusBadRequest)
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		http.Error(w, fmt.Sprintf("batch of %d exceeds limit %d", len(req.Queries), maxBatchQueries),
+			http.StatusBadRequest)
+		return
+	}
+
+	type batchItem struct {
+		seedSet []graph.VID
+		key     string
+		res     *core.Result
+		cached  bool
+		err     error
+	}
+	items := make([]batchItem, len(req.Queries))
+	for i, q := range req.Queries {
+		if err := q.validate(); err != nil {
+			items[i].err = err
+			continue
+		}
+		seedSet, err := s.resolveSeeds(q)
+		if err != nil {
+			items[i].err = err
+			continue
+		}
+		items[i].seedSet = seedSet
+		items[i].key = cacheKey(seedSet)
+	}
+
+	// Serve cache hits, then group the misses by canonical key so repeated
+	// queries within one batch solve once, and solve them all with a single
+	// engine checkout.
+	missIdx := make(map[string][]int)
+	var missKeys []string
+	var missSets [][]graph.VID
+	for i := range items {
+		it := &items[i]
+		if it.err != nil {
+			continue
+		}
+		if res, ok := s.cache.get(it.key); ok {
+			it.res, it.cached = res, true
+			continue
+		}
+		if _, seen := missIdx[it.key]; !seen {
+			missKeys = append(missKeys, it.key)
+			missSets = append(missSets, it.seedSet)
+		}
+		missIdx[it.key] = append(missIdx[it.key], i)
+	}
+	if len(missSets) > 0 {
+		eng, err := s.acquire(r.Context())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		start := time.Now()
+		solved := eng.SolveBatch(r.Context(), missSets)
+		// The batch shares one wall-clock measurement; attribute an equal
+		// share to each query so avgSolveSeconds stays meaningful.
+		per := time.Since(start) / time.Duration(len(solved))
+		for bi, item := range solved {
+			s.recordQuery(item.Result, per, item.Err)
+			if item.Err == nil {
+				s.cache.put(missKeys[bi], item.Result)
+			}
+			for _, i := range missIdx[missKeys[bi]] {
+				items[i].res, items[i].err = item.Result, item.Err
+			}
+		}
+		s.returnEngine(eng)
+	}
+
+	s.stats.mu.Lock()
+	s.stats.batchRequests++
+	s.stats.batchQueries += int64(len(items))
+	s.stats.mu.Unlock()
+
+	resp := BatchResponse{Results: make([]BatchItemResponse, len(items))}
+	for i, it := range items {
+		if it.err != nil {
+			resp.Results[i].Error = it.err.Error()
+			continue
+		}
+		sr := solveResponse(it.res)
+		sr.Cached = it.cached
+		resp.Results[i].Result = &sr
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Service) handleSolveAsync(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	req, err := parseSolveRequest(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	seedSet, err := s.resolveSeeds(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Validate now so a bad query fails at submission, not as a failed job
+	// discovered on the first poll. solveErrStatus keeps the codes
+	// consistent with /solve: duplicates 400, out-of-range 422.
+	if err := s.validateSeedSet(seedSet); err != nil {
+		http.Error(w, err.Error(), solveErrStatus(err))
+		return
+	}
+	id, err := s.jobs.submit(seedSet)
+	switch {
+	case errors.Is(err, ErrJobQueueFull):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), solveErrStatus(err))
+		return
+	}
+	writeJSONStatus(w, http.StatusAccepted, JobAccepted{ID: id, Location: "/jobs/" + id})
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	snap, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "unknown job", http.StatusNotFound)
+		return
+	}
+	resp := JobResponse{
+		ID:            snap.ID,
+		State:         string(snap.State),
+		QueuedSeconds: snap.Queued.Seconds(),
+		RunSeconds:    snap.Running.Seconds(),
+		Error:         snap.ErrMsg,
+	}
+	if snap.Res != nil {
+		sr := solveResponse(snap.Res)
+		sr.Cached = snap.Cached
+		resp.Result = &sr
+	}
+	writeJSON(w, resp)
+}
+
+// jobWorker drains the job queue through the cached solve path until the
+// queue is closed by Shutdown.
+func (s *Service) jobWorker() {
+	defer s.workerWG.Done()
+	for j := range s.jobs.queue {
+		s.jobs.markRunning(j)
+		res, cached, err := s.solveCached(context.Background(), j.seedSet)
+		s.jobs.markFinished(j, res, cached, err)
+	}
+}
+
+// solveResponse converts a solver Result into the wire form.
+func solveResponse(res *core.Result) SolveResponse {
 	resp := SolveResponse{
 		Total:           int64(res.TotalDistance),
 		SteinerVertices: res.SteinerVertices,
@@ -298,7 +710,18 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 	for _, ph := range res.Phases {
 		resp.Phases = append(resp.Phases, PhaseInfo{Name: ph.Name, Seconds: ph.Seconds, Sent: ph.Sent})
 	}
-	writeJSON(w, resp)
+	return resp
+}
+
+// validate checks the request's seeds/k exclusivity rules.
+func (req SolveRequest) validate() error {
+	if len(req.Seeds) == 0 && req.K <= 0 {
+		return fmt.Errorf("need seeds or k")
+	}
+	if len(req.Seeds) > 0 && req.K > 0 {
+		return fmt.Errorf("use either seeds or k, not both")
+	}
+	return nil
 }
 
 func parseSolveRequest(r *http.Request) (SolveRequest, error) {
@@ -329,13 +752,7 @@ func parseSolveRequest(r *http.Request) (SolveRequest, error) {
 	default:
 		return req, fmt.Errorf("GET or POST only")
 	}
-	if len(req.Seeds) == 0 && req.K <= 0 {
-		return req, fmt.Errorf("need seeds or k")
-	}
-	if len(req.Seeds) > 0 && req.K > 0 {
-		return req, fmt.Errorf("use either seeds or k, not both")
-	}
-	return req, nil
+	return req, req.validate()
 }
 
 func (s *Service) resolveSeeds(req SolveRequest) ([]graph.VID, error) {
@@ -364,16 +781,26 @@ func (s *Service) resolveSeeds(req SolveRequest) ([]graph.VID, error) {
 	return seeds.Select(s.g, req.K, strat, req.RNGSeed)
 }
 
+// validateSeedSet applies the solver's own seed validation (range,
+// duplicates) so async submissions fail fast at submit time; the engine
+// re-checks when the job runs.
+func (s *Service) validateSeedSet(seedSet []graph.VID) error {
+	return core.ValidateSeedSet(s.g.NumVertices(), seedSet)
+}
+
 // writeJSON marshals v before touching the ResponseWriter, so an encoding
 // failure surfaces as a 500 instead of a silently truncated 200. Errors
 // writing the marshaled bytes to a departed client are unrecoverable and
 // intentionally dropped.
-func writeJSON(w http.ResponseWriter, v any) {
+func writeJSON(w http.ResponseWriter, v any) { writeJSONStatus(w, http.StatusOK, v) }
+
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
 	buf, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		http.Error(w, fmt.Sprintf("encoding response: %v", err), http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
 	_, _ = w.Write(append(buf, '\n'))
 }
