@@ -10,9 +10,15 @@
 // With several samples per benchmark (go test -count=N) the minimum ns/op is
 // compared — the least-noisy estimate of the code's true cost. Benchmarks
 // present in only one file are reported but never gate. Refresh the baseline
-// with:
+// from a fresh run with -update, which rewrites the baseline file from the
+// current output (after validating it parses and covers the gated names)
+// instead of gating against it. The run must include the warm repeats of the
+// gated benchmarks (their single 1x iterations run cold; CI compares warm
+// minima, so a cold-only baseline silently loosens the gate):
 //
-//	go test -bench . -benchtime 1x -run '^$' -short . ./internal/steinersvc > ci/bench_baseline.txt
+//	go test -bench . -benchtime 1x -run '^$' -short . ./internal/steinersvc > bench_pr.txt
+//	go test -bench 'BenchmarkEngineReuse$|BenchmarkShardBuild$' -benchtime 20x -count 3 -run '^$' . >> bench_pr.txt
+//	go run ./cmd/benchgate -update -current bench_pr.txt -baseline ci/bench_baseline.txt
 package main
 
 import (
@@ -166,6 +172,44 @@ func writeJSONReport(path string, current map[string]*benchResult) error {
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
+// splitGates parses the comma-separated -gate list.
+func splitGates(gateList string) []string {
+	var gates []string
+	for _, g := range strings.Split(gateList, ",") {
+		if g = strings.TrimSpace(g); g != "" {
+			gates = append(gates, g)
+		}
+	}
+	return gates
+}
+
+// update rewrites the baseline file from a fresh bench run, first checking
+// that the run parses and contains every gated benchmark — a baseline that
+// cannot gate would brick the next CI run.
+func update(baselinePath, currentPath, gateList string, stdout io.Writer) error {
+	current, err := parseBenchFile(currentPath)
+	if err != nil {
+		return err
+	}
+	if len(current) == 0 {
+		return fmt.Errorf("%s: no benchmark results found", currentPath)
+	}
+	for _, name := range splitGates(gateList) {
+		if _, ok := current[name]; !ok {
+			return fmt.Errorf("refusing to update: gated benchmark %s missing from %s", name, currentPath)
+		}
+	}
+	raw, err := os.ReadFile(currentPath)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(baselinePath, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "baseline %s updated from %s (%d benchmarks)\n", baselinePath, currentPath, len(current))
+	return nil
+}
+
 func run(baselinePath, currentPath, gateList, jsonPath string, maxRegress float64, stdout io.Writer) error {
 	baseline, err := parseBenchFile(baselinePath)
 	if err != nil {
@@ -200,13 +244,7 @@ func run(baselinePath, currentPath, gateList, jsonPath string, maxRegress float6
 		}
 	}
 
-	var gates []string
-	for _, g := range strings.Split(gateList, ",") {
-		if g = strings.TrimSpace(g); g != "" {
-			gates = append(gates, g)
-		}
-	}
-	verdicts, err := compare(baseline, current, gates, maxRegress)
+	verdicts, err := compare(baseline, current, splitGates(gateList), maxRegress)
 	if err != nil {
 		return err
 	}
@@ -229,11 +267,19 @@ func main() {
 	var (
 		baseline   = flag.String("baseline", "ci/bench_baseline.txt", "checked-in baseline bench output")
 		current    = flag.String("current", "bench_pr.txt", "current bench output")
-		gates      = flag.String("gate", "BenchmarkEngineReuse", "comma-separated benchmarks that gate")
+		gates      = flag.String("gate", "BenchmarkEngineReuse,BenchmarkShardBuild", "comma-separated benchmarks that gate")
 		maxRegress = flag.Float64("max-regress", 0.20, "max allowed ns/op regression (0.20 = +20%)")
 		jsonOut    = flag.String("json", "", "write current results as JSON to this path")
+		doUpdate   = flag.Bool("update", false, "rewrite -baseline from -current instead of gating")
 	)
 	flag.Parse()
+	if *doUpdate {
+		if err := update(*baseline, *current, *gates, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*baseline, *current, *gates, *jsonOut, *maxRegress, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(1)

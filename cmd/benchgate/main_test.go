@@ -113,3 +113,45 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatal("2x regression passed the gate")
 	}
 }
+
+func TestUpdateRewritesBaseline(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.txt")
+	cur := filepath.Join(dir, "cur.txt")
+	if err := os.WriteFile(base, []byte("BenchmarkEngineReuse-8 1 99999999 ns/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cur, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := update(base, cur, "BenchmarkEngineReuse", &out); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != sampleOutput {
+		t.Fatalf("baseline not rewritten from current run:\n%s", got)
+	}
+	// After the update, the gate against the new baseline passes trivially.
+	if err := run(base, cur, "BenchmarkEngineReuse", "", 0.20, &out); err != nil {
+		t.Fatalf("gate failed against freshly updated baseline: %v", err)
+	}
+
+	// A run missing a gated benchmark must not become the baseline.
+	if err := os.WriteFile(cur, []byte("BenchmarkColdSolve-8 1 1000 ns/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := update(base, cur, "BenchmarkEngineReuse", &out); err == nil {
+		t.Fatal("update accepted a run missing the gated benchmark")
+	}
+	// An empty/unparseable run must not become the baseline either.
+	if err := os.WriteFile(cur, []byte("no benchmarks here\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := update(base, cur, "", &out); err == nil {
+		t.Fatal("update accepted an empty run")
+	}
+}

@@ -35,6 +35,7 @@ func main() {
 		strategy  = flag.String("strategy", "bfs-level", "seed selection: bfs-level | uniform | eccentric | proximate")
 		rngSeed   = flag.Int64("rng", 42, "seed-selection RNG seed")
 		ranks     = flag.Int("ranks", 4, "simulated rank count")
+		partKind  = flag.String("partition", "arcblock", "vertex partition: block | hash | arcblock")
 		queue     = flag.String("queue", "priority", "message queue: priority | fifo | bucket")
 		bsp       = flag.Bool("bsp", false, "bulk-synchronous instead of asynchronous processing")
 		delegates = flag.Int("delegates", 0, "delegate high-degree vertices above this degree (0 = off)")
@@ -70,6 +71,10 @@ func main() {
 	fmt.Printf("seeds: |S|=%d\n", len(seedSet))
 
 	opts := dsteiner.Defaults(*ranks)
+	opts.Partition, err = dsteiner.ParsePartition(*partKind)
+	if err != nil {
+		fatal(err)
+	}
 	switch *queue {
 	case "priority":
 		opts.Queue = dsteiner.QueuePriority

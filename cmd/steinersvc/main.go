@@ -10,6 +10,13 @@
 //
 //	steinersvc -dataset LVJ -addr :8080
 //	steinersvc -graph web.bin -ranks 8 -engines 4 -cache 512 -jobs 128
+//	steinersvc -dataset WDC12 -partition hash -delegates 145
+//
+// -partition picks the vertex-to-rank mapping (block | hash | arcblock) the
+// engines cut their rank-local graph shards from; -delegates N stripes the
+// adjacency of vertices with degree >= N across all ranks (HavoqGT-style
+// vertex delegates). /info and /stats report the partition kind, delegate
+// count and shard memory.
 //
 // -engines N keeps a pool of N resident solver engines, so up to N queries
 // run concurrently on the shared graph; further requests queue for the next
@@ -59,6 +66,8 @@ func main() {
 		scale     = flag.Float64("scale", 1.0, "dataset scale factor")
 		addr      = flag.String("addr", ":8080", "listen address")
 		ranks     = flag.Int("ranks", 4, "simulated rank count per query")
+		partKind  = flag.String("partition", "arcblock", "vertex partition: block | hash | arcblock")
+		delegates = flag.Int("delegates", 0, "delegate high-degree vertices above this degree (0 = off)")
 		engines   = flag.Int("engines", 1, "resident solver engines (max concurrent queries)")
 		cache     = flag.Int("cache", 256, "LRU solution cache entries (0 disables)")
 		jobs      = flag.Int("jobs", 64, "async job queue bound (0 disables /solve/async)")
@@ -71,7 +80,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "steinersvc: %v\n", err)
 		os.Exit(1)
 	}
-	svc, err := steinersvc.New(g, dsteiner.Defaults(*ranks), steinersvc.Config{
+	opts := dsteiner.Defaults(*ranks)
+	opts.Partition, err = dsteiner.ParsePartition(*partKind)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "steinersvc: %v\n", err)
+		os.Exit(1)
+	}
+	opts.DelegateThreshold = *delegates
+	svc, err := steinersvc.New(g, opts, steinersvc.Config{
 		Engines:      *engines,
 		CacheEntries: *cache,
 		JobQueue:     *jobs,
@@ -80,8 +96,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "steinersvc: %v\n", err)
 		os.Exit(1)
 	}
-	log.Printf("steinersvc: serving |V|=%d 2|E|=%d on %s with %d engine(s) x %d ranks, cache=%d, jobs=%d",
-		g.NumVertices(), g.NumArcs(), *addr, svc.NumEngines(), *ranks, *cache, *jobs)
+	log.Printf("steinersvc: serving |V|=%d 2|E|=%d on %s with %d engine(s) x %d ranks (%s partition, delegates>=%d), cache=%d, jobs=%d",
+		g.NumVertices(), g.NumArcs(), *addr, svc.NumEngines(), *ranks, *partKind, *delegates, *cache, *jobs)
 
 	srv := &http.Server{Addr: *addr, Handler: svc}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -76,6 +76,12 @@ type (
 	PhaseStat = core.PhaseStat
 	// QueueKind selects the per-rank message queue discipline.
 	QueueKind = rt.QueueKind
+	// PartitionKind selects the vertex-to-rank mapping used to cut the
+	// graph into rank-local shards.
+	PartitionKind = core.PartitionKind
+	// ShardStats describes an Engine's sharded graph substrate (partition
+	// kind, delegate count, per-rank shard bytes).
+	ShardStats = core.ShardStats
 	// SeedStrategy selects a seed-vertex selection algorithm.
 	SeedStrategy = seeds.Strategy
 	// DatasetConfig describes a synthetic graph generator configuration.
@@ -94,6 +100,19 @@ const (
 	// QueueBucket is a Δ-stepping style bucket discipline.
 	QueueBucket = rt.QueueBucket
 )
+
+// Partition kinds (see internal/partition and the §IV scale-out design).
+const (
+	// PartitionBlock gives each rank a contiguous, equal-vertex range.
+	PartitionBlock = core.PartitionBlock
+	// PartitionHash assigns vertex v to rank v mod P.
+	PartitionHash = core.PartitionHash
+	// PartitionArcBlock balances contiguous ranges by arc count.
+	PartitionArcBlock = core.PartitionArcBlock
+)
+
+// ParsePartition maps "block", "hash" or "arcblock" to its PartitionKind.
+func ParsePartition(s string) (PartitionKind, error) { return core.ParsePartition(s) }
 
 // Seed selection strategies (§V, §V-E).
 const (

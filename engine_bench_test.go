@@ -83,6 +83,49 @@ func BenchmarkEngineReuse(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineReuseGlobalCSR is the sharded-vs-global comparison: the
+// same resident-engine workload as BenchmarkEngineReuse, but on the
+// pre-shard reference path that strides the shared global CSR instead of
+// walking rank-local shard slabs. The ratio between the two is the cache
+// locality the shard refactor buys.
+func BenchmarkEngineReuseGlobalCSR(b *testing.B) {
+	g := benchSolveGraph(b)
+	seedSets := benchSeedSets(g, 16, 16)
+	opts := dsteiner.Defaults(4)
+	opts.GlobalCSR = true
+	e, err := dsteiner.NewEngine(g, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Solve(seedSets[i%len(seedSets)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardBuild measures the session-setup cost the shard substrate
+// adds: cutting P rank-local CSR slabs (plus delegate stripes) out of the
+// 20K-vertex benchmark graph. Paid once per Engine, amortized across every
+// query the engine serves.
+func BenchmarkShardBuild(b *testing.B) {
+	g := benchSolveGraph(b)
+	opts := dsteiner.Defaults(4)
+	opts.DelegateThreshold = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := dsteiner.NewEngine(g, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.Close()
+	}
+}
+
 // BenchmarkEnginePoolConcurrent measures query throughput with 4 resident
 // engines serving in-flight queries concurrently — the steinersvc -engines
 // configuration, without the HTTP layer.

@@ -30,6 +30,13 @@ type Engine struct {
 	opts Options
 	comm *rt.Comm
 
+	// Sharded substrate, built once at session setup and pooled across
+	// queries: the plan (per-rank owned sets + delegates) and one
+	// rank-local CSR slab per rank. Nil in Options.GlobalCSR reference
+	// mode.
+	plan   *partition.ShardPlan
+	shards []*graph.Shard
+
 	mu sync.Mutex // serializes Solve on this engine
 
 	// Pooled per-query state, reset in O(1) or O(query) between solves.
@@ -44,7 +51,9 @@ type Engine struct {
 }
 
 // NewEngine builds a reusable solver session for g. The returned Engine
-// holds opts.Ranks pinned goroutines until Close.
+// holds opts.Ranks pinned goroutines until Close. Engine pools serving one
+// graph should build the first engine here and the rest with NewSibling,
+// which shares the immutable shard substrate instead of rebuilding it.
 func NewEngine(g *graph.Graph, opts Options) (*Engine, error) {
 	opts = opts.withDefaults()
 	n := g.NumVertices()
@@ -65,6 +74,35 @@ func NewEngine(g *graph.Graph, opts Options) (*Engine, error) {
 	if opts.DelegateThreshold > 0 {
 		part = partition.WithDelegates(part, g, opts.DelegateThreshold)
 	}
+	var plan *partition.ShardPlan
+	var shards []*graph.Shard
+	if !opts.GlobalCSR {
+		plan, err = partition.NewShardPlan(part, g)
+		if err != nil {
+			return nil, err
+		}
+		shards = plan.BuildShards(g)
+	}
+	return newEngine(g, opts, part, plan, shards)
+}
+
+// NewSibling builds another engine over the same graph and options that
+// shares the receiver's immutable substrate — partition, shard plan and
+// rank-local shards — instead of rebuilding them. Shards are read-only
+// after construction, so siblings solve concurrently on one shard set;
+// each sibling still owns its communicator (pinned goroutines) and pooled
+// per-query state, and must be Closed independently. Engine pools
+// (internal/steinersvc) use this so a pool of N engines holds one copy of
+// the sharded graph, not N.
+func (e *Engine) NewSibling() (*Engine, error) {
+	return newEngine(e.g, e.opts, e.comm.Partition(), e.plan, e.shards)
+}
+
+// newEngine wires a communicator and pooled per-query state around an
+// already-built substrate. opts must have defaults applied.
+func newEngine(g *graph.Graph, opts Options, part partition.Partition,
+	plan *partition.ShardPlan, shards []*graph.Shard) (*Engine, error) {
+	n := g.NumVertices()
 	comm, err := rt.New(rt.Config{
 		Ranks:           opts.Ranks,
 		Queue:           opts.Queue,
@@ -76,12 +114,19 @@ func NewEngine(g *graph.Graph, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if shards != nil {
+		if err := comm.AttachShards(shards); err != nil {
+			return nil, err
+		}
+	}
 	comm.Start()
 
 	e := &Engine{
 		g:        g,
 		opts:     opts,
 		comm:     comm,
+		plan:     plan,
+		shards:   shards,
 		st:       voronoi.NewState(n),
 		walked:   make([]uint64, n),
 		localENs: make([]map[int64]crossEdge, opts.Ranks),
@@ -103,6 +148,46 @@ func (e *Engine) Close() { e.comm.Close() }
 
 // Graph returns the resident graph the engine is bound to.
 func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// ShardStats describes an engine's sharded graph substrate, for serving
+// layers (/info, /stats) and capacity planning.
+type ShardStats struct {
+	// Partition is the vertex-to-rank mapping kind ("block", "hash",
+	// "arcblock").
+	Partition string
+	// Ranks is the number of shards (one per rank).
+	Ranks int
+	// DelegateThreshold is the configured high-degree cutoff (0 = off).
+	DelegateThreshold int
+	// Delegates is the number of vertices striped across all ranks.
+	Delegates int
+	// ShardBytes is the total resident size of all rank-local shards.
+	ShardBytes int64
+	// MaxShardBytes is the largest single rank's shard — the per-process
+	// memory a multi-process backend would need.
+	MaxShardBytes int64
+}
+
+// ShardStats reports the engine's shard substrate. In GlobalCSR reference
+// mode only Partition/Ranks/DelegateThreshold are populated.
+func (e *Engine) ShardStats() ShardStats {
+	s := ShardStats{
+		Partition:         e.opts.Partition.String(),
+		Ranks:             e.opts.Ranks,
+		DelegateThreshold: e.opts.DelegateThreshold,
+	}
+	if e.plan != nil {
+		s.Delegates = e.plan.NumDelegates()
+	}
+	for _, sh := range e.shards {
+		b := sh.MemoryBytes()
+		s.ShardBytes += b
+		if b > s.MaxShardBytes {
+			s.MaxShardBytes = b
+		}
+	}
+	return s
+}
 
 // Options returns the engine's configuration with defaults applied.
 func (e *Engine) Options() Options { return e.opts }
@@ -223,13 +308,30 @@ func (e *Engine) solveCanonLocked(dedup []graph.VID) (*Result, error) {
 
 	rec := &recorder{comm: e.comm, res: res}
 	e.comm.Run(func(r *rt.Rank) {
+		// Rank-local adjacency accessors: the sharded path reads this
+		// rank's CSR slab; the GlobalCSR reference path scans the shared
+		// global arrays exactly as before the shard refactor. Both take an
+		// owned vertex first (edge weights are symmetric, so looking up
+		// {u, v} from u's slab row equals the global edge weight).
+		adjOf := r.Adj
+		edgeWeight := r.EdgeWeight
+		if opts.GlobalCSR {
+			adjOf = g.Adj
+			edgeWeight = g.HasEdge
+		}
+
 		// Phase 1: Voronoi cells (Alg. 4).
 		rec.phase(r, PhaseVoronoi, func() int64 {
 			var ts rt.TraversalStats
-			if opts.BSP {
-				ts = voronoi.RunRankBSP(r, g, dedup, st)
-			} else {
-				ts = voronoi.RunRank(r, g, dedup, st)
+			switch {
+			case opts.GlobalCSR && opts.BSP:
+				ts = voronoi.RunRankGlobalBSP(r, g, dedup, st)
+			case opts.GlobalCSR:
+				ts = voronoi.RunRankGlobal(r, g, dedup, st)
+			case opts.BSP:
+				ts = voronoi.RunRankBSP(r, dedup, st)
+			default:
+				ts = voronoi.RunRank(r, dedup, st)
 			}
 			return ts.Processed
 		})
@@ -243,7 +345,7 @@ func (e *Engine) solveCanonLocked(dedup []graph.VID) (*Result, error) {
 			if su == graph.NilVID || srcV == graph.NilVID || su == srcV {
 				return
 			}
-			w, ok := g.HasEdge(u, v)
+			w, ok := edgeWeight(u, v) // u is always owned by this rank
 			if !ok {
 				return
 			}
@@ -263,7 +365,7 @@ func (e *Engine) solveCanonLocked(dedup []graph.VID) (*Result, error) {
 						if st.Src(u) == graph.NilVID {
 							return
 						}
-						adj, _ := g.Adj(u)
+						adj, _ := adjOf(u)
 						for _, v := range adj {
 							if u >= v {
 								continue // lower endpoint initiates
@@ -409,7 +511,7 @@ func (e *Engine) solveCanonLocked(dedup []graph.VID) (*Result, error) {
 						if !r.Owns(ce.U) {
 							continue // u's home partition records the edge
 						}
-						w, _ := g.HasEdge(ce.U, ce.V)
+						w, _ := edgeWeight(ce.U, ce.V)
 						localTree = append(localTree, graph.Edge{U: ce.U, V: ce.V, W: w}.Canon())
 						r.Send(rt.Msg{Target: ce.U})
 						r.Send(rt.Msg{Target: ce.V})
@@ -425,7 +527,10 @@ func (e *Engine) solveCanonLocked(dedup []graph.VID) (*Result, error) {
 						return
 					}
 					p := st.Pred(vj)
-					w, _ := g.HasEdge(p, vj)
+					// vj is owned here; its predecessor may not be, so the
+					// lookup goes through vj's slab row (weights are
+					// symmetric).
+					w, _ := edgeWeight(vj, p)
 					localTree = append(localTree, graph.Edge{U: p, V: vj, W: w}.Canon())
 					r.Send(rt.Msg{Target: p})
 				},
@@ -453,7 +558,7 @@ func (e *Engine) solveCanonLocked(dedup []graph.VID) (*Result, error) {
 	}
 
 	res.SteinerVertices = countSteinerVertices(res.Tree, dedup)
-	res.Memory = memoryStats(g, st, e.localENs, res, opts)
+	res.Memory = memoryStats(g, e.ShardStats().ShardBytes, st, e.localENs, res, opts)
 	if !opts.SkipValidation {
 		if err := graph.ValidateSteinerTree(g, dedup, res.Tree); err != nil {
 			return nil, fmt.Errorf("core: internal error, invalid output: %w", err)

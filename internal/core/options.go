@@ -76,6 +76,21 @@ func (p PartitionKind) String() string {
 	}
 }
 
+// ParsePartition maps a flag/API string to its PartitionKind ("block",
+// "hash", "arcblock").
+func ParsePartition(s string) (PartitionKind, error) {
+	switch s {
+	case "block":
+		return PartitionBlock, nil
+	case "hash":
+		return PartitionHash, nil
+	case "arcblock":
+		return PartitionArcBlock, nil
+	default:
+		return PartitionBlock, fmt.Errorf("core: unknown partition kind %q (want block, hash or arcblock)", s)
+	}
+}
+
 // Options configures a Solve run. The zero value is a valid single-rank
 // configuration with the paper's defaults (priority queue, Prim MST,
 // asynchronous processing, block partition, no delegates).
@@ -117,6 +132,11 @@ type Options struct {
 	// SkipValidation skips the post-solve Steiner-tree validity check
 	// (benchmarks on large graphs).
 	SkipValidation bool
+	// GlobalCSR selects the pre-shard reference path: traversals scan the
+	// shared global CSR instead of rank-local shard slabs, and no shards
+	// are built. Retained for the shard-equivalence property tests and the
+	// sharded-vs-global benchmarks; production solves leave it false.
+	GlobalCSR bool
 }
 
 func (o Options) withDefaults() Options {

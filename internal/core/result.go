@@ -39,19 +39,21 @@ type PhaseStat struct {
 // the replicated distance graph and message buffers).
 type MemoryStats struct {
 	GraphBytes     int64
+	ShardBytes     int64 // rank-local CSR slabs + delegate stripes, all ranks
 	StateBytes     int64 // per-vertex Voronoi state
 	EdgeTableBytes int64 // local + merged cross-cell edge tables
 	DistGraphBytes int64 // replicated G'₁ + MST per rank
 	BufferBytes    int64 // modeled message buffer residency
 }
 
-// AlgorithmBytes is everything except the graph.
+// AlgorithmBytes is the per-query algorithm state: everything except the
+// graph substrate (global CSR and per-rank shards).
 func (m MemoryStats) AlgorithmBytes() int64 {
 	return m.StateBytes + m.EdgeTableBytes + m.DistGraphBytes + m.BufferBytes
 }
 
 // TotalBytes is the cluster-wide peak estimate.
-func (m MemoryStats) TotalBytes() int64 { return m.GraphBytes + m.AlgorithmBytes() }
+func (m MemoryStats) TotalBytes() int64 { return m.GraphBytes + m.ShardBytes + m.AlgorithmBytes() }
 
 // Result is the output of Solve.
 type Result struct {

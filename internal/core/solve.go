@@ -115,9 +115,9 @@ func countSteinerVertices(tree []graph.Edge, seeds []graph.VID) int {
 }
 
 // memoryStats models the Fig. 8 accounting: measured sizes for the graph,
-// Voronoi state and edge tables, plus a buffer-residency model
-// (P outgoing buffers per rank at the configured batch size).
-func memoryStats(g *graph.Graph, st *voronoi.State, localENs []map[int64]crossEdge, res *Result, opts Options) MemoryStats {
+// per-rank shards, Voronoi state and edge tables, plus a buffer-residency
+// model (P outgoing buffers per rank at the configured batch size).
+func memoryStats(g *graph.Graph, shardBytes int64, st *voronoi.State, localENs []map[int64]crossEdge, res *Result, opts Options) MemoryStats {
 	const crossEntryBytes = 8 + 16 + 8 // key + crossEdge + map overhead approx
 	const msgBytes = 24
 	var tableBytes int64
@@ -131,6 +131,7 @@ func memoryStats(g *graph.Graph, st *voronoi.State, localENs []map[int64]crossEd
 	}
 	return MemoryStats{
 		GraphBytes:     g.MemoryBytes(),
+		ShardBytes:     shardBytes,
 		StateBytes:     st.MemoryBytes(),
 		EdgeTableBytes: tableBytes,
 		DistGraphBytes: int64(res.DistGraphEdges) * 20 * int64(opts.Ranks),

@@ -1,7 +1,10 @@
 // Package graph provides the weighted-graph substrate used throughout the
 // repository: a compressed-sparse-row (CSR) representation of an undirected,
 // positively integer-weighted graph, plus breadth-first search, connected
-// components, tree utilities and simple binary/text serialization.
+// components, tree utilities and simple binary/text serialization. Shard is
+// the rank-local view of a partitioned graph — a compact CSR slab of one
+// rank's owned adjacency plus materialized delegate stripes — that the
+// distributed traversals run on instead of the shared global CSR.
 //
 // The representation follows the paper's conventions (§II): the background
 // graph G(V, E, d) is undirected and stored symmetrically, so a graph with

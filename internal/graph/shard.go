@@ -1,0 +1,213 @@
+package graph
+
+// Shard is one rank's local view of the graph: a compact CSR slab holding
+// the adjacency of the vertices the rank owns, plus a materialized stripe of
+// every high-degree delegate's adjacency (arc index ≡ rank mod P — the
+// HavoqGT vertex-cut). It replaces the shared-global-CSR hot path: a rank
+// walking its slab touches a contiguous, rank-sized region instead of
+// striding the whole graph's arrays, and — because a Shard references
+// nothing outside itself except vertex IDs — it is the unit of state a
+// multi-process backend would ship to each process.
+//
+// Shards are built once per solver session (partition.ShardPlan.BuildShards)
+// from the immutable global CSR and are themselves immutable: safe to share
+// read-only across queries, like the Graph they were cut from. Arc order
+// within a slab row and within a stripe matches the global CSR exactly, so
+// a traversal over shards sends the same messages in the same order as one
+// over the global arrays (the shard-equivalence property tests rely on it).
+type Shard struct {
+	rank     int
+	numRanks int
+
+	// Owned-vertex index: most partitions (block, arc-block, hash) own an
+	// affine set lo, lo+stride, lo+2*stride, ... which gives O(1) lookup
+	// with no per-vertex table. Irregular partitions fall back to an
+	// explicit index map.
+	lo     VID
+	stride int32
+	count  int
+	idx    map[VID]int32 // nil when the owned set is affine
+
+	// Local CSR slab over owned vertices, in increasing vertex order.
+	offsets []int64
+	targets []VID
+	weights []uint32
+
+	// Delegate stripes: delegate d's stripe occupies
+	// stripeTargets[stripeOff[i]:stripeOff[i+1]] where i = delegateIdx[d].
+	delegateIdx   map[VID]int32
+	stripeOff     []int64
+	stripeTargets []VID
+	stripeWeights []uint32
+}
+
+// NewShard cuts rank's slab out of g. owned must list the rank's vertices in
+// strictly increasing order; delegates lists every delegate vertex of the
+// partition (identical on all ranks — each rank materializes its own stripe
+// of every delegate, including delegates it owns).
+func NewShard(g *Graph, rank, numRanks int, owned []VID, delegates []VID) *Shard {
+	s := &Shard{rank: rank, numRanks: numRanks, count: len(owned)}
+	s.indexOwned(owned)
+
+	// Slab: copy each owned vertex's adjacency, preserving arc order.
+	var arcs int64
+	for _, v := range owned {
+		arcs += int64(g.Degree(v))
+	}
+	s.offsets = make([]int64, len(owned)+1)
+	s.targets = make([]VID, 0, arcs)
+	s.weights = make([]uint32, 0, arcs)
+	for i, v := range owned {
+		ts, ws := g.Adj(v)
+		s.targets = append(s.targets, ts...)
+		s.weights = append(s.weights, ws...)
+		s.offsets[i+1] = int64(len(s.targets))
+	}
+
+	// Delegate stripes: arcs at positions rank, rank+P, ... of each
+	// delegate's adjacency, in global arc order.
+	s.delegateIdx = make(map[VID]int32, len(delegates))
+	s.stripeOff = make([]int64, len(delegates)+1)
+	for i, d := range delegates {
+		s.delegateIdx[d] = int32(i)
+		ts, ws := g.Adj(d)
+		for j := rank; j < len(ts); j += numRanks {
+			s.stripeTargets = append(s.stripeTargets, ts[j])
+			s.stripeWeights = append(s.stripeWeights, ws[j])
+		}
+		s.stripeOff[i+1] = int64(len(s.stripeTargets))
+	}
+	return s
+}
+
+// indexOwned installs the O(1) vertex→slab-row mapping, detecting the affine
+// pattern (lo + i*stride) that every built-in partition produces; other
+// owned sets get an explicit map.
+func (s *Shard) indexOwned(owned []VID) {
+	s.stride = 1
+	if len(owned) == 0 {
+		return
+	}
+	s.lo = owned[0]
+	if len(owned) >= 2 {
+		s.stride = int32(owned[1] - owned[0])
+	}
+	affine := s.stride > 0
+	if affine {
+		for i, v := range owned {
+			if v != s.lo+VID(int64(i)*int64(s.stride)) {
+				affine = false
+				break
+			}
+		}
+	}
+	if affine {
+		return
+	}
+	s.stride = 0
+	s.idx = make(map[VID]int32, len(owned))
+	for i, v := range owned {
+		s.idx[v] = int32(i)
+	}
+}
+
+// localIndex returns v's slab row, or -1 when the shard does not own v.
+func (s *Shard) localIndex(v VID) int32 {
+	if s.stride == 0 {
+		if i, ok := s.idx[v]; ok {
+			return i
+		}
+		return -1
+	}
+	d := int64(v) - int64(s.lo)
+	if d < 0 {
+		return -1
+	}
+	if s.stride != 1 {
+		if d%int64(s.stride) != 0 {
+			return -1
+		}
+		d /= int64(s.stride)
+	}
+	if d >= int64(s.count) {
+		return -1
+	}
+	return int32(d)
+}
+
+// Rank returns the rank this shard belongs to.
+func (s *Shard) Rank() int { return s.rank }
+
+// NumRanks returns the partition's rank count P.
+func (s *Shard) NumRanks() int { return s.numRanks }
+
+// NumOwned returns the number of vertices in the slab.
+func (s *Shard) NumOwned() int { return s.count }
+
+// NumArcs returns the number of arcs in the slab (owned adjacency only).
+func (s *Shard) NumArcs() int64 { return int64(len(s.targets)) }
+
+// NumStripeArcs returns the number of delegate-stripe arcs this rank holds.
+func (s *Shard) NumStripeArcs() int64 { return int64(len(s.stripeTargets)) }
+
+// NumDelegates returns the number of delegate vertices striped across ranks.
+func (s *Shard) NumDelegates() int { return len(s.delegateIdx) }
+
+// Owns reports whether v's adjacency lives in this slab.
+func (s *Shard) Owns(v VID) bool { return s.localIndex(v) >= 0 }
+
+// Adj returns the adjacency of owned vertex v as parallel target/weight
+// slices, aliasing the slab (read-only). Arc order matches the global CSR.
+// Panics if the shard does not own v — the traversal routing is broken.
+func (s *Shard) Adj(v VID) ([]VID, []uint32) {
+	i := s.localIndex(v)
+	if i < 0 {
+		panic("graph: Shard.Adj on non-owned vertex")
+	}
+	lo, hi := s.offsets[i], s.offsets[i+1]
+	return s.targets[lo:hi], s.weights[lo:hi]
+}
+
+// StripeAdj returns this rank's stripe of delegate v's adjacency (arc index
+// ≡ rank mod P, in global arc order). Panics if v is not a delegate.
+func (s *Shard) StripeAdj(v VID) ([]VID, []uint32) {
+	i, ok := s.delegateIdx[v]
+	if !ok {
+		panic("graph: Shard.StripeAdj on non-delegate vertex")
+	}
+	lo, hi := s.stripeOff[i], s.stripeOff[i+1]
+	return s.stripeTargets[lo:hi], s.stripeWeights[lo:hi]
+}
+
+// EdgeWeight reports the weight of edge {u, v} by binary search over owned
+// vertex u's slab row (sorted, like the global CSR). The graph is
+// undirected, so EdgeWeight(u, v) on u's owner equals the global
+// HasEdge(v, u) from any rank.
+func (s *Shard) EdgeWeight(u, v VID) (uint32, bool) {
+	ts, ws := s.Adj(u)
+	lo, hi := 0, len(ts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ts[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ts) && ts[lo] == v {
+		return ws[lo], true
+	}
+	return 0, false
+}
+
+// MemoryBytes reports the shard's resident size: slab CSR, delegate stripes
+// and the owned-vertex index (zero extra for affine owned sets).
+func (s *Shard) MemoryBytes() int64 {
+	b := int64(len(s.offsets))*8 + int64(len(s.targets))*4 + int64(len(s.weights))*4
+	b += int64(len(s.stripeOff))*8 + int64(len(s.stripeTargets))*4 + int64(len(s.stripeWeights))*4
+	b += int64(len(s.delegateIdx)) * 12
+	if s.idx != nil {
+		b += int64(len(s.idx)) * 12
+	}
+	return b
+}

@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// shardTestGraph builds a reproducible random connected graph.
+func shardTestGraph(seed int64, n int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(VID(rng.Intn(v)), VID(v), uint32(rng.Intn(30))+1)
+	}
+	for i := 0; i < 2*n; i++ {
+		b.AddEdge(VID(rng.Intn(n)), VID(rng.Intn(n)), uint32(rng.Intn(30))+1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// affineOwned returns lo, lo+stride, ... capped at n.
+func affineOwned(lo, stride, count, n int) []VID {
+	var out []VID
+	for i := 0; i < count; i++ {
+		v := lo + i*stride
+		if v >= n {
+			break
+		}
+		out = append(out, VID(v))
+	}
+	return out
+}
+
+func TestShardSlabMatchesGlobalAdjacency(t *testing.T) {
+	g := shardTestGraph(1, 200)
+	for _, owned := range [][]VID{
+		affineOwned(0, 1, 50, 200),   // block-style prefix
+		affineOwned(50, 1, 150, 200), // block-style suffix
+		affineOwned(3, 4, 50, 200),   // hash-style stride
+		{2, 3, 5, 7, 11, 13, 17, 19}, // irregular: map fallback
+		{},                           // empty rank
+	} {
+		s := NewShard(g, 0, 4, owned, nil)
+		if s.NumOwned() != len(owned) {
+			t.Fatalf("NumOwned = %d, want %d", s.NumOwned(), len(owned))
+		}
+		ownedSet := map[VID]bool{}
+		for _, v := range owned {
+			ownedSet[v] = true
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			if s.Owns(VID(v)) != ownedSet[VID(v)] {
+				t.Fatalf("Owns(%d) = %v, want %v (owned %v)", v, s.Owns(VID(v)), ownedSet[VID(v)], owned)
+			}
+		}
+		for _, v := range owned {
+			gt, gw := g.Adj(v)
+			st, sw := s.Adj(v)
+			if len(gt) != len(st) {
+				t.Fatalf("Adj(%d): slab %d arcs, global %d", v, len(st), len(gt))
+			}
+			for i := range gt {
+				if gt[i] != st[i] || gw[i] != sw[i] {
+					t.Fatalf("Adj(%d) arc %d: slab (%d,%d), global (%d,%d)", v, i, st[i], sw[i], gt[i], gw[i])
+				}
+			}
+			// EdgeWeight over the slab row equals the global HasEdge.
+			for _, u := range gt {
+				gww, gok := g.HasEdge(v, u)
+				sww, sok := s.EdgeWeight(v, u)
+				if gok != sok || gww != sww {
+					t.Fatalf("EdgeWeight(%d,%d) = (%d,%v), global (%d,%v)", v, u, sww, sok, gww, gok)
+				}
+			}
+			if _, ok := s.EdgeWeight(v, v); ok {
+				t.Fatalf("EdgeWeight(%d,%d) found a self loop", v, v)
+			}
+		}
+	}
+}
+
+func TestShardStripesCoverDelegateAdjacencyExactlyOnce(t *testing.T) {
+	g := shardTestGraph(2, 150)
+	// Pick the three highest-degree vertices as delegates.
+	delegates := []VID{}
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Degree(VID(v)) >= 8 {
+			delegates = append(delegates, VID(v))
+		}
+	}
+	if len(delegates) == 0 {
+		t.Fatal("test graph has no high-degree vertices")
+	}
+	for _, p := range []int{1, 2, 3, 5} {
+		shards := make([]*Shard, p)
+		for rank := 0; rank < p; rank++ {
+			shards[rank] = NewShard(g, rank, p, nil, delegates)
+		}
+		for _, d := range delegates {
+			gt, gw := g.Adj(d)
+			// Each global arc index i must appear in exactly rank i%p's
+			// stripe, preserving order.
+			var total int
+			for rank := 0; rank < p; rank++ {
+				st, sw := shards[rank].StripeAdj(d)
+				for j := range st {
+					i := rank + j*p // global arc position of stripe entry j
+					if i >= len(gt) || gt[i] != st[j] || gw[i] != sw[j] {
+						t.Fatalf("p=%d delegate %d rank %d stripe[%d] = (%d,%d), want global arc %d",
+							p, d, rank, j, st[j], sw[j], i)
+					}
+				}
+				total += len(st)
+			}
+			if total != len(gt) {
+				t.Fatalf("p=%d delegate %d: stripes cover %d arcs, adjacency has %d", p, d, total, len(gt))
+			}
+		}
+	}
+}
+
+func TestShardPanicsOnForeignVertex(t *testing.T) {
+	g := shardTestGraph(3, 20)
+	s := NewShard(g, 0, 2, affineOwned(0, 1, 10, 20), nil)
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Adj(non-owned)", func() { s.Adj(15) })
+	mustPanic("StripeAdj(non-delegate)", func() { s.StripeAdj(0) })
+}
+
+func TestShardMemoryBytesAccountsArrays(t *testing.T) {
+	g := shardTestGraph(4, 100)
+	owned := affineOwned(0, 1, 100, 100)
+	s := NewShard(g, 0, 1, owned, []VID{0})
+	// One rank owns everything: slab arcs = all arcs, stripe = vertex 0's
+	// full adjacency.
+	if s.NumArcs() != g.NumArcs() {
+		t.Fatalf("slab arcs %d, graph arcs %d", s.NumArcs(), g.NumArcs())
+	}
+	if s.NumStripeArcs() != int64(g.Degree(0)) {
+		t.Fatalf("stripe arcs %d, degree %d", s.NumStripeArcs(), g.Degree(0))
+	}
+	want := int64(101)*8 + s.NumArcs()*8 + // offsets + targets+weights
+		int64(2)*8 + s.NumStripeArcs()*8 + // stripeOff + stripe arrays
+		12 // delegateIdx entry
+	if got := s.MemoryBytes(); got != want {
+		t.Fatalf("MemoryBytes = %d, want %d", got, want)
+	}
+	if s.NumDelegates() != 1 || s.Rank() != 0 || s.NumRanks() != 1 {
+		t.Fatalf("shard metadata wrong: %d delegates rank %d/%d", s.NumDelegates(), s.Rank(), s.NumRanks())
+	}
+}

@@ -4,7 +4,10 @@
 // and relies on HavoqGT's vertex-cut handling of high-degree vertices
 // ("vertex delegates") for load balance on scale-free graphs. This package
 // provides 1-D block and hashed partitions plus a delegate wrapper marking
-// hub vertices whose adjacency is striped across all ranks.
+// hub vertices whose adjacency is striped across all ranks. ShardPlan makes
+// a partition concrete: it materializes each rank's owned-vertex set and the
+// delegate list, and cuts the per-rank graph.Shard slabs from the global
+// CSR.
 package partition
 
 import (

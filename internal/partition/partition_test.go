@@ -210,6 +210,68 @@ func TestArcBlockMoreRanksThanVertices(t *testing.T) {
 	}
 }
 
+// TestPropertyAllKindsCoverEveryVertexExactlyOnce is the partition
+// invariant behind the shard substrate: for every partition kind (and its
+// delegate wrapper) over random n and P, each vertex is owned by exactly
+// one rank, and the set OwnedVertices yields for a rank is exactly the set
+// Owner maps to it, in increasing order. ShardPlan and the per-rank slabs
+// are only correct if this holds.
+func TestPropertyAllKindsCoverEveryVertexExactlyOnce(t *testing.T) {
+	f := func(seed int64, nRaw, pRaw uint16, thrRaw uint8) bool {
+		n := int(nRaw%500) + 1
+		p := int(pRaw%12) + 1
+		g := planTestGraph(seed, n)
+		parts := map[string]Partition{}
+		if blk, err := NewBlock(n, p); err == nil {
+			parts["block"] = blk
+		}
+		if hsh, err := NewHash(n, p); err == nil {
+			parts["hash"] = hsh
+		}
+		if arc, err := NewArcBlock(g, p); err == nil {
+			parts["arcblock"] = arc
+		}
+		if len(parts) != 3 {
+			return false
+		}
+		for name, base := range parts {
+			parts[name+"+delegates"] = WithDelegates(base, g, int(thrRaw%16)+1)
+		}
+		for name, part := range parts {
+			if part.NumRanks() != p || part.NumVertices() != n {
+				t.Logf("%s: wrong dimensions", name)
+				return false
+			}
+			covered := make([]int, n)
+			for rank := 0; rank < p; rank++ {
+				prev := graph.VID(-1)
+				ok := true
+				part.OwnedVertices(rank, func(v graph.VID) {
+					if v <= prev || part.Owner(v) != rank {
+						ok = false
+					}
+					prev = v
+					covered[v]++
+				})
+				if !ok {
+					t.Logf("%s n=%d p=%d rank=%d: OwnedVertices disagrees with Owner", name, n, p, rank)
+					return false
+				}
+			}
+			for v, c := range covered {
+				if c != 1 {
+					t.Logf("%s n=%d p=%d: vertex %d covered %d times", name, n, p, v, c)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestDelegates(t *testing.T) {
 	// Star: vertex 0 has degree 5, leaves degree 1.
 	b := graph.NewBuilder(6)

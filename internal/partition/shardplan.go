@@ -1,0 +1,73 @@
+package partition
+
+import (
+	"fmt"
+
+	"dsteiner/internal/graph"
+)
+
+// ShardPlan is the blueprint for cutting a graph into per-rank shards: each
+// rank's owned-vertex set (in increasing order, exactly the vertices
+// OwnedVertices yields) plus the global delegate list whose adjacency is
+// striped across all ranks. The plan is the partition made concrete — it is
+// what a multi-process backend would exchange at session setup so every
+// process can build its graph.Shard locally without seeing the full CSR.
+type ShardPlan struct {
+	part      Partition
+	owned     [][]graph.VID
+	delegates []graph.VID
+}
+
+// NewShardPlan materializes the partition's owned-vertex sets and delegate
+// list for an n-vertex graph. It fails if the partition does not cover
+// exactly the graph's vertex set (the per-kind invariants are property
+// tested; this check catches mismatched graph/partition pairings).
+func NewShardPlan(part Partition, g *graph.Graph) (*ShardPlan, error) {
+	n := g.NumVertices()
+	if part.NumVertices() != n {
+		return nil, fmt.Errorf("partition: plan for %d-vertex partition on %d-vertex graph",
+			part.NumVertices(), n)
+	}
+	p := &ShardPlan{part: part, owned: make([][]graph.VID, part.NumRanks())}
+	total := 0
+	for rank := range p.owned {
+		list := []graph.VID{}
+		part.OwnedVertices(rank, func(v graph.VID) { list = append(list, v) })
+		p.owned[rank] = list
+		total += len(list)
+	}
+	if total != n {
+		return nil, fmt.Errorf("partition: owned sets cover %d of %d vertices", total, n)
+	}
+	for v := 0; v < n; v++ {
+		if part.IsDelegate(graph.VID(v)) {
+			p.delegates = append(p.delegates, graph.VID(v))
+		}
+	}
+	return p, nil
+}
+
+// NumRanks returns the partition's rank count P.
+func (p *ShardPlan) NumRanks() int { return len(p.owned) }
+
+// Partition returns the partition the plan was built from.
+func (p *ShardPlan) Partition() Partition { return p.part }
+
+// Owned returns rank's vertices in increasing order. The slice is shared:
+// read-only.
+func (p *ShardPlan) Owned(rank int) []graph.VID { return p.owned[rank] }
+
+// Delegates returns the sorted delegate vertex list (shared: read-only).
+func (p *ShardPlan) Delegates() []graph.VID { return p.delegates }
+
+// NumDelegates returns the number of delegate vertices.
+func (p *ShardPlan) NumDelegates() int { return len(p.delegates) }
+
+// BuildShards cuts one graph.Shard per rank out of g according to the plan.
+func (p *ShardPlan) BuildShards(g *graph.Graph) []*graph.Shard {
+	shards := make([]*graph.Shard, p.NumRanks())
+	for rank := range shards {
+		shards[rank] = graph.NewShard(g, rank, p.NumRanks(), p.owned[rank], p.delegates)
+	}
+	return shards
+}

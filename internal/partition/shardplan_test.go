@@ -1,0 +1,146 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"dsteiner/internal/graph"
+)
+
+func planTestGraph(seed int64, n int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(graph.VID(rng.Intn(v)), graph.VID(v), uint32(rng.Intn(20))+1)
+	}
+	for i := 0; i < 2*n; i++ {
+		b.AddEdge(graph.VID(rng.Intn(n)), graph.VID(rng.Intn(n)), uint32(rng.Intn(20))+1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// allPartitions builds every partition kind (and a delegated wrapper of
+// each) for g over p ranks.
+func allPartitions(t *testing.T, g *graph.Graph, p, delegateThreshold int) map[string]Partition {
+	t.Helper()
+	n := g.NumVertices()
+	blk, err := NewBlock(n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsh, err := NewHash(n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arc, err := NewArcBlock(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]Partition{"block": blk, "hash": hsh, "arcblock": arc}
+	for name, base := range out {
+		out[name+"+delegates"] = WithDelegates(base, g, delegateThreshold)
+	}
+	return out
+}
+
+func TestShardPlanOwnedMatchesPartition(t *testing.T) {
+	g := planTestGraph(5, 137)
+	for _, p := range []int{1, 2, 3, 8, 137, 200} {
+		if p > g.NumVertices() {
+			continue // hash/block require p ranks but may own empty sets; arcblock handles it
+		}
+		for name, part := range allPartitions(t, g, p, 10) {
+			plan, err := NewShardPlan(part, g)
+			if err != nil {
+				t.Fatalf("%s p=%d: %v", name, p, err)
+			}
+			if plan.NumRanks() != p || plan.Partition() != part {
+				t.Fatalf("%s p=%d: plan metadata wrong", name, p)
+			}
+			covered := make([]int, g.NumVertices())
+			for rank := 0; rank < p; rank++ {
+				prev := graph.VID(-1)
+				for _, v := range plan.Owned(rank) {
+					if v <= prev {
+						t.Fatalf("%s p=%d rank %d: owned list not increasing at %d", name, p, rank, v)
+					}
+					prev = v
+					covered[v]++
+					if part.Owner(v) != rank {
+						t.Fatalf("%s p=%d: plan puts %d on rank %d, Owner says %d", name, p, v, rank, part.Owner(v))
+					}
+				}
+			}
+			for v, c := range covered {
+				if c != 1 {
+					t.Fatalf("%s p=%d: vertex %d covered %d times", name, p, v, c)
+				}
+			}
+			// Delegate list must match IsDelegate exactly.
+			want := 0
+			for v := 0; v < g.NumVertices(); v++ {
+				if part.IsDelegate(graph.VID(v)) {
+					want++
+				}
+			}
+			if plan.NumDelegates() != want {
+				t.Fatalf("%s p=%d: plan has %d delegates, partition marks %d", name, p, plan.NumDelegates(), want)
+			}
+			for _, d := range plan.Delegates() {
+				if !part.IsDelegate(d) {
+					t.Fatalf("%s p=%d: plan delegate %d not marked by partition", name, p, d)
+				}
+			}
+		}
+	}
+}
+
+func TestShardPlanBuildShards(t *testing.T) {
+	g := planTestGraph(6, 90)
+	for name, part := range allPartitions(t, g, 4, 8) {
+		plan, err := NewShardPlan(part, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards := plan.BuildShards(g)
+		if len(shards) != 4 {
+			t.Fatalf("%s: %d shards", name, len(shards))
+		}
+		var ownedTotal int
+		var slabArcs int64
+		for rank, s := range shards {
+			if s.Rank() != rank || s.NumRanks() != 4 {
+				t.Fatalf("%s: shard %d mis-ranked", name, rank)
+			}
+			ownedTotal += s.NumOwned()
+			slabArcs += s.NumArcs()
+			if s.NumDelegates() != plan.NumDelegates() {
+				t.Fatalf("%s: shard %d has %d delegates, plan %d", name, rank, s.NumDelegates(), plan.NumDelegates())
+			}
+			if s.MemoryBytes() <= 0 {
+				t.Fatalf("%s: shard %d reports %d bytes", name, rank, s.MemoryBytes())
+			}
+		}
+		if ownedTotal != g.NumVertices() {
+			t.Fatalf("%s: shards own %d vertices, graph has %d", name, ownedTotal, g.NumVertices())
+		}
+		if slabArcs != g.NumArcs() {
+			t.Fatalf("%s: slabs hold %d arcs, graph has %d", name, slabArcs, g.NumArcs())
+		}
+	}
+}
+
+func TestShardPlanRejectsMismatchedGraph(t *testing.T) {
+	g := planTestGraph(7, 50)
+	part, err := NewBlock(49, 2) // wrong vertex count
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewShardPlan(part, g); err == nil {
+		t.Fatal("mismatched partition accepted")
+	}
+}

@@ -15,6 +15,12 @@ type Rank struct {
 	box  *mailbox
 	out  [][]Msg // per-destination outgoing buffers
 
+	// shard is this rank's local graph substrate (owned-adjacency slab +
+	// delegate stripes), installed by Comm.AttachShards. Traversal code
+	// reads adjacency through Adj/StripeAdj/EdgeWeight so it never touches
+	// the global CSR.
+	shard *graph.Shard
+
 	// Traversal-scoped state.
 	queue   pq.Queue[Msg]
 	keyOf   KeyFunc
@@ -52,6 +58,31 @@ func (r *Rank) OwnedVertices(fn func(v graph.VID)) {
 
 // IsDelegate reports whether v is a high-degree delegate vertex.
 func (r *Rank) IsDelegate(v graph.VID) bool { return r.comm.part.IsDelegate(v) }
+
+// Shard returns this rank's local graph shard, or nil before AttachShards.
+func (r *Rank) Shard() *graph.Shard { return r.shard }
+
+// mustShard returns the shard or fails loudly: a traversal asked for local
+// adjacency on a communicator that never attached shards.
+func (r *Rank) mustShard() *graph.Shard {
+	if r.shard == nil {
+		panic("runtime: rank has no shard; call Comm.AttachShards or Comm.EnsureShards before Run")
+	}
+	return r.shard
+}
+
+// Adj returns owned vertex v's adjacency from this rank's local slab, in
+// global-CSR arc order. The slices alias shard storage: read-only.
+func (r *Rank) Adj(v graph.VID) ([]graph.VID, []uint32) { return r.mustShard().Adj(v) }
+
+// StripeAdj returns this rank's materialized stripe (arc index ≡ rank
+// mod P) of delegate v's adjacency.
+func (r *Rank) StripeAdj(v graph.VID) ([]graph.VID, []uint32) { return r.mustShard().StripeAdj(v) }
+
+// EdgeWeight reports the weight of edge {u, v} looked up in owned vertex u's
+// slab row. The graph is undirected, so this equals a global HasEdge in
+// either direction.
+func (r *Rank) EdgeWeight(u, v graph.VID) (uint32, bool) { return r.mustShard().EdgeWeight(u, v) }
 
 // Send routes m to the owner of m.Target. Valid inside a traversal (the
 // visit callback or init function). Messages to the local rank skip the

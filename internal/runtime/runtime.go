@@ -13,6 +13,12 @@
 //     with a distributed-termination counter.
 //   - Collectives (Barrier, Allreduce, map reduction) mirror
 //     MPI_Allreduce(MPI_MIN) etc., used by Alg. 5's edge phases.
+//   - Each rank carries a rank-local graph shard (Comm.AttachShards /
+//     Comm.EnsureShards), exposed as the local-adjacency API Rank.Adj,
+//     Rank.StripeAdj and Rank.EdgeWeight. Traversal code reads adjacency
+//     only through that API — like an MPI process that holds just its
+//     partition — so each rank walks a compact slab instead of striding
+//     the shared global CSR.
 //
 // The engine also supports a bulk-synchronous (BSP) traversal mode and
 // seeded randomized message delivery, used by the ablation benchmarks and
@@ -194,6 +200,58 @@ func MustNew(cfg Config, part partition.Partition) *Comm {
 		panic(err)
 	}
 	return c
+}
+
+// AttachShards installs one rank-local graph shard per rank, the substrate
+// for the Rank.Adj/StripeAdj/EdgeWeight local-adjacency API. Call before
+// Run (shards must not change while a run is in flight); shards are
+// immutable and stay attached across runs, so a long-lived Comm pays the
+// build once per session. shards[i] must be rank i's shard.
+func (c *Comm) AttachShards(shards []*graph.Shard) error {
+	if len(shards) != c.cfg.Ranks {
+		return fmt.Errorf("runtime: %d shards for %d ranks", len(shards), c.cfg.Ranks)
+	}
+	for i, s := range shards {
+		if s == nil || s.Rank() != i {
+			return fmt.Errorf("runtime: shard %d missing or mis-ranked", i)
+		}
+	}
+	for i, r := range c.ranks {
+		r.shard = shards[i]
+	}
+	return nil
+}
+
+// EnsureShards builds and attaches shards cut from g by this communicator's
+// partition, if none are attached yet. Convenience for callers (tests,
+// voronoi.Compute) that build a Comm directly; core.Engine builds its own
+// ShardPlan so it can also report shard memory. Call before Run. Panics on
+// a partition/graph mismatch — a programming error, like MustNew.
+func (c *Comm) EnsureShards(g *graph.Graph) {
+	if c.ranks[0].shard != nil {
+		return
+	}
+	plan, err := partition.NewShardPlan(c.part, g)
+	if err != nil {
+		panic(err)
+	}
+	if err := c.AttachShards(plan.BuildShards(g)); err != nil {
+		panic(err)
+	}
+}
+
+// Sharded reports whether shards are attached.
+func (c *Comm) Sharded() bool { return c.ranks[0].shard != nil }
+
+// ShardMemoryBytes sums the attached shards' resident bytes (0 if none).
+func (c *Comm) ShardMemoryBytes() int64 {
+	var b int64
+	for _, r := range c.ranks {
+		if r.shard != nil {
+			b += r.shard.MemoryBytes()
+		}
+	}
+	return b
 }
 
 // NumRanks returns the communicator size P.

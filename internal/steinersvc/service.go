@@ -61,6 +61,10 @@ type Service struct {
 	opts core.Options
 	mux  *http.ServeMux
 
+	// shard describes the engines' sharded substrate (identical across the
+	// pool; captured from the first engine at construction).
+	shard core.ShardStats
+
 	// engines is the bounded pool: a query blocks here until an engine is
 	// free, so at most cap(engines) solves are in flight at once.
 	engines chan *core.Engine
@@ -107,8 +111,18 @@ func New(g *graph.Graph, opts core.Options, cfg Config) (*Service, error) {
 	}
 	s.stats.phaseSeconds = make(map[string]float64, len(core.PhaseNames))
 	s.stats.phaseCalls = make(map[string]int64, len(core.PhaseNames))
+	// The first engine cuts the shard substrate; the rest are siblings
+	// sharing it, so the pool holds one copy of the sharded graph, not
+	// cfg.Engines copies.
+	var first *core.Engine
 	for i := 0; i < cfg.Engines; i++ {
-		e, err := core.NewEngine(g, opts)
+		var e *core.Engine
+		var err error
+		if first == nil {
+			e, err = core.NewEngine(g, opts)
+		} else {
+			e, err = first.NewSibling()
+		}
 		if err != nil {
 			// Release the engines already built; workers have not started.
 			for {
@@ -119,6 +133,10 @@ func New(g *graph.Graph, opts core.Options, cfg Config) (*Service, error) {
 					return nil, fmt.Errorf("steinersvc: engine %d: %w", i, err)
 				}
 			}
+		}
+		if first == nil {
+			first = e
+			s.shard = e.ShardStats()
 		}
 		s.engines <- e
 	}
@@ -196,7 +214,8 @@ func (s *Service) Close() { _ = s.Shutdown(context.Background()) }
 // ServeHTTP dispatches to the API endpoints.
 func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// InfoResponse describes the loaded graph.
+// InfoResponse describes the loaded graph and the per-engine shard
+// substrate it is served from.
 type InfoResponse struct {
 	Vertices  int     `json:"vertices"`
 	Arcs      int64   `json:"arcs"`
@@ -205,6 +224,16 @@ type InfoResponse struct {
 	MinWeight uint32  `json:"minWeight"`
 	MaxWeight uint32  `json:"maxWeight"`
 	Engines   int     `json:"engines"`
+	Ranks     int     `json:"ranks"`
+	// Partition is the vertex-to-rank mapping kind (block/hash/arcblock).
+	Partition string `json:"partition"`
+	// DelegateThreshold is the high-degree delegate cutoff (0 = off);
+	// Delegates counts the vertices striped across ranks.
+	DelegateThreshold int `json:"delegateThreshold"`
+	Delegates         int `json:"delegates"`
+	// ShardBytes is the total rank-local shard memory — one shard set
+	// shared by every engine in the pool.
+	ShardBytes int64 `json:"shardBytes"`
 }
 
 // SolveRequest is the /solve request body. Exactly one of Seeds or K must
@@ -297,6 +326,20 @@ type CacheStats struct {
 	HitRate   float64 `json:"hitRate"`
 }
 
+// ShardStats reports the pool's sharded graph substrate for /stats: the
+// partition kind, the delegate stripe count and the per-rank slab memory
+// (TotalBytes across all ranks, MaxRankBytes for the largest single rank —
+// the per-process footprint a multi-process backend would need). One shard
+// set is cut by the pool's first engine and shared by its siblings.
+type ShardStats struct {
+	Partition         string `json:"partition"`
+	Ranks             int    `json:"ranks"`
+	DelegateThreshold int    `json:"delegateThreshold"`
+	Delegates         int    `json:"delegates"`
+	TotalBytes        int64  `json:"totalBytes"`
+	MaxRankBytes      int64  `json:"maxRankBytes"`
+}
+
 // JobStats reports the async job queue for /stats. Completed counts
 // successful jobs only; Completed + Failed is everything that finished.
 type JobStats struct {
@@ -323,6 +366,7 @@ type StatsResponse struct {
 	BatchQueries    int64        `json:"batchQueries"`
 	AvgSolveSeconds float64      `json:"avgSolveSeconds"`
 	Phases          []PhaseStats `json:"phases"`
+	Shard           ShardStats   `json:"shard"`
 	Cache           *CacheStats  `json:"cache,omitempty"`
 	Jobs            *JobStats    `json:"jobs,omitempty"`
 }
@@ -334,13 +378,18 @@ func (s *Service) handleInfo(w http.ResponseWriter, r *http.Request) {
 	}
 	minW, maxW := s.g.WeightRange()
 	writeJSON(w, InfoResponse{
-		Vertices:  s.g.NumVertices(),
-		Arcs:      s.g.NumArcs(),
-		MaxDegree: s.g.MaxDegree(),
-		AvgDegree: s.g.AvgDegree(),
-		MinWeight: minW,
-		MaxWeight: maxW,
-		Engines:   s.NumEngines(),
+		Vertices:          s.g.NumVertices(),
+		Arcs:              s.g.NumArcs(),
+		MaxDegree:         s.g.MaxDegree(),
+		AvgDegree:         s.g.AvgDegree(),
+		MinWeight:         minW,
+		MaxWeight:         maxW,
+		Engines:           s.NumEngines(),
+		Ranks:             s.shard.Ranks,
+		Partition:         s.shard.Partition,
+		DelegateThreshold: s.shard.DelegateThreshold,
+		Delegates:         s.shard.Delegates,
+		ShardBytes:        s.shard.ShardBytes,
 	})
 }
 
@@ -378,6 +427,14 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	st.mu.Unlock()
+	resp.Shard = ShardStats{
+		Partition:         s.shard.Partition,
+		Ranks:             s.shard.Ranks,
+		DelegateThreshold: s.shard.DelegateThreshold,
+		Delegates:         s.shard.Delegates,
+		TotalBytes:        s.shard.ShardBytes,
+		MaxRankBytes:      s.shard.MaxShardBytes,
+	}
 	if s.cache != nil {
 		cc := s.cache.counters()
 		cs := &CacheStats{

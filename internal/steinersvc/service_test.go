@@ -371,6 +371,57 @@ func TestInfoReportsEngines(t *testing.T) {
 	}
 }
 
+// TestInfoAndStatsReportShardSubstrate checks the serving layers surface the
+// engines' shard substrate: partition kind, delegate count and shard memory.
+func TestInfoAndStatsReportShardSubstrate(t *testing.T) {
+	opts := core.Default(2)
+	opts.Partition = core.PartitionHash
+	opts.DelegateThreshold = 3
+	s, err := New(testGraph(t), opts, Config{Engines: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info InfoResponse
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Partition != "hash" || info.Ranks != 2 || info.DelegateThreshold != 3 {
+		t.Fatalf("info substrate = %+v", info)
+	}
+	if info.Delegates == 0 || info.ShardBytes <= 0 {
+		t.Fatalf("info missing shard substrate: %+v", info)
+	}
+
+	resp2, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shard.Partition != "hash" || stats.Shard.Ranks != 2 || stats.Shard.DelegateThreshold != 3 {
+		t.Fatalf("stats shard = %+v", stats.Shard)
+	}
+	if stats.Shard.TotalBytes <= 0 || stats.Shard.MaxRankBytes <= 0 ||
+		stats.Shard.MaxRankBytes > stats.Shard.TotalBytes {
+		t.Fatalf("stats shard bytes inconsistent: %+v", stats.Shard)
+	}
+	if stats.Shard.Delegates != info.Delegates {
+		t.Fatalf("stats delegates %d != info delegates %d", stats.Shard.Delegates, info.Delegates)
+	}
+}
+
 // --- cache, batch, async, shutdown ---
 
 func postJSON(t *testing.T, url string, body any) *http.Response {

@@ -127,21 +127,62 @@ const delegateRelax uint8 = 1
 // RunRank executes the Voronoi-cell traversal on one rank (call inside
 // Comm.Run alongside the other ranks). It returns the rank's traversal work
 // counters. st must be shared by all ranks of the communicator.
-func RunRank(r *rt.Rank, g *graph.Graph, seeds []graph.VID, st *State) rt.TraversalStats {
-	return run(r, g, seeds, st, false)
+//
+// Adjacency comes from the rank's local shard (Rank.Adj / Rank.StripeAdj),
+// never the global CSR: the communicator must have shards attached
+// (Comm.AttachShards or Comm.EnsureShards) before Run.
+func RunRank(r *rt.Rank, seeds []graph.VID, st *State) rt.TraversalStats {
+	return run(r, seeds, st, false)
 }
 
 // RunRankBSP is RunRank under bulk-synchronous supersteps instead of
 // asynchronous processing — the §IV async-vs-BSP ablation.
-func RunRankBSP(r *rt.Rank, g *graph.Graph, seeds []graph.VID, st *State) rt.TraversalStats {
-	return run(r, g, seeds, st, true)
+func RunRankBSP(r *rt.Rank, seeds []graph.VID, st *State) rt.TraversalStats {
+	return run(r, seeds, st, true)
 }
 
-func run(r *rt.Rank, g *graph.Graph, seeds []graph.VID, st *State, bsp bool) rt.TraversalStats {
+// run is the sharded hot path: each rank walks its own CSR slab and its
+// materialized delegate stripes; the global CSR is never consulted.
+func run(r *rt.Rank, seeds []graph.VID, st *State, bsp bool) rt.TraversalStats {
 	relaxNeighbors := func(r *rt.Rank, v graph.VID, src graph.VID, dist graph.Dist) {
 		if r.IsDelegate(v) {
 			// Hub: fan the relaxation out to all ranks; each scans its
-			// stripe of v's (large) adjacency.
+			// materialized stripe of v's (large) adjacency.
+			r.Broadcast(rt.Msg{Target: v, From: v, Seed: src, Dist: dist, Kind: delegateRelax})
+			return
+		}
+		ts, ws := r.Adj(v)
+		for i, u := range ts {
+			r.Send(rt.Msg{Target: u, From: v, Seed: src, Dist: dist + graph.Dist(ws[i])})
+		}
+	}
+	relaxStripe := func(r *rt.Rank, m rt.Msg) {
+		v := m.Target
+		ts, ws := r.StripeAdj(v)
+		for i, u := range ts {
+			r.Send(rt.Msg{Target: u, From: v, Seed: m.Seed, Dist: m.Dist + graph.Dist(ws[i])})
+		}
+	}
+	return runWith(r, seeds, st, bsp, relaxNeighbors, relaxStripe)
+}
+
+// RunRankGlobal is the pre-shard reference implementation: identical visitor
+// logic, but adjacency read by scanning the shared global CSR (delegate
+// stripes as strided scans over the global arrays). Retained as the oracle
+// for the shard-equivalence property tests and the sharded-vs-global
+// benchmarks; the solver's production path is RunRank.
+func RunRankGlobal(r *rt.Rank, g *graph.Graph, seeds []graph.VID, st *State) rt.TraversalStats {
+	return runGlobal(r, g, seeds, st, false)
+}
+
+// RunRankGlobalBSP is RunRankGlobal under bulk-synchronous supersteps.
+func RunRankGlobalBSP(r *rt.Rank, g *graph.Graph, seeds []graph.VID, st *State) rt.TraversalStats {
+	return runGlobal(r, g, seeds, st, true)
+}
+
+func runGlobal(r *rt.Rank, g *graph.Graph, seeds []graph.VID, st *State, bsp bool) rt.TraversalStats {
+	relaxNeighbors := func(r *rt.Rank, v graph.VID, src graph.VID, dist graph.Dist) {
+		if r.IsDelegate(v) {
 			r.Broadcast(rt.Msg{Target: v, From: v, Seed: src, Dist: dist, Kind: delegateRelax})
 			return
 		}
@@ -150,7 +191,25 @@ func run(r *rt.Rank, g *graph.Graph, seeds []graph.VID, st *State, bsp bool) rt.
 			r.Send(rt.Msg{Target: u, From: v, Seed: src, Dist: dist + graph.Dist(ws[i])})
 		}
 	}
+	relaxStripe := func(r *rt.Rank, m rt.Msg) {
+		v := m.Target
+		ts, ws := g.Adj(v)
+		p := r.NumRanks()
+		for i := r.ID(); i < len(ts); i += p {
+			u := ts[i]
+			r.Send(rt.Msg{Target: u, From: v, Seed: m.Seed, Dist: m.Dist + graph.Dist(ws[i])})
+		}
+	}
+	return runWith(r, seeds, st, bsp, relaxNeighbors, relaxStripe)
+}
 
+// runWith is the shared traversal skeleton: tie-breaking and state updates
+// are identical for the sharded and global-reference paths, so the two can
+// only differ if an adjacency source yields different arcs — exactly what
+// the shard-equivalence tests pin down.
+func runWith(r *rt.Rank, seeds []graph.VID, st *State, bsp bool,
+	relaxNeighbors func(r *rt.Rank, v graph.VID, src graph.VID, dist graph.Dist),
+	relaxStripe func(r *rt.Rank, m rt.Msg)) rt.TraversalStats {
 	return r.Traverse(&rt.Traversal{
 		Key: rt.DistKey,
 		BSP: bsp,
@@ -165,13 +224,7 @@ func run(r *rt.Rank, g *graph.Graph, seeds []graph.VID, st *State, bsp bool) rt.
 			if m.Kind == delegateRelax {
 				// Relax this rank's stripe of the delegate's adjacency.
 				// State was already updated by the delegate's owner.
-				v := m.Target
-				ts, ws := g.Adj(v)
-				p := r.NumRanks()
-				for i := r.ID(); i < len(ts); i += p {
-					u := ts[i]
-					r.Send(rt.Msg{Target: u, From: v, Seed: m.Seed, Dist: m.Dist + graph.Dist(ws[i])})
-				}
+				relaxStripe(r, m)
 				return
 			}
 			vj := m.Target
@@ -191,11 +244,13 @@ func run(r *rt.Rank, g *graph.Graph, seeds []graph.VID, st *State, bsp bool) rt.
 // Compute runs the Voronoi-cell phase standalone on a fresh traversal over
 // the given communicator and returns the converged state (convenience for
 // tests, Table I and examples; the Steiner solver calls RunRank inside its
-// own SPMD body).
+// own SPMD body). Shards are built from g on first use if the communicator
+// has none attached.
 func Compute(c *rt.Comm, g *graph.Graph, seeds []graph.VID) *State {
+	c.EnsureShards(g)
 	st := NewState(g.NumVertices())
 	c.Run(func(r *rt.Rank) {
-		RunRank(r, g, seeds, st)
+		RunRank(r, seeds, st)
 	})
 	return st
 }
