@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCheckLinks(t *testing.T) {
+	root := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "docs"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "README.md"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	md := strings.Join([]string{
+		"[ok](../README.md)",
+		"[anchor ok](../README.md#section)",
+		"[web](https://example.com/x) [mail](mailto:a@b.c) [frag](#here)",
+		"[broken](missing.md)",
+	}, "\n")
+	problems := checkLinks(root, filepath.Join("docs", "API.md"), md)
+	if len(problems) != 1 || !strings.Contains(problems[0], "missing.md") {
+		t.Fatalf("problems = %v, want exactly the broken link", problems)
+	}
+}
+
+func TestExtractAndCheckGoBlocks(t *testing.T) {
+	md := "intro\n```go\npackage main\n\nfunc main() {}\n```\nmiddle\n```text\nnot go\n```\n```go\nx := 1\n```\n"
+	blocks := extractGoBlocks("docs/X.md", md)
+	if len(blocks) != 2 {
+		t.Fatalf("extracted %d blocks, want 2", len(blocks))
+	}
+	if p := checkGoBlock(blocks[0]); len(p) != 0 {
+		t.Fatalf("well-formed snippet flagged: %v", p)
+	}
+	// The fragment has no package clause.
+	if p := checkGoBlock(blocks[1]); len(p) != 1 || !strings.Contains(p[0], "package clause") {
+		t.Fatalf("fragment not flagged: %v", p)
+	}
+	// Unformatted code is flagged.
+	bad := goBlock{file: "docs/X.md", line: 1, code: "package main\n\nfunc main()   {}\n"}
+	if p := checkGoBlock(bad); len(p) != 1 || !strings.Contains(p[0], "gofmt") {
+		t.Fatalf("unformatted snippet not flagged: %v", p)
+	}
+}
+
+// TestRunAgainstRepo runs the full check (links + snippet compile) against
+// this repository's actual documentation — the same invocation CI uses.
+func TestRunAgainstRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles doc snippets; skipped in -short")
+	}
+	if problems := run("../.."); len(problems) != 0 {
+		t.Fatalf("repo docs fail docscheck:\n%s", strings.Join(problems, "\n"))
+	}
+}

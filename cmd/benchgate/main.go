@@ -11,10 +11,12 @@
 // compared — the least-noisy estimate of the code's true cost. Benchmarks
 // present in only one file are reported but never gate. Refresh the baseline
 // from a fresh run with -update, which rewrites the baseline file from the
-// current output (after validating it parses and covers the gated names)
-// instead of gating against it. The run must include the warm repeats of the
-// gated benchmarks (their single 1x iterations run cold; CI compares warm
-// minima, so a cold-only baseline silently loosens the gate):
+// current output instead of gating against it — after validating that the
+// run parses, covers the gated names, and covers every benchmark the old
+// baseline tracks (a vanished benchmark would otherwise silently drop out;
+// pass -prune to drop benchmarks on purpose). The run must include the warm
+// repeats of the gated benchmarks (their single 1x iterations run cold; CI
+// compares warm minima, so a cold-only baseline silently loosens the gate):
 //
 //	go test -bench . -benchtime 1x -run '^$' -short . ./internal/steinersvc > bench_pr.txt
 //	go test -bench 'BenchmarkEngineReuse$|BenchmarkShardBuild$' -benchtime 20x -count 3 -run '^$' . >> bench_pr.txt
@@ -184,9 +186,13 @@ func splitGates(gateList string) []string {
 }
 
 // update rewrites the baseline file from a fresh bench run, first checking
-// that the run parses and contains every gated benchmark — a baseline that
-// cannot gate would brick the next CI run.
-func update(baselinePath, currentPath, gateList string, stdout io.Writer) error {
+// that the run parses, contains every gated benchmark — a baseline that
+// cannot gate would brick the next CI run — and covers every benchmark the
+// existing baseline tracks. Without the coverage check, a benchmark that
+// vanished from the run (renamed, filtered out, build-tagged away) would
+// silently drop out of the baseline and never be compared again; removing
+// one on purpose requires -prune.
+func update(baselinePath, currentPath, gateList string, prune bool, stdout io.Writer) error {
 	current, err := parseBenchFile(currentPath)
 	if err != nil {
 		return err
@@ -197,6 +203,28 @@ func update(baselinePath, currentPath, gateList string, stdout io.Writer) error 
 	for _, name := range splitGates(gateList) {
 		if _, ok := current[name]; !ok {
 			return fmt.Errorf("refusing to update: gated benchmark %s missing from %s", name, currentPath)
+		}
+	}
+	old, err := parseBenchFile(baselinePath)
+	switch {
+	case os.IsNotExist(err):
+		// First-time update: nothing tracked yet, nothing to lose.
+	case err != nil:
+		// An existing but unreadable/corrupt baseline must not silently
+		// become "first-time": refuse so the guard cannot be bypassed by
+		// exactly the damage it exists to catch.
+		return fmt.Errorf("refusing to update: cannot read existing baseline: %w", err)
+	case !prune:
+		var vanished []string
+		for name := range old {
+			if _, ok := current[name]; !ok {
+				vanished = append(vanished, name)
+			}
+		}
+		if len(vanished) > 0 {
+			sort.Strings(vanished)
+			return fmt.Errorf("refusing to update: %s tracks benchmarks missing from %s: %s (pass -prune to drop them)",
+				baselinePath, currentPath, strings.Join(vanished, ", "))
 		}
 	}
 	raw, err := os.ReadFile(currentPath)
@@ -271,10 +299,11 @@ func main() {
 		maxRegress = flag.Float64("max-regress", 0.20, "max allowed ns/op regression (0.20 = +20%)")
 		jsonOut    = flag.String("json", "", "write current results as JSON to this path")
 		doUpdate   = flag.Bool("update", false, "rewrite -baseline from -current instead of gating")
+		prune      = flag.Bool("prune", false, "with -update, allow dropping benchmarks the old baseline tracks")
 	)
 	flag.Parse()
 	if *doUpdate {
-		if err := update(*baseline, *current, *gates, os.Stdout); err != nil {
+		if err := update(*baseline, *current, *gates, *prune, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 			os.Exit(1)
 		}

@@ -125,7 +125,7 @@ func TestUpdateRewritesBaseline(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if err := update(base, cur, "BenchmarkEngineReuse", &out); err != nil {
+	if err := update(base, cur, "BenchmarkEngineReuse", false, &out); err != nil {
 		t.Fatal(err)
 	}
 	got, err := os.ReadFile(base)
@@ -144,14 +144,65 @@ func TestUpdateRewritesBaseline(t *testing.T) {
 	if err := os.WriteFile(cur, []byte("BenchmarkColdSolve-8 1 1000 ns/op\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := update(base, cur, "BenchmarkEngineReuse", &out); err == nil {
+	if err := update(base, cur, "BenchmarkEngineReuse", false, &out); err == nil {
 		t.Fatal("update accepted a run missing the gated benchmark")
 	}
 	// An empty/unparseable run must not become the baseline either.
 	if err := os.WriteFile(cur, []byte("no benchmarks here\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := update(base, cur, "", &out); err == nil {
+	if err := update(base, cur, "", false, &out); err == nil {
 		t.Fatal("update accepted an empty run")
+	}
+}
+
+// TestUpdateRefusesVanishedBenchmarks pins the baseline-coverage check: a
+// fresh run that silently lost benchmarks the old baseline tracks must not
+// replace it (even when every GATED benchmark is still present), unless the
+// caller passes prune to drop them on purpose.
+func TestUpdateRefusesVanishedBenchmarks(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.txt")
+	cur := filepath.Join(dir, "cur.txt")
+	// Old baseline tracks the gated benchmark AND BenchmarkColdSolve.
+	if err := os.WriteFile(base, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// New run has the gated benchmark but BenchmarkColdSolve vanished.
+	shrunk := "BenchmarkEngineReuse-8 1 9000000 ns/op\nBenchmarkEnginePoolConcurrent-8 1 8000000 ns/op\n"
+	if err := os.WriteFile(cur, []byte(shrunk), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := update(base, cur, "BenchmarkEngineReuse", false, &out)
+	if err == nil {
+		t.Fatal("update accepted a run that dropped a tracked benchmark")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkColdSolve") {
+		t.Fatalf("error does not name the vanished benchmark: %v", err)
+	}
+	if got, _ := os.ReadFile(base); string(got) != sampleOutput {
+		t.Fatal("baseline was rewritten despite the refusal")
+	}
+	// With prune the intentional removal goes through.
+	if err := update(base, cur, "BenchmarkEngineReuse", true, &out); err != nil {
+		t.Fatalf("prune update failed: %v", err)
+	}
+	if got, _ := os.ReadFile(base); string(got) != shrunk {
+		t.Fatalf("pruned baseline not installed:\n%s", got)
+	}
+	// A missing old baseline is not an error: first-time update.
+	fresh := filepath.Join(dir, "fresh.txt")
+	if err := update(fresh, cur, "BenchmarkEngineReuse", false, &out); err != nil {
+		t.Fatalf("first-time update failed: %v", err)
+	}
+	// An existing but unreadable baseline must refuse, not silently count
+	// as first-time (a directory makes os.Open succeed and the read fail).
+	unreadable := filepath.Join(dir, "baseline-dir")
+	if err := os.Mkdir(unreadable, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := update(unreadable, cur, "BenchmarkEngineReuse", false, &out); err == nil {
+		t.Fatal("update treated an unreadable baseline as first-time")
 	}
 }

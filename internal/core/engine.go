@@ -40,9 +40,13 @@ type Engine struct {
 	mu sync.Mutex // serializes Solve on this engine
 
 	// Pooled per-query state, reset in O(1) or O(query) between solves.
-	st        *voronoi.State        // epoch-versioned Voronoi arrays
-	walked    []uint64              // epoch-versioned phase-6 "walked" marks
-	walkedGen uint64                // current walked epoch
+	// The production path keeps all per-vertex control state in rank-local
+	// slabs (owned vertices + delegate mirrors + walk marks); the shared
+	// arrays st/walked exist only in Options.GlobalCSR reference mode.
+	slabs     []*voronoi.StateSlab  // rank-local control state (nil in GlobalCSR mode)
+	st        *voronoi.State        // shared Voronoi arrays (GlobalCSR mode only)
+	walked    []uint64              // shared phase-6 "walked" marks (GlobalCSR mode only)
+	walkedGen uint64                // current walked epoch (GlobalCSR mode only)
 	localENs  []map[int64]crossEdge // per-rank E_N tables, cleared per query
 	seen      map[graph.VID]bool    // seed-validation scratch
 	seedIdx   map[graph.VID]int32   // seed -> dense index, rebuilt per query
@@ -114,27 +118,37 @@ func newEngine(g *graph.Graph, opts Options, part partition.Partition,
 	if err != nil {
 		return nil, err
 	}
-	if shards != nil {
-		if err := comm.AttachShards(shards); err != nil {
-			return nil, err
-		}
-	}
-	comm.Start()
-
 	e := &Engine{
 		g:        g,
 		opts:     opts,
 		comm:     comm,
 		plan:     plan,
 		shards:   shards,
-		st:       voronoi.NewState(n),
-		walked:   make([]uint64, n),
 		localENs: make([]map[int64]crossEdge, opts.Ranks),
 		seen:     make(map[graph.VID]bool),
 		seedIdx:  make(map[graph.VID]int32),
 		pruneds:  make([]map[int64]crossEdge, opts.Ranks),
 		trees:    make([][]graph.Edge, opts.Ranks),
 	}
+	if shards != nil {
+		if err := comm.AttachShards(shards); err != nil {
+			return nil, err
+		}
+		// Control state is rank-local like the adjacency: one slab per
+		// rank, sharing the shard's vertex→row index. Slabs are mutable
+		// per-query state, so every engine (including siblings sharing one
+		// shard set) builds its own.
+		e.slabs, err = voronoi.AttachSlabs(comm, plan, shards)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// GlobalCSR reference mode: shared state arrays indexed by global
+		// VID, exactly the pre-slab implementation.
+		e.st = voronoi.NewState(n)
+		e.walked = make([]uint64, n)
+	}
+	comm.Start()
 	for i := range e.localENs {
 		e.localENs[i] = map[int64]crossEdge{}
 		e.pruneds[i] = map[int64]crossEdge{}
@@ -145,6 +159,15 @@ func newEngine(g *graph.Graph, opts Options, part partition.Partition,
 // Close releases the engine's pinned rank goroutines. The Engine must not
 // be used afterwards.
 func (e *Engine) Close() { e.comm.Close() }
+
+// stateBytes is the resident control-state footprint: the rank-local slabs
+// on the production path, the shared arrays in GlobalCSR reference mode.
+func (e *Engine) stateBytes() int64 {
+	if e.slabs != nil {
+		return e.comm.StateMemoryBytes()
+	}
+	return e.st.MemoryBytes()
+}
 
 // Graph returns the resident graph the engine is bound to.
 func (e *Engine) Graph() *graph.Graph { return e.g }
@@ -166,6 +189,14 @@ type ShardStats struct {
 	// MaxShardBytes is the largest single rank's shard — the per-process
 	// memory a multi-process backend would need.
 	MaxShardBytes int64
+	// StateSlabBytes is the total resident size of this engine's rank-local
+	// control-state slabs (owned-vertex rows, delegate mirrors, walk
+	// marks). Unlike shards, slabs are per-engine mutable state: a pool of
+	// N engines holds N slab sets but one shard set.
+	StateSlabBytes int64
+	// MaxStateSlabBytes is the largest single rank's slab — together with
+	// MaxShardBytes, the per-process footprint of a multi-process rank.
+	MaxStateSlabBytes int64
 }
 
 // ShardStats reports the engine's shard substrate. In GlobalCSR reference
@@ -184,6 +215,13 @@ func (e *Engine) ShardStats() ShardStats {
 		s.ShardBytes += b
 		if b > s.MaxShardBytes {
 			s.MaxShardBytes = b
+		}
+	}
+	for _, sl := range e.slabs {
+		b := sl.MemoryBytes()
+		s.StateSlabBytes += b
+		if b > s.MaxStateSlabBytes {
+			s.MaxStateSlabBytes = b
 		}
 	}
 	return s
@@ -291,9 +329,13 @@ func (e *Engine) solveCanonLocked(dedup []graph.VID) (*Result, error) {
 		return res, nil
 	}
 
-	g, st, opts := e.g, e.st, e.opts
-	st.Reset()
-	e.walkedGen++
+	g, opts := e.g, e.opts
+	if e.slabs != nil {
+		e.comm.ResetStateSlabs() // O(P) epoch bumps, one per rank slab
+	} else {
+		e.st.Reset()
+		e.walkedGen++
+	}
 	for i := range e.localENs {
 		clear(e.localENs[i])
 		clear(e.pruneds[i])
@@ -308,16 +350,34 @@ func (e *Engine) solveCanonLocked(dedup []graph.VID) (*Result, error) {
 
 	rec := &recorder{comm: e.comm, res: res}
 	e.comm.Run(func(r *rt.Rank) {
-		// Rank-local adjacency accessors: the sharded path reads this
-		// rank's CSR slab; the GlobalCSR reference path scans the shared
-		// global arrays exactly as before the shard refactor. Both take an
+		// Rank-local accessors: the production path reads this rank's CSR
+		// slab for adjacency and its StateSlab for control state; the
+		// GlobalCSR reference path scans the shared global arrays exactly
+		// as before the shard/slab refactors. Adjacency lookups take an
 		// owned vertex first (edge weights are symmetric, so looking up
-		// {u, v} from u's slab row equals the global edge weight).
+		// {u, v} from u's slab row equals the global edge weight); state
+		// access through st touches only owned vertices — remote state is
+		// reached via the mailbox (the Alg. 5 request/reply exchange),
+		// never direct reads.
 		adjOf := r.Adj
 		edgeWeight := r.EdgeWeight
+		var st voronoi.Control
+		var markWalked func(graph.VID) bool
 		if opts.GlobalCSR {
 			adjOf = g.Adj
 			edgeWeight = g.HasEdge
+			st = e.st
+			markWalked = func(v graph.VID) bool {
+				if e.walked[v] == e.walkedGen {
+					return false
+				}
+				e.walked[v] = e.walkedGen
+				return true
+			}
+		} else {
+			sl := voronoi.SlabOf(r)
+			st = sl
+			markWalked = sl.MarkWalked
 		}
 
 		// Phase 1: Voronoi cells (Alg. 4).
@@ -325,13 +385,13 @@ func (e *Engine) solveCanonLocked(dedup []graph.VID) (*Result, error) {
 			var ts rt.TraversalStats
 			switch {
 			case opts.GlobalCSR && opts.BSP:
-				ts = voronoi.RunRankGlobalBSP(r, g, dedup, st)
+				ts = voronoi.RunRankGlobalBSP(r, g, dedup, e.st)
 			case opts.GlobalCSR:
-				ts = voronoi.RunRankGlobal(r, g, dedup, st)
+				ts = voronoi.RunRankGlobal(r, g, dedup, e.st)
 			case opts.BSP:
-				ts = voronoi.RunRankBSP(r, dedup, st)
+				ts = voronoi.RunRankBSP(r, dedup)
 			default:
-				ts = voronoi.RunRank(r, dedup, st)
+				ts = voronoi.RunRank(r, dedup)
 			}
 			return ts.Processed
 		})
@@ -519,10 +579,9 @@ func (e *Engine) solveCanonLocked(dedup []graph.VID) (*Result, error) {
 				},
 				Visit: func(r *rt.Rank, m rt.Msg) {
 					vj := m.Target
-					if e.walked[vj] == e.walkedGen {
+					if !markWalked(vj) {
 						return
 					}
-					e.walked[vj] = e.walkedGen
 					if vj == st.Src(vj) {
 						return
 					}
@@ -558,7 +617,7 @@ func (e *Engine) solveCanonLocked(dedup []graph.VID) (*Result, error) {
 	}
 
 	res.SteinerVertices = countSteinerVertices(res.Tree, dedup)
-	res.Memory = memoryStats(g, e.ShardStats().ShardBytes, st, e.localENs, res, opts)
+	res.Memory = memoryStats(g, e.ShardStats().ShardBytes, e.stateBytes(), e.localENs, res, opts)
 	if !opts.SkipValidation {
 		if err := graph.ValidateSteinerTree(g, dedup, res.Tree); err != nil {
 			return nil, fmt.Errorf("core: internal error, invalid output: %w", err)

@@ -45,16 +45,26 @@ func pickEngineSeeds(rng *rand.Rand, n, k int) []graph.VID {
 // TestEngineReuseMatchesColdSolve drives one Engine through 100 queries with
 // varying seed sets and checks every result is identical — tree edge set,
 // total distance, seed set — to a cold Solve of the same query. This is the
-// acceptance bar for the pooled epoch-versioned state: stale entries from
-// earlier queries must never surface.
+// acceptance bar for the pooled epoch-versioned state, now held in per-rank
+// StateSlabs (owned rows + delegate mirror stripes + walk marks, all reset
+// by one epoch bump per slab): stale entries from earlier queries must never
+// surface. DelegateThreshold is set so the mirror stripes are exercised on
+// every one of the 100 reuses.
 func TestEngineReuseMatchesColdSolve(t *testing.T) {
 	g := engineTestGraph(42, 400)
 	opts := Default(4)
+	opts.DelegateThreshold = 8
 	e, err := NewEngine(g, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer e.Close()
+	if e.slabs == nil || len(e.slabs) != opts.Ranks {
+		t.Fatalf("engine did not build per-rank state slabs: %v", e.slabs)
+	}
+	if s := e.ShardStats(); s.StateSlabBytes <= 0 || s.MaxStateSlabBytes <= 0 {
+		t.Fatalf("state-slab accounting missing: %+v", s)
+	}
 	rng := rand.New(rand.NewSource(43))
 	for q := 0; q < 100; q++ {
 		seeds := pickEngineSeeds(rng, g.NumVertices(), 2+rng.Intn(8))

@@ -37,6 +37,7 @@ const (
 	MSTBoruvka
 )
 
+// String returns the flag/API name of the MST algorithm.
 func (a MSTAlgo) String() string {
 	switch a {
 	case MSTPrim:
@@ -65,6 +66,7 @@ const (
 	PartitionArcBlock
 )
 
+// String returns the flag/API name of the partition kind.
 func (p PartitionKind) String() string {
 	switch p {
 	case PartitionHash:
@@ -132,9 +134,11 @@ type Options struct {
 	// SkipValidation skips the post-solve Steiner-tree validity check
 	// (benchmarks on large graphs).
 	SkipValidation bool
-	// GlobalCSR selects the pre-shard reference path: traversals scan the
-	// shared global CSR instead of rank-local shard slabs, and no shards
-	// are built. Retained for the shard-equivalence property tests and the
+	// GlobalCSR selects the pre-shard, pre-slab reference path: traversals
+	// scan the shared global CSR instead of rank-local shard slabs AND keep
+	// all control state in one shared voronoi.State array instead of
+	// per-rank StateSlabs; no shards or slabs are built. Retained as the
+	// equivalence oracle for the shard/slab property tests and the
 	// sharded-vs-global benchmarks; production solves leave it false.
 	GlobalCSR bool
 }

@@ -6,7 +6,6 @@ import (
 
 	"dsteiner/internal/graph"
 	rt "dsteiner/internal/runtime"
-	"dsteiner/internal/voronoi"
 )
 
 // Message kinds of the Local Min Dist. Edge phase (Alg. 5): a rank that
@@ -115,9 +114,10 @@ func countSteinerVertices(tree []graph.Edge, seeds []graph.VID) int {
 }
 
 // memoryStats models the Fig. 8 accounting: measured sizes for the graph,
-// per-rank shards, Voronoi state and edge tables, plus a buffer-residency
-// model (P outgoing buffers per rank at the configured batch size).
-func memoryStats(g *graph.Graph, shardBytes int64, st *voronoi.State, localENs []map[int64]crossEdge, res *Result, opts Options) MemoryStats {
+// per-rank shards, control state (rank-local slabs, or the shared arrays in
+// GlobalCSR mode) and edge tables, plus a buffer-residency model (P
+// outgoing buffers per rank at the configured batch size).
+func memoryStats(g *graph.Graph, shardBytes, stateBytes int64, localENs []map[int64]crossEdge, res *Result, opts Options) MemoryStats {
 	const crossEntryBytes = 8 + 16 + 8 // key + crossEdge + map overhead approx
 	const msgBytes = 24
 	var tableBytes int64
@@ -132,7 +132,7 @@ func memoryStats(g *graph.Graph, shardBytes int64, st *voronoi.State, localENs [
 	return MemoryStats{
 		GraphBytes:     g.MemoryBytes(),
 		ShardBytes:     shardBytes,
-		StateBytes:     st.MemoryBytes(),
+		StateBytes:     stateBytes,
 		EdgeTableBytes: tableBytes,
 		DistGraphBytes: int64(res.DistGraphEdges) * 20 * int64(opts.Ranks),
 		BufferBytes:    int64(opts.Ranks) * int64(opts.Ranks) * int64(batch) * msgBytes,

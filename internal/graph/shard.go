@@ -19,14 +19,11 @@ type Shard struct {
 	rank     int
 	numRanks int
 
-	// Owned-vertex index: most partitions (block, arc-block, hash) own an
-	// affine set lo, lo+stride, lo+2*stride, ... which gives O(1) lookup
-	// with no per-vertex table. Irregular partitions fall back to an
-	// explicit index map.
-	lo     VID
-	stride int32
-	count  int
-	idx    map[VID]int32 // nil when the owned set is affine
+	// Owned-vertex index: affine O(1) vertex→slab-row lookup with a map
+	// fallback for irregular owned sets. The same RowIndex layout is used
+	// by the rank's control-state slab (internal/voronoi.StateSlab), so a
+	// vertex's adjacency row and state row coincide.
+	rows *RowIndex
 
 	// Local CSR slab over owned vertices, in increasing vertex order.
 	offsets []int64
@@ -46,8 +43,7 @@ type Shard struct {
 // partition (identical on all ranks — each rank materializes its own stripe
 // of every delegate, including delegates it owns).
 func NewShard(g *Graph, rank, numRanks int, owned []VID, delegates []VID) *Shard {
-	s := &Shard{rank: rank, numRanks: numRanks, count: len(owned)}
-	s.indexOwned(owned)
+	s := &Shard{rank: rank, numRanks: numRanks, rows: NewRowIndex(owned)}
 
 	// Slab: copy each owned vertex's adjacency, preserving arc order.
 	var arcs int64
@@ -80,61 +76,6 @@ func NewShard(g *Graph, rank, numRanks int, owned []VID, delegates []VID) *Shard
 	return s
 }
 
-// indexOwned installs the O(1) vertex→slab-row mapping, detecting the affine
-// pattern (lo + i*stride) that every built-in partition produces; other
-// owned sets get an explicit map.
-func (s *Shard) indexOwned(owned []VID) {
-	s.stride = 1
-	if len(owned) == 0 {
-		return
-	}
-	s.lo = owned[0]
-	if len(owned) >= 2 {
-		s.stride = int32(owned[1] - owned[0])
-	}
-	affine := s.stride > 0
-	if affine {
-		for i, v := range owned {
-			if v != s.lo+VID(int64(i)*int64(s.stride)) {
-				affine = false
-				break
-			}
-		}
-	}
-	if affine {
-		return
-	}
-	s.stride = 0
-	s.idx = make(map[VID]int32, len(owned))
-	for i, v := range owned {
-		s.idx[v] = int32(i)
-	}
-}
-
-// localIndex returns v's slab row, or -1 when the shard does not own v.
-func (s *Shard) localIndex(v VID) int32 {
-	if s.stride == 0 {
-		if i, ok := s.idx[v]; ok {
-			return i
-		}
-		return -1
-	}
-	d := int64(v) - int64(s.lo)
-	if d < 0 {
-		return -1
-	}
-	if s.stride != 1 {
-		if d%int64(s.stride) != 0 {
-			return -1
-		}
-		d /= int64(s.stride)
-	}
-	if d >= int64(s.count) {
-		return -1
-	}
-	return int32(d)
-}
-
 // Rank returns the rank this shard belongs to.
 func (s *Shard) Rank() int { return s.rank }
 
@@ -142,7 +83,11 @@ func (s *Shard) Rank() int { return s.rank }
 func (s *Shard) NumRanks() int { return s.numRanks }
 
 // NumOwned returns the number of vertices in the slab.
-func (s *Shard) NumOwned() int { return s.count }
+func (s *Shard) NumOwned() int { return s.rows.Len() }
+
+// Rows returns the owned-vertex row index, shareable with other rank-local
+// slabs (the control-state slab) cut from the same owned list.
+func (s *Shard) Rows() *RowIndex { return s.rows }
 
 // NumArcs returns the number of arcs in the slab (owned adjacency only).
 func (s *Shard) NumArcs() int64 { return int64(len(s.targets)) }
@@ -154,13 +99,13 @@ func (s *Shard) NumStripeArcs() int64 { return int64(len(s.stripeTargets)) }
 func (s *Shard) NumDelegates() int { return len(s.delegateIdx) }
 
 // Owns reports whether v's adjacency lives in this slab.
-func (s *Shard) Owns(v VID) bool { return s.localIndex(v) >= 0 }
+func (s *Shard) Owns(v VID) bool { return s.rows.Row(v) >= 0 }
 
 // Adj returns the adjacency of owned vertex v as parallel target/weight
 // slices, aliasing the slab (read-only). Arc order matches the global CSR.
 // Panics if the shard does not own v — the traversal routing is broken.
 func (s *Shard) Adj(v VID) ([]VID, []uint32) {
-	i := s.localIndex(v)
+	i := s.rows.Row(v)
 	if i < 0 {
 		panic("graph: Shard.Adj on non-owned vertex")
 	}
@@ -206,8 +151,6 @@ func (s *Shard) MemoryBytes() int64 {
 	b := int64(len(s.offsets))*8 + int64(len(s.targets))*4 + int64(len(s.weights))*4
 	b += int64(len(s.stripeOff))*8 + int64(len(s.stripeTargets))*4 + int64(len(s.stripeWeights))*4
 	b += int64(len(s.delegateIdx)) * 12
-	if s.idx != nil {
-		b += int64(len(s.idx)) * 12
-	}
+	b += s.rows.MemoryBytes()
 	return b
 }

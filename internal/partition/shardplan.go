@@ -63,6 +63,28 @@ func (p *ShardPlan) Delegates() []graph.VID { return p.delegates }
 // NumDelegates returns the number of delegate vertices.
 func (p *ShardPlan) NumDelegates() int { return len(p.delegates) }
 
+// Mirrored returns the delegates rank does not own, in increasing order —
+// the vertices whose control state the rank mirrors rather than holds
+// authoritatively. Together with Owned(rank) this sizes the rank's
+// control-state slab (voronoi.NewStateSlab): owned rows plus one mirror
+// row per non-owned delegate.
+func (p *ShardPlan) Mirrored(rank int) []graph.VID {
+	var out []graph.VID
+	for _, d := range p.delegates {
+		if p.part.Owner(d) != rank {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// StateRows reports the control-state slab dimensions for rank: the number
+// of owned-vertex rows and of mirrored-delegate rows. The sum is the row
+// count of the rank's voronoi.StateSlab.
+func (p *ShardPlan) StateRows(rank int) (owned, mirrored int) {
+	return len(p.owned[rank]), len(p.Mirrored(rank))
+}
+
 // BuildShards cuts one graph.Shard per rank out of g according to the plan.
 func (p *ShardPlan) BuildShards(g *graph.Graph) []*graph.Shard {
 	shards := make([]*graph.Shard, p.NumRanks())

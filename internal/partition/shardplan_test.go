@@ -144,3 +144,47 @@ func TestShardPlanRejectsMismatchedGraph(t *testing.T) {
 		t.Fatal("mismatched partition accepted")
 	}
 }
+
+// TestStateRowsAndMirrored pins the control-state slab sizing invariants:
+// owned rows match the owned list, mirrored rows are exactly the delegates
+// the rank does not own, and across all ranks every delegate is owned by
+// exactly one rank and mirrored by the other P-1.
+func TestStateRowsAndMirrored(t *testing.T) {
+	g := planTestGraph(61, 137)
+	for name, part := range allPartitions(t, g, 4, 6) {
+		plan, err := NewShardPlan(part, g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		totalOwned, totalMirrored := 0, 0
+		for rank := 0; rank < plan.NumRanks(); rank++ {
+			owned, mirrored := plan.StateRows(rank)
+			if owned != len(plan.Owned(rank)) {
+				t.Fatalf("%s rank %d: StateRows owned %d != len(Owned) %d",
+					name, rank, owned, len(plan.Owned(rank)))
+			}
+			mirrorList := plan.Mirrored(rank)
+			if mirrored != len(mirrorList) {
+				t.Fatalf("%s rank %d: StateRows mirrored %d != len(Mirrored) %d",
+					name, rank, mirrored, len(mirrorList))
+			}
+			for _, d := range mirrorList {
+				if !part.IsDelegate(d) {
+					t.Fatalf("%s rank %d: mirrors non-delegate %d", name, rank, d)
+				}
+				if part.Owner(d) == rank {
+					t.Fatalf("%s rank %d: mirrors its own delegate %d", name, rank, d)
+				}
+			}
+			totalOwned += owned
+			totalMirrored += mirrored
+		}
+		if totalOwned != g.NumVertices() {
+			t.Fatalf("%s: owned rows cover %d of %d vertices", name, totalOwned, g.NumVertices())
+		}
+		if want := plan.NumDelegates() * (plan.NumRanks() - 1); totalMirrored != want {
+			t.Fatalf("%s: %d mirror rows, want %d (each delegate mirrored P-1 times)",
+				name, totalMirrored, want)
+		}
+	}
+}

@@ -21,6 +21,12 @@ type Rank struct {
 	// the global CSR.
 	shard *graph.Shard
 
+	// state is this rank's local control-state slab (owned vertices'
+	// per-vertex algorithm state), installed by Comm.AttachStateSlabs.
+	// The runtime only resets and accounts it; algorithms type-assert to
+	// their concrete slab (internal/voronoi.SlabOf).
+	state StateSlab
+
 	// Traversal-scoped state.
 	queue   pq.Queue[Msg]
 	keyOf   KeyFunc
@@ -61,6 +67,11 @@ func (r *Rank) IsDelegate(v graph.VID) bool { return r.comm.part.IsDelegate(v) }
 
 // Shard returns this rank's local graph shard, or nil before AttachShards.
 func (r *Rank) Shard() *graph.Shard { return r.shard }
+
+// StateSlab returns this rank's local control-state slab, or nil before
+// Comm.AttachStateSlabs. Algorithms assert it to their concrete slab type
+// (the solver uses internal/voronoi.StateSlab via voronoi.SlabOf).
+func (r *Rank) StateSlab() StateSlab { return r.state }
 
 // mustShard returns the shard or fails loudly: a traversal asked for local
 // adjacency on a communicator that never attached shards.

@@ -19,6 +19,11 @@
 //     only through that API — like an MPI process that holds just its
 //     partition — so each rank walks a compact slab instead of striding
 //     the shared global CSR.
+//   - Each rank likewise carries a rank-local control-state slab
+//     (Comm.AttachStateSlabs, reset between queries by ResetStateSlabs and
+//     accounted by StateMemoryBytes), so per-vertex algorithm state is
+//     owned by the rank too: during a traversal a rank references nothing
+//     outside its shard, its slab and its mailbox.
 //
 // The engine also supports a bulk-synchronous (BSP) traversal mode and
 // seeded randomized message delivery, used by the ablation benchmarks and
@@ -49,6 +54,7 @@ const (
 	QueueBucket
 )
 
+// String returns the flag/API name of the queue discipline.
 func (k QueueKind) String() string {
 	switch k {
 	case QueueFIFO:
@@ -242,6 +248,95 @@ func (c *Comm) EnsureShards(g *graph.Graph) {
 
 // Sharded reports whether shards are attached.
 func (c *Comm) Sharded() bool { return c.ranks[0].shard != nil }
+
+// Shards returns the attached shards in rank order, or nil when none are
+// attached. Shards are immutable: read-only.
+func (c *Comm) Shards() []*graph.Shard {
+	if !c.Sharded() {
+		return nil
+	}
+	shards := make([]*graph.Shard, len(c.ranks))
+	for i, r := range c.ranks {
+		shards[i] = r.shard
+	}
+	return shards
+}
+
+// StateSlab is the runtime's view of a rank-local control-state slab: the
+// per-vertex algorithm state (for the Steiner solver, the Voronoi
+// distance/parent/source/epoch fields plus phase-6 walk marks) a rank holds
+// for the vertices it owns. Like a graph.Shard, a slab references nothing
+// outside itself, so together shard + slab + mailbox are exactly the state
+// a multi-process backend would place in each process. The runtime never
+// reads slab entries — it only resets slabs between queries and accounts
+// their memory; algorithms type-assert Rank.StateSlab to their concrete
+// slab type (internal/voronoi.StateSlab for the solver).
+type StateSlab interface {
+	// Rank returns the rank the slab belongs to.
+	Rank() int
+	// Reset invalidates every entry (epoch bump, O(1)) between queries.
+	Reset()
+	// MemoryBytes reports the slab's resident size.
+	MemoryBytes() int64
+}
+
+// AttachStateSlabs installs one rank-local control-state slab per rank.
+// Call before Run; slabs stay attached across runs (their entries are
+// per-query, recycled with ResetStateSlabs). slabs[i] must be rank i's
+// slab. Unlike shards, slabs are mutable per-engine state: communicators
+// must not share a slab set.
+func (c *Comm) AttachStateSlabs(slabs []StateSlab) error {
+	if len(slabs) != c.cfg.Ranks {
+		return fmt.Errorf("runtime: %d state slabs for %d ranks", len(slabs), c.cfg.Ranks)
+	}
+	for i, sl := range slabs {
+		if sl == nil || sl.Rank() != i {
+			return fmt.Errorf("runtime: state slab %d missing or mis-ranked", i)
+		}
+	}
+	for i, r := range c.ranks {
+		r.state = slabs[i]
+	}
+	return nil
+}
+
+// StateAttached reports whether control-state slabs are attached.
+func (c *Comm) StateAttached() bool { return c.ranks[0].state != nil }
+
+// StateSlabs returns the attached slabs in rank order, or nil when none are
+// attached.
+func (c *Comm) StateSlabs() []StateSlab {
+	if !c.StateAttached() {
+		return nil
+	}
+	slabs := make([]StateSlab, len(c.ranks))
+	for i, r := range c.ranks {
+		slabs[i] = r.state
+	}
+	return slabs
+}
+
+// ResetStateSlabs invalidates every attached slab's entries in O(P) epoch
+// bumps. Call between queries, never while a Run is in flight.
+func (c *Comm) ResetStateSlabs() {
+	for _, r := range c.ranks {
+		if r.state != nil {
+			r.state.Reset()
+		}
+	}
+}
+
+// StateMemoryBytes sums the attached control-state slabs' resident bytes
+// (0 if none) — the per-query state counterpart of ShardMemoryBytes.
+func (c *Comm) StateMemoryBytes() int64 {
+	var b int64
+	for _, r := range c.ranks {
+		if r.state != nil {
+			b += r.state.MemoryBytes()
+		}
+	}
+	return b
+}
 
 // ShardMemoryBytes sums the attached shards' resident bytes (0 if none).
 func (c *Comm) ShardMemoryBytes() int64 {

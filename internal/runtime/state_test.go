@@ -1,0 +1,87 @@
+package runtime
+
+import (
+	"testing"
+
+	"dsteiner/internal/partition"
+)
+
+// fakeSlab is a minimal StateSlab for exercising the runtime's attach,
+// reset and accounting plumbing without pulling in internal/voronoi.
+type fakeSlab struct {
+	rank   int
+	resets int
+	bytes  int64
+}
+
+func (f *fakeSlab) Rank() int          { return f.rank }
+func (f *fakeSlab) Reset()             { f.resets++ }
+func (f *fakeSlab) MemoryBytes() int64 { return f.bytes }
+
+func stateTestComm(t *testing.T, ranks int) *Comm {
+	t.Helper()
+	part, err := partition.NewBlock(64, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return MustNew(Config{Ranks: ranks}, part)
+}
+
+func TestAttachStateSlabsValidation(t *testing.T) {
+	c := stateTestComm(t, 3)
+	if c.StateAttached() {
+		t.Fatal("fresh comm reports attached state")
+	}
+	if c.StateSlabs() != nil {
+		t.Fatal("fresh comm returned slabs")
+	}
+	if err := c.AttachStateSlabs([]StateSlab{&fakeSlab{rank: 0}}); err == nil {
+		t.Fatal("wrong slab count accepted")
+	}
+	if err := c.AttachStateSlabs([]StateSlab{&fakeSlab{rank: 0}, nil, &fakeSlab{rank: 2}}); err == nil {
+		t.Fatal("nil slab accepted")
+	}
+	if err := c.AttachStateSlabs([]StateSlab{&fakeSlab{rank: 0}, &fakeSlab{rank: 2}, &fakeSlab{rank: 1}}); err == nil {
+		t.Fatal("mis-ranked slab accepted")
+	}
+	slabs := []StateSlab{&fakeSlab{rank: 0}, &fakeSlab{rank: 1}, &fakeSlab{rank: 2}}
+	if err := c.AttachStateSlabs(slabs); err != nil {
+		t.Fatal(err)
+	}
+	if !c.StateAttached() {
+		t.Fatal("state not attached")
+	}
+	got := c.StateSlabs()
+	for i, sl := range got {
+		if sl != slabs[i] {
+			t.Fatalf("slab %d not the attached one", i)
+		}
+	}
+	// Each rank sees its own slab inside a run.
+	c.Run(func(r *Rank) {
+		if r.StateSlab() != slabs[r.ID()] {
+			panic("rank sees wrong slab")
+		}
+	})
+}
+
+func TestResetAndAccountStateSlabs(t *testing.T) {
+	c := stateTestComm(t, 2)
+	// Without slabs both are safe no-ops.
+	c.ResetStateSlabs()
+	if c.StateMemoryBytes() != 0 {
+		t.Fatal("no slabs but nonzero state bytes")
+	}
+	a, b := &fakeSlab{rank: 0, bytes: 100}, &fakeSlab{rank: 1, bytes: 250}
+	if err := c.AttachStateSlabs([]StateSlab{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	c.ResetStateSlabs()
+	c.ResetStateSlabs()
+	if a.resets != 2 || b.resets != 2 {
+		t.Fatalf("resets = %d, %d, want 2, 2", a.resets, b.resets)
+	}
+	if got := c.StateMemoryBytes(); got != 350 {
+		t.Fatalf("StateMemoryBytes = %d, want 350", got)
+	}
+}

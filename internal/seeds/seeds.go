@@ -38,6 +38,7 @@ const (
 	Proximate
 )
 
+// String returns the flag/API name of the seed-selection strategy.
 func (s Strategy) String() string {
 	switch s {
 	case BFSLevel:

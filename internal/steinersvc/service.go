@@ -234,6 +234,10 @@ type InfoResponse struct {
 	// ShardBytes is the total rank-local shard memory — one shard set
 	// shared by every engine in the pool.
 	ShardBytes int64 `json:"shardBytes"`
+	// StateSlabBytes is the total rank-local control-state slab memory of
+	// ONE engine; unlike shards, every engine in the pool owns its own
+	// slab set, so the pool's total is engines × this value.
+	StateSlabBytes int64 `json:"stateSlabBytes"`
 }
 
 // SolveRequest is the /solve request body. Exactly one of Seeds or K must
@@ -326,11 +330,14 @@ type CacheStats struct {
 	HitRate   float64 `json:"hitRate"`
 }
 
-// ShardStats reports the pool's sharded graph substrate for /stats: the
-// partition kind, the delegate stripe count and the per-rank slab memory
-// (TotalBytes across all ranks, MaxRankBytes for the largest single rank —
-// the per-process footprint a multi-process backend would need). One shard
-// set is cut by the pool's first engine and shared by its siblings.
+// ShardStats reports the pool's rank-local substrate for /stats: the
+// partition kind, the delegate stripe count, the per-rank graph-slab memory
+// (TotalBytes across all ranks, MaxRankBytes for the largest single rank)
+// and the per-rank control-state slab memory (StateBytes / MaxRankStateBytes,
+// per engine). MaxRankBytes + MaxRankStateBytes approximates the per-process
+// footprint a multi-process backend would need for its largest rank. One
+// shard set is cut by the pool's first engine and shared by its siblings;
+// state slabs are per-engine (pool total = engines × StateBytes).
 type ShardStats struct {
 	Partition         string `json:"partition"`
 	Ranks             int    `json:"ranks"`
@@ -338,6 +345,8 @@ type ShardStats struct {
 	Delegates         int    `json:"delegates"`
 	TotalBytes        int64  `json:"totalBytes"`
 	MaxRankBytes      int64  `json:"maxRankBytes"`
+	StateBytes        int64  `json:"stateBytes"`
+	MaxRankStateBytes int64  `json:"maxRankStateBytes"`
 }
 
 // JobStats reports the async job queue for /stats. Completed counts
@@ -390,6 +399,7 @@ func (s *Service) handleInfo(w http.ResponseWriter, r *http.Request) {
 		DelegateThreshold: s.shard.DelegateThreshold,
 		Delegates:         s.shard.Delegates,
 		ShardBytes:        s.shard.ShardBytes,
+		StateSlabBytes:    s.shard.StateSlabBytes,
 	})
 }
 
@@ -434,6 +444,8 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		Delegates:         s.shard.Delegates,
 		TotalBytes:        s.shard.ShardBytes,
 		MaxRankBytes:      s.shard.MaxShardBytes,
+		StateBytes:        s.shard.StateSlabBytes,
+		MaxRankStateBytes: s.shard.MaxStateSlabBytes,
 	}
 	if s.cache != nil {
 		cc := s.cache.counters()

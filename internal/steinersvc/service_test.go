@@ -400,6 +400,9 @@ func TestInfoAndStatsReportShardSubstrate(t *testing.T) {
 	if info.Delegates == 0 || info.ShardBytes <= 0 {
 		t.Fatalf("info missing shard substrate: %+v", info)
 	}
+	if info.StateSlabBytes <= 0 {
+		t.Fatalf("info missing state-slab bytes: %+v", info)
+	}
 
 	resp2, err := http.Get(srv.URL + "/stats")
 	if err != nil {
@@ -419,6 +422,10 @@ func TestInfoAndStatsReportShardSubstrate(t *testing.T) {
 	}
 	if stats.Shard.Delegates != info.Delegates {
 		t.Fatalf("stats delegates %d != info delegates %d", stats.Shard.Delegates, info.Delegates)
+	}
+	if stats.Shard.StateBytes != info.StateSlabBytes || stats.Shard.MaxRankStateBytes <= 0 ||
+		stats.Shard.MaxRankStateBytes > stats.Shard.StateBytes {
+		t.Fatalf("stats state-slab bytes inconsistent with info: %+v vs %+v", stats.Shard, info)
 	}
 }
 

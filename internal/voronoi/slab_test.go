@@ -1,0 +1,245 @@
+package voronoi
+
+import (
+	"math/rand"
+	"testing"
+
+	"dsteiner/internal/graph"
+	"dsteiner/internal/partition"
+	rt "dsteiner/internal/runtime"
+)
+
+func TestStateSlabOwnedRowsSetGetReset(t *testing.T) {
+	owned := []graph.VID{2, 5, 8, 11} // affine stride 3
+	sl := NewStateSlab(0, owned, nil, nil)
+	if sl.NumOwned() != 4 || sl.NumMirrored() != 0 {
+		t.Fatalf("dims = %d owned, %d mirrored", sl.NumOwned(), sl.NumMirrored())
+	}
+	if sl.Reached(5) {
+		t.Fatal("fresh slab reports reached")
+	}
+	if s, p, d := sl.Get(5); s != graph.NilVID || p != graph.NilVID || d != graph.InfDist {
+		t.Fatalf("fresh entry = (%d,%d,%d)", s, p, d)
+	}
+	sl.Set(5, 2, 8, 42)
+	if !sl.Reached(5) || sl.Src(5) != 2 || sl.Pred(5) != 8 || sl.Dist(5) != 42 {
+		t.Fatalf("entry after Set = (%d,%d,%d)", sl.Src(5), sl.Pred(5), sl.Dist(5))
+	}
+	if !sl.MarkWalked(5) {
+		t.Fatal("first MarkWalked reported already-walked")
+	}
+	if sl.MarkWalked(5) {
+		t.Fatal("second MarkWalked reported new")
+	}
+	sl.Reset()
+	if sl.Reached(5) {
+		t.Fatal("entry survived Reset")
+	}
+	if !sl.MarkWalked(5) {
+		t.Fatal("walk mark survived Reset")
+	}
+}
+
+func TestStateSlabPanicsOnNonOwnedVertex(t *testing.T) {
+	sl := NewStateSlab(0, []graph.VID{0, 1, 2}, nil, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("access to non-owned vertex did not panic")
+		}
+	}()
+	sl.Get(7)
+}
+
+// TestStateSlabZeroOwnedVertices covers the degenerate rank of an
+// over-partitioned graph (P > |V|) or an owner-less hash residue: a slab
+// with no owned rows must still build, reset and account memory — and may
+// still mirror delegates (a delegate-only slab).
+func TestStateSlabZeroOwnedVertices(t *testing.T) {
+	sl := NewStateSlab(3, nil, []graph.VID{4, 9}, nil)
+	if sl.NumOwned() != 0 || sl.NumMirrored() != 2 {
+		t.Fatalf("dims = %d owned, %d mirrored", sl.NumOwned(), sl.NumMirrored())
+	}
+	if sl.Owns(0) {
+		t.Fatal("empty slab claims ownership")
+	}
+	if sl.MemoryBytes() <= 0 {
+		t.Fatalf("delegate-only slab reports %d bytes", sl.MemoryBytes())
+	}
+	// The mirror stripe works without any owned rows.
+	sl.ObserveDelegate(4, 1, 10)
+	sl.ObserveDelegate(4, 0, 10) // same dist, smaller seed wins
+	sl.ObserveDelegate(4, 2, 99) // worse offer ignored
+	if src, dist, ok := sl.DelegateState(4); !ok || src != 0 || dist != 10 {
+		t.Fatalf("mirror = (%d,%d,%v), want (0,10,true)", src, dist, ok)
+	}
+	if _, _, ok := sl.DelegateState(7); ok {
+		t.Fatal("non-delegate reported a mirror")
+	}
+	sl.Reset()
+	if src, dist, ok := sl.DelegateState(4); !ok || src != graph.NilVID || dist != graph.InfDist {
+		t.Fatalf("mirror survived Reset: (%d,%d,%v)", src, dist, ok)
+	}
+}
+
+// TestEngineStyleBuildSharesShardRowIndex checks BuildSlabs reuses the
+// shard's vertex→row index, so adjacency row and state row coincide.
+func TestBuildSlabsSharesShardRowIndex(t *testing.T) {
+	g := randomConnected(51, 120, 20)
+	base, _ := partition.NewHash(g.NumVertices(), 3)
+	part := partition.WithDelegates(base, g, 8)
+	plan, err := partition.NewShardPlan(part, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := plan.BuildShards(g)
+	slabs := BuildSlabs(plan, shards)
+	for rank, sl := range slabs {
+		if sl.rows != shards[rank].Rows() {
+			t.Fatalf("rank %d slab built its own row index", rank)
+		}
+		if sl.NumOwned() != shards[rank].NumOwned() {
+			t.Fatalf("rank %d: slab %d rows, shard %d owned", rank, sl.NumOwned(), shards[rank].NumOwned())
+		}
+		wantOwned, wantMirrored := plan.StateRows(rank)
+		if sl.NumOwned() != wantOwned || sl.NumMirrored() != wantMirrored {
+			t.Fatalf("rank %d: slab dims (%d,%d), plan StateRows (%d,%d)",
+				rank, sl.NumOwned(), sl.NumMirrored(), wantOwned, wantMirrored)
+		}
+	}
+
+	// EnsureSlabs on a sharded Comm must reuse the attached shards' indices
+	// too, not rebuild them.
+	c := rt.MustNew(rt.Config{Ranks: 3, Queue: rt.QueuePriority}, part)
+	c.EnsureShards(g)
+	ensured := EnsureSlabs(c, g)
+	attached := c.Shards()
+	for rank, sl := range ensured {
+		if sl.rows != attached[rank].Rows() {
+			t.Fatalf("rank %d: EnsureSlabs built its own row index", rank)
+		}
+	}
+}
+
+// TestDelegateMirrorsConvergeToOwnerState is the delegate-stripe
+// correctness property: after the traversal reaches quiescence, every
+// rank's local mirror of every delegate reports the same (src, dist) the
+// delegate's owner holds — each rank can answer "which cell is this hub
+// in?" without a remote read, the label locality CONGEST-style
+// constructions rely on.
+func TestDelegateMirrorsConvergeToOwnerState(t *testing.T) {
+	// Star-heavy graph: hub 0 connected to everything plus a ring.
+	n := 150
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, graph.VID(v), uint32(v%13)+1)
+		b.AddEdge(graph.VID(v), graph.VID((v%(n-1))+1), uint32(v%7)+1)
+	}
+	g, _ := b.Build()
+	seeds := []graph.VID{3, 70, 140}
+	want := Sequential(g, seeds)
+
+	for _, ranks := range []int{2, 5} {
+		base, _ := partition.NewBlock(n, ranks)
+		part := partition.WithDelegates(base, g, 40)
+		if !part.IsDelegate(0) {
+			t.Fatal("hub not delegated")
+		}
+		c := rt.MustNew(rt.Config{Ranks: ranks, Queue: rt.QueuePriority}, part)
+		c.EnsureShards(g)
+		slabs := EnsureSlabs(c, g)
+		c.Run(func(r *rt.Rank) {
+			RunRank(r, seeds)
+		})
+		for rank, sl := range slabs {
+			for v := 0; v < n; v++ {
+				if !part.IsDelegate(graph.VID(v)) {
+					continue
+				}
+				src, dist, ok := sl.DelegateState(graph.VID(v))
+				if !ok {
+					t.Fatalf("ranks=%d rank=%d: delegate %d invisible", ranks, rank, v)
+				}
+				if src != want.Src(graph.VID(v)) || dist != want.Dist(graph.VID(v)) {
+					t.Fatalf("ranks=%d rank=%d delegate %d: mirror (%d,%d), owner fixed point (%d,%d)",
+						ranks, rank, v, src, dist, want.Src(graph.VID(v)), want.Dist(graph.VID(v)))
+				}
+			}
+		}
+	}
+}
+
+// TestSlabReuseMirrorsStayCorrect drives one slab set through repeated
+// queries with delegates in play: epoch reuse must not leak stale mirror
+// entries any more than stale owned entries.
+func TestSlabReuseMirrorsStayCorrect(t *testing.T) {
+	n := 100
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, graph.VID(v), uint32(v%11)+1)
+		b.AddEdge(graph.VID(v), graph.VID((v%(n-1))+1), uint32(v%5)+1)
+	}
+	g, _ := b.Build()
+	base, _ := partition.NewBlock(n, 3)
+	part := partition.WithDelegates(base, g, 30)
+	c := rt.MustNew(rt.Config{Ranks: 3, Queue: rt.QueuePriority}, part)
+	c.EnsureShards(g)
+	slabs := EnsureSlabs(c, g)
+	rng := rand.New(rand.NewSource(99))
+	for q := 0; q < 8; q++ {
+		seeds := pickSeeds(rng, n, 2+q%4)
+		want := Sequential(g, seeds)
+		c.ResetStateSlabs()
+		c.Run(func(r *rt.Rank) {
+			RunRank(r, seeds)
+		})
+		for _, sl := range slabs {
+			src, dist, ok := sl.DelegateState(0)
+			if !ok || src != want.Src(0) || dist != want.Dist(0) {
+				t.Fatalf("query %d: hub mirror (%d,%d,%v), want (%d,%d)",
+					q, src, dist, ok, want.Src(0), want.Dist(0))
+			}
+		}
+	}
+}
+
+func TestStateSlabMemoryBytes(t *testing.T) {
+	sl := NewStateSlab(0, []graph.VID{0, 1, 2, 3}, []graph.VID{10, 11}, nil)
+	// 4 owned rows * (4+4+8+8+8) + 2 mirror rows * (4+8+8+12), affine index.
+	want := int64(4*(4+4+8+8+8) + 2*(4+8+8+12))
+	if got := sl.MemoryBytes(); got != want {
+		t.Fatalf("MemoryBytes = %d, want %d", got, want)
+	}
+}
+
+// TestCollectMergesSlabs checks Collect rebuilds the global view from
+// per-rank slabs, skipping stale epochs.
+func TestCollectMergesSlabs(t *testing.T) {
+	a := NewStateSlab(0, []graph.VID{0, 1}, nil, nil)
+	b := NewStateSlab(1, []graph.VID{2, 3}, nil, nil)
+	a.Set(0, 0, 0, 0)
+	b.Set(3, 0, 1, 9)
+	b.Reset()
+	b.Set(2, 0, 0, 5) // 3's entry is now stale and must not surface
+	st := Collect([]*StateSlab{a, b}, 4)
+	if st.Src(0) != 0 || st.Dist(2) != 5 {
+		t.Fatalf("collected entries wrong: src(0)=%d dist(2)=%d", st.Src(0), st.Dist(2))
+	}
+	if st.Reached(1) || st.Reached(3) {
+		t.Fatal("stale or unset entries surfaced in the collected view")
+	}
+}
+
+// TestSlabOfPanicsWithoutAttach pins the loud failure mode for running the
+// slab-state path on a communicator that never attached control state.
+func TestSlabOfPanicsWithoutAttach(t *testing.T) {
+	part, _ := partition.NewBlock(10, 1)
+	c := rt.MustNew(rt.Config{Ranks: 1}, part)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SlabOf without attached slabs did not panic")
+		}
+	}()
+	c.Run(func(r *rt.Rank) {
+		SlabOf(r)
+	})
+}

@@ -19,11 +19,16 @@ import (
 	rt "dsteiner/internal/runtime"
 )
 
-// State is the per-vertex Voronoi state. Entries are partitioned by
-// ownership: only the owner rank of v may touch v's entry while a traversal
-// is running. A seed s has Src(s) = s, Pred(s) = s, Dist(s) = 0. Vertices
-// unreached (disconnected from all seeds) report Src = NilVID,
-// Dist = InfDist.
+// State is the shared-array form of the per-vertex Voronoi state: one
+// array indexed by global VID, entries partitioned by ownership (only the
+// owner rank of v may touch v's entry while a traversal is running). A
+// seed s has Src(s) = s, Pred(s) = s, Dist(s) = 0. Vertices unreached
+// (disconnected from all seeds) report Src = NilVID, Dist = InfDist.
+//
+// The solver's production path keeps this state in rank-local StateSlabs
+// instead (owned vertices only); State remains as the pre-slab reference
+// implementation behind core's Options.GlobalCSR — the equivalence oracle —
+// and as the collected global view Compute and Collect return.
 //
 // Entries are epoch-versioned: an entry is valid only while
 // epoch[v] == cur, so Reset invalidates the whole state in O(1) instead of
@@ -126,24 +131,29 @@ const delegateRelax uint8 = 1
 
 // RunRank executes the Voronoi-cell traversal on one rank (call inside
 // Comm.Run alongside the other ranks). It returns the rank's traversal work
-// counters. st must be shared by all ranks of the communicator.
+// counters. State is the rank's attached StateSlab (Comm.AttachStateSlabs /
+// voronoi.AttachSlabs): each rank reads and writes only the entries of
+// vertices it owns, and remote entries are reached exclusively through
+// mailbox relaxation messages.
 //
 // Adjacency comes from the rank's local shard (Rank.Adj / Rank.StripeAdj),
 // never the global CSR: the communicator must have shards attached
 // (Comm.AttachShards or Comm.EnsureShards) before Run.
-func RunRank(r *rt.Rank, seeds []graph.VID, st *State) rt.TraversalStats {
-	return run(r, seeds, st, false)
+func RunRank(r *rt.Rank, seeds []graph.VID) rt.TraversalStats {
+	return run(r, seeds, false)
 }
 
 // RunRankBSP is RunRank under bulk-synchronous supersteps instead of
 // asynchronous processing — the §IV async-vs-BSP ablation.
-func RunRankBSP(r *rt.Rank, seeds []graph.VID, st *State) rt.TraversalStats {
-	return run(r, seeds, st, true)
+func RunRankBSP(r *rt.Rank, seeds []graph.VID) rt.TraversalStats {
+	return run(r, seeds, true)
 }
 
-// run is the sharded hot path: each rank walks its own CSR slab and its
-// materialized delegate stripes; the global CSR is never consulted.
-func run(r *rt.Rank, seeds []graph.VID, st *State, bsp bool) rt.TraversalStats {
+// run is the rank-local hot path: each rank walks its own CSR slab and its
+// materialized delegate stripes, and keeps control state in its own
+// StateSlab; neither the global CSR nor a shared state array is consulted.
+func run(r *rt.Rank, seeds []graph.VID, bsp bool) rt.TraversalStats {
+	sl := SlabOf(r)
 	relaxNeighbors := func(r *rt.Rank, v graph.VID, src graph.VID, dist graph.Dist) {
 		if r.IsDelegate(v) {
 			// Hub: fan the relaxation out to all ranks; each scans its
@@ -158,19 +168,24 @@ func run(r *rt.Rank, seeds []graph.VID, st *State, bsp bool) rt.TraversalStats {
 	}
 	relaxStripe := func(r *rt.Rank, m rt.Msg) {
 		v := m.Target
+		// Fold the broadcast into the local delegate mirror (no-op on the
+		// owner), then relax this rank's stripe of v's adjacency.
+		sl.ObserveDelegate(v, m.Seed, m.Dist)
 		ts, ws := r.StripeAdj(v)
 		for i, u := range ts {
 			r.Send(rt.Msg{Target: u, From: v, Seed: m.Seed, Dist: m.Dist + graph.Dist(ws[i])})
 		}
 	}
-	return runWith(r, seeds, st, bsp, relaxNeighbors, relaxStripe)
+	return runWith(r, seeds, sl, bsp, relaxNeighbors, relaxStripe)
 }
 
-// RunRankGlobal is the pre-shard reference implementation: identical visitor
-// logic, but adjacency read by scanning the shared global CSR (delegate
-// stripes as strided scans over the global arrays). Retained as the oracle
-// for the shard-equivalence property tests and the sharded-vs-global
-// benchmarks; the solver's production path is RunRank.
+// RunRankGlobal is the pre-shard, pre-slab reference implementation:
+// identical visitor logic, but adjacency read by scanning the shared global
+// CSR (delegate stripes as strided scans over the global arrays) and
+// control state kept in one shared State array indexed by global VID.
+// Retained as the oracle for the shard/slab-equivalence property tests and
+// the sharded-vs-global benchmarks; the solver's production path is
+// RunRank.
 func RunRankGlobal(r *rt.Rank, g *graph.Graph, seeds []graph.VID, st *State) rt.TraversalStats {
 	return runGlobal(r, g, seeds, st, false)
 }
@@ -204,10 +219,11 @@ func runGlobal(r *rt.Rank, g *graph.Graph, seeds []graph.VID, st *State, bsp boo
 }
 
 // runWith is the shared traversal skeleton: tie-breaking and state updates
-// are identical for the sharded and global-reference paths, so the two can
-// only differ if an adjacency source yields different arcs — exactly what
-// the shard-equivalence tests pin down.
-func runWith(r *rt.Rank, seeds []graph.VID, st *State, bsp bool,
+// are identical for the slab-state and shared-state paths (st is the
+// Control view of either), so the two can only differ if an adjacency or
+// state source yields different values — exactly what the equivalence
+// property tests pin down.
+func runWith(r *rt.Rank, seeds []graph.VID, st Control, bsp bool,
 	relaxNeighbors func(r *rt.Rank, v graph.VID, src graph.VID, dist graph.Dist),
 	relaxStripe func(r *rt.Rank, m rt.Msg)) rt.TraversalStats {
 	return r.Traverse(&rt.Traversal{
@@ -242,17 +258,20 @@ func runWith(r *rt.Rank, seeds []graph.VID, st *State, bsp bool,
 }
 
 // Compute runs the Voronoi-cell phase standalone on a fresh traversal over
-// the given communicator and returns the converged state (convenience for
-// tests, Table I and examples; the Steiner solver calls RunRank inside its
-// own SPMD body). Shards are built from g on first use if the communicator
-// has none attached.
+// the given communicator and returns the converged state collected into the
+// shared-form view (convenience for tests, Table I and examples; the
+// Steiner solver calls RunRank inside its own SPMD body). Shards and state
+// slabs are built from g on first use if the communicator has none
+// attached; attached slabs are reset, so repeated Computes on one Comm
+// reuse them.
 func Compute(c *rt.Comm, g *graph.Graph, seeds []graph.VID) *State {
 	c.EnsureShards(g)
-	st := NewState(g.NumVertices())
+	slabs := EnsureSlabs(c, g)
+	c.ResetStateSlabs()
 	c.Run(func(r *rt.Rank) {
-		RunRank(r, seeds, st)
+		RunRank(r, seeds)
 	})
-	return st
+	return Collect(slabs, g.NumVertices())
 }
 
 // Sequential computes the same fixed point as RunRank with a sequential

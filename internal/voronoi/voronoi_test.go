@@ -227,17 +227,18 @@ func TestShardedMatchesGlobalReference(t *testing.T) {
 							RunRankGlobal(r, g, seeds, want)
 						}
 					})
-					// Sharded run.
+					// Sharded run: rank-local slabs, collected afterwards.
 					cs := rt.MustNew(rt.Config{Ranks: ranks, Queue: rt.QueuePriority}, makePart(kind, ranks, threshold))
 					cs.EnsureShards(g)
-					got := NewState(n)
+					slabs := EnsureSlabs(cs, g)
 					cs.Run(func(r *rt.Rank) {
 						if bsp {
-							RunRankBSP(r, seeds, got)
+							RunRankBSP(r, seeds)
 						} else {
-							RunRank(r, seeds, got)
+							RunRank(r, seeds)
 						}
 					})
+					got := Collect(slabs, n)
 					for v := 0; v < n; v++ {
 						gs, gp, gd := got.Get(graph.VID(v))
 						ws, wp, wd := want.Get(graph.VID(v))
@@ -287,13 +288,14 @@ func TestBSPMatchesAsync(t *testing.T) {
 	part, _ := partition.NewBlock(250, 4)
 	c := rt.MustNew(rt.Config{Ranks: 4, Queue: rt.QueueFIFO}, part)
 	c.EnsureShards(g)
-	st := NewState(g.NumVertices())
+	slabs := EnsureSlabs(c, g)
 	c.Run(func(r *rt.Rank) {
 		// Run the same visitor logic under BSP via RunRank's building
 		// blocks: reuse Compute-style traversal but in BSP mode through
 		// a manual traversal.
-		RunRankBSP(r, seeds, st)
+		RunRankBSP(r, seeds)
 	})
+	st := Collect(slabs, g.NumVertices())
 	for v := 0; v < g.NumVertices(); v++ {
 		if st.Dist(graph.VID(v)) != want.Dist(graph.VID(v)) || st.Src(graph.VID(v)) != want.Src(graph.VID(v)) {
 			t.Fatalf("BSP vertex %d: got (%d,%d), want (%d,%d)",
@@ -325,21 +327,22 @@ func TestStateResetInvalidatesInO1(t *testing.T) {
 }
 
 func TestStateReuseAcrossQueriesMatchesFresh(t *testing.T) {
-	// One pooled State driven through several different seed sets must
-	// produce exactly the fixed point a fresh State produces: stale
-	// entries from earlier epochs must be invisible.
+	// One pooled slab set driven through several different seed sets must
+	// produce exactly the fixed point fresh slabs produce: stale entries
+	// from earlier epochs must be invisible.
 	g := randomConnected(17, 300, 25)
 	rng := rand.New(rand.NewSource(18))
 	part, _ := partition.NewBlock(300, 4)
 	c := rt.MustNew(rt.Config{Ranks: 4, Queue: rt.QueuePriority}, part)
 	c.EnsureShards(g)
-	pooled := NewState(g.NumVertices())
+	slabs := EnsureSlabs(c, g)
 	for q := 0; q < 5; q++ {
 		seeds := pickSeeds(rng, g.NumVertices(), 2+q)
-		pooled.Reset()
+		c.ResetStateSlabs()
 		c.Run(func(r *rt.Rank) {
-			RunRank(r, seeds, pooled)
+			RunRank(r, seeds)
 		})
+		pooled := Collect(slabs, g.NumVertices())
 		fresh := Compute(newComm(t, 300, 4, rt.QueuePriority), g, seeds)
 		for v := 0; v < g.NumVertices(); v++ {
 			gs, gp, gd := pooled.Get(graph.VID(v))
@@ -357,11 +360,11 @@ func TestWorkCountersReported(t *testing.T) {
 	part, _ := partition.NewBlock(150, 2)
 	c := rt.MustNew(rt.Config{Ranks: 2, Queue: rt.QueuePriority}, part)
 	c.EnsureShards(g)
-	st := NewState(g.NumVertices())
+	EnsureSlabs(c, g)
 	var totalProcessed int64
 	done := make(chan int64, 2)
 	c.Run(func(r *rt.Rank) {
-		s := RunRank(r, []graph.VID{0, 100}, st)
+		s := RunRank(r, []graph.VID{0, 100})
 		done <- s.Processed
 	})
 	close(done)
