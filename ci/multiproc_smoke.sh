@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Multi-process smoke test for the TCP rank backend: build steinersvc and
+# rankd, start a coordinator with 4 real rankd worker processes on
+# localhost, solve a set of queries over the wire, and require the answers
+# to be byte-identical (solver-output fields) to an in-process steinersvc
+# serving the same graph — plus nonzero transport counters in /stats,
+# proving the queries actually crossed TCP.
+#
+# Run from the repo root: ./ci/multiproc_smoke.sh
+set -euo pipefail
+
+DATASET="${DATASET:-LVJ}"
+SCALE="${SCALE:-0.02}"
+RANKS=4
+WORKERS=4
+COORD=127.0.0.1:7611
+TCP_HTTP=127.0.0.1:8711
+INPROC_HTTP=127.0.0.1:8712
+QUERIES=("1,2,3" "5,9,13,21" "0,7" "2,4,8,16,32")
+
+workdir=$(mktemp -d)
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building"
+go build -o "$workdir/steinersvc" ./cmd/steinersvc
+go build -o "$workdir/rankd" ./cmd/rankd
+
+echo "== starting tcp coordinator + $WORKERS rankd workers"
+"$workdir/steinersvc" -dataset "$DATASET" -scale "$SCALE" -ranks $RANKS \
+  -backend tcp -workers $WORKERS -rank-listen "$COORD" \
+  -addr "$TCP_HTTP" -cache 0 -jobs 0 >"$workdir/tcp.log" 2>&1 &
+pids+=($!)
+for i in $(seq 1 $WORKERS); do
+  "$workdir/rankd" -coordinator "$COORD" -retry 30s >"$workdir/rankd$i.log" 2>&1 &
+  pids+=($!)
+done
+
+echo "== starting inproc reference"
+"$workdir/steinersvc" -dataset "$DATASET" -scale "$SCALE" -ranks $RANKS \
+  -addr "$INPROC_HTTP" -cache 0 -jobs 0 >"$workdir/inproc.log" 2>&1 &
+pids+=($!)
+
+wait_http() {
+  local base=$1 name=$2
+  for _ in $(seq 1 120); do
+    if curl -fsS "http://$base/info" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.5
+  done
+  echo "FAIL: $name never answered /info" >&2
+  tail -n 40 "$workdir"/*.log >&2 || true
+  exit 1
+}
+wait_http "$INPROC_HTTP" "inproc steinersvc"
+wait_http "$TCP_HTTP" "tcp steinersvc (coordinator + workers)"
+
+backend=$(curl -fsS "http://$TCP_HTTP/info" | jq -r .backend)
+if [ "$backend" != "tcp" ]; then
+  echo "FAIL: coordinator /info reports backend=$backend, want tcp" >&2
+  exit 1
+fi
+
+echo "== solving ${#QUERIES[@]} queries on both backends"
+for seeds in "${QUERIES[@]}"; do
+  # Compare only solver output: seeds, edges, total, steinerVertices.
+  # Phase timings legitimately differ between backends.
+  tcp_out=$(curl -fsS "http://$TCP_HTTP/solve?seeds=$seeds" |
+    jq -S '{seeds, edges, total, steinerVertices}')
+  inproc_out=$(curl -fsS "http://$INPROC_HTTP/solve?seeds=$seeds" |
+    jq -S '{seeds, edges, total, steinerVertices}')
+  if [ "$tcp_out" != "$inproc_out" ]; then
+    echo "FAIL: seeds=$seeds differ between backends" >&2
+    diff <(echo "$inproc_out") <(echo "$tcp_out") >&2 || true
+    exit 1
+  fi
+  echo "   seeds=$seeds OK ($(echo "$tcp_out" | jq -r .total) total distance)"
+done
+
+echo "== checking transport counters"
+stats=$(curl -fsS "http://$TCP_HTTP/stats")
+bytes_out=$(echo "$stats" | jq -r .transport.bytesOut)
+frames_out=$(echo "$stats" | jq -r .transport.framesOut)
+if [ "$bytes_out" -le 0 ] || [ "$frames_out" -le 0 ]; then
+  echo "FAIL: tcp backend reports no wire traffic: $stats" >&2
+  exit 1
+fi
+inproc_bytes=$(curl -fsS "http://$INPROC_HTTP/stats" | jq -r .transport.bytesOut)
+if [ "$inproc_bytes" != "0" ]; then
+  echo "FAIL: inproc backend reports wire traffic ($inproc_bytes bytes)" >&2
+  exit 1
+fi
+echo "   ${#QUERIES[@]} queries moved $frames_out frames / $bytes_out bytes over TCP"
+
+echo "PASS: tcp backend byte-identical to inproc across ${#QUERIES[@]} queries"

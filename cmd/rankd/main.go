@@ -1,0 +1,72 @@
+// Command rankd is the rank worker process of the TCP backend: the
+// "rank becomes a process" half of the paper's distributed design. A rankd
+// dials the coordinator (steinersvc -backend tcp, or any core.Engine with
+// Options.BackendTCP), receives its slice of the partition.ShardPlan in
+// the session handshake, rebuilds its ranks' graph shards and Voronoi
+// state slabs locally — the full CSR never materializes here — meshes with
+// its peer workers for direct visitor-message traffic, and serves solver
+// queries until the coordinator says goodbye.
+//
+// Usage:
+//
+//	rankd -coordinator 127.0.0.1:7600
+//	rankd -coordinator coord:7600 -peer-listen 10.0.0.7:0 -retry 30s
+//
+// -peer-listen names the interface other workers dial for rank-to-rank
+// message batches; on a multi-host deployment it must be reachable from
+// the peers (the default binds localhost, matching a single-machine
+// cluster). -retry keeps re-dialing a coordinator that has not started
+// listening yet, so workers and coordinator can start in any order.
+//
+// The process exits 0 on a clean session end (coordinator goodbye) and
+// non-zero when the session aborts (a rank panic anywhere in the fleet, a
+// lost connection, a handshake mismatch).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"dsteiner/internal/core"
+)
+
+func main() {
+	var (
+		coord      = flag.String("coordinator", "127.0.0.1:7600", "coordinator address to dial")
+		peerListen = flag.String("peer-listen", "127.0.0.1:0", "address to accept peer-worker connections on")
+		retry      = flag.Duration("retry", 15*time.Second, "keep re-dialing the coordinator for this long")
+	)
+	flag.Parse()
+	log.SetPrefix("rankd: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	cfg := core.WorkerConfig{
+		PeerListen: *peerListen,
+		Logf:       log.Printf,
+	}
+	deadline := time.Now().Add(*retry)
+	for {
+		err := core.RunWorker(*coord, cfg)
+		if err == nil {
+			return
+		}
+		// Only the initial dial is retried (coordinator not up yet); a
+		// session that established and then failed is fatal.
+		if time.Now().Before(deadline) && isDialError(err) {
+			time.Sleep(250 * time.Millisecond)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "rankd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// isDialError reports whether the worker never reached the coordinator
+// (retryable) as opposed to failing mid-session.
+func isDialError(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "dial coordinator")
+}

@@ -11,12 +11,22 @@
 //	steinersvc -dataset LVJ -addr :8080
 //	steinersvc -graph web.bin -ranks 8 -engines 4 -cache 512 -jobs 128
 //	steinersvc -dataset WDC12 -partition hash -delegates 145
+//	steinersvc -dataset LVJ -backend tcp -workers 4 -rank-listen 127.0.0.1:7600
 //
 // -partition picks the vertex-to-rank mapping (block | hash | arcblock) the
 // engines cut their rank-local graph shards from; -delegates N stripes the
 // adjacency of vertices with degree >= N across all ranks (HavoqGT-style
 // vertex delegates). /info and /stats report the partition kind, delegate
 // count and shard memory.
+//
+// -backend selects where the ranks run. The default inproc backend runs
+// them as goroutines over in-memory mailboxes. -backend tcp turns this
+// process into a session coordinator: it listens on -rank-listen, waits
+// (up to -worker-wait) for -workers rankd processes to dial in, ships each
+// its slice of the shard plan, and every query then executes in the worker
+// fleet with messages, collectives and termination tokens crossing real
+// TCP. /stats exposes the wire traffic (frames, bytes, codec time) per
+// pool, so the loopback-vs-TCP overhead is measurable.
 //
 // -engines N keeps a pool of N resident solver engines, so up to N queries
 // run concurrently on the shared graph; further requests queue for the next
@@ -61,17 +71,21 @@ import (
 
 func main() {
 	var (
-		graphFile = flag.String("graph", "", "binary CSR graph file")
-		dataset   = flag.String("dataset", "", "Table III stand-in name")
-		scale     = flag.Float64("scale", 1.0, "dataset scale factor")
-		addr      = flag.String("addr", ":8080", "listen address")
-		ranks     = flag.Int("ranks", 4, "simulated rank count per query")
-		partKind  = flag.String("partition", "arcblock", "vertex partition: block | hash | arcblock")
-		delegates = flag.Int("delegates", 0, "delegate high-degree vertices above this degree (0 = off)")
-		engines   = flag.Int("engines", 1, "resident solver engines (max concurrent queries)")
-		cache     = flag.Int("cache", 256, "LRU solution cache entries (0 disables)")
-		jobs      = flag.Int("jobs", 64, "async job queue bound (0 disables /solve/async)")
-		drainWait = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+		graphFile  = flag.String("graph", "", "binary CSR graph file")
+		dataset    = flag.String("dataset", "", "Table III stand-in name")
+		scale      = flag.Float64("scale", 1.0, "dataset scale factor")
+		addr       = flag.String("addr", ":8080", "listen address")
+		ranks      = flag.Int("ranks", 4, "rank count per query")
+		backend    = flag.String("backend", "inproc", "rank backend: inproc | tcp (external rankd workers)")
+		workers    = flag.Int("workers", 4, "rankd worker processes for -backend tcp")
+		rankAddr   = flag.String("rank-listen", "127.0.0.1:7600", "coordinator listen address for -backend tcp (rankd dials this)")
+		workerWait = flag.Duration("worker-wait", 60*time.Second, "how long to wait for rankd workers to dial in")
+		partKind   = flag.String("partition", "arcblock", "vertex partition: block | hash | arcblock")
+		delegates  = flag.Int("delegates", 0, "delegate high-degree vertices above this degree (0 = off)")
+		engines    = flag.Int("engines", 1, "resident solver engines (max concurrent queries; must be 1 with -backend tcp)")
+		cache      = flag.Int("cache", 256, "LRU solution cache entries (0 disables)")
+		jobs       = flag.Int("jobs", 64, "async job queue bound (0 disables /solve/async)")
+		drainWait  = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 	)
 	flag.Parse()
 
@@ -87,6 +101,20 @@ func main() {
 		os.Exit(1)
 	}
 	opts.DelegateThreshold = *delegates
+	opts.Backend, err = dsteiner.ParseBackend(*backend)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "steinersvc: %v\n", err)
+		os.Exit(1)
+	}
+	if opts.Backend == dsteiner.BackendTCP {
+		opts.Workers = *workers
+		opts.ListenAddr = *rankAddr
+		opts.WorkerWait = *workerWait
+		opts.OnListen = func(a string) {
+			log.Printf("steinersvc: waiting up to %v for %d rankd worker(s) on %s "+
+				"(start them with: rankd -coordinator %s)", *workerWait, *workers, a, a)
+		}
+	}
 	svc, err := steinersvc.New(g, opts, steinersvc.Config{
 		Engines:      *engines,
 		CacheEntries: *cache,
@@ -96,8 +124,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "steinersvc: %v\n", err)
 		os.Exit(1)
 	}
-	log.Printf("steinersvc: serving |V|=%d 2|E|=%d on %s with %d engine(s) x %d ranks (%s partition, delegates>=%d), cache=%d, jobs=%d",
-		g.NumVertices(), g.NumArcs(), *addr, svc.NumEngines(), *ranks, *partKind, *delegates, *cache, *jobs)
+	log.Printf("steinersvc: serving |V|=%d 2|E|=%d on %s with %d engine(s) x %d ranks over %s backend (%s partition, delegates>=%d), cache=%d, jobs=%d",
+		g.NumVertices(), g.NumArcs(), *addr, svc.NumEngines(), *ranks, *backend, *partKind, *delegates, *cache, *jobs)
 
 	srv := &http.Server{Addr: *addr, Handler: svc}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -114,6 +114,29 @@ const (
 // ParsePartition maps "block", "hash" or "arcblock" to its PartitionKind.
 func ParsePartition(s string) (PartitionKind, error) { return core.ParsePartition(s) }
 
+// Rank backends: where the communicator's ranks live.
+const (
+	// BackendInproc runs ranks as goroutines over in-memory mailboxes
+	// (the loopback transport — default, and the perf baseline).
+	BackendInproc = core.BackendInproc
+	// BackendTCP runs ranks in external rankd worker processes; this
+	// process coordinates the session and every cross-rank message
+	// crosses a real TCP wire (see Options.Workers / Options.ListenAddr).
+	BackendTCP = core.BackendTCP
+)
+
+// ParseBackend maps "inproc" or "tcp" to its Backend.
+func ParseBackend(s string) (core.Backend, error) { return core.ParseBackend(s) }
+
+// WorkerConfig parameterizes RunWorker (peer listen address, timeouts).
+type WorkerConfig = core.WorkerConfig
+
+// RunWorker runs one rankd worker session against the coordinator at
+// coordAddr, blocking until the session ends (see cmd/rankd).
+func RunWorker(coordAddr string, cfg WorkerConfig) error {
+	return core.RunWorker(coordAddr, cfg)
+}
+
 // Seed selection strategies (§V, §V-E).
 const (
 	SeedsBFSLevel      = seeds.BFSLevel

@@ -83,6 +83,47 @@ func BenchmarkEngineReuse(b *testing.B) {
 	}
 }
 
+// BenchmarkTCPTransportSolve is the loopback-vs-wire comparison: the same
+// resident-engine workload as BenchmarkEngineReuse, but the four ranks run
+// in four rankd worker sessions (in-process goroutines speaking the real
+// wire protocol over real localhost TCP), so every cross-rank batch is
+// varint-encoded, framed, written, read and decoded, collectives cross the
+// coordinator, and asynchronous quiescence is detected with termination
+// tokens. The ratio against BenchmarkEngineReuse is the transport tax.
+func BenchmarkTCPTransportSolve(b *testing.B) {
+	g := benchSolveGraph(b)
+	seedSets := benchSeedSets(g, 16, 16)
+	opts := dsteiner.Defaults(4)
+	opts.Backend = dsteiner.BackendTCP
+	opts.Workers = 4
+	opts.ListenAddr = "127.0.0.1:0"
+	var wg sync.WaitGroup
+	opts.OnListen = func(addr string) {
+		for i := 0; i < opts.Workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := dsteiner.RunWorker(addr, dsteiner.WorkerConfig{}); err != nil {
+					b.Errorf("worker: %v", err)
+				}
+			}()
+		}
+	}
+	e, err := dsteiner.NewEngine(g, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer wg.Wait()
+	defer e.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Solve(seedSets[i%len(seedSets)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEngineReuseGlobalCSR is the sharded-vs-global comparison: the
 // same resident-engine workload as BenchmarkEngineReuse, but on the
 // pre-shard reference path that strides the shared global CSR instead of

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dsteiner/internal/graph"
+	"dsteiner/internal/partition"
+	rt "dsteiner/internal/runtime"
+	"dsteiner/internal/transport"
+	"dsteiner/internal/voronoi"
+	"dsteiner/internal/wire"
+)
+
+// cluster is the BackendTCP session state of an Engine acting as
+// coordinator: the hub that owns the worker connections, plus the
+// session-constant memory accounting captured at setup. The coordinator
+// holds the full graph (it loaded it) but after the handshake no rank
+// state lives here — the shards and slabs built to cut the handshake's
+// slices are released, and every solve runs entirely in the workers.
+type cluster struct {
+	hub *transport.Hub
+	qid uint64
+
+	shard      ShardStats
+	stateBytes int64
+}
+
+// newClusterEngine is NewEngine's BackendTCP path: listen, hand every
+// dialing rankd worker its slice of the shard plan, and return an Engine
+// whose Solve dispatches to the worker fleet.
+func newClusterEngine(g *graph.Graph, opts Options) (*Engine, error) {
+	if opts.GlobalCSR {
+		return nil, fmt.Errorf("core: BackendTCP requires the sharded path (GlobalCSR must be false)")
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.Workers > opts.Ranks {
+		return nil, fmt.Errorf("core: %d workers for %d ranks", opts.Workers, opts.Ranks)
+	}
+	if opts.ListenAddr == "" {
+		opts.ListenAddr = "127.0.0.1:0"
+	}
+	if opts.WorkerWait <= 0 {
+		opts.WorkerWait = 60 * time.Second
+	}
+	n := g.NumVertices()
+
+	// The base partition is built before any delegate wrapping so its
+	// compact wire form (kind + bounds) is at hand.
+	var base partition.Partition
+	var err error
+	var kind uint8
+	var bounds []graph.VID
+	switch opts.Partition {
+	case PartitionHash:
+		base, err = partition.NewHash(n, opts.Ranks)
+		kind = wire.PartHash
+	case PartitionArcBlock:
+		var ab *partition.ArcBlock
+		ab, err = partition.NewArcBlock(g, opts.Ranks)
+		if err == nil {
+			bounds = ab.Bounds()
+			base = ab
+		}
+		kind = wire.PartArcBlock
+	default:
+		base, err = partition.NewBlock(n, opts.Ranks)
+		kind = wire.PartBlock
+	}
+	if err != nil {
+		return nil, err
+	}
+	part := base
+	if opts.DelegateThreshold > 0 {
+		part = partition.WithDelegates(base, g, opts.DelegateThreshold)
+	}
+	plan, err := partition.NewShardPlan(part, g)
+	if err != nil {
+		return nil, err
+	}
+
+	// Shards and slabs are cut once, only to (a) encode the handshake's
+	// slices and (b) capture the session's memory accounting; the workers
+	// rebuild them from the slices and this copy is garbage afterwards.
+	shards := plan.BuildShards(g)
+	slabs := voronoi.BuildSlabs(plan, shards)
+	cl := &cluster{}
+	cl.shard = ShardStats{
+		Partition:         opts.Partition.String(),
+		Ranks:             opts.Ranks,
+		DelegateThreshold: opts.DelegateThreshold,
+		Delegates:         plan.NumDelegates(),
+	}
+	for _, sh := range shards {
+		b := sh.MemoryBytes()
+		cl.shard.ShardBytes += b
+		if b > cl.shard.MaxShardBytes {
+			cl.shard.MaxShardBytes = b
+		}
+	}
+	for _, sl := range slabs {
+		b := sl.MemoryBytes()
+		cl.shard.StateSlabBytes += b
+		if b > cl.shard.MaxStateSlabBytes {
+			cl.shard.MaxStateSlabBytes = b
+		}
+	}
+	cl.stateBytes = cl.shard.StateSlabBytes
+
+	hub, err := transport.ListenHub(opts.ListenAddr, opts.Workers, opts.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	if opts.OnListen != nil {
+		opts.OnListen(hub.Addr())
+	}
+	_, err = hub.Handshake(opts.WorkerWait, func(w int) wire.Setup {
+		lo, hi := hub.RankRange(w)
+		setup := wire.Setup{
+			Ranks:             opts.Ranks,
+			NumVertices:       n,
+			Queue:             uint8(opts.Queue),
+			BucketDelta:       opts.BucketDelta,
+			BatchSize:         opts.BatchSize,
+			BSP:               opts.BSP,
+			MST:               uint8(opts.MST),
+			CollectiveChunk:   opts.CollectiveChunk,
+			DelegateThreshold: opts.DelegateThreshold,
+			PartitionKind:     kind,
+			ArcBounds:         bounds,
+			Delegates:         plan.Delegates(),
+		}
+		for rank := lo; rank < hi; rank++ {
+			owned, offsets, targets, weights, stripeOff, stripeTargets, stripeWeights := shards[rank].Slices()
+			setup.Shards = append(setup.Shards, wire.ShardSlice{
+				Rank:          rank,
+				Owned:         owned,
+				Offsets:       offsets,
+				Targets:       targets,
+				Weights:       weights,
+				StripeOff:     stripeOff,
+				StripeTargets: stripeTargets,
+				StripeWeights: stripeWeights,
+				Mirrored:      plan.Mirrored(rank),
+			})
+		}
+		return setup
+	})
+	if err != nil {
+		return nil, err
+	}
+	cl.hub = hub
+
+	return &Engine{
+		g:       g,
+		opts:    opts,
+		cluster: cl,
+		plan:    plan,
+		seen:    make(map[graph.VID]bool),
+	}, nil
+}
+
+// solve dispatches one canonical query to the worker fleet and assembles
+// the Result the loopback path would have produced: the rank-0 worker's
+// solver output plus coordinator-side Steiner-vertex counting, memory
+// accounting and validation (the coordinator holds the full graph).
+func (cl *cluster) solve(e *Engine, dedup []graph.VID) (*Result, error) {
+	cl.qid++
+	out, err := cl.hub.Solve(cl.qid, dedup)
+	if err != nil {
+		return nil, fmt.Errorf("core: tcp backend: %w", err)
+	}
+	if out.Err != "" {
+		return nil, errors.New(out.Err)
+	}
+	if out.Result == nil {
+		return nil, fmt.Errorf("core: tcp backend: no worker reported the rank-0 result")
+	}
+	res := fromWireResult(out.Result, dedup)
+	res.SuppressedBroadcasts = out.Suppressed
+	res.Net = rt.TransportStats{
+		FramesOut: out.Net.FramesOut,
+		FramesIn:  out.Net.FramesIn,
+		BytesOut:  out.Net.BytesOut,
+		BytesIn:   out.Net.BytesIn,
+		EncodeNs:  out.Net.EncodeNs,
+		DecodeNs:  out.Net.DecodeNs,
+	}
+	res.SteinerVertices = countSteinerVertices(res.Tree, dedup)
+	res.Memory = memoryStatsFromLens(e.g, cl.shard.ShardBytes, cl.stateBytes, out.TableLens, res, e.opts)
+	if !e.opts.SkipValidation {
+		if err := graph.ValidateSteinerTree(e.g, dedup, res.Tree); err != nil {
+			return nil, fmt.Errorf("core: internal error, invalid output: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// close tears the worker session down.
+func (cl *cluster) close() { cl.hub.Close() }
+
+// toWireResult converts rank 0's Result into its wire form (solver output
+// only; memory accounting and Steiner counting happen coordinator-side).
+func toWireResult(res *Result) wire.SolveResult {
+	wr := wire.SolveResult{
+		TotalDistance:    int64(res.TotalDistance),
+		DistGraphEdges:   res.DistGraphEdges,
+		MSTRounds:        res.MSTRounds,
+		CollectiveChunks: res.CollectiveChunks,
+	}
+	for _, e := range res.Tree {
+		wr.Tree = append(wr.Tree, wire.EdgeRec{U: e.U, V: e.V, W: e.W})
+	}
+	for _, p := range res.Phases {
+		wr.Phases = append(wr.Phases, wire.PhaseRec{
+			Name:        p.Name,
+			Seconds:     p.Seconds,
+			Sent:        p.Sent,
+			Processed:   p.Processed,
+			MaxRankWork: p.MaxRankWork,
+		})
+	}
+	return wr
+}
+
+// fromWireResult rebuilds a Result from its wire form.
+func fromWireResult(wr *wire.SolveResult, dedup []graph.VID) *Result {
+	res := &Result{
+		Seeds:            dedup,
+		TotalDistance:    graph.Dist(wr.TotalDistance),
+		DistGraphEdges:   wr.DistGraphEdges,
+		MSTRounds:        wr.MSTRounds,
+		CollectiveChunks: wr.CollectiveChunks,
+	}
+	if len(wr.Tree) > 0 {
+		res.Tree = make([]graph.Edge, len(wr.Tree))
+		for i, e := range wr.Tree {
+			res.Tree[i] = graph.Edge{U: e.U, V: e.V, W: e.W}
+		}
+	}
+	for _, p := range wr.Phases {
+		res.Phases = append(res.Phases, PhaseStat{
+			Name:        p.Name,
+			Seconds:     p.Seconds,
+			Sent:        p.Sent,
+			Processed:   p.Processed,
+			MaxRankWork: p.MaxRankWork,
+		})
+	}
+	return res
+}

@@ -8,7 +8,6 @@ import (
 	"sync"
 
 	"dsteiner/internal/graph"
-	"dsteiner/internal/mst"
 	"dsteiner/internal/partition"
 	rt "dsteiner/internal/runtime"
 	"dsteiner/internal/voronoi"
@@ -37,6 +36,12 @@ type Engine struct {
 	plan   *partition.ShardPlan
 	shards []*graph.Shard
 
+	// cluster is the BackendTCP coordinator session; non-nil when the
+	// ranks live in external rankd workers instead of this process. comm
+	// and the pooled per-query state below are nil in that mode — the
+	// workers hold the per-rank state.
+	cluster *cluster
+
 	mu sync.Mutex // serializes Solve on this engine
 
 	// Pooled per-query state, reset in O(1) or O(query) between solves.
@@ -60,6 +65,9 @@ type Engine struct {
 // which shares the immutable shard substrate instead of rebuilding it.
 func NewEngine(g *graph.Graph, opts Options) (*Engine, error) {
 	opts = opts.withDefaults()
+	if opts.Backend == BackendTCP {
+		return newClusterEngine(g, opts)
+	}
 	n := g.NumVertices()
 
 	var part partition.Partition
@@ -99,6 +107,9 @@ func NewEngine(g *graph.Graph, opts Options) (*Engine, error) {
 // (internal/steinersvc) use this so a pool of N engines holds one copy of
 // the sharded graph, not N.
 func (e *Engine) NewSibling() (*Engine, error) {
+	if e.cluster != nil {
+		return nil, fmt.Errorf("core: a BackendTCP engine owns its worker fleet and cannot have siblings")
+	}
 	return newEngine(e.g, e.opts, e.comm.Partition(), e.plan, e.shards)
 }
 
@@ -156,9 +167,16 @@ func newEngine(g *graph.Graph, opts Options, part partition.Partition,
 	return e, nil
 }
 
-// Close releases the engine's pinned rank goroutines. The Engine must not
-// be used afterwards.
-func (e *Engine) Close() { e.comm.Close() }
+// Close releases the engine's pinned rank goroutines — or, for a
+// BackendTCP engine, ends the worker session (the rankd processes exit on
+// the goodbye). The Engine must not be used afterwards.
+func (e *Engine) Close() {
+	if e.cluster != nil {
+		e.cluster.close()
+		return
+	}
+	e.comm.Close()
+}
 
 // stateBytes is the resident control-state footprint: the rank-local slabs
 // on the production path, the shared arrays in GlobalCSR reference mode.
@@ -202,6 +220,12 @@ type ShardStats struct {
 // ShardStats reports the engine's shard substrate. In GlobalCSR reference
 // mode only Partition/Ranks/DelegateThreshold are populated.
 func (e *Engine) ShardStats() ShardStats {
+	if e.cluster != nil {
+		// Captured at session setup from the shards/slabs the handshake
+		// slices were cut from — the same bytes now resident in the
+		// workers.
+		return e.cluster.shard
+	}
 	s := ShardStats{
 		Partition:         e.opts.Partition.String(),
 		Ranks:             e.opts.Ranks,
@@ -328,6 +352,9 @@ func (e *Engine) solveCanonLocked(dedup []graph.VID) (*Result, error) {
 	if len(dedup) == 1 {
 		return res, nil
 	}
+	if e.cluster != nil {
+		return e.cluster.solve(e, dedup)
+	}
 
 	g, opts := e.g, e.opts
 	if e.slabs != nil {
@@ -342,279 +369,30 @@ func (e *Engine) solveCanonLocked(dedup []graph.VID) (*Result, error) {
 		e.trees[i] = e.trees[i][:0]
 	}
 	clear(e.seedIdx)
-	seedIdx := e.seedIdx
 	for i, s := range dedup {
-		seedIdx[s] = int32(i)
+		e.seedIdx[s] = int32(i)
 	}
-	var solveErr error // written by rank 0 only
 
-	rec := &recorder{comm: e.comm, res: res}
-	e.comm.Run(func(r *rt.Rank) {
-		// Rank-local accessors: the production path reads this rank's CSR
-		// slab for adjacency and its StateSlab for control state; the
-		// GlobalCSR reference path scans the shared global arrays exactly
-		// as before the shard/slab refactors. Adjacency lookups take an
-		// owned vertex first (edge weights are symmetric, so looking up
-		// {u, v} from u's slab row equals the global edge weight); state
-		// access through st touches only owned vertices — remote state is
-		// reached via the mailbox (the Alg. 5 request/reply exchange),
-		// never direct reads.
-		adjOf := r.Adj
-		edgeWeight := r.EdgeWeight
-		var st voronoi.Control
-		var markWalked func(graph.VID) bool
-		if opts.GlobalCSR {
-			adjOf = g.Adj
-			edgeWeight = g.HasEdge
-			st = e.st
-			markWalked = func(v graph.VID) bool {
-				if e.walked[v] == e.walkedGen {
-					return false
-				}
-				e.walked[v] = e.walkedGen
-				return true
-			}
-		} else {
-			sl := voronoi.SlabOf(r)
-			st = sl
-			markWalked = sl.MarkWalked
-		}
-
-		// Phase 1: Voronoi cells (Alg. 4).
-		rec.phase(r, PhaseVoronoi, func() int64 {
-			var ts rt.TraversalStats
-			switch {
-			case opts.GlobalCSR && opts.BSP:
-				ts = voronoi.RunRankGlobalBSP(r, g, dedup, e.st)
-			case opts.GlobalCSR:
-				ts = voronoi.RunRankGlobal(r, g, dedup, e.st)
-			case opts.BSP:
-				ts = voronoi.RunRankBSP(r, dedup)
-			default:
-				ts = voronoi.RunRank(r, dedup)
-			}
-			return ts.Processed
-		})
-
-		// Phase 2: local min-distance cross-cell edges (Alg. 5,
-		// LOCAL_MIN_DIST_EDGE_ASYNC). Remote endpoint state is fetched
-		// with a request/reply visitor exchange.
-		localEN := e.localENs[r.ID()]
-		recordCandidate := func(u, v graph.VID, dv graph.Dist, srcV graph.VID) {
-			su := st.Src(u)
-			if su == graph.NilVID || srcV == graph.NilVID || su == srcV {
-				return
-			}
-			w, ok := edgeWeight(u, v) // u is always owned by this rank
-			if !ok {
-				return
-			}
-			cand := crossEdge{D: st.Dist(u) + graph.Dist(w) + dv, U: u, V: v}
-			key := seedKey(su, srcV)
-			if cur, ok := localEN[key]; ok {
-				localEN[key] = pickCross(cur, cand)
-			} else {
-				localEN[key] = cand
-			}
-		}
-		rec.phase(r, PhaseLocalMinEdge, func() int64 {
-			ts := r.Traverse(&rt.Traversal{
-				BSP: opts.BSP,
-				Init: func(r *rt.Rank) {
-					r.OwnedVertices(func(u graph.VID) {
-						if st.Src(u) == graph.NilVID {
-							return
-						}
-						adj, _ := adjOf(u)
-						for _, v := range adj {
-							if u >= v {
-								continue // lower endpoint initiates
-							}
-							if r.Owns(v) {
-								recordCandidate(u, v, st.Dist(v), st.Src(v))
-							} else {
-								r.Send(rt.Msg{Target: v, From: u, Kind: kindReqDist})
-							}
-						}
-					})
-				},
-				Visit: func(r *rt.Rank, m rt.Msg) {
-					switch m.Kind {
-					case kindReqDist:
-						v := m.Target
-						r.Send(rt.Msg{
-							Target: m.From, From: v,
-							Seed: st.Src(v), Dist: st.Dist(v),
-							Kind: kindRepDist,
-						})
-					case kindRepDist:
-						recordCandidate(m.Target, m.From, m.Dist, m.Seed)
-					}
-				},
-			})
-			return ts.Processed
-		})
-
-		// Phase 3: global min-distance edges —
-		// MPI_Allreduce(MPI_MIN) over the per-rank E_N tables. With
-		// CollectiveChunk set, the table is reduced in key-partitioned
-		// chunks, trading collective-buffer memory for extra rounds
-		// (the paper's §V-F mitigation for the |S|=10K blowup).
-		var merged map[int64]crossEdge
-		rec.phase(r, PhaseGlobalMinEdge, func() int64 {
-			if opts.CollectiveChunk <= 0 {
-				merged = rt.ReduceMap(r, localEN, pickCross)
-				if r.ID() == 0 {
-					res.CollectiveChunks = 1
-				}
-				return 0
-			}
-			maxSize := r.AllreduceMaxInt64(int64(len(localEN)))
-			numChunks := int((maxSize + int64(opts.CollectiveChunk) - 1) / int64(opts.CollectiveChunk))
-			if numChunks < 1 {
-				numChunks = 1
-			}
-			merged = make(map[int64]crossEdge, len(localEN))
-			for c := 0; c < numChunks; c++ {
-				sub := map[int64]crossEdge{}
-				for k, v := range localEN {
-					if int(uint64(k)%uint64(numChunks)) == c {
-						sub[k] = v
-					}
-				}
-				for k, v := range rt.ReduceMap(r, sub, pickCross) {
-					merged[k] = v
-				}
-			}
-			if r.ID() == 0 {
-				res.CollectiveChunks = numChunks
-			}
-			return 0
-		})
-
-		// Phase 4: sequential MST of the replicated distance graph G'₁
-		// (Alg. 3 line 17). Every rank computes it locally — G'₁ is
-		// small, so replication avoids remote copies, as in the paper.
-		// seedIdx is shared read-only (built before the SPMD body).
-		var mstPairs map[int64]bool
-		rec.phase(r, PhaseMST, func() int64 {
-			keys := make([]int64, 0, len(merged))
-			for k := range merged {
-				keys = append(keys, k)
-			}
-			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-			wedges := make([]mst.WEdge, len(keys))
-			for i, k := range keys {
-				s, t := unpackSeedKey(k)
-				wedges[i] = mst.WEdge{U: seedIdx[s], V: seedIdx[t], W: merged[k].D}
-			}
-			var forest mst.Result
-			switch opts.MST {
-			case MSTKruskal:
-				forest = mst.Kruskal(len(dedup), wedges)
-			case MSTBoruvka:
-				var rounds int
-				forest, rounds = mst.Boruvka(len(dedup), wedges)
-				if r.ID() == 0 {
-					res.MSTRounds = rounds
-				}
-			default:
-				forest = mst.Prim(len(dedup), wedges)
-			}
-			if r.ID() == 0 {
-				res.DistGraphEdges = len(wedges)
-			}
-			if len(forest.Edges) < len(dedup)-1 {
-				if r.ID() == 0 {
-					solveErr = fmt.Errorf("core: seeds span %d connected components; Steiner tree requires one",
-						len(dedup)-len(forest.Edges))
-				}
-				mstPairs = nil
-				return 0
-			}
-			mstPairs = make(map[int64]bool, len(forest.Edges))
-			for _, fe := range forest.Edges {
-				mstPairs[seedKey(dedup[fe.U], dedup[fe.V])] = true
-			}
-			return 0
-		})
-		if mstPairs == nil {
-			return // disconnected seeds: all ranks bail out identically
-		}
-
-		// Phase 5: global edge pruning (Alg. 5, EDGE_PRUNING_COLL) —
-		// cross-cell edges whose cell pair is not an MST edge are
-		// dropped. The total order in pickCross already guarantees a
-		// unique survivor per pair, so no second collective is needed.
-		pruned := e.pruneds[r.ID()]
-		rec.phase(r, PhasePruning, func() int64 {
-			for k, ce := range merged {
-				if mstPairs[k] {
-					pruned[k] = ce
-				}
-			}
-			return 0
-		})
-
-		// Phase 6: Steiner tree edges (Alg. 6) — walk predecessor
-		// chains from surviving cross-cell endpoints to cell seeds.
-		// The walked marks are epoch-versioned like the Voronoi state,
-		// so no O(|V|) bitmap is re-zeroed between queries, and the
-		// per-rank accumulator keeps its capacity (the published tree
-		// is a sorted copy, so reuse cannot leak across queries).
-		localTree := e.trees[r.ID()]
-		rec.phase(r, PhaseTreeEdge, func() int64 {
-			ts := r.Traverse(&rt.Traversal{
-				BSP: opts.BSP,
-				Init: func(r *rt.Rank) {
-					for _, ce := range pruned {
-						if !r.Owns(ce.U) {
-							continue // u's home partition records the edge
-						}
-						w, _ := edgeWeight(ce.U, ce.V)
-						localTree = append(localTree, graph.Edge{U: ce.U, V: ce.V, W: w}.Canon())
-						r.Send(rt.Msg{Target: ce.U})
-						r.Send(rt.Msg{Target: ce.V})
-					}
-				},
-				Visit: func(r *rt.Rank, m rt.Msg) {
-					vj := m.Target
-					if !markWalked(vj) {
-						return
-					}
-					if vj == st.Src(vj) {
-						return
-					}
-					p := st.Pred(vj)
-					// vj is owned here; its predecessor may not be, so the
-					// lookup goes through vj's slab row (weights are
-					// symmetric).
-					w, _ := edgeWeight(vj, p)
-					localTree = append(localTree, graph.Edge{U: p, V: vj, W: w}.Canon())
-					r.Send(rt.Msg{Target: p})
-				},
-			})
-			return ts.Processed
-		})
-		e.trees[r.ID()] = localTree // keep the grown capacity pooled
-
-		// Gather the final tree on every rank; rank 0 publishes it.
-		tree := rt.AllGather(r, localTree)
-		if r.ID() == 0 {
-			sorted := append([]graph.Edge(nil), tree...)
-			sort.Slice(sorted, func(i, j int) bool {
-				if sorted[i].U != sorted[j].U {
-					return sorted[i].U < sorted[j].U
-				}
-				return sorted[i].V < sorted[j].V
-			})
-			res.Tree = sorted
-			res.TotalDistance = graph.TotalWeight(sorted)
-		}
-	})
-	if solveErr != nil {
-		return nil, solveErr
+	env := &solveEnv{
+		g:         g,
+		opts:      opts,
+		comm:      e.comm,
+		dedup:     dedup,
+		seedIdx:   e.seedIdx,
+		res:       res,
+		localENs:  e.localENs,
+		pruneds:   e.pruneds,
+		trees:     e.trees,
+		st:        e.st,
+		walked:    e.walked,
+		walkedGen: e.walkedGen,
 	}
+	s0 := e.comm.Stats()
+	e.comm.Run(env.rankBody)
+	if env.err != nil {
+		return nil, env.err
+	}
+	res.SuppressedBroadcasts = e.comm.Stats().Suppressed - s0.Suppressed
 
 	res.SteinerVertices = countSteinerVertices(res.Tree, dedup)
 	res.Memory = memoryStats(g, e.ShardStats().ShardBytes, e.stateBytes(), e.localENs, res, opts)

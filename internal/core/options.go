@@ -20,6 +20,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	rt "dsteiner/internal/runtime"
 )
@@ -93,6 +94,43 @@ func ParsePartition(s string) (PartitionKind, error) {
 	}
 }
 
+// Backend selects where the communicator's ranks live.
+type Backend int
+
+const (
+	// BackendInproc runs every rank as a goroutine in this process over
+	// in-memory mailboxes — the loopback transport, the default and the
+	// perf baseline.
+	BackendInproc Backend = iota
+	// BackendTCP runs the ranks in external rankd worker processes: this
+	// process becomes the session coordinator, ships each worker its
+	// shard slices at setup, and every cross-rank message, collective
+	// and termination token crosses a real TCP wire.
+	BackendTCP
+)
+
+// String returns the flag/API name of the backend.
+func (b Backend) String() string {
+	switch b {
+	case BackendTCP:
+		return "tcp"
+	default:
+		return "inproc"
+	}
+}
+
+// ParseBackend maps a flag/API string to its Backend ("inproc", "tcp").
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "", "inproc":
+		return BackendInproc, nil
+	case "tcp":
+		return BackendTCP, nil
+	default:
+		return BackendInproc, fmt.Errorf("core: unknown backend %q (want inproc or tcp)", s)
+	}
+}
+
 // Options configures a Solve run. The zero value is a valid single-rank
 // configuration with the paper's defaults (priority queue, Prim MST,
 // asynchronous processing, block partition, no delegates).
@@ -141,6 +179,23 @@ type Options struct {
 	// equivalence oracle for the shard/slab property tests and the
 	// sharded-vs-global benchmarks; production solves leave it false.
 	GlobalCSR bool
+	// Backend selects where ranks run: in-process goroutines (default) or
+	// external rankd worker processes over TCP. BackendTCP requires the
+	// sharded path (GlobalCSR must be false).
+	Backend Backend
+	// ListenAddr is the coordinator's listen address for BackendTCP
+	// (default 127.0.0.1:0 — an ephemeral localhost port).
+	ListenAddr string
+	// Workers is the rankd process count for BackendTCP (default 1; must
+	// not exceed Ranks). Ranks are split into contiguous near-equal
+	// ranges, one per worker.
+	Workers int
+	// OnListen, when set, is called with the coordinator's bound address
+	// right before NewEngine blocks waiting for the workers to dial in —
+	// the hook tests and in-process harnesses use to spawn workers.
+	OnListen func(addr string)
+	// WorkerWait bounds the BackendTCP session handshake (default 60s).
+	WorkerWait time.Duration
 }
 
 func (o Options) withDefaults() Options {

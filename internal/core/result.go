@@ -2,6 +2,7 @@ package core
 
 import (
 	"dsteiner/internal/graph"
+	rt "dsteiner/internal/runtime"
 )
 
 // Phase names match the stacked-bar legends of the paper's Figs. 3–6.
@@ -79,6 +80,13 @@ type Result struct {
 	// CollectiveChunks is the number of chunked reductions used by the
 	// Global Min Dist. Edge phase (1 = single collective).
 	CollectiveChunks int
+	// SuppressedBroadcasts counts delegate-bound relaxation offers dropped
+	// by the changed-since filter during this query (cluster-wide total on
+	// the TCP backend).
+	SuppressedBroadcasts int64
+	// Net is the transport traffic attributable to this query, summed over
+	// the worker processes. All zero on the in-process loopback backend.
+	Net rt.TransportStats
 }
 
 // Clone returns a deep copy of res that shares no slices with the receiver.

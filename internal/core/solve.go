@@ -118,11 +118,22 @@ func countSteinerVertices(tree []graph.Edge, seeds []graph.VID) int {
 // GlobalCSR mode) and edge tables, plus a buffer-residency model (P
 // outgoing buffers per rank at the configured batch size).
 func memoryStats(g *graph.Graph, shardBytes, stateBytes int64, localENs []map[int64]crossEdge, res *Result, opts Options) MemoryStats {
+	lens := make([]int64, len(localENs))
+	for i, m := range localENs {
+		lens[i] = int64(len(m))
+	}
+	return memoryStatsFromLens(g, shardBytes, stateBytes, lens, res, opts)
+}
+
+// memoryStatsFromLens is memoryStats over per-rank E_N table sizes — the
+// form the TCP backend reports them in (the tables live in the workers,
+// only their sizes travel back in the per-query WorkerDone frames).
+func memoryStatsFromLens(g *graph.Graph, shardBytes, stateBytes int64, tableLens []int64, res *Result, opts Options) MemoryStats {
 	const crossEntryBytes = 8 + 16 + 8 // key + crossEdge + map overhead approx
 	const msgBytes = 24
 	var tableBytes int64
-	for _, m := range localENs {
-		tableBytes += int64(len(m)) * crossEntryBytes
+	for _, n := range tableLens {
+		tableBytes += n * crossEntryBytes
 	}
 	tableBytes += int64(res.DistGraphEdges) * crossEntryBytes // merged copy
 	batch := opts.BatchSize
@@ -140,10 +151,16 @@ func memoryStats(g *graph.Graph, shardBytes, stateBytes int64, localENs []map[in
 }
 
 // recorder tracks per-phase wall time and message deltas. Rank 0 writes the
-// shared Result between barriers.
+// shared Result between barriers. In a distributed session the message
+// counters live per process, so each process leader (its lowest hosted
+// rank, rec.lo) snapshots local deltas and the totals are summed with an
+// allreduce; loopback keeps the original rank-0-only snapshot with no
+// extra collectives on the hot path.
 type recorder struct {
 	comm *rt.Comm
 	res  *Result
+	dist bool
+	lo   int
 
 	t0 time.Time
 	s0 rt.Stats
@@ -153,7 +170,7 @@ type recorder struct {
 // message counts and max-per-rank work (fn's return value, reduced MAX).
 func (rec *recorder) phase(r *rt.Rank, name string, fn func() int64) {
 	r.Barrier()
-	if r.ID() == 0 {
+	if r.ID() == rec.lo {
 		rec.t0 = time.Now()
 		rec.s0 = rec.comm.Stats()
 	}
@@ -161,13 +178,32 @@ func (rec *recorder) phase(r *rt.Rank, name string, fn func() int64) {
 	work := fn()
 	r.Barrier()
 	maxWork := r.AllreduceMaxInt64(work)
-	if r.ID() == 0 {
+	if !rec.dist {
+		if r.ID() == 0 {
+			s1 := rec.comm.Stats()
+			rec.res.Phases = append(rec.res.Phases, PhaseStat{
+				Name:        name,
+				Seconds:     time.Since(rec.t0).Seconds(),
+				Sent:        s1.Sent - rec.s0.Sent,
+				Processed:   s1.Processed - rec.s0.Processed,
+				MaxRankWork: maxWork,
+			})
+		}
+		return
+	}
+	var dSent, dProcessed int64
+	if r.ID() == rec.lo {
 		s1 := rec.comm.Stats()
+		dSent, dProcessed = s1.Sent-rec.s0.Sent, s1.Processed-rec.s0.Processed
+	}
+	sent := r.AllreduceSumInt64(dSent)
+	processed := r.AllreduceSumInt64(dProcessed)
+	if r.ID() == 0 {
 		rec.res.Phases = append(rec.res.Phases, PhaseStat{
 			Name:        name,
 			Seconds:     time.Since(rec.t0).Seconds(),
-			Sent:        s1.Sent - rec.s0.Sent,
-			Processed:   s1.Processed - rec.s0.Processed,
+			Sent:        sent,
+			Processed:   processed,
 			MaxRankWork: maxWork,
 		})
 	}

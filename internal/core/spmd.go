@@ -1,0 +1,397 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dsteiner/internal/graph"
+	"dsteiner/internal/mst"
+	rt "dsteiner/internal/runtime"
+	"dsteiner/internal/voronoi"
+	"dsteiner/internal/wire"
+)
+
+// solveEnv is one query's per-process environment for the six-phase SPMD
+// solve body. It was extracted from Engine.Solve so the body can run in
+// two homes with identical code: every rank of a loopback Engine, and the
+// hosted rank subset of a remote rankd worker — where the process holds
+// only its shards, slabs and scratch tables, and everything global flows
+// through collectives. Fields indexed by rank use GLOBAL rank ids; a
+// worker populates only the hosted entries.
+type solveEnv struct {
+	// g is the resident global CSR; nil on remote workers, whose body
+	// never touches it (the GlobalCSR reference mode is loopback-only).
+	g    *graph.Graph
+	opts Options
+	comm *rt.Comm
+
+	// Per-query inputs, identical on every process.
+	dedup   []graph.VID
+	seedIdx map[graph.VID]int32
+
+	// res is written by global rank 0 between barriers; only the process
+	// hosting rank 0 publishes it. err is rank 0's solve error.
+	res *Result
+	err error
+
+	// Pooled per-rank scratch (the owning Engine's or worker's pools).
+	localENs []map[int64]crossEdge
+	pruneds  []map[int64]crossEdge
+	trees    [][]graph.Edge
+
+	// GlobalCSR reference-mode shared state (loopback only).
+	st        *voronoi.State
+	walked    []uint64
+	walkedGen uint64
+}
+
+// rankBody runs the six solver phases on one rank. It must be invoked
+// SPMD on every rank of the communicator — local or remote — with an
+// identically-initialized env.
+func (env *solveEnv) rankBody(r *rt.Rank) {
+	g, opts, dedup, seedIdx := env.g, env.opts, env.dedup, env.seedIdx
+	res := env.res
+	rec := &recorder{comm: env.comm, res: res, dist: r.Distributed()}
+	rec.lo, _ = env.comm.HostRange()
+
+	// Rank-local accessors: the production path reads this rank's CSR
+	// slab for adjacency and its StateSlab for control state; the
+	// GlobalCSR reference path scans the shared global arrays exactly
+	// as before the shard/slab refactors. Adjacency lookups take an
+	// owned vertex first (edge weights are symmetric, so looking up
+	// {u, v} from u's slab row equals the global edge weight); state
+	// access through st touches only owned vertices — remote state is
+	// reached via the mailbox (the Alg. 5 request/reply exchange),
+	// never direct reads.
+	adjOf := r.Adj
+	edgeWeight := r.EdgeWeight
+	var st voronoi.Control
+	var markWalked func(graph.VID) bool
+	if opts.GlobalCSR {
+		adjOf = g.Adj
+		edgeWeight = g.HasEdge
+		st = env.st
+		markWalked = func(v graph.VID) bool {
+			if env.walked[v] == env.walkedGen {
+				return false
+			}
+			env.walked[v] = env.walkedGen
+			return true
+		}
+	} else {
+		sl := voronoi.SlabOf(r)
+		st = sl
+		markWalked = sl.MarkWalked
+	}
+
+	// Phase 1: Voronoi cells (Alg. 4).
+	rec.phase(r, PhaseVoronoi, func() int64 {
+		var ts rt.TraversalStats
+		switch {
+		case opts.GlobalCSR && opts.BSP:
+			ts = voronoi.RunRankGlobalBSP(r, g, dedup, env.st)
+		case opts.GlobalCSR:
+			ts = voronoi.RunRankGlobal(r, g, dedup, env.st)
+		case opts.BSP:
+			ts = voronoi.RunRankBSP(r, dedup)
+		default:
+			ts = voronoi.RunRank(r, dedup)
+		}
+		return ts.Processed
+	})
+
+	// Phase 2: local min-distance cross-cell edges (Alg. 5,
+	// LOCAL_MIN_DIST_EDGE_ASYNC). Remote endpoint state is fetched
+	// with a request/reply visitor exchange.
+	localEN := env.localENs[r.ID()]
+	recordCandidate := func(u, v graph.VID, dv graph.Dist, srcV graph.VID) {
+		su := st.Src(u)
+		if su == graph.NilVID || srcV == graph.NilVID || su == srcV {
+			return
+		}
+		w, ok := edgeWeight(u, v) // u is always owned by this rank
+		if !ok {
+			return
+		}
+		cand := crossEdge{D: st.Dist(u) + graph.Dist(w) + dv, U: u, V: v}
+		key := seedKey(su, srcV)
+		if cur, ok := localEN[key]; ok {
+			localEN[key] = pickCross(cur, cand)
+		} else {
+			localEN[key] = cand
+		}
+	}
+	rec.phase(r, PhaseLocalMinEdge, func() int64 {
+		ts := r.Traverse(&rt.Traversal{
+			BSP: opts.BSP,
+			Init: func(r *rt.Rank) {
+				r.OwnedVertices(func(u graph.VID) {
+					if st.Src(u) == graph.NilVID {
+						return
+					}
+					adj, _ := adjOf(u)
+					for _, v := range adj {
+						if u >= v {
+							continue // lower endpoint initiates
+						}
+						if r.Owns(v) {
+							recordCandidate(u, v, st.Dist(v), st.Src(v))
+						} else {
+							r.Send(rt.Msg{Target: v, From: u, Kind: kindReqDist})
+						}
+					}
+				})
+			},
+			Visit: func(r *rt.Rank, m rt.Msg) {
+				switch m.Kind {
+				case kindReqDist:
+					v := m.Target
+					r.Send(rt.Msg{
+						Target: m.From, From: v,
+						Seed: st.Src(v), Dist: st.Dist(v),
+						Kind: kindRepDist,
+					})
+				case kindRepDist:
+					recordCandidate(m.Target, m.From, m.Dist, m.Seed)
+				}
+			},
+		})
+		return ts.Processed
+	})
+
+	// Phase 3: global min-distance edges —
+	// MPI_Allreduce(MPI_MIN) over the per-rank E_N tables. With
+	// CollectiveChunk set, the table is reduced in key-partitioned
+	// chunks, trading collective-buffer memory for extra rounds
+	// (the paper's §V-F mitigation for the |S|=10K blowup).
+	var merged map[int64]crossEdge
+	rec.phase(r, PhaseGlobalMinEdge, func() int64 {
+		if opts.CollectiveChunk <= 0 {
+			merged = mergeCrossTables(r, localEN)
+			if r.ID() == 0 {
+				res.CollectiveChunks = 1
+			}
+			return 0
+		}
+		maxSize := r.AllreduceMaxInt64(int64(len(localEN)))
+		numChunks := int((maxSize + int64(opts.CollectiveChunk) - 1) / int64(opts.CollectiveChunk))
+		if numChunks < 1 {
+			numChunks = 1
+		}
+		merged = make(map[int64]crossEdge, len(localEN))
+		for c := 0; c < numChunks; c++ {
+			sub := map[int64]crossEdge{}
+			for k, v := range localEN {
+				if int(uint64(k)%uint64(numChunks)) == c {
+					sub[k] = v
+				}
+			}
+			for k, v := range mergeCrossTables(r, sub) {
+				merged[k] = v
+			}
+		}
+		if r.ID() == 0 {
+			res.CollectiveChunks = numChunks
+		}
+		return 0
+	})
+
+	// Phase 4: sequential MST of the replicated distance graph G'₁
+	// (Alg. 3 line 17). Every rank computes it locally — G'₁ is
+	// small, so replication avoids remote copies, as in the paper.
+	// seedIdx is shared read-only (built before the SPMD body).
+	var mstPairs map[int64]bool
+	rec.phase(r, PhaseMST, func() int64 {
+		keys := make([]int64, 0, len(merged))
+		for k := range merged {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		wedges := make([]mst.WEdge, len(keys))
+		for i, k := range keys {
+			s, t := unpackSeedKey(k)
+			wedges[i] = mst.WEdge{U: seedIdx[s], V: seedIdx[t], W: merged[k].D}
+		}
+		var forest mst.Result
+		switch opts.MST {
+		case MSTKruskal:
+			forest = mst.Kruskal(len(dedup), wedges)
+		case MSTBoruvka:
+			var rounds int
+			forest, rounds = mst.Boruvka(len(dedup), wedges)
+			if r.ID() == 0 {
+				res.MSTRounds = rounds
+			}
+		default:
+			forest = mst.Prim(len(dedup), wedges)
+		}
+		if r.ID() == 0 {
+			res.DistGraphEdges = len(wedges)
+		}
+		if len(forest.Edges) < len(dedup)-1 {
+			if r.ID() == 0 {
+				env.err = fmt.Errorf("core: seeds span %d connected components; Steiner tree requires one",
+					len(dedup)-len(forest.Edges))
+			}
+			mstPairs = nil
+			return 0
+		}
+		mstPairs = make(map[int64]bool, len(forest.Edges))
+		for _, fe := range forest.Edges {
+			mstPairs[seedKey(dedup[fe.U], dedup[fe.V])] = true
+		}
+		return 0
+	})
+	if mstPairs == nil {
+		return // disconnected seeds: all ranks bail out identically
+	}
+
+	// Phase 5: global edge pruning (Alg. 5, EDGE_PRUNING_COLL) —
+	// cross-cell edges whose cell pair is not an MST edge are
+	// dropped. The total order in pickCross already guarantees a
+	// unique survivor per pair, so no second collective is needed.
+	pruned := env.pruneds[r.ID()]
+	rec.phase(r, PhasePruning, func() int64 {
+		for k, ce := range merged {
+			if mstPairs[k] {
+				pruned[k] = ce
+			}
+		}
+		return 0
+	})
+
+	// Phase 6: Steiner tree edges (Alg. 6) — walk predecessor
+	// chains from surviving cross-cell endpoints to cell seeds.
+	// The walked marks are epoch-versioned like the Voronoi state,
+	// so no O(|V|) bitmap is re-zeroed between queries, and the
+	// per-rank accumulator keeps its capacity (the published tree
+	// is a sorted copy, so reuse cannot leak across queries).
+	localTree := env.trees[r.ID()]
+	rec.phase(r, PhaseTreeEdge, func() int64 {
+		ts := r.Traverse(&rt.Traversal{
+			BSP: opts.BSP,
+			Init: func(r *rt.Rank) {
+				for _, ce := range pruned {
+					if !r.Owns(ce.U) {
+						continue // u's home partition records the edge
+					}
+					w, _ := edgeWeight(ce.U, ce.V)
+					localTree = append(localTree, graph.Edge{U: ce.U, V: ce.V, W: w}.Canon())
+					r.Send(rt.Msg{Target: ce.U})
+					r.Send(rt.Msg{Target: ce.V})
+				}
+			},
+			Visit: func(r *rt.Rank, m rt.Msg) {
+				vj := m.Target
+				if !markWalked(vj) {
+					return
+				}
+				if vj == st.Src(vj) {
+					return
+				}
+				p := st.Pred(vj)
+				// vj is owned here; its predecessor may not be, so the
+				// lookup goes through vj's slab row (weights are
+				// symmetric).
+				w, _ := edgeWeight(vj, p)
+				localTree = append(localTree, graph.Edge{U: p, V: vj, W: w}.Canon())
+				r.Send(rt.Msg{Target: p})
+			},
+		})
+		return ts.Processed
+	})
+	env.trees[r.ID()] = localTree // keep the grown capacity pooled
+
+	// Gather the final tree on every process hosting rank 0; rank 0
+	// publishes it. Loopback shares slices through the generic
+	// AllGather; across a transport the fragments travel as encoded
+	// blobs through the rank-ordered gather collective.
+	var tree []graph.Edge
+	if r.Distributed() {
+		parts := rt.GatherBlobs(r, wire.EncodeEdges(nil, localTree))
+		if r.ID() == 0 {
+			for rank, blob := range parts {
+				if len(blob) == 0 {
+					continue
+				}
+				var err error
+				if tree, err = wire.DecodeEdges(blob, tree); err != nil {
+					env.err = fmt.Errorf("core: tree gather from rank %d: %w", rank, err)
+					return
+				}
+			}
+		}
+	} else {
+		tree = rt.AllGather(r, localTree)
+	}
+	if r.ID() == 0 {
+		sorted := append([]graph.Edge(nil), tree...)
+		sort.Slice(sorted, func(i, j int) bool {
+			if sorted[i].U != sorted[j].U {
+				return sorted[i].U < sorted[j].U
+			}
+			return sorted[i].V < sorted[j].V
+		})
+		res.Tree = sorted
+		res.TotalDistance = graph.TotalWeight(sorted)
+	}
+}
+
+// mergeCrossTables merges the per-rank E_N tables into the globally-minimal
+// cross-cell edge per cell pair. Loopback uses the generic shared-memory
+// map reduction; across a transport each rank's table travels as an
+// encoded blob through the rank-ordered gather, and every process merges
+// locally — pickCross is associative and commutative with a total order,
+// so the merged table is identical everywhere regardless of merge order.
+func mergeCrossTables(r *rt.Rank, local map[int64]crossEdge) map[int64]crossEdge {
+	if !r.Distributed() {
+		return rt.ReduceMap(r, local, pickCross)
+	}
+	parts := rt.GatherBlobs(r, encodeCrossTable(nil, local))
+	merged := make(map[int64]crossEdge, 2*len(local))
+	for rank, blob := range parts {
+		if err := decodeCrossTableInto(merged, blob); err != nil {
+			panic(fmt.Sprintf("core: cross-table gather from rank %d: %v", rank, err))
+		}
+	}
+	return merged
+}
+
+// encodeCrossTable encodes an E_N table for the gather collective.
+func encodeCrossTable(dst []byte, table map[int64]crossEdge) []byte {
+	dst = wire.AppendUvarint(dst, uint64(len(table)))
+	for k, ce := range table {
+		dst = wire.AppendVarint(dst, k)
+		dst = wire.AppendUvarint(dst, uint64(ce.D))
+		dst = wire.AppendUvarint(dst, uint64(uint32(ce.U)))
+		dst = wire.AppendUvarint(dst, uint64(uint32(ce.V)))
+	}
+	return dst
+}
+
+// decodeCrossTableInto folds an encoded E_N table into dst under the
+// pickCross total order.
+func decodeCrossTableInto(dst map[int64]crossEdge, blob []byte) error {
+	if len(blob) == 0 {
+		return nil
+	}
+	d := wire.NewDec(blob)
+	n := d.Uvarint()
+	for i := uint64(0); i < n; i++ {
+		k := d.Varint()
+		ce := crossEdge{
+			D: graph.Dist(d.Uvarint()),
+			U: graph.VID(int32(d.Uvarint())),
+			V: graph.VID(int32(d.Uvarint())),
+		}
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if cur, ok := dst[k]; ok {
+			dst[k] = pickCross(cur, ce)
+		} else {
+			dst[k] = ce
+		}
+	}
+	return d.Err()
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dsteiner/internal/graph"
+	rt "dsteiner/internal/runtime"
+)
+
+// startTCPEngine builds a BackendTCP engine whose rankd workers run as
+// goroutines in this process but speak the real wire protocol over real
+// localhost TCP connections — the same code path cmd/rankd executes.
+// Returns the engine and a wait function that asserts every worker exited
+// cleanly after Close.
+func startTCPEngine(t *testing.T, g *graph.Graph, opts Options, workers int) (*Engine, func()) {
+	t.Helper()
+	opts.Backend = BackendTCP
+	opts.Workers = workers
+	opts.ListenAddr = "127.0.0.1:0"
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	opts.OnListen = func(addr string) {
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = RunWorker(addr, WorkerConfig{})
+			}(i)
+		}
+	}
+	e, err := NewEngine(g, opts)
+	if err != nil {
+		t.Fatalf("tcp engine: %v", err)
+	}
+	return e, func() {
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+		}
+	}
+}
+
+// TestTCPBackendMatchesLoopback is the transport-equivalence acceptance
+// test: for partition kinds × delegate thresholds × {async, BSP}, a
+// 4-worker rankd cluster driven over TCP returns Results byte-identical
+// (solver-output fields) to the in-process loopback backend — and both
+// match across repeated queries on the same warm session.
+func TestTCPBackendMatchesLoopback(t *testing.T) {
+	if testing.Short() {
+		// The full matrix spins up 24 worker fleets; -short keeps two.
+	}
+	g := engineTestGraph(17, 120)
+	rng := rand.New(rand.NewSource(18))
+	seedSets := [][]graph.VID{
+		pickEngineSeeds(rng, g.NumVertices(), 3),
+		pickEngineSeeds(rng, g.NumVertices(), 7),
+		pickEngineSeeds(rng, g.NumVertices(), 13),
+	}
+	kinds := []PartitionKind{PartitionBlock, PartitionHash, PartitionArcBlock}
+	thresholds := []int{0, 6}
+	bsps := []bool{false, true}
+	if testing.Short() {
+		kinds = []PartitionKind{PartitionArcBlock}
+		thresholds = []int{6}
+	}
+	for _, kind := range kinds {
+		for _, threshold := range thresholds {
+			for _, bsp := range bsps {
+				label := fmt.Sprintf("%v/thr=%d/bsp=%v", kind, threshold, bsp)
+				t.Run(label, func(t *testing.T) {
+					opts := Options{
+						Ranks:             4,
+						Queue:             rt.QueuePriority,
+						Partition:         kind,
+						DelegateThreshold: threshold,
+						BSP:               bsp,
+					}
+					loop, err := NewEngine(g, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer loop.Close()
+					tcp, wait := startTCPEngine(t, g, opts, 4)
+					defer wait()
+					defer tcp.Close()
+					for _, seeds := range seedSets {
+						want, err := loop.Solve(seeds)
+						if err != nil {
+							t.Fatalf("loopback: %v", err)
+						}
+						got, err := tcp.Solve(seeds)
+						if err != nil {
+							t.Fatalf("tcp: %v", err)
+						}
+						assertResultsEquivalent(t, label, got, want)
+						if got.Net.FramesOut == 0 || got.Net.BytesOut == 0 {
+							t.Fatalf("%s: tcp solve reports no transport traffic: %+v", label, got.Net)
+						}
+						if want.Net.FramesOut != 0 {
+							t.Fatalf("%s: loopback solve reports transport traffic: %+v", label, want.Net)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestTCPBackendSingleWorker covers the degenerate fleet: one worker
+// hosting every rank still crosses the coordinator for collectives and
+// termination.
+func TestTCPBackendSingleWorker(t *testing.T) {
+	g := engineTestGraph(23, 90)
+	rng := rand.New(rand.NewSource(24))
+	opts := Options{Ranks: 3, Queue: rt.QueuePriority, Partition: PartitionArcBlock}
+	loop, err := NewEngine(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loop.Close()
+	tcp, wait := startTCPEngine(t, g, opts, 1)
+	defer wait()
+	defer tcp.Close()
+	for k := 2; k <= 6; k += 2 {
+		seeds := pickEngineSeeds(rng, g.NumVertices(), k)
+		want, err := loop.Solve(seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tcp.Solve(seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertResultsEquivalent(t, fmt.Sprintf("k=%d", k), got, want)
+	}
+}
+
+// TestTCPBackendErrors pins the error paths: disconnected seeds fail the
+// query but keep the session serving, duplicate seeds are rejected
+// coordinator-side, and sibling pools are refused.
+func TestTCPBackendErrors(t *testing.T) {
+	// Two components: vertices 0..4 chained, 5..9 chained.
+	b := graph.NewBuilder(10)
+	for v := 1; v < 5; v++ {
+		b.AddEdge(graph.VID(v-1), graph.VID(v), 1)
+	}
+	for v := 6; v < 10; v++ {
+		b.AddEdge(graph.VID(v-1), graph.VID(v), 1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Ranks: 2, Queue: rt.QueuePriority}
+	e, wait := startTCPEngine(t, g, opts, 2)
+	defer wait()
+	defer e.Close()
+
+	if _, err := e.Solve([]graph.VID{0, 9}); err == nil {
+		t.Fatal("disconnected seeds solved")
+	}
+	if _, err := e.Solve([]graph.VID{0, 0}); err == nil {
+		t.Fatal("duplicate seeds solved")
+	}
+	// The session must still answer a well-formed query.
+	res, err := e.Solve([]graph.VID{0, 4})
+	if err != nil {
+		t.Fatalf("session dead after failed query: %v", err)
+	}
+	if res.TotalDistance != 4 {
+		t.Fatalf("chain distance %d, want 4", res.TotalDistance)
+	}
+	if _, err := e.NewSibling(); err == nil {
+		t.Fatal("tcp engine allowed a sibling")
+	}
+}

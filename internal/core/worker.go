@@ -1,0 +1,329 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"dsteiner/internal/graph"
+	"dsteiner/internal/partition"
+	rt "dsteiner/internal/runtime"
+	"dsteiner/internal/transport"
+	"dsteiner/internal/voronoi"
+	"dsteiner/internal/wire"
+)
+
+// WorkerConfig parameterizes RunWorker.
+type WorkerConfig struct {
+	// PeerListen is the address the worker's mesh listener binds
+	// (default 127.0.0.1:0). Its bound form is advertised to the
+	// coordinator, so on a multi-host deployment it must name a
+	// reachable interface.
+	PeerListen string
+	// DialTimeout bounds the initial coordinator dial and the handshake
+	// steps (default 30s).
+	DialTimeout time.Duration
+	// Logf, when set, receives progress lines (rankd wires the standard
+	// logger here).
+	Logf func(format string, args ...any)
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.PeerListen == "" {
+		c.PeerListen = "127.0.0.1:0"
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 30 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// RunWorker is the rankd worker session: dial the coordinator, receive
+// this process's slice of the shard plan, rebuild the hosted ranks' shards
+// and state slabs locally (the full CSR is never materialized here), mesh
+// with the peer workers, and serve solve requests until the coordinator
+// says goodbye. Blocks for the whole session; returns nil on a clean
+// goodbye.
+func RunWorker(coordAddr string, cfg WorkerConfig) error {
+	cfg = cfg.withDefaults()
+	conn, err := net.DialTimeout("tcp", coordAddr, cfg.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("core: dial coordinator %s: %w", coordAddr, err)
+	}
+	ln, err := net.Listen("tcp", cfg.PeerListen)
+	if err != nil {
+		_ = conn.Close()
+		return fmt.Errorf("core: peer listener %s: %w", cfg.PeerListen, err)
+	}
+	defer ln.Close()
+
+	if err := wire.WriteFrame(conn, wire.EncodeHello(nil, wire.Hello{
+		Version:  wire.Version,
+		PeerAddr: ln.Addr().String(),
+	})); err != nil {
+		_ = conn.Close()
+		return fmt.Errorf("core: hello: %w", err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(cfg.DialTimeout))
+	frame, err := wire.ReadFrame(conn, nil)
+	if err != nil {
+		_ = conn.Close()
+		return fmt.Errorf("core: waiting for setup: %w", err)
+	}
+	if frame[0] == wire.FrameAbort {
+		ab, _ := wire.DecodeAbort(frame[1:])
+		_ = conn.Close()
+		return fmt.Errorf("core: coordinator rejected session: %s", ab.Reason)
+	}
+	if frame[0] != wire.FrameSetup {
+		_ = conn.Close()
+		return fmt.Errorf("core: coordinator sent frame %d before setup", frame[0])
+	}
+	setup, err := wire.DecodeSetup(frame[1:])
+	if err != nil {
+		_ = conn.Close()
+		return fmt.Errorf("core: setup: %w", err)
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+
+	w, err := buildWorker(setup, conn, ln, cfg)
+	if err != nil {
+		// Best effort: tell the coordinator why this worker is bailing.
+		_ = wire.WriteFrame(conn, wire.EncodeAbort(nil, wire.Abort{Reason: err.Error()}))
+		_ = conn.Close()
+		return err
+	}
+	return w.serve(cfg)
+}
+
+// worker is one rankd process's session state: the hosted rank range, the
+// communicator over the TCP transport, and the pooled per-query scratch
+// the SPMD body indexes by global rank.
+type worker struct {
+	lo    int
+	hi    int
+	opts  Options
+	comm  *rt.Comm
+	trans *transport.TCP
+
+	shardBytes int64
+	stateBytes int64
+
+	// Pooled per-query scratch (hosted entries only).
+	localENs []map[int64]crossEdge
+	pruneds  []map[int64]crossEdge
+	trees    [][]graph.Edge
+	seedIdx  map[graph.VID]int32
+}
+
+// buildWorker reconstructs the rank substrate from the setup frame and
+// wires the communicator to the transport.
+func buildWorker(setup wire.Setup, coord net.Conn, ln net.Listener, cfg WorkerConfig) (*worker, error) {
+	if setup.WorkerIndex < 0 || setup.WorkerIndex+1 >= len(setup.RankLo) ||
+		len(setup.PeerAddrs) != len(setup.RankLo)-1 || setup.Ranks <= 0 || setup.NumVertices <= 0 {
+		return nil, fmt.Errorf("core: inconsistent setup geometry (worker %d, %d rank bounds, %d peers)",
+			setup.WorkerIndex, len(setup.RankLo), len(setup.PeerAddrs))
+	}
+	lo, hi := int(setup.RankLo[setup.WorkerIndex]), int(setup.RankLo[setup.WorkerIndex+1])
+	if len(setup.Shards) != hi-lo {
+		return nil, fmt.Errorf("core: setup carries %d shard slices for ranks [%d,%d)", len(setup.Shards), lo, hi)
+	}
+	part, err := workerPartition(setup)
+	if err != nil {
+		return nil, err
+	}
+
+	w := &worker{
+		lo: lo,
+		hi: hi,
+		opts: Options{
+			Ranks:             setup.Ranks,
+			Queue:             rt.QueueKind(setup.Queue),
+			BucketDelta:       setup.BucketDelta,
+			BatchSize:         setup.BatchSize,
+			BSP:               setup.BSP,
+			MST:               MSTAlgo(setup.MST),
+			CollectiveChunk:   setup.CollectiveChunk,
+			DelegateThreshold: setup.DelegateThreshold,
+		},
+		localENs: make([]map[int64]crossEdge, setup.Ranks),
+		pruneds:  make([]map[int64]crossEdge, setup.Ranks),
+		trees:    make([][]graph.Edge, setup.Ranks),
+		seedIdx:  make(map[graph.VID]int32),
+	}
+
+	shards := make([]*graph.Shard, 0, hi-lo)
+	slabs := make([]rt.StateSlab, 0, hi-lo)
+	for i, sl := range setup.Shards {
+		if sl.Rank != lo+i {
+			return nil, fmt.Errorf("core: shard slice %d is for rank %d, want %d", i, sl.Rank, lo+i)
+		}
+		sh := graph.NewShardFromSlices(sl.Rank, setup.Ranks, sl.Owned, sl.Offsets,
+			sl.Targets, sl.Weights, setup.Delegates, sl.StripeOff, sl.StripeTargets, sl.StripeWeights)
+		shards = append(shards, sh)
+		slab := voronoi.NewStateSlab(sl.Rank, sl.Owned, sl.Mirrored, sh.Rows())
+		slabs = append(slabs, slab)
+		w.shardBytes += sh.MemoryBytes()
+		w.stateBytes += slab.MemoryBytes()
+		w.localENs[sl.Rank] = map[int64]crossEdge{}
+		w.pruneds[sl.Rank] = map[int64]crossEdge{}
+	}
+
+	cfg.Logf("rankd: worker %d/%d hosting ranks [%d,%d), |V|=%d, shard %d B, slab %d B",
+		setup.WorkerIndex, len(setup.PeerAddrs), lo, hi, setup.NumVertices, w.shardBytes, w.stateBytes)
+
+	mesh, err := transport.ConnectMesh(setup.WorkerIndex, setup.PeerAddrs, ln, cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	w.trans = transport.NewTCP(setup.WorkerIndex, setup.RankLo, coord, mesh)
+	comm, err := rt.New(rt.Config{
+		Ranks:       setup.Ranks,
+		Queue:       rt.QueueKind(setup.Queue),
+		BucketDelta: setup.BucketDelta,
+		BatchSize:   setup.BatchSize,
+		HostLo:      lo,
+		HostHi:      hi,
+		Transport:   w.trans,
+	}, part)
+	if err != nil {
+		return nil, err
+	}
+	if err := comm.AttachShards(shards); err != nil {
+		return nil, err
+	}
+	if err := comm.AttachStateSlabs(slabs); err != nil {
+		return nil, err
+	}
+	w.comm = comm
+	return w, nil
+}
+
+// workerPartition rebuilds the session's vertex partition from its wire
+// form.
+func workerPartition(setup wire.Setup) (partition.Partition, error) {
+	var base partition.Partition
+	var err error
+	switch setup.PartitionKind {
+	case wire.PartHash:
+		base, err = partition.NewHash(setup.NumVertices, setup.Ranks)
+	case wire.PartArcBlock:
+		var ab *partition.ArcBlock
+		ab, err = partition.NewArcBlockFromBounds(setup.ArcBounds)
+		if err == nil {
+			if ab.NumRanks() != setup.Ranks || ab.NumVertices() != setup.NumVertices {
+				return nil, fmt.Errorf("core: arc-block bounds describe %d ranks over %d vertices, want %d over %d",
+					ab.NumRanks(), ab.NumVertices(), setup.Ranks, setup.NumVertices)
+			}
+			base = ab
+		}
+	case wire.PartBlock:
+		base, err = partition.NewBlock(setup.NumVertices, setup.Ranks)
+	default:
+		return nil, fmt.Errorf("core: unknown partition kind %d in setup", setup.PartitionKind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(setup.Delegates) > 0 {
+		return partition.WithDelegateList(base, setup.NumVertices, setup.Delegates), nil
+	}
+	return base, nil
+}
+
+// serve answers coordinator control frames until goodbye or failure.
+func (w *worker) serve(cfg WorkerConfig) error {
+	w.comm.Start()
+	defer w.comm.Close()
+	defer w.trans.Close()
+	if err := w.trans.SendReady(wire.Ready{ShardBytes: w.shardBytes, StateBytes: w.stateBytes}); err != nil {
+		return fmt.Errorf("core: ready: %w", err)
+	}
+	for ctl := range w.trans.Controls() {
+		switch ctl.Kind {
+		case transport.ControlSolve:
+			if err := w.solveQuery(ctl.Solve, cfg); err != nil {
+				w.trans.SendAbort(err.Error())
+				return err
+			}
+		case transport.ControlGoodbye:
+			cfg.Logf("rankd: session over, exiting")
+			return nil
+		case transport.ControlAbort:
+			return fmt.Errorf("core: session aborted: %w", ctl.Err)
+		}
+	}
+	return nil
+}
+
+// solveQuery runs the SPMD body for one query on the hosted ranks and
+// reports the worker's outcome (including rank 0's Result when hosted).
+func (w *worker) solveQuery(q wire.Solve, cfg WorkerConfig) (err error) {
+	w.comm.ResetStateSlabs()
+	for rank := w.lo; rank < w.hi; rank++ {
+		clear(w.localENs[rank])
+		clear(w.pruneds[rank])
+		w.trees[rank] = w.trees[rank][:0]
+	}
+	clear(w.seedIdx)
+	for i, s := range q.Seeds {
+		w.seedIdx[s] = int32(i)
+	}
+	env := &solveEnv{
+		opts:     w.opts,
+		comm:     w.comm,
+		dedup:    q.Seeds,
+		seedIdx:  w.seedIdx,
+		res:      &Result{Seeds: q.Seeds},
+		localENs: w.localENs,
+		pruneds:  w.pruneds,
+		trees:    w.trees,
+	}
+	s0 := w.comm.Stats()
+	net0 := w.trans.NetStats()
+
+	// A rank panic (or transport poison) unwinds through Run; convert it
+	// into a session abort instead of crashing the process silently.
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				if terr := w.trans.Err(); terr != nil {
+					err = fmt.Errorf("core: query %d: transport failed: %w", q.QueryID, terr)
+				} else {
+					err = fmt.Errorf("core: query %d: rank panic: %v", q.QueryID, p)
+				}
+			}
+		}()
+		w.comm.Run(env.rankBody)
+	}()
+	if err != nil {
+		return err
+	}
+
+	s1 := w.comm.Stats()
+	done := wire.WorkerDone{
+		QueryID:    q.QueryID,
+		Sent:       s1.Sent - s0.Sent,
+		Processed:  s1.Processed - s0.Processed,
+		Suppressed: s1.Suppressed - s0.Suppressed,
+		Net:        w.trans.NetStats().Sub(net0),
+	}
+	for rank := w.lo; rank < w.hi; rank++ {
+		done.TableLens = append(done.TableLens, int64(len(w.localENs[rank])))
+	}
+	if w.lo == 0 {
+		if env.err != nil {
+			done.Err = env.err.Error()
+		} else {
+			done.HasResult = true
+			done.Result = toWireResult(env.res)
+		}
+	}
+	if err := w.trans.SendWorkerDone(done); err != nil {
+		return fmt.Errorf("core: query %d: done: %w", q.QueryID, err)
+	}
+	return nil
+}

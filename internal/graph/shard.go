@@ -76,6 +76,45 @@ func NewShard(g *Graph, rank, numRanks int, owned []VID, delegates []VID) *Shard
 	return s
 }
 
+// NewShardFromSlices rebuilds a shard from its raw slabs — the inverse of
+// Slices, used by multi-process workers that receive their plan slice over
+// the wire (internal/wire.ShardSlice) instead of cutting it from a resident
+// global CSR. All slices are retained; delegates must be the partition's
+// full delegate list in the same order the stripes were cut in.
+func NewShardFromSlices(rank, numRanks int, owned []VID, offsets []int64,
+	targets []VID, weights []uint32, delegates []VID,
+	stripeOff []int64, stripeTargets []VID, stripeWeights []uint32) *Shard {
+	s := &Shard{
+		rank:          rank,
+		numRanks:      numRanks,
+		rows:          NewRowIndex(owned),
+		offsets:       offsets,
+		targets:       targets,
+		weights:       weights,
+		stripeOff:     stripeOff,
+		stripeTargets: stripeTargets,
+		stripeWeights: stripeWeights,
+		delegateIdx:   make(map[VID]int32, len(delegates)),
+	}
+	for i, d := range delegates {
+		s.delegateIdx[d] = int32(i)
+	}
+	return s
+}
+
+// Slices exposes the shard's raw slabs for wire encoding: the owned vertex
+// list, the owned CSR (offsets/targets/weights) and the delegate stripes
+// (stripeOff in the partition's delegate-list order). All returned slices
+// alias shard storage: read-only.
+func (s *Shard) Slices() (owned []VID, offsets []int64, targets []VID, weights []uint32,
+	stripeOff []int64, stripeTargets []VID, stripeWeights []uint32) {
+	owned = make([]VID, s.rows.Len())
+	for i := range owned {
+		owned[i] = s.rows.VertexAt(i)
+	}
+	return owned, s.offsets, s.targets, s.weights, s.stripeOff, s.stripeTargets, s.stripeWeights
+}
+
 // Rank returns the rank this shard belongs to.
 func (s *Shard) Rank() int { return s.rank }
 

@@ -159,6 +159,34 @@ func NewArcBlock(g *graph.Graph, p int) (*ArcBlock, error) {
 	return b, nil
 }
 
+// NewArcBlockFromBounds rebuilds an arc-balanced partition from its range
+// bounds (len P+1, bounds[0] == 0, bounds[P] == n, non-decreasing) — the
+// wire form a multi-process worker receives, since recomputing the bounds
+// would need the full graph's degree sequence.
+func NewArcBlockFromBounds(bounds []graph.VID) (*ArcBlock, error) {
+	p := len(bounds) - 1
+	if p <= 0 {
+		return nil, fmt.Errorf("partition: arc-block bounds need at least 2 entries, got %d", len(bounds))
+	}
+	if bounds[0] != 0 {
+		return nil, fmt.Errorf("partition: arc-block bounds must start at 0, got %d", bounds[0])
+	}
+	for i := 1; i <= p; i++ {
+		if bounds[i] < bounds[i-1] {
+			return nil, fmt.Errorf("partition: arc-block bounds decrease at %d", i)
+		}
+	}
+	n := int(bounds[p])
+	if n <= 0 {
+		return nil, fmt.Errorf("partition: arc-block bounds cover no vertices")
+	}
+	return &ArcBlock{bounds: append([]graph.VID(nil), bounds...), n: n, p: p}, nil
+}
+
+// Bounds returns the partition's range bounds (len P+1; read-only), the
+// compact wire form of an arc-balanced partition.
+func (b *ArcBlock) Bounds() []graph.VID { return b.bounds }
+
 // Owner returns the rank whose range contains v (binary search).
 func (b *ArcBlock) Owner(v graph.VID) int {
 	lo, hi := 0, b.p-1
@@ -216,6 +244,21 @@ func WithDelegates(base Partition, g *graph.Graph, threshold int) *Delegated {
 				d.isDelegate[v] = true
 				d.count++
 			}
+		}
+	}
+	return d
+}
+
+// WithDelegateList marks exactly the listed vertices of an n-vertex base
+// partition as delegates — the wire-side counterpart of WithDelegates for
+// workers that receive the delegate list in their session handshake
+// instead of recomputing it from graph degrees.
+func WithDelegateList(base Partition, n int, delegates []graph.VID) *Delegated {
+	d := &Delegated{Partition: base, isDelegate: make([]bool, n)}
+	for _, v := range delegates {
+		if !d.isDelegate[v] {
+			d.isDelegate[v] = true
+			d.count++
 		}
 	}
 	return d

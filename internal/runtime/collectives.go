@@ -60,45 +60,151 @@ func (c *collective) reduce(local any, combine func(a, b any) any) any {
 	}
 }
 
-// Barrier blocks until every rank reaches it (MPI_Barrier).
+// combineOp returns the in-process combiner for an int64 collective.
+func combineOp(op CollOp) func(a, b any) any {
+	switch op {
+	case OpMin:
+		return func(a, b any) any {
+			if b.(int64) < a.(int64) {
+				return b
+			}
+			return a
+		}
+	case OpMax:
+		return func(a, b any) any {
+			if b.(int64) > a.(int64) {
+				return b
+			}
+			return a
+		}
+	default: // OpSum, OpBarrier (value unused)
+		return func(a, b any) any { return a.(int64) + b.(int64) }
+	}
+}
+
+// leaderTag carries a wire-collective result from the process leader (the
+// lowest hosted rank) to its sibling ranks through a second local round.
+type leaderTag struct {
+	has bool
+	val any
+}
+
+// pickLeader is the local combiner of the distribution round.
+func pickLeader(a, b any) any {
+	if a.(leaderTag).has {
+		return a
+	}
+	return b
+}
+
+// wireInt64 runs one hierarchical int64 collective: combine the hosted
+// ranks' contributions in-process, let the leader exchange the process
+// partial with the coordinator over the transport, then distribute the
+// global result locally. Every hosted rank must call it (same program
+// order), like any collective.
+func (c *Comm) wireInt64(r *Rank, op CollOp, x int64) int64 {
+	local := c.coll.reduce(x, combineOp(op)).(int64)
+	var tag leaderTag
+	if r.id == c.lo {
+		tag = leaderTag{has: true, val: c.trans.AllreduceInt64(op, local)}
+	}
+	return c.coll.reduce(tag, pickLeader).(leaderTag).val.(int64)
+}
+
+// Barrier blocks until every rank reaches it (MPI_Barrier). Across a
+// transport it is also a delivery fence: message batches sent by any rank
+// before its barrier are in the destination mailboxes afterwards.
 func (r *Rank) Barrier() {
-	r.comm.coll.reduce(nil, func(a, _ any) any { return a })
+	c := r.comm
+	if c.trans == nil {
+		c.coll.reduce(nil, func(a, _ any) any { return a })
+		return
+	}
+	c.coll.reduce(nil, func(a, _ any) any { return a })
+	if r.id == c.lo {
+		c.trans.Barrier()
+	}
+	c.coll.reduce(nil, func(a, _ any) any { return a })
 }
 
 // AllreduceSumInt64 returns the sum of every rank's x (MPI_Allreduce SUM).
 func (r *Rank) AllreduceSumInt64(x int64) int64 {
-	res := r.comm.coll.reduce(x, func(a, b any) any { return a.(int64) + b.(int64) })
-	return res.(int64)
+	c := r.comm
+	if c.trans == nil {
+		return c.coll.reduce(x, combineOp(OpSum)).(int64)
+	}
+	return c.wireInt64(r, OpSum, x)
 }
 
 // AllreduceMinInt64 returns the minimum of every rank's x
 // (MPI_Allreduce MIN).
 func (r *Rank) AllreduceMinInt64(x int64) int64 {
-	res := r.comm.coll.reduce(x, func(a, b any) any {
-		if b.(int64) < a.(int64) {
-			return b
-		}
-		return a
-	})
-	return res.(int64)
+	c := r.comm
+	if c.trans == nil {
+		return c.coll.reduce(x, combineOp(OpMin)).(int64)
+	}
+	return c.wireInt64(r, OpMin, x)
 }
 
 // AllreduceMaxInt64 returns the maximum of every rank's x
 // (MPI_Allreduce MAX).
 func (r *Rank) AllreduceMaxInt64(x int64) int64 {
-	res := r.comm.coll.reduce(x, func(a, b any) any {
-		if b.(int64) > a.(int64) {
-			return b
+	c := r.comm
+	if c.trans == nil {
+		return c.coll.reduce(x, combineOp(OpMax)).(int64)
+	}
+	return c.wireInt64(r, OpMax, x)
+}
+
+// GatherBlobs concatenates every rank's blob in global rank order and
+// returns the full list (one entry per rank, nil where a rank contributed
+// nothing) to all ranks. It is the wire-able MPI_Allgatherv: algorithms
+// that must gather across a transport encode their payloads to bytes and
+// use this instead of the generic AllGather.
+func GatherBlobs(r *Rank, blob []byte) [][]byte {
+	c := r.comm
+	type rb struct {
+		rank int
+		blob []byte
+	}
+	parts := c.coll.reduce([]rb{{rank: r.id, blob: blob}}, func(a, b any) any {
+		return append(a.([]rb), b.([]rb)...)
+	}).([]rb)
+	if c.trans == nil {
+		out := make([][]byte, c.cfg.Ranks)
+		for _, p := range parts {
+			out[p.rank] = p.blob
 		}
-		return a
-	})
-	return res.(int64)
+		return out
+	}
+	var tag leaderTag
+	if r.id == c.lo {
+		ranks := make([]int, len(parts))
+		blobs := make([][]byte, len(parts))
+		for i, p := range parts {
+			ranks[i] = p.rank
+			blobs[i] = p.blob
+		}
+		tag = leaderTag{has: true, val: c.trans.Gather(ranks, blobs)}
+	}
+	return c.coll.reduce(tag, pickLeader).(leaderTag).val.([][]byte)
+}
+
+// wireOnly panics: the generic shared-memory collectives cannot cross a
+// process boundary (their payloads are arbitrary Go values and their
+// combiners are closures). Transport-aware algorithms use the int64
+// allreduces and GatherBlobs.
+func wireOnly(c *Comm, name string) {
+	if c.trans != nil {
+		panic("runtime: " + name + " is in-process only; use GatherBlobs/AllreduceXxxInt64 over a transport")
+	}
 }
 
 // Allreduce combines each rank's value with an associative, commutative
 // combiner and returns the global result on every rank. The returned value
 // may be shared between ranks; treat it as read-only.
 func Allreduce[T any](r *Rank, local T, combine func(a, b T) T) T {
+	wireOnly(r.comm, "Allreduce")
 	res := r.comm.coll.reduce(local, func(a, b any) any { return combine(a.(T), b.(T)) })
 	return res.(T)
 }
@@ -110,6 +216,7 @@ func Allreduce[T any](r *Rank, local T, combine func(a, b T) T) T {
 // returned map is shared by all ranks and must be treated as read-only; the
 // local map's entries are copied, so callers keep ownership of their input.
 func ReduceMap[K comparable, V any](r *Rank, local map[K]V, pick func(a, b V) V) map[K]V {
+	wireOnly(r.comm, "ReduceMap")
 	cp := make(map[K]V, len(local))
 	for k, v := range local {
 		cp[k] = v
@@ -140,6 +247,7 @@ func ReduceMap[K comparable, V any](r *Rank, local map[K]V, pick func(a, b V) V)
 // result to all ranks (MPI_Allgatherv). The result is shared; treat as
 // read-only.
 func AllGather[T any](r *Rank, local []T) []T {
+	wireOnly(r.comm, "AllGather")
 	type contrib struct {
 		rank int
 		vals []T
@@ -164,6 +272,7 @@ func AllGather[T any](r *Rank, local []T) []T {
 
 // Broadcast1 distributes root's value to every rank (MPI_Bcast).
 func Broadcast1[T any](r *Rank, root int, val T) T {
+	wireOnly(r.comm, "Broadcast1")
 	type tagged struct {
 		has bool
 		val T

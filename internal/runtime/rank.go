@@ -65,6 +65,17 @@ func (r *Rank) OwnedVertices(fn func(v graph.VID)) {
 // IsDelegate reports whether v is a high-degree delegate vertex.
 func (r *Rank) IsDelegate(v graph.VID) bool { return r.comm.part.IsDelegate(v) }
 
+// HasDelegates reports whether the partition marks any delegates at all —
+// a cheap gate that lets per-edge delegate checks (the changed-since
+// broadcast filter) vanish entirely on delegate-free partitions.
+func (r *Rank) HasDelegates() bool {
+	type counter interface{ NumDelegates() int }
+	if dc, ok := r.comm.part.(counter); ok {
+		return dc.NumDelegates() > 0
+	}
+	return false
+}
+
 // Shard returns this rank's local graph shard, or nil before AttachShards.
 func (r *Rank) Shard() *graph.Shard { return r.shard }
 
@@ -110,6 +121,18 @@ func (r *Rank) Send(m Msg) {
 	}
 	r.buffer(dest, m)
 }
+
+// Suppress records one delegate-bound relaxation dropped by the
+// changed-since filter (internal/voronoi): the offer was provably
+// rejectable against the local delegate mirror, so it was never sent.
+// Surfaced as Stats.Suppressed.
+func (r *Rank) Suppress() { r.comm.suppressed.Add(1) }
+
+// Distributed reports whether some ranks of this communicator live in
+// other processes. Algorithms use it to route collective payloads through
+// the wire-able collectives (GatherBlobs) instead of the generic
+// shared-memory ones.
+func (r *Rank) Distributed() bool { return r.comm.trans != nil }
 
 // Broadcast routes m to every rank including this one (used for delegate
 // hub updates). Each copy counts as one sent message.
@@ -178,7 +201,10 @@ func (r *Rank) enqueueLocal(m Msg) {
 	r.queue.Push(m, r.keyOf(m))
 }
 
-// flushTo delivers the outgoing buffer for dest.
+// flushTo delivers the outgoing buffer for dest: straight into the mailbox
+// when this process hosts dest (the loopback hot path), through the
+// transport otherwise — counted first so termination detection observes
+// the send before the bytes can arrive anywhere.
 func (r *Rank) flushTo(dest int) {
 	buf := r.out[dest]
 	if len(buf) == 0 {
@@ -186,7 +212,12 @@ func (r *Rank) flushTo(dest int) {
 	}
 	r.out[dest] = nil
 	r.comm.batches.Add(1)
-	r.comm.ranks[dest].box.put(buf)
+	if l := r.comm.localRank(dest); l != nil {
+		l.box.put(buf)
+		return
+	}
+	r.comm.term.addSent(len(buf))
+	r.comm.trans.Deliver(dest, buf)
 }
 
 // flushAll delivers every non-empty outgoing buffer.

@@ -109,6 +109,15 @@ type Config struct {
 	// order). Seeded by ShuffleSeed for reproducibility.
 	ShuffleDelivery bool
 	ShuffleSeed     int64
+	// HostLo/HostHi select the contiguous rank range [HostLo, HostHi)
+	// this process hosts. Both zero means all ranks (the in-process
+	// loopback default). A proper subset requires Transport, which
+	// carries traffic to and from the ranks hosted elsewhere.
+	HostLo, HostHi int
+	// Transport is the cross-process backend for communicators hosting a
+	// rank subset. nil means loopback: every rank is in-process and
+	// delivery is a direct mailbox append — the perf baseline.
+	Transport Transport
 }
 
 func (c Config) withDefaults() Config {
@@ -133,9 +142,20 @@ func (c Config) withDefaults() Config {
 // callers (core.Engine) call Start once to pin a persistent goroutine per
 // rank, avoiding per-run goroutine churn, and Close when done.
 type Comm struct {
-	cfg   Config
-	part  partition.Partition
+	cfg  Config
+	part partition.Partition
+	// ranks holds the hosted ranks only: ranks[i] has global id lo+i.
+	// Loopback communicators host all P ranks (lo = 0).
 	ranks []*Rank
+	lo    int
+	// trans is the cross-process backend; nil for loopback.
+	trans Transport
+	// term is the Safra-style termination tracker driven through
+	// HoldToken; unused in loopback mode.
+	term termState
+	// travSeq numbers asynchronous traversals for the transport's
+	// termination-token sessions.
+	travSeq uint64
 
 	// Distributed-termination state for the current traversal.
 	pending  atomic.Int64
@@ -157,9 +177,11 @@ type Comm struct {
 	bufs  [][]Msg
 
 	// Global message counters (monotonic across phases; read via Stats).
-	sent      atomic.Int64
-	processed atomic.Int64
-	batches   atomic.Int64
+	// In a multi-process session they count this process's ranks only.
+	sent       atomic.Int64
+	processed  atomic.Int64
+	batches    atomic.Int64
+	suppressed atomic.Int64
 }
 
 // job is one Run body dispatched to a persistent rank worker.
@@ -176,27 +198,60 @@ func New(cfg Config, part partition.Partition) (*Comm, error) {
 	if part.NumRanks() != cfg.Ranks {
 		return nil, fmt.Errorf("runtime: partition has %d ranks, config wants %d", part.NumRanks(), cfg.Ranks)
 	}
+	lo, hi := cfg.HostLo, cfg.HostHi
+	if lo == 0 && hi == 0 {
+		hi = cfg.Ranks // host everything: the loopback default
+	}
+	if lo < 0 || hi > cfg.Ranks || lo >= hi {
+		return nil, fmt.Errorf("runtime: hosted range [%d,%d) invalid for %d ranks", lo, hi, cfg.Ranks)
+	}
+	if hi-lo < cfg.Ranks && cfg.Transport == nil {
+		return nil, fmt.Errorf("runtime: hosting ranks [%d,%d) of %d requires a Transport", lo, hi, cfg.Ranks)
+	}
 	c := &Comm{
 		cfg:   cfg,
 		part:  part,
+		lo:    lo,
+		trans: cfg.Transport,
 		abort: make(chan struct{}),
 	}
-	c.coll = newCollective(cfg.Ranks, c.abort)
-	c.ranks = make([]*Rank, cfg.Ranks)
-	for i := 0; i < cfg.Ranks; i++ {
+	c.term.notify = make(chan struct{}, 1)
+	c.coll = newCollective(hi-lo, c.abort)
+	c.ranks = make([]*Rank, hi-lo)
+	for i := range c.ranks {
 		r := &Rank{
 			comm: c,
-			id:   i,
+			id:   lo + i,
 			box:  newMailbox(),
 			out:  make([][]Msg, cfg.Ranks),
 		}
 		if cfg.ShuffleDelivery {
-			r.shuffle = rand.New(rand.NewSource(cfg.ShuffleSeed + int64(i)*7919))
+			r.shuffle = rand.New(rand.NewSource(cfg.ShuffleSeed + int64(r.id)*7919))
 		}
 		c.ranks[i] = r
 	}
+	if c.trans != nil {
+		c.trans.Attach(c)
+	}
 	return c, nil
 }
+
+// localRank returns the hosted rank with global id, or nil when another
+// process hosts it.
+func (c *Comm) localRank(id int) *Rank {
+	i := id - c.lo
+	if uint(i) < uint(len(c.ranks)) {
+		return c.ranks[i]
+	}
+	return nil
+}
+
+// HostRange returns the global rank range [lo, hi) this process hosts.
+func (c *Comm) HostRange() (lo, hi int) { return c.lo, c.lo + len(c.ranks) }
+
+// Distributed reports whether a cross-process transport backs this
+// communicator (some ranks live in other processes).
+func (c *Comm) Distributed() bool { return c.trans != nil }
 
 // MustNew is New that panics on error (for tests and examples with known
 // good configs).
@@ -212,14 +267,15 @@ func MustNew(cfg Config, part partition.Partition) *Comm {
 // for the Rank.Adj/StripeAdj/EdgeWeight local-adjacency API. Call before
 // Run (shards must not change while a run is in flight); shards are
 // immutable and stay attached across runs, so a long-lived Comm pays the
-// build once per session. shards[i] must be rank i's shard.
+// build once per session. shards[i] must be the shard of hosted rank
+// lo+i: a communicator hosting a rank subset attaches only its own shards.
 func (c *Comm) AttachShards(shards []*graph.Shard) error {
-	if len(shards) != c.cfg.Ranks {
-		return fmt.Errorf("runtime: %d shards for %d ranks", len(shards), c.cfg.Ranks)
+	if len(shards) != len(c.ranks) {
+		return fmt.Errorf("runtime: %d shards for %d hosted ranks", len(shards), len(c.ranks))
 	}
 	for i, s := range shards {
-		if s == nil || s.Rank() != i {
-			return fmt.Errorf("runtime: shard %d missing or mis-ranked", i)
+		if s == nil || s.Rank() != c.lo+i {
+			return fmt.Errorf("runtime: shard for hosted rank %d missing or mis-ranked", c.lo+i)
 		}
 	}
 	for i, r := range c.ranks {
@@ -241,7 +297,7 @@ func (c *Comm) EnsureShards(g *graph.Graph) {
 	if err != nil {
 		panic(err)
 	}
-	if err := c.AttachShards(plan.BuildShards(g)); err != nil {
+	if err := c.AttachShards(plan.BuildShards(g)[c.lo : c.lo+len(c.ranks)]); err != nil {
 		panic(err)
 	}
 }
@@ -286,12 +342,12 @@ type StateSlab interface {
 // slab. Unlike shards, slabs are mutable per-engine state: communicators
 // must not share a slab set.
 func (c *Comm) AttachStateSlabs(slabs []StateSlab) error {
-	if len(slabs) != c.cfg.Ranks {
-		return fmt.Errorf("runtime: %d state slabs for %d ranks", len(slabs), c.cfg.Ranks)
+	if len(slabs) != len(c.ranks) {
+		return fmt.Errorf("runtime: %d state slabs for %d hosted ranks", len(slabs), len(c.ranks))
 	}
 	for i, sl := range slabs {
-		if sl == nil || sl.Rank() != i {
-			return fmt.Errorf("runtime: state slab %d missing or mis-ranked", i)
+		if sl == nil || sl.Rank() != c.lo+i {
+			return fmt.Errorf("runtime: state slab for hosted rank %d missing or mis-ranked", c.lo+i)
 		}
 	}
 	for i, r := range c.ranks {
@@ -368,9 +424,9 @@ func (c *Comm) Config() Config { return c.cfg }
 // goroutine per rank is spawned for this run only.
 func (c *Comm) Run(body func(r *Rank)) {
 	c.resetForRun()
-	panics := make([]any, c.cfg.Ranks)
+	panics := make([]any, len(c.ranks))
 	var wg sync.WaitGroup
-	wg.Add(c.cfg.Ranks)
+	wg.Add(len(c.ranks))
 
 	c.workMu.Lock()
 	work := c.work
@@ -402,7 +458,7 @@ func (c *Comm) runBody(r *Rank, j job) {
 	defer j.wg.Done()
 	defer func() {
 		if p := recover(); p != nil {
-			j.panics[r.id] = p
+			j.panics[r.id-c.lo] = p
 			// Unblock peers waiting on collectives/traversals.
 			c.poison()
 		}
@@ -419,7 +475,7 @@ func (c *Comm) Start() {
 	if c.work != nil {
 		return
 	}
-	c.work = make([]chan job, c.cfg.Ranks)
+	c.work = make([]chan job, len(c.ranks))
 	for i := range c.work {
 		ch := make(chan job, 1)
 		c.work[i] = ch
@@ -496,12 +552,14 @@ func (c *Comm) resetForRun() {
 		// collective state so this run can proceed.
 		c.abort = make(chan struct{})
 		c.abortOnce = sync.Once{}
-		c.coll = newCollective(c.cfg.Ranks, c.abort)
+		c.coll = newCollective(len(c.ranks), c.abort)
 	default:
 	}
 }
 
-// Stats is a snapshot of the communicator's message counters.
+// Stats is a snapshot of the communicator's message counters. In a
+// multi-process session the counters cover this process's hosted ranks;
+// the coordinator aggregates per-process deltas for cluster-wide views.
 type Stats struct {
 	// Sent counts point-to-point visitor messages (broadcasts count once
 	// per destination rank, matching the paper's message-count metric).
@@ -510,20 +568,34 @@ type Stats struct {
 	Processed int64
 	// Batches counts cross-rank batch deliveries.
 	Batches int64
+	// Suppressed counts delegate-bound relaxations dropped by the
+	// changed-since filter: offers provably rejectable against the local
+	// delegate mirror, never sent (internal/voronoi).
+	Suppressed int64
+	// Net reports the transport's cumulative traffic; all zero for
+	// loopback communicators.
+	Net TransportStats
 }
 
 // Stats returns current global counters.
 func (c *Comm) Stats() Stats {
-	return Stats{
-		Sent:      c.sent.Load(),
-		Processed: c.processed.Load(),
-		Batches:   c.batches.Load(),
+	s := Stats{
+		Sent:       c.sent.Load(),
+		Processed:  c.processed.Load(),
+		Batches:    c.batches.Load(),
+		Suppressed: c.suppressed.Load(),
 	}
+	if c.trans != nil {
+		s.Net = c.trans.Stats()
+	}
+	return s
 }
 
 // ResetStats zeroes the message counters (used between experiment phases).
+// Transport counters are cumulative and not reset; read deltas instead.
 func (c *Comm) ResetStats() {
 	c.sent.Store(0)
 	c.processed.Store(0)
 	c.batches.Store(0)
+	c.suppressed.Store(0)
 }

@@ -1,0 +1,136 @@
+package runtime
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"dsteiner/internal/graph"
+	"dsteiner/internal/partition"
+)
+
+// TestHostedRangeValidation pins the Config.HostLo/HostHi contract: a
+// proper subset requires a Transport, bad ranges are rejected, and the
+// zero value hosts everything.
+func TestHostedRangeValidation(t *testing.T) {
+	part, err := partition.NewBlock(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Ranks: 4, HostLo: 1, HostHi: 3}, part); err == nil ||
+		!strings.Contains(err.Error(), "requires a Transport") {
+		t.Fatalf("subset without transport: %v", err)
+	}
+	for _, bad := range [][2]int{{-1, 2}, {2, 2}, {3, 2}, {0, 5}} {
+		if _, err := New(Config{Ranks: 4, HostLo: bad[0], HostHi: bad[1]}, part); err == nil {
+			t.Fatalf("range %v accepted", bad)
+		}
+	}
+	c := MustNew(Config{Ranks: 4}, part)
+	if lo, hi := c.HostRange(); lo != 0 || hi != 4 {
+		t.Fatalf("default host range [%d,%d), want [0,4)", lo, hi)
+	}
+	if c.Distributed() {
+		t.Fatal("loopback comm claims to be distributed")
+	}
+}
+
+// TestGatherBlobsLoopback checks the wire-able gather collective against
+// the in-process path: every rank receives the full rank-ordered list.
+func TestGatherBlobsLoopback(t *testing.T) {
+	part, err := partition.NewBlock(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := MustNew(Config{Ranks: 4}, part)
+	got := make([][][]byte, 4)
+	c.Run(func(r *Rank) {
+		var blob []byte
+		if r.ID() != 2 { // rank 2 contributes nothing
+			blob = []byte{byte(r.ID()), byte(r.ID() + 10)}
+		}
+		got[r.ID()] = GatherBlobs(r, blob)
+	})
+	want := [][]byte{{0, 10}, {1, 11}, nil, {3, 13}}
+	for rank, g := range got {
+		if !reflect.DeepEqual(g, want) {
+			t.Fatalf("rank %d gathered %v, want %v", rank, g, want)
+		}
+	}
+}
+
+// TestSuppressCounter checks Rank.Suppress feeds Stats.Suppressed and
+// ResetStats clears it.
+func TestSuppressCounter(t *testing.T) {
+	part, err := partition.NewBlock(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := MustNew(Config{Ranks: 2}, part)
+	c.Run(func(r *Rank) {
+		for i := 0; i <= r.ID(); i++ {
+			r.Suppress()
+		}
+	})
+	if got := c.Stats().Suppressed; got != 3 {
+		t.Fatalf("suppressed = %d, want 3", got)
+	}
+	if got := c.Stats().Net; got != (TransportStats{}) {
+		t.Fatalf("loopback comm reports transport traffic: %+v", got)
+	}
+	c.ResetStats()
+	if got := c.Stats().Suppressed; got != 0 {
+		t.Fatalf("suppressed after reset = %d", got)
+	}
+}
+
+// TestHasDelegates pins the cheap gate the voronoi changed-since filter
+// keys on.
+func TestHasDelegates(t *testing.T) {
+	base, err := partition.NewBlock(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := func(p partition.Partition, want bool) {
+		t.Helper()
+		c := MustNew(Config{Ranks: 2}, p)
+		c.Run(func(r *Rank) {
+			if got := r.HasDelegates(); got != want {
+				t.Errorf("HasDelegates = %v, want %v", got, want)
+			}
+		})
+	}
+	probe(base, false)
+	probe(partition.WithDelegateList(base, 6, nil), false)
+	probe(partition.WithDelegateList(base, 6, []graph.VID{3}), true)
+}
+
+// TestGenericCollectivesRefuseTransport checks the shared-memory
+// collectives fail loudly instead of silently reducing over a rank
+// subset. A fake transport is enough — the panic must fire before any
+// traffic.
+func TestGenericCollectivesRefuseTransport(t *testing.T) {
+	part, err := partition.NewBlock(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := MustNew(Config{Ranks: 4, HostLo: 0, HostHi: 2, Transport: nopTransport{}}, part)
+	defer func() {
+		if p := recover(); p == nil || !strings.Contains(p.(string), "in-process only") {
+			t.Fatalf("ReduceMap over a transport: recovered %v", p)
+		}
+	}()
+	wireOnly(c, "ReduceMap")
+}
+
+// nopTransport satisfies Transport for construction-only tests.
+type nopTransport struct{}
+
+func (nopTransport) Attach(TransportHost)                   {}
+func (nopTransport) Deliver(int, []Msg)                     {}
+func (nopTransport) Barrier()                               {}
+func (nopTransport) AllreduceInt64(_ CollOp, x int64) int64 { return x }
+func (nopTransport) Gather(_ []int, b [][]byte) [][]byte    { return b }
+func (nopTransport) StartTraversal(uint64) chan struct{}    { return make(chan struct{}) }
+func (nopTransport) Stats() TransportStats                  { return TransportStats{} }
+func (nopTransport) Close() error                           { return nil }

@@ -56,12 +56,23 @@ func (r *Rank) Traverse(t *Traversal) TraversalStats {
 	r.sentHere, r.processedHere = 0, 0
 
 	c := r.comm
-	// Reset shared termination state with all ranks quiescent.
+	// Reset termination state with all ranks quiescent. Loopback detects
+	// quiescence with the shared pending counter; a transport-backed
+	// communicator arms a termination-token session instead (the
+	// coordinator circulates Safra-style tokens and closes the done
+	// channel at global quiescence). BSP traversals synchronize with
+	// collectives and need neither.
 	r.Barrier()
-	if r.id == 0 {
-		c.pending.Store(0)
-		c.done = make(chan struct{})
-		c.doneOnce = new(sync.Once)
+	if r.id == c.lo {
+		if c.trans == nil {
+			c.pending.Store(0)
+			c.done = make(chan struct{})
+			c.doneOnce = new(sync.Once)
+		} else if !t.BSP {
+			c.term.reset()
+			c.travSeq++
+			c.done = c.trans.StartTraversal(c.travSeq)
+		}
 	}
 	r.Barrier()
 
@@ -85,11 +96,13 @@ func (c *Comm) closeDone() {
 // detects that every message ever sent has been processed.
 func (r *Rank) runAsync() TraversalStats {
 	c := r.comm
+	dist := c.trans != nil
 	// Initial messages are already counted in pending (Send). Flush them
-	// and synchronize so the zero-message case is decided globally.
+	// and synchronize so the zero-message case is decided globally; with
+	// a transport the token ring decides it instead.
 	r.flushAll()
 	r.Barrier()
-	if r.id == 0 && c.pending.Load() == 0 {
+	if !dist && r.id == c.lo && c.pending.Load() == 0 {
 		c.closeDone()
 	}
 	done := c.done
@@ -121,7 +134,7 @@ func (r *Rank) runAsync() TraversalStats {
 				// on stale distances.
 				goyield()
 			}
-			if c.pending.Add(-1) == 0 {
+			if !dist && c.pending.Add(-1) == 0 {
 				c.closeDone()
 			}
 			continue
@@ -132,8 +145,17 @@ func (r *Rank) runAsync() TraversalStats {
 		if r.drainInbox() {
 			continue
 		}
+		if dist {
+			// Tell the termination tracker this rank is about to block:
+			// once every hosted rank is idle with drained mailboxes, the
+			// process is passive and may forward a held token.
+			c.term.rankIdle()
+		}
 		select {
 		case <-r.box.note:
+			if dist {
+				c.term.rankBusy()
+			}
 			r.drainInbox()
 		case <-done:
 			return TraversalStats{Processed: r.processedHere, Sent: r.sentHere}

@@ -34,6 +34,7 @@ import (
 
 	"dsteiner/internal/core"
 	"dsteiner/internal/graph"
+	rt "dsteiner/internal/runtime"
 	"dsteiner/internal/seeds"
 )
 
@@ -94,13 +95,20 @@ type serviceStats struct {
 	solveSeconds  float64
 	phaseSeconds  map[string]float64
 	phaseCalls    map[string]int64
+	suppressed    int64
+	net           rt.TransportStats
 }
 
-// New builds a Service over g with per-query solver options. See Config for
-// the pool, cache and job-queue sizing.
+// New builds a Service over g with per-query solver options. See Config
+// for the pool, cache and job-queue sizing. A BackendTCP pool is limited
+// to one engine: the engine owns the whole rankd worker fleet, and its
+// internal serialization is the fleet's natural concurrency limit.
 func New(g *graph.Graph, opts core.Options, cfg Config) (*Service, error) {
 	if cfg.Engines < 1 {
 		cfg.Engines = 1
+	}
+	if opts.Backend == core.BackendTCP && cfg.Engines > 1 {
+		return nil, fmt.Errorf("steinersvc: -backend tcp supports one engine (a worker fleet), got %d", cfg.Engines)
 	}
 	s := &Service{
 		g:       g,
@@ -171,6 +179,17 @@ func MustNew(g *graph.Graph, opts core.Options, cfg Config) *Service {
 // NumEngines returns the engine pool capacity.
 func (s *Service) NumEngines() int { return cap(s.engines) }
 
+// workers returns the rankd worker count of a tcp backend, 0 for inproc.
+func (s *Service) workers() int {
+	if s.opts.Backend != core.BackendTCP {
+		return 0
+	}
+	if s.opts.Workers <= 0 {
+		return 1
+	}
+	return s.opts.Workers
+}
+
 // Shutdown drains the service: async intake stops (submissions fail with
 // 503), the workers finish the queued backlog, and every pooled engine is
 // reclaimed — waiting for in-flight solves — and closed. Call after
@@ -225,6 +244,10 @@ type InfoResponse struct {
 	MaxWeight uint32  `json:"maxWeight"`
 	Engines   int     `json:"engines"`
 	Ranks     int     `json:"ranks"`
+	// Backend names the rank backend (inproc | tcp); Workers counts the
+	// rankd processes of a tcp backend (0 for inproc).
+	Backend string `json:"backend"`
+	Workers int    `json:"workers,omitempty"`
 	// Partition is the vertex-to-rank mapping kind (block/hash/arcblock).
 	Partition string `json:"partition"`
 	// DelegateThreshold is the high-degree delegate cutoff (0 = off);
@@ -349,6 +372,19 @@ type ShardStats struct {
 	MaxRankStateBytes int64  `json:"maxRankStateBytes"`
 }
 
+// TransportStats reports the rank transport's cumulative traffic for
+// /stats, summed over every served query: frames and bytes crossing the
+// wire plus time spent in the codec. All zero on the in-process backend —
+// the block is what makes the loopback-vs-TCP overhead visible.
+type TransportStats struct {
+	FramesOut     int64   `json:"framesOut"`
+	FramesIn      int64   `json:"framesIn"`
+	BytesOut      int64   `json:"bytesOut"`
+	BytesIn       int64   `json:"bytesIn"`
+	EncodeSeconds float64 `json:"encodeSeconds"`
+	DecodeSeconds float64 `json:"decodeSeconds"`
+}
+
 // JobStats reports the async job queue for /stats. Completed counts
 // successful jobs only; Completed + Failed is everything that finished.
 type JobStats struct {
@@ -365,19 +401,25 @@ type JobStats struct {
 // enabled. Queries counts engine solves; cache hits answer requests without
 // one.
 type StatsResponse struct {
-	Engines         int          `json:"engines"`
-	EnginesIdle     int          `json:"enginesIdle"`
-	InFlight        int          `json:"inFlight"`
-	MaxInFlight     int          `json:"maxInFlight"`
-	Queries         int64        `json:"queries"`
-	Errors          int64        `json:"errors"`
-	BatchRequests   int64        `json:"batchRequests"`
-	BatchQueries    int64        `json:"batchQueries"`
-	AvgSolveSeconds float64      `json:"avgSolveSeconds"`
-	Phases          []PhaseStats `json:"phases"`
-	Shard           ShardStats   `json:"shard"`
-	Cache           *CacheStats  `json:"cache,omitempty"`
-	Jobs            *JobStats    `json:"jobs,omitempty"`
+	Engines         int     `json:"engines"`
+	EnginesIdle     int     `json:"enginesIdle"`
+	InFlight        int     `json:"inFlight"`
+	MaxInFlight     int     `json:"maxInFlight"`
+	Queries         int64   `json:"queries"`
+	Errors          int64   `json:"errors"`
+	BatchRequests   int64   `json:"batchRequests"`
+	BatchQueries    int64   `json:"batchQueries"`
+	AvgSolveSeconds float64 `json:"avgSolveSeconds"`
+	// Backend names the rank backend serving the pool (inproc | tcp).
+	Backend string `json:"backend"`
+	// SuppressedBroadcasts totals the delegate offers dropped by the
+	// changed-since filter across all served queries.
+	SuppressedBroadcasts int64          `json:"suppressedBroadcasts"`
+	Transport            TransportStats `json:"transport"`
+	Phases               []PhaseStats   `json:"phases"`
+	Shard                ShardStats     `json:"shard"`
+	Cache                *CacheStats    `json:"cache,omitempty"`
+	Jobs                 *JobStats      `json:"jobs,omitempty"`
 }
 
 func (s *Service) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -395,6 +437,8 @@ func (s *Service) handleInfo(w http.ResponseWriter, r *http.Request) {
 		MaxWeight:         maxW,
 		Engines:           s.NumEngines(),
 		Ranks:             s.shard.Ranks,
+		Backend:           s.opts.Backend.String(),
+		Workers:           s.workers(),
 		Partition:         s.shard.Partition,
 		DelegateThreshold: s.shard.DelegateThreshold,
 		Delegates:         s.shard.Delegates,
@@ -411,14 +455,24 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := &s.stats
 	st.mu.Lock()
 	resp := StatsResponse{
-		Engines:       s.NumEngines(),
-		EnginesIdle:   len(s.engines),
-		InFlight:      st.inFlight,
-		MaxInFlight:   st.maxInFlight,
-		Queries:       st.queries,
-		Errors:        st.errors,
-		BatchRequests: st.batchRequests,
-		BatchQueries:  st.batchQueries,
+		Engines:              s.NumEngines(),
+		EnginesIdle:          len(s.engines),
+		InFlight:             st.inFlight,
+		MaxInFlight:          st.maxInFlight,
+		Queries:              st.queries,
+		Errors:               st.errors,
+		BatchRequests:        st.batchRequests,
+		BatchQueries:         st.batchQueries,
+		Backend:              s.opts.Backend.String(),
+		SuppressedBroadcasts: st.suppressed,
+		Transport: TransportStats{
+			FramesOut:     st.net.FramesOut,
+			FramesIn:      st.net.FramesIn,
+			BytesOut:      st.net.BytesOut,
+			BytesIn:       st.net.BytesIn,
+			EncodeSeconds: float64(st.net.EncodeNs) / 1e9,
+			DecodeSeconds: float64(st.net.DecodeNs) / 1e9,
+		},
 	}
 	if st.queries > 0 {
 		resp.AvgSolveSeconds = st.solveSeconds / float64(st.queries)
@@ -509,6 +563,13 @@ func (s *Service) recordQuery(res *core.Result, elapsed time.Duration, err error
 			st.phaseSeconds[ph.Name] += ph.Seconds
 			st.phaseCalls[ph.Name]++
 		}
+		st.suppressed += res.SuppressedBroadcasts
+		st.net.FramesOut += res.Net.FramesOut
+		st.net.FramesIn += res.Net.FramesIn
+		st.net.BytesOut += res.Net.BytesOut
+		st.net.BytesIn += res.Net.BytesIn
+		st.net.EncodeNs += res.Net.EncodeNs
+		st.net.DecodeNs += res.Net.DecodeNs
 	}
 	st.mu.Unlock()
 }

@@ -1,0 +1,104 @@
+package steinersvc
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"dsteiner/internal/core"
+)
+
+// TestTCPBackendService serves the Fig. 1 graph through a steinersvc pool
+// whose single engine drives two rankd worker sessions over real
+// localhost TCP, and checks (a) /solve answers match the in-process
+// service byte for byte, (b) /info and /stats name the backend and
+// report nonzero wire traffic, and (c) a pool of more than one engine is
+// refused for the tcp backend.
+func TestTCPBackendService(t *testing.T) {
+	g := testGraph(t)
+	opts := core.Default(2)
+	opts.Backend = core.BackendTCP
+	opts.Workers = 2
+	opts.ListenAddr = "127.0.0.1:0"
+	var wg sync.WaitGroup
+	opts.OnListen = func(addr string) {
+		for i := 0; i < opts.Workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := core.RunWorker(addr, core.WorkerConfig{}); err != nil {
+					t.Errorf("worker: %v", err)
+				}
+			}()
+		}
+	}
+
+	if _, err := New(g, opts, Config{Engines: 2}); err == nil {
+		t.Fatal("tcp backend accepted a multi-engine pool")
+	}
+
+	svc, err := New(g, opts, Config{Engines: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(wg.Wait)
+	t.Cleanup(svc.Close)
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+
+	ref := testService(t) // in-process reference on the same graph
+	refSrv := httptest.NewServer(ref)
+	defer refSrv.Close()
+
+	getJSON := func(url string, out any) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var info InfoResponse
+	getJSON(srv.URL+"/info", &info)
+	if info.Backend != "tcp" || info.Workers != 2 {
+		t.Fatalf("info backend=%q workers=%d, want tcp/2", info.Backend, info.Workers)
+	}
+
+	for _, seeds := range []string{"0,8", "0,3,5", "1,2,7,8"} {
+		var got, want SolveResponse
+		getJSON(srv.URL+"/solve?seeds="+seeds, &got)
+		getJSON(refSrv.URL+"/solve?seeds="+seeds, &want)
+		if got.Total != want.Total || got.SteinerVertices != want.SteinerVertices ||
+			len(got.Edges) != len(want.Edges) {
+			t.Fatalf("seeds %s: tcp %+v != inproc %+v", seeds, got, want)
+		}
+		for i := range got.Edges {
+			if got.Edges[i] != want.Edges[i] {
+				t.Fatalf("seeds %s: edge %d differs: %+v != %+v", seeds, i, got.Edges[i], want.Edges[i])
+			}
+		}
+	}
+
+	var st StatsResponse
+	getJSON(srv.URL+"/stats", &st)
+	if st.Backend != "tcp" {
+		t.Fatalf("stats backend = %q", st.Backend)
+	}
+	if st.Transport.BytesOut == 0 || st.Transport.FramesOut == 0 {
+		t.Fatalf("tcp service reports no wire traffic: %+v", st.Transport)
+	}
+	var refSt StatsResponse
+	getJSON(refSrv.URL+"/stats", &refSt)
+	if refSt.Backend != "inproc" || refSt.Transport.BytesOut != 0 {
+		t.Fatalf("inproc service transport block: %+v", refSt)
+	}
+}

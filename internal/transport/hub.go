@@ -1,0 +1,526 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dsteiner/internal/graph"
+	"dsteiner/internal/wire"
+)
+
+// Hub is the coordinator end of the TCP backend: it accepts the rankd
+// workers, runs the session handshake (shipping each worker its shard
+// slices), roots every collective, drives the Safra-style termination-token
+// ring for asynchronous traversals, fans out solve requests and collects
+// their outcomes. All hub state is owned by a single event loop fed by
+// per-connection reader goroutines, so no frame ordering is ever racy.
+type Hub struct {
+	ln      net.Listener
+	ranks   int
+	workers int
+	rankLo  []int64
+
+	peers     []*peer
+	peerAddrs []string
+	readys    []wire.Ready
+
+	events  chan hubEvent
+	loopEnd chan struct{}
+
+	solveMu sync.Mutex // one query outstanding at a time
+
+	failOnce sync.Once
+	failErr  error
+	failMu   sync.Mutex
+	failCh   chan struct{}
+
+	closing   atomic.Bool
+	closeOnce sync.Once
+}
+
+// hubEvent is one unit of event-loop input: a decoded frame from a worker,
+// a reader error, or a query registration from Solve.
+type hubEvent struct {
+	worker int
+	typ    uint8
+	body   []byte // frame body; owned by the event
+	err    error
+	query  *pendingQuery
+}
+
+// pendingQuery accumulates one query's WorkerDone frames.
+type pendingQuery struct {
+	qid  uint64
+	done int
+	out  QueryOutcome
+	ch   chan QueryOutcome
+}
+
+// QueryOutcome is everything the coordinator learns about one query from
+// its workers: the rank-0 worker's encoded Result (or error), per-rank
+// cross-cell table sizes, and cluster-wide counter and traffic deltas.
+type QueryOutcome struct {
+	QueryID    uint64
+	Err        string
+	Result     *wire.SolveResult
+	TableLens  []int64 // indexed by global rank
+	Sent       int64
+	Processed  int64
+	Suppressed int64
+	Net        wire.NetStats
+}
+
+// collAcc accumulates one collective's per-worker contributions.
+type collAcc struct {
+	op    uint8
+	count int
+	acc   int64
+	blobs [][]byte // rank-indexed for OpGather
+}
+
+// tokenSession tracks the termination-token ring of one traversal.
+type tokenSession struct {
+	began int // TraverseBegin frames seen
+	at    int // worker currently holding the token (-1: not circulating)
+}
+
+// ListenHub opens the coordinator listener for a session of `workers`
+// processes hosting `ranks` ranks split into contiguous near-equal ranges.
+func ListenHub(addr string, workers, ranks int) (*Hub, error) {
+	if workers < 1 || ranks < workers {
+		return nil, fmt.Errorf("transport: need 1 <= workers (%d) <= ranks (%d)", workers, ranks)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	h := &Hub{
+		ln:      ln,
+		ranks:   ranks,
+		workers: workers,
+		rankLo:  SplitRanks(ranks, workers),
+		events:  make(chan hubEvent, 64),
+		loopEnd: make(chan struct{}),
+		failCh:  make(chan struct{}),
+	}
+	return h, nil
+}
+
+// SplitRanks returns the contiguous rank ranges of a session: worker w
+// hosts ranks [out[w], out[w+1]), ranges differing by at most one rank.
+func SplitRanks(ranks, workers int) []int64 {
+	out := make([]int64, workers+1)
+	base, rem := ranks/workers, ranks%workers
+	for w := 0; w < workers; w++ {
+		n := base
+		if w < rem {
+			n++
+		}
+		out[w+1] = out[w] + int64(n)
+	}
+	return out
+}
+
+// Addr returns the listener's address (for workers to dial).
+func (h *Hub) Addr() string { return h.ln.Addr().String() }
+
+// RankRange returns worker w's hosted rank range.
+func (h *Hub) RankRange(w int) (lo, hi int) { return int(h.rankLo[w]), int(h.rankLo[w+1]) }
+
+// Workers returns the session's worker count.
+func (h *Hub) Workers() int { return h.workers }
+
+// Handshake accepts every worker, exchanges the session setup and waits
+// for all workers to report ready (shard + slab built, mesh connected).
+// setupFor builds worker w's Setup given the session's peer address list;
+// the hub fills in the geometry fields (WorkerIndex, RankLo, PeerAddrs).
+// On return the hub's event loop is running and Solve may be called.
+func (h *Hub) Handshake(timeout time.Duration, setupFor func(w int) wire.Setup) ([]wire.Ready, error) {
+	deadline := time.Now().Add(timeout)
+	type accepted struct {
+		conn net.Conn
+		addr string
+	}
+	conns := make([]accepted, 0, h.workers)
+	fail := func(err error) ([]wire.Ready, error) {
+		for _, a := range conns {
+			_ = a.conn.Close()
+		}
+		_ = h.ln.Close()
+		return nil, err
+	}
+	if tl, ok := h.ln.(*net.TCPListener); ok {
+		_ = tl.SetDeadline(deadline)
+	}
+	for len(conns) < h.workers {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return fail(fmt.Errorf("transport: waiting for worker %d/%d: %w", len(conns), h.workers, err))
+		}
+		_ = conn.SetReadDeadline(deadline)
+		frame, err := wire.ReadFrame(conn, nil)
+		if err != nil {
+			return fail(fmt.Errorf("transport: hello from worker %d: %w", len(conns), err))
+		}
+		if frame[0] != wire.FrameHello {
+			return fail(fmt.Errorf("transport: worker %d sent frame %d before hello", len(conns), frame[0]))
+		}
+		hello, err := wire.DecodeHello(frame[1:])
+		if err != nil {
+			return fail(fmt.Errorf("transport: hello from worker %d: %w", len(conns), err))
+		}
+		if hello.Version != wire.Version {
+			return fail(fmt.Errorf("transport: worker %d speaks wire version %d, coordinator %d",
+				len(conns), hello.Version, wire.Version))
+		}
+		conns = append(conns, accepted{conn: conn, addr: hello.PeerAddr})
+	}
+	h.peerAddrs = make([]string, h.workers)
+	for w, a := range conns {
+		h.peerAddrs[w] = a.addr
+	}
+	// Ship every setup, then collect readiness: the workers mesh among
+	// themselves in between.
+	for w, a := range conns {
+		setup := setupFor(w)
+		setup.WorkerIndex = w
+		setup.RankLo = h.rankLo
+		setup.PeerAddrs = h.peerAddrs
+		if err := wire.WriteFrame(a.conn, wire.EncodeSetup(nil, setup)); err != nil {
+			return fail(fmt.Errorf("transport: setup to worker %d: %w", w, err))
+		}
+	}
+	h.readys = make([]wire.Ready, h.workers)
+	for w, a := range conns {
+		frame, err := wire.ReadFrame(a.conn, nil)
+		if err != nil {
+			return fail(fmt.Errorf("transport: ready from worker %d: %w", w, err))
+		}
+		if frame[0] == wire.FrameAbort {
+			ab, _ := wire.DecodeAbort(frame[1:])
+			return fail(fmt.Errorf("transport: worker %d aborted during setup: %s", w, ab.Reason))
+		}
+		if frame[0] != wire.FrameReady {
+			return fail(fmt.Errorf("transport: worker %d sent frame %d before ready", w, frame[0]))
+		}
+		if h.readys[w], err = wire.DecodeReady(frame[1:]); err != nil {
+			return fail(fmt.Errorf("transport: ready from worker %d: %w", w, err))
+		}
+		_ = a.conn.SetReadDeadline(time.Time{})
+	}
+	h.peers = make([]*peer, h.workers)
+	for w, a := range conns {
+		h.peers[w] = newPeer(a.conn, nil)
+	}
+	for w := range h.peers {
+		go h.readWorker(w)
+	}
+	go h.run()
+	return h.readys, nil
+}
+
+// readWorker forwards worker w's frames to the event loop. Each frame gets
+// a fresh buffer: control traffic is low-rate and the event loop owns the
+// bytes afterwards.
+func (h *Hub) readWorker(w int) {
+	for {
+		frame, err := h.peers[w].readFrame(nil)
+		if err != nil {
+			h.events <- hubEvent{worker: w, err: err}
+			return
+		}
+		h.events <- hubEvent{worker: w, typ: frame[0], body: frame[1:]}
+	}
+}
+
+// fail poisons the session: every worker is told to abort, pending waiters
+// unblock with the error.
+func (h *Hub) fail(err error) {
+	h.failOnce.Do(func() {
+		h.failMu.Lock()
+		h.failErr = err
+		h.failMu.Unlock()
+		payload := wire.EncodeAbort(nil, wire.Abort{Reason: err.Error()})
+		for _, p := range h.peers {
+			_ = p.send(payload)
+		}
+		close(h.failCh)
+	})
+}
+
+// Err returns the error that poisoned the session, or nil.
+func (h *Hub) Err() error {
+	h.failMu.Lock()
+	defer h.failMu.Unlock()
+	return h.failErr
+}
+
+// Solve broadcasts one query and blocks until every worker reports done
+// (or the session fails). Calls are serialized; qid must be unique.
+func (h *Hub) Solve(qid uint64, seeds []graph.VID) (QueryOutcome, error) {
+	h.solveMu.Lock()
+	defer h.solveMu.Unlock()
+	if err := h.Err(); err != nil {
+		return QueryOutcome{}, err
+	}
+	pq := &pendingQuery{
+		qid: qid,
+		out: QueryOutcome{QueryID: qid, TableLens: make([]int64, h.ranks)},
+		ch:  make(chan QueryOutcome, 1),
+	}
+	// Register before broadcasting so no done frame can beat the query.
+	select {
+	case h.events <- hubEvent{query: pq}:
+	case <-h.failCh:
+		return QueryOutcome{}, h.Err()
+	}
+	payload := wire.EncodeSolve(nil, wire.Solve{QueryID: qid, Seeds: seeds})
+	for w, p := range h.peers {
+		if err := p.send(payload); err != nil {
+			h.fail(fmt.Errorf("transport: solve to worker %d: %w", w, err))
+			return QueryOutcome{}, h.Err()
+		}
+	}
+	select {
+	case out := <-pq.ch:
+		return out, nil
+	case <-h.failCh:
+		return QueryOutcome{}, h.Err()
+	}
+}
+
+// Close ends the session: workers get a goodbye, then the hub waits
+// (bounded) for them to hang up — their readers draining is the signal
+// the goodbye was processed — before tearing the connections down.
+func (h *Hub) Close() {
+	h.closeOnce.Do(func() {
+		h.closing.Store(true)
+		for _, p := range h.peers {
+			_ = p.send([]byte{wire.FrameGoodbye})
+		}
+		if h.peers != nil {
+			select {
+			case <-h.loopEnd:
+			case <-time.After(5 * time.Second):
+			}
+		}
+		for _, p := range h.peers {
+			p.close()
+		}
+		_ = h.ln.Close()
+	})
+}
+
+// run is the event loop: collectives, termination tokens, query outcomes
+// and failures, all serialized here.
+func (h *Hub) run() {
+	defer close(h.loopEnd)
+	colls := make(map[uint64]*collAcc)
+	sessions := make(map[uint64]*tokenSession)
+	var pending *pendingQuery
+	closedReaders := 0
+	for ev := range h.events {
+		switch {
+		case ev.query != nil:
+			pending = ev.query
+		case ev.err != nil:
+			closedReaders++
+			// During a clean Close, workers hanging up is the expected
+			// end of the session, not a failure.
+			if h.Err() == nil && !h.closing.Load() {
+				h.fail(fmt.Errorf("transport: worker %d connection: %w", ev.worker, ev.err))
+			}
+			if closedReaders == h.workers {
+				return
+			}
+		default:
+			if err := h.handleFrame(ev, colls, sessions, &pending); err != nil {
+				h.fail(err)
+			}
+		}
+	}
+}
+
+// handleFrame processes one worker frame inside the event loop.
+func (h *Hub) handleFrame(ev hubEvent, colls map[uint64]*collAcc,
+	sessions map[uint64]*tokenSession, pending **pendingQuery) error {
+	w := ev.worker
+	switch ev.typ {
+	case wire.FrameColl:
+		coll, err := wire.DecodeColl(ev.body)
+		if err != nil {
+			return fmt.Errorf("transport: collective from worker %d: %w", w, err)
+		}
+		return h.handleColl(w, coll, colls)
+
+	case wire.FrameTraverseBegin:
+		tb, err := wire.DecodeTraverseBegin(ev.body)
+		if err != nil {
+			return fmt.Errorf("transport: traverse begin from worker %d: %w", w, err)
+		}
+		s := sessions[tb.Seq]
+		if s == nil {
+			s = &tokenSession{at: -1}
+			sessions[tb.Seq] = s
+		}
+		s.began++
+		if s.began == h.workers {
+			// All processes entered the traversal: start the first token
+			// round. Workers reset their color to black at traversal
+			// start, so at least two rounds always run.
+			s.at = 0
+			return h.sendToken(s, wire.Token{Seq: tb.Seq, Q: 0, Black: false})
+		}
+		return nil
+
+	case wire.FrameToken:
+		tok, err := wire.DecodeToken(ev.body)
+		if err != nil {
+			return fmt.Errorf("transport: token from worker %d: %w", w, err)
+		}
+		s := sessions[tok.Seq]
+		if s == nil || s.at != w {
+			return fmt.Errorf("transport: unexpected token for traversal %d from worker %d", tok.Seq, w)
+		}
+		if w+1 < h.workers {
+			s.at = w + 1
+			return h.sendToken(s, tok)
+		}
+		// Round complete at the last worker.
+		if !tok.Black && tok.Q == 0 {
+			delete(sessions, tok.Seq)
+			payload := wire.EncodeTraverseDone(nil, wire.TraverseDone{Seq: tok.Seq})
+			for dw, p := range h.peers {
+				if err := p.send(payload); err != nil {
+					return fmt.Errorf("transport: traverse done to worker %d: %w", dw, err)
+				}
+			}
+			return nil
+		}
+		s.at = 0
+		return h.sendToken(s, wire.Token{Seq: tok.Seq, Q: 0, Black: false})
+
+	case wire.FrameWorkerDone:
+		done, err := wire.DecodeWorkerDone(ev.body)
+		if err != nil {
+			return fmt.Errorf("transport: done from worker %d: %w", w, err)
+		}
+		pq := *pending
+		if pq == nil || pq.qid != done.QueryID {
+			return fmt.Errorf("transport: done for unknown query %d from worker %d", done.QueryID, w)
+		}
+		lo, hi := h.RankRange(w)
+		if len(done.TableLens) != hi-lo {
+			return fmt.Errorf("transport: worker %d reported %d table sizes for %d ranks",
+				w, len(done.TableLens), hi-lo)
+		}
+		copy(pq.out.TableLens[lo:hi], done.TableLens)
+		pq.out.Sent += done.Sent
+		pq.out.Processed += done.Processed
+		pq.out.Suppressed += done.Suppressed
+		pq.out.Net.Add(done.Net)
+		if done.Err != "" {
+			pq.out.Err = done.Err
+		}
+		if done.HasResult {
+			res := done.Result
+			pq.out.Result = &res
+		}
+		pq.done++
+		if pq.done == h.workers {
+			*pending = nil
+			pq.ch <- pq.out
+		}
+		return nil
+
+	case wire.FrameAbort:
+		ab, _ := wire.DecodeAbort(ev.body)
+		return fmt.Errorf("transport: worker %d aborted: %s", w, ab.Reason)
+
+	default:
+		return fmt.Errorf("transport: unexpected frame type %d from worker %d", ev.typ, w)
+	}
+}
+
+// sendToken forwards the termination token to the session's current
+// holder (s.at, set by the caller).
+func (h *Hub) sendToken(s *tokenSession, tok wire.Token) error {
+	if err := h.peers[s.at].send(wire.EncodeToken(nil, tok)); err != nil {
+		return fmt.Errorf("transport: token to worker %d: %w", s.at, err)
+	}
+	return nil
+}
+
+// handleColl folds one collective contribution and replies when complete.
+func (h *Hub) handleColl(w int, coll wire.Coll, colls map[uint64]*collAcc) error {
+	acc := colls[coll.Seq]
+	if acc == nil {
+		acc = &collAcc{op: coll.Op}
+		if coll.Op == wire.OpGather {
+			acc.blobs = make([][]byte, h.ranks)
+		}
+		colls[coll.Seq] = acc
+	}
+	if acc.op != coll.Op {
+		return fmt.Errorf("transport: collective %d op mismatch (%d vs %d) from worker %d",
+			coll.Seq, acc.op, coll.Op, w)
+	}
+	switch coll.Op {
+	case wire.OpBarrier:
+	case wire.OpGather:
+		contrib, err := wire.DecodeRankBlobs(coll.Payload)
+		if err != nil {
+			return fmt.Errorf("transport: gather %d from worker %d: %w", coll.Seq, w, err)
+		}
+		for _, rb := range contrib {
+			if rb.Rank < 0 || rb.Rank >= h.ranks {
+				return fmt.Errorf("transport: gather %d: rank %d out of range", coll.Seq, rb.Rank)
+			}
+			acc.blobs[rb.Rank] = rb.Blob
+		}
+	default:
+		x, err := wire.DecodeInt64(coll.Payload)
+		if err != nil {
+			return fmt.Errorf("transport: allreduce %d from worker %d: %w", coll.Seq, w, err)
+		}
+		if acc.count == 0 {
+			acc.acc = x
+		} else {
+			switch coll.Op {
+			case wire.OpMinInt64:
+				if x < acc.acc {
+					acc.acc = x
+				}
+			case wire.OpMaxInt64:
+				if x > acc.acc {
+					acc.acc = x
+				}
+			default:
+				acc.acc += x
+			}
+		}
+	}
+	acc.count++
+	if acc.count < h.workers {
+		return nil
+	}
+	delete(colls, coll.Seq)
+	var payload []byte
+	switch coll.Op {
+	case wire.OpBarrier:
+	case wire.OpGather:
+		payload = wire.EncodeBlobList(nil, acc.blobs)
+	default:
+		payload = wire.EncodeInt64(acc.acc)
+	}
+	reply := wire.EncodeCollReply(nil, wire.CollReply{Seq: coll.Seq, Payload: payload})
+	for dw, p := range h.peers {
+		if err := p.send(reply); err != nil {
+			return fmt.Errorf("transport: collective reply to worker %d: %w", dw, err)
+		}
+	}
+	return nil
+}

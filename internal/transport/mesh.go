@@ -1,0 +1,70 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"dsteiner/internal/wire"
+)
+
+// ConnectMesh establishes the worker-to-worker message links after the
+// setup frame arrives: worker `self` dials every lower-indexed peer's
+// advertised address (identifying itself with a PeerHello) and accepts one
+// connection from every higher-indexed peer on its own listener. The
+// result is indexed by worker, nil at self. On error every opened
+// connection is closed.
+func ConnectMesh(self int, peerAddrs []string, ln net.Listener, timeout time.Duration) ([]net.Conn, error) {
+	deadline := time.Now().Add(timeout)
+	conns := make([]net.Conn, len(peerAddrs))
+	fail := func(err error) ([]net.Conn, error) {
+		for _, c := range conns {
+			if c != nil {
+				_ = c.Close()
+			}
+		}
+		return nil, err
+	}
+	for w := 0; w < self; w++ {
+		conn, err := net.DialTimeout("tcp", peerAddrs[w], time.Until(deadline))
+		if err != nil {
+			return fail(fmt.Errorf("transport: dial worker %d at %s: %w", w, peerAddrs[w], err))
+		}
+		if err := wire.WriteFrame(conn, wire.EncodePeerHello(nil, wire.PeerHello{Worker: self})); err != nil {
+			_ = conn.Close()
+			return fail(fmt.Errorf("transport: peer hello to worker %d: %w", w, err))
+		}
+		conns[w] = conn
+	}
+	if tl, ok := ln.(*net.TCPListener); ok {
+		_ = tl.SetDeadline(deadline)
+	}
+	for need := len(peerAddrs) - self - 1; need > 0; need-- {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fail(fmt.Errorf("transport: accepting peer connections: %w", err))
+		}
+		_ = conn.SetReadDeadline(deadline)
+		frame, err := wire.ReadFrame(conn, nil)
+		if err != nil {
+			_ = conn.Close()
+			return fail(fmt.Errorf("transport: peer hello: %w", err))
+		}
+		if frame[0] != wire.FramePeerHello {
+			_ = conn.Close()
+			return fail(fmt.Errorf("transport: peer sent frame %d before hello", frame[0]))
+		}
+		hello, err := wire.DecodePeerHello(frame[1:])
+		if err != nil {
+			_ = conn.Close()
+			return fail(fmt.Errorf("transport: peer hello: %w", err))
+		}
+		if hello.Worker <= self || hello.Worker >= len(peerAddrs) || conns[hello.Worker] != nil {
+			_ = conn.Close()
+			return fail(fmt.Errorf("transport: unexpected peer hello from worker %d", hello.Worker))
+		}
+		_ = conn.SetReadDeadline(time.Time{})
+		conns[hello.Worker] = conn
+	}
+	return conns, nil
+}

@@ -1,0 +1,517 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	rt "dsteiner/internal/runtime"
+	"dsteiner/internal/wire"
+)
+
+// ControlKind identifies an application-level control frame the transport
+// hands up to its owning worker loop.
+type ControlKind uint8
+
+const (
+	// ControlSolve carries a query broadcast from the coordinator.
+	ControlSolve ControlKind = 1 + iota
+	// ControlGoodbye ends the session cleanly.
+	ControlGoodbye
+	// ControlAbort reports a poisoned session (Err holds the reason).
+	ControlAbort
+)
+
+// Control is one application-level frame delivered to the worker loop.
+type Control struct {
+	Kind  ControlKind
+	Solve wire.Solve
+	Err   error
+}
+
+// TCP is the worker-side runtime.Transport: visitor-message batches flow
+// directly to peer workers over coalescing framed connections, while
+// collectives, termination tokens and control frames flow through the
+// coordinator. One TCP backs one runtime.Comm hosting the worker's rank
+// range.
+type TCP struct {
+	self   int
+	rankLo []int64 // len W+1; worker w hosts ranks [rankLo[w], rankLo[w+1])
+
+	coord *peer
+	peers []*peer // indexed by worker; peers[self] == nil
+
+	host rt.TransportHost
+
+	// Collective state. Only the process leader rank calls collectives,
+	// one at a time, so a single reply slot suffices; seq pairs requests
+	// with replies defensively.
+	collSeq   uint64
+	collReply chan wire.CollReply
+
+	// Fence state: highest fence sequence received from each peer.
+	fenceMu   sync.Mutex
+	fenceCond *sync.Cond
+	fenceGot  []uint64
+	fenceSeq  uint64
+
+	// Asynchronous-traversal termination sessions.
+	travMu   sync.Mutex
+	travDone map[uint64]chan struct{}
+
+	// Control frames for the worker loop.
+	controls chan Control
+
+	// Failure state: first error wins, failCh unblocks waiters. closing
+	// marks a clean session end (goodbye seen), after which peer-link
+	// EOFs are expected, not failures.
+	failOnce sync.Once
+	failErr  atomic.Value // error
+	failCh   chan struct{}
+	closing  atomic.Bool
+
+	// Traffic counters (runtime.TransportStats).
+	framesOut, framesIn atomic.Int64
+	bytesOut, bytesIn   atomic.Int64
+	encodeNs, decodeNs  atomic.Int64
+
+	closeOnce sync.Once
+}
+
+var _ rt.Transport = (*TCP)(nil)
+
+// NewTCP assembles the worker-side transport from the session's
+// connections: coord is the dialed coordinator link, peerConns[w] the mesh
+// link to worker w (nil for self), and rankLo the handshake's rank ranges.
+// Read loops start immediately; attach the host communicator before any
+// traffic can arrive (i.e. before sending Ready).
+func NewTCP(self int, rankLo []int64, coord net.Conn, peerConns []net.Conn) *TCP {
+	t := &TCP{
+		self:      self,
+		rankLo:    rankLo,
+		collReply: make(chan wire.CollReply, 1),
+		fenceGot:  make([]uint64, len(peerConns)),
+		travDone:  make(map[uint64]chan struct{}),
+		controls:  make(chan Control, 4),
+		failCh:    make(chan struct{}),
+	}
+	t.fenceCond = sync.NewCond(&t.fenceMu)
+	onWrite := func(frames, bytes int64) {
+		t.framesOut.Add(frames)
+		t.bytesOut.Add(bytes)
+	}
+	t.coord = newPeer(coord, onWrite)
+	t.peers = make([]*peer, len(peerConns))
+	for w, c := range peerConns {
+		if c == nil {
+			continue
+		}
+		t.peers[w] = newPeer(c, onWrite)
+	}
+	return t
+}
+
+// Attach implements runtime.Transport; it also starts the read loops, so
+// the communicator must be fully constructed first.
+func (t *TCP) Attach(host rt.TransportHost) {
+	t.host = host
+	go t.readCoord()
+	for w, p := range t.peers {
+		if p != nil {
+			go t.readPeer(w, p)
+		}
+	}
+}
+
+// Controls returns the channel the worker loop consumes solve/goodbye/
+// abort frames from.
+func (t *TCP) Controls() <-chan Control { return t.controls }
+
+// workerOf maps a global rank to the worker hosting it (binary search over
+// the contiguous rank ranges).
+func (t *TCP) workerOf(rank int) int {
+	lo, hi := 0, len(t.rankLo)-2
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if int(t.rankLo[mid]) <= rank {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// Deliver implements runtime.Transport: encode the batch into the owning
+// peer's coalescing buffer and recycle the batch buffer into the
+// communicator's free lists.
+func (t *TCP) Deliver(dest int, batch []rt.Msg) {
+	w := t.workerOf(dest)
+	p := t.peers[w]
+	if p == nil {
+		t.fail(fmt.Errorf("transport: rank %d maps to self (worker %d)", dest, w))
+		panic(errPoisoned)
+	}
+	start := time.Now()
+	err := p.appendFrame(func(dst []byte) []byte {
+		return wire.AppendMsgBatch(dst, dest, batch)
+	})
+	t.encodeNs.Add(time.Since(start).Nanoseconds())
+	t.host.RecycleBatch(batch)
+	if err != nil {
+		t.fail(fmt.Errorf("transport: deliver to worker %d: %w", w, err))
+		panic(errPoisoned)
+	}
+}
+
+// errPoisoned is the panic payload that unwinds rank goroutines blocked on
+// a failed transport; Comm.Run converts it back into a run panic and the
+// worker loop reports the underlying failure.
+const errPoisoned = "transport: session poisoned"
+
+// fail records the first fatal error, poisons the host communicator and
+// unblocks every waiter.
+func (t *TCP) fail(err error) {
+	t.failOnce.Do(func() {
+		t.failErr.Store(err)
+		close(t.failCh)
+		if t.host != nil {
+			t.host.Poison()
+		}
+		t.fenceCond.Broadcast()
+		// Traversal done channels stay open: ranks blocked on them are
+		// released through the poisoned abort channel instead, so a
+		// failed session can never look quiesced.
+		select {
+		case t.controls <- Control{Kind: ControlAbort, Err: err}:
+		default:
+		}
+	})
+}
+
+// Err returns the fatal error that poisoned the session, or nil.
+func (t *TCP) Err() error {
+	if e, ok := t.failErr.Load().(error); ok {
+		return e
+	}
+	return nil
+}
+
+// fence flushes this process's pre-collective message traffic and waits
+// until every peer's fence for the same sequence arrives. Frames are FIFO
+// per connection, so receiving fence #n from a peer proves all batches it
+// sent before its collective #n have been delivered into mailboxes —
+// every wire collective is therefore also a delivery barrier (what BSP
+// supersteps rely on).
+func (t *TCP) fence() {
+	t.fenceSeq++
+	seq := t.fenceSeq
+	payload := wire.EncodeFence(nil, wire.Fence{Seq: seq})
+	for w, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		if err := p.send(payload); err != nil {
+			t.fail(fmt.Errorf("transport: fence to worker %d: %w", w, err))
+			panic(errPoisoned)
+		}
+	}
+	t.fenceMu.Lock()
+	for !t.fenceReachedLocked(seq) {
+		if t.Err() != nil {
+			t.fenceMu.Unlock()
+			panic(errPoisoned)
+		}
+		t.fenceCond.Wait()
+	}
+	t.fenceMu.Unlock()
+}
+
+func (t *TCP) fenceReachedLocked(seq uint64) bool {
+	for w := range t.fenceGot {
+		if w == t.self {
+			continue
+		}
+		if t.fenceGot[w] < seq {
+			return false
+		}
+	}
+	return true
+}
+
+// collective runs one coordinator-rooted collective exchange.
+func (t *TCP) collective(op uint8, payload []byte) []byte {
+	t.fence()
+	t.collSeq++
+	req := wire.EncodeColl(nil, wire.Coll{Seq: t.collSeq, Op: op, Payload: payload})
+	if err := t.coord.send(req); err != nil {
+		t.fail(fmt.Errorf("transport: collective %d: %w", t.collSeq, err))
+		panic(errPoisoned)
+	}
+	select {
+	case reply := <-t.collReply:
+		if reply.Seq != t.collSeq {
+			t.fail(fmt.Errorf("transport: collective reply %d for request %d", reply.Seq, t.collSeq))
+			panic(errPoisoned)
+		}
+		return reply.Payload
+	case <-t.failCh:
+		panic(errPoisoned)
+	}
+}
+
+// Barrier implements runtime.Transport.
+func (t *TCP) Barrier() { t.collective(wire.OpBarrier, nil) }
+
+// AllreduceInt64 implements runtime.Transport.
+func (t *TCP) AllreduceInt64(op rt.CollOp, x int64) int64 {
+	var wop uint8
+	switch op {
+	case rt.OpMin:
+		wop = wire.OpMinInt64
+	case rt.OpMax:
+		wop = wire.OpMaxInt64
+	default:
+		wop = wire.OpSumInt64
+	}
+	res, err := wire.DecodeInt64(t.collective(wop, wire.EncodeInt64(x)))
+	if err != nil {
+		t.fail(fmt.Errorf("transport: allreduce reply: %w", err))
+		panic(errPoisoned)
+	}
+	return res
+}
+
+// Gather implements runtime.Transport: ship the hosted ranks' blobs,
+// receive the full rank-ordered list.
+func (t *TCP) Gather(ranks []int, blobs [][]byte) [][]byte {
+	contrib := make([]wire.RankBlob, len(ranks))
+	for i, r := range ranks {
+		contrib[i] = wire.RankBlob{Rank: r, Blob: blobs[i]}
+	}
+	reply := t.collective(wire.OpGather, wire.EncodeRankBlobs(nil, contrib))
+	list, err := wire.DecodeBlobList(reply)
+	if err != nil {
+		t.fail(fmt.Errorf("transport: gather reply: %w", err))
+		panic(errPoisoned)
+	}
+	return list
+}
+
+// StartTraversal implements runtime.Transport: announce the asynchronous
+// traversal to the coordinator and hand back the channel its
+// termination-token ring will close at global quiescence.
+func (t *TCP) StartTraversal(seq uint64) chan struct{} {
+	ch := make(chan struct{})
+	t.travMu.Lock()
+	t.travDone[seq] = ch
+	t.travMu.Unlock()
+	if err := t.coord.send(wire.EncodeTraverseBegin(nil, wire.TraverseBegin{Seq: seq})); err != nil {
+		t.fail(fmt.Errorf("transport: traverse begin: %w", err))
+		panic(errPoisoned)
+	}
+	return ch
+}
+
+// Stats implements runtime.Transport.
+func (t *TCP) Stats() rt.TransportStats {
+	return rt.TransportStats{
+		FramesOut: t.framesOut.Load(),
+		FramesIn:  t.framesIn.Load(),
+		BytesOut:  t.bytesOut.Load(),
+		BytesIn:   t.bytesIn.Load(),
+		EncodeNs:  t.encodeNs.Load(),
+		DecodeNs:  t.decodeNs.Load(),
+	}
+}
+
+// NetStats returns the counters in their wire form (WorkerDone deltas).
+func (t *TCP) NetStats() wire.NetStats { return ToNetStats(t.Stats()) }
+
+// ToNetStats converts the runtime's counter snapshot into the frozen wire
+// form — the one conversion site between the two shapes on the encode
+// path (the hub decodes back with core's reverse conversion).
+func ToNetStats(s rt.TransportStats) wire.NetStats {
+	return wire.NetStats{
+		FramesOut: s.FramesOut,
+		FramesIn:  s.FramesIn,
+		BytesOut:  s.BytesOut,
+		BytesIn:   s.BytesIn,
+		EncodeNs:  s.EncodeNs,
+		DecodeNs:  s.DecodeNs,
+	}
+}
+
+// SendReady reports handshake completion (substrate rebuilt, mesh up) to
+// the coordinator.
+func (t *TCP) SendReady(r wire.Ready) error {
+	return t.coord.send(wire.EncodeReady(nil, r))
+}
+
+// SendWorkerDone ships a query's closing frame to the coordinator.
+func (t *TCP) SendWorkerDone(done wire.WorkerDone) error {
+	return t.coord.send(wire.EncodeWorkerDone(nil, done))
+}
+
+// SendAbort reports a local failure (rank panic) to the coordinator.
+func (t *TCP) SendAbort(reason string) {
+	_ = t.coord.send(wire.EncodeAbort(nil, wire.Abort{Reason: reason}))
+}
+
+// Close implements runtime.Transport.
+func (t *TCP) Close() error {
+	t.closeOnce.Do(func() {
+		t.coord.close()
+		for _, p := range t.peers {
+			if p != nil {
+				p.close()
+			}
+		}
+	})
+	return nil
+}
+
+// readCoord consumes coordinator frames: collective replies, termination
+// tokens, traversal completion, solve requests and session control.
+func (t *TCP) readCoord() {
+	var buf []byte
+	for {
+		frame, err := t.coord.readFrame(buf)
+		if err != nil {
+			t.fail(fmt.Errorf("transport: coordinator link: %w", err))
+			return
+		}
+		buf = frame
+		t.framesIn.Add(1)
+		t.bytesIn.Add(int64(len(frame)) + 4)
+		typ, body := frame[0], frame[1:]
+		switch typ {
+		case wire.FrameCollReply:
+			reply, err := wire.DecodeCollReply(body)
+			if err != nil {
+				t.fail(fmt.Errorf("transport: collective reply: %w", err))
+				return
+			}
+			// The payload aliases the read buffer: copy before handing it
+			// to the waiting leader rank.
+			reply.Payload = append([]byte(nil), reply.Payload...)
+			select {
+			case t.collReply <- reply:
+			default:
+				t.fail(errors.New("transport: unexpected collective reply"))
+				return
+			}
+		case wire.FrameToken:
+			tok, err := wire.DecodeToken(body)
+			if err != nil {
+				t.fail(fmt.Errorf("transport: token: %w", err))
+				return
+			}
+			// Folding the token blocks until this process is passive; a
+			// goroutine keeps the read loop responsive meanwhile.
+			go t.holdToken(tok)
+		case wire.FrameTraverseDone:
+			td, err := wire.DecodeTraverseDone(body)
+			if err != nil {
+				t.fail(fmt.Errorf("transport: traverse done: %w", err))
+				return
+			}
+			t.travMu.Lock()
+			if ch, ok := t.travDone[td.Seq]; ok {
+				close(ch)
+				delete(t.travDone, td.Seq)
+			}
+			t.travMu.Unlock()
+		case wire.FrameSolve:
+			solve, err := wire.DecodeSolve(body)
+			if err != nil {
+				t.fail(fmt.Errorf("transport: solve: %w", err))
+				return
+			}
+			t.controls <- Control{Kind: ControlSolve, Solve: solve}
+		case wire.FrameGoodbye:
+			// Clean end. Relay the goodbye over the mesh before anyone
+			// closes a link: peers that have not read their own goodbye
+			// yet then see an explicit end-of-session frame instead of a
+			// surprise EOF.
+			t.closing.Store(true)
+			for _, p := range t.peers {
+				if p != nil {
+					_ = p.send([]byte{wire.FrameGoodbye})
+				}
+			}
+			t.controls <- Control{Kind: ControlGoodbye}
+			return
+		case wire.FrameAbort:
+			a, _ := wire.DecodeAbort(body)
+			t.fail(fmt.Errorf("transport: session aborted by coordinator: %s", a.Reason))
+			return
+		default:
+			t.fail(fmt.Errorf("transport: unexpected coordinator frame type %d", typ))
+			return
+		}
+	}
+}
+
+// holdToken folds the Safra token through the host (blocking until local
+// passivity) and returns it to the coordinator.
+func (t *TCP) holdToken(tok wire.Token) {
+	q, black := t.host.HoldToken(tok.Q, tok.Black)
+	if t.Err() != nil {
+		return
+	}
+	if err := t.coord.send(wire.EncodeToken(nil, wire.Token{Seq: tok.Seq, Q: q, Black: black})); err != nil {
+		t.fail(fmt.Errorf("transport: token return: %w", err))
+	}
+}
+
+// readPeer consumes mesh frames from worker w: message batches into the
+// hosted mailboxes, fences into the fence tracker.
+func (t *TCP) readPeer(w int, p *peer) {
+	var buf []byte
+	for {
+		frame, err := p.readFrame(buf)
+		if err != nil {
+			if t.closing.Load() {
+				return // session ending: peer teardown is expected
+			}
+			t.fail(fmt.Errorf("transport: peer %d link: %w", w, err))
+			return
+		}
+		buf = frame
+		t.framesIn.Add(1)
+		t.bytesIn.Add(int64(len(frame)) + 4)
+		typ, body := frame[0], frame[1:]
+		switch typ {
+		case wire.FrameGoodbye:
+			return // peer is shutting down cleanly
+		case wire.FrameMsgBatch:
+			start := time.Now()
+			dest, batch, err := wire.DecodeMsgBatch(body, t.host.BatchBuf())
+			t.decodeNs.Add(time.Since(start).Nanoseconds())
+			if err != nil {
+				t.fail(fmt.Errorf("transport: batch from worker %d: %w", w, err))
+				return
+			}
+			t.host.Inbound(dest, batch)
+		case wire.FrameFence:
+			f, err := wire.DecodeFence(body)
+			if err != nil {
+				t.fail(fmt.Errorf("transport: fence from worker %d: %w", w, err))
+				return
+			}
+			t.fenceMu.Lock()
+			if f.Seq > t.fenceGot[w] {
+				t.fenceGot[w] = f.Seq
+			}
+			t.fenceMu.Unlock()
+			t.fenceCond.Broadcast()
+		default:
+			t.fail(fmt.Errorf("transport: unexpected peer frame type %d", typ))
+			return
+		}
+	}
+}

@@ -152,18 +152,29 @@ func RunRankBSP(r *rt.Rank, seeds []graph.VID) rt.TraversalStats {
 // run is the rank-local hot path: each rank walks its own CSR slab and its
 // materialized delegate stripes, and keeps control state in its own
 // StateSlab; neither the global CSR nor a shared state array is consulted.
+//
+// Offers aimed at delegate vertices pass a changed-since filter first
+// (sendOffer): the rank compares the offer against its local view of the
+// delegate's (src, dist) — the owned row when it owns the hub, the mirror
+// stripe fed by past broadcasts otherwise — and drops offers that view
+// proves the owner must reject. On hub-heavy graphs most relaxations
+// target the few delegates, so the filter cuts exactly the messages that
+// would otherwise cross the transport (suppressed count in Stats).
 func run(r *rt.Rank, seeds []graph.VID, bsp bool) rt.TraversalStats {
 	sl := SlabOf(r)
+	sendOffer := sl.offerSender(r)
 	relaxNeighbors := func(r *rt.Rank, v graph.VID, src graph.VID, dist graph.Dist) {
 		if r.IsDelegate(v) {
 			// Hub: fan the relaxation out to all ranks; each scans its
-			// materialized stripe of v's (large) adjacency.
+			// materialized stripe of v's (large) adjacency. Broadcasts
+			// carry freshly-installed, strictly-improving state: nothing
+			// to filter here.
 			r.Broadcast(rt.Msg{Target: v, From: v, Seed: src, Dist: dist, Kind: delegateRelax})
 			return
 		}
 		ts, ws := r.Adj(v)
 		for i, u := range ts {
-			r.Send(rt.Msg{Target: u, From: v, Seed: src, Dist: dist + graph.Dist(ws[i])})
+			sendOffer(r, u, v, src, dist+graph.Dist(ws[i]))
 		}
 	}
 	relaxStripe := func(r *rt.Rank, m rt.Msg) {
@@ -173,10 +184,41 @@ func run(r *rt.Rank, seeds []graph.VID, bsp bool) rt.TraversalStats {
 		sl.ObserveDelegate(v, m.Seed, m.Dist)
 		ts, ws := r.StripeAdj(v)
 		for i, u := range ts {
-			r.Send(rt.Msg{Target: u, From: v, Seed: m.Seed, Dist: m.Dist + graph.Dist(ws[i])})
+			sendOffer(r, u, v, m.Seed, m.Dist+graph.Dist(ws[i]))
 		}
 	}
 	return runWith(r, seeds, sl, bsp, relaxNeighbors, relaxStripe)
+}
+
+// offerSender returns the relaxation-offer send function, with the
+// delegate changed-since filter enabled only when the partition has
+// delegates — delegate-free solves keep the unconditional send with zero
+// per-edge overhead.
+//
+// The filter is safe because it only drops provably-rejected offers: a
+// delegate owner's (dist, src) improves lexicographically monotonically,
+// and the local view (owned row or broadcast-fed mirror) is always one of
+// the owner's past states. If that view is already strictly better than
+// the offer's (dist, src), the owner's current state is too, and the
+// offer would fail the visit's tie-break no matter its predecessor. Ties
+// on (dist, src) are NOT filtered — a smaller predecessor can still win —
+// which is what keeps the converged fixed point byte-identical with the
+// filter on (pinned by the slab-vs-global equivalence property tests).
+func (sl *StateSlab) offerSender(r *rt.Rank) func(r *rt.Rank, u graph.VID, from, seed graph.VID, dist graph.Dist) {
+	if !r.HasDelegates() {
+		return func(r *rt.Rank, u graph.VID, from, seed graph.VID, dist graph.Dist) {
+			r.Send(rt.Msg{Target: u, From: from, Seed: seed, Dist: dist})
+		}
+	}
+	return func(r *rt.Rank, u graph.VID, from, seed graph.VID, dist graph.Dist) {
+		if r.IsDelegate(u) {
+			if ms, md, ok := sl.DelegateState(u); ok && (md < dist || (md == dist && ms < seed)) {
+				r.Suppress()
+				return
+			}
+		}
+		r.Send(rt.Msg{Target: u, From: from, Seed: seed, Dist: dist})
+	}
 }
 
 // RunRankGlobal is the pre-shard, pre-slab reference implementation:

@@ -1,0 +1,205 @@
+package wire
+
+import "fmt"
+
+// Coll is one process's contribution to collective #Seq. Payload is
+// op-specific: empty for OpBarrier, an 8-byte-varint int64 for the
+// allreduces, a rank-tagged blob list for OpGather.
+type Coll struct {
+	Seq     uint64
+	Op      uint8
+	Payload []byte
+}
+
+// EncodeColl appends a FrameColl payload.
+func EncodeColl(dst []byte, c Coll) []byte {
+	dst = append(dst, FrameColl)
+	dst = AppendUvarint(dst, c.Seq)
+	dst = append(dst, c.Op)
+	dst = AppendBytes(dst, c.Payload)
+	return dst
+}
+
+// DecodeColl decodes a FrameColl body. Payload aliases body.
+func DecodeColl(body []byte) (Coll, error) {
+	d := NewDec(body)
+	c := Coll{Seq: d.Uvarint(), Op: d.Byte(), Payload: d.Bytes()}
+	return c, d.finish()
+}
+
+// CollReply is the coordinator's result for collective #Seq.
+type CollReply struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// EncodeCollReply appends a FrameCollReply payload.
+func EncodeCollReply(dst []byte, c CollReply) []byte {
+	dst = append(dst, FrameCollReply)
+	dst = AppendUvarint(dst, c.Seq)
+	dst = AppendBytes(dst, c.Payload)
+	return dst
+}
+
+// DecodeCollReply decodes a FrameCollReply body. Payload aliases body.
+func DecodeCollReply(body []byte) (CollReply, error) {
+	d := NewDec(body)
+	c := CollReply{Seq: d.Uvarint(), Payload: d.Bytes()}
+	return c, d.finish()
+}
+
+// EncodeInt64 encodes an allreduce contribution/result payload.
+func EncodeInt64(x int64) []byte { return AppendVarint(nil, x) }
+
+// DecodeInt64 decodes an allreduce payload.
+func DecodeInt64(payload []byte) (int64, error) {
+	d := NewDec(payload)
+	x := d.Varint()
+	return x, d.finish()
+}
+
+// RankBlob tags a per-rank gather contribution with its global rank.
+type RankBlob struct {
+	Rank int
+	Blob []byte
+}
+
+// EncodeRankBlobs encodes an OpGather contribution: this process's hosted
+// ranks' blobs, rank-tagged.
+func EncodeRankBlobs(dst []byte, blobs []RankBlob) []byte {
+	dst = AppendUvarint(dst, uint64(len(blobs)))
+	for _, rb := range blobs {
+		dst = AppendUvarint(dst, uint64(rb.Rank))
+		dst = AppendBytes(dst, rb.Blob)
+	}
+	return dst
+}
+
+// DecodeRankBlobs decodes an OpGather contribution. Blobs alias payload.
+func DecodeRankBlobs(payload []byte) ([]RankBlob, error) {
+	d := NewDec(payload)
+	n := d.Int()
+	if d.err == nil && n > d.Len() {
+		return nil, fmt.Errorf("%w: rank blob count", ErrCorrupt)
+	}
+	out := make([]RankBlob, 0, min(n, 1024))
+	for i := 0; i < n && d.err == nil; i++ {
+		out = append(out, RankBlob{Rank: d.Int(), Blob: d.Bytes()})
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EncodeBlobList encodes an OpGather result: one blob per global rank, in
+// rank order (absent ranks encode empty).
+func EncodeBlobList(dst []byte, blobs [][]byte) []byte {
+	dst = AppendUvarint(dst, uint64(len(blobs)))
+	for _, b := range blobs {
+		dst = AppendBytes(dst, b)
+	}
+	return dst
+}
+
+// DecodeBlobList decodes an OpGather result. Blobs alias payload.
+func DecodeBlobList(payload []byte) ([][]byte, error) {
+	d := NewDec(payload)
+	n := d.Int()
+	if d.err == nil && n > d.Len()+1 {
+		return nil, fmt.Errorf("%w: blob list count", ErrCorrupt)
+	}
+	out := make([][]byte, 0, min(n, 4096))
+	for i := 0; i < n && d.err == nil; i++ {
+		out = append(out, d.Bytes())
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Fence is the per-peer delivery fence entering collective #Seq: ordered
+// after every message frame the sender issued before the collective, so
+// receiving fence #Seq from every peer proves all pre-collective traffic
+// has been delivered.
+type Fence struct {
+	Seq uint64
+}
+
+// EncodeFence appends a FrameFence payload.
+func EncodeFence(dst []byte, f Fence) []byte {
+	dst = append(dst, FrameFence)
+	return AppendUvarint(dst, f.Seq)
+}
+
+// DecodeFence decodes a FrameFence body.
+func DecodeFence(body []byte) (Fence, error) {
+	d := NewDec(body)
+	f := Fence{Seq: d.Uvarint()}
+	return f, d.finish()
+}
+
+// TraverseBegin announces that this process entered asynchronous traversal
+// #Seq; the coordinator starts circulating termination tokens once every
+// process has announced.
+type TraverseBegin struct {
+	Seq uint64
+}
+
+// EncodeTraverseBegin appends a FrameTraverseBegin payload.
+func EncodeTraverseBegin(dst []byte, t TraverseBegin) []byte {
+	dst = append(dst, FrameTraverseBegin)
+	return AppendUvarint(dst, t.Seq)
+}
+
+// DecodeTraverseBegin decodes a FrameTraverseBegin body.
+func DecodeTraverseBegin(body []byte) (TraverseBegin, error) {
+	d := NewDec(body)
+	t := TraverseBegin{Seq: d.Uvarint()}
+	return t, d.finish()
+}
+
+// Token is the Safra-style termination token for traversal #Seq. Q
+// accumulates each process's (messages sent − messages received) cross-
+// process counter; Black records whether any visited process received a
+// message since it last forwarded the token. The coordinator declares
+// quiescence after a full round that stays white with Q == 0.
+type Token struct {
+	Seq   uint64
+	Q     int64
+	Black bool
+}
+
+// EncodeToken appends a FrameToken payload.
+func EncodeToken(dst []byte, t Token) []byte {
+	dst = append(dst, FrameToken)
+	dst = AppendUvarint(dst, t.Seq)
+	dst = AppendVarint(dst, t.Q)
+	return appendBool(dst, t.Black)
+}
+
+// DecodeToken decodes a FrameToken body.
+func DecodeToken(body []byte) (Token, error) {
+	d := NewDec(body)
+	t := Token{Seq: d.Uvarint(), Q: d.Varint(), Black: d.Bool()}
+	return t, d.finish()
+}
+
+// TraverseDone reports global quiescence of traversal #Seq.
+type TraverseDone struct {
+	Seq uint64
+}
+
+// EncodeTraverseDone appends a FrameTraverseDone payload.
+func EncodeTraverseDone(dst []byte, t TraverseDone) []byte {
+	dst = append(dst, FrameTraverseDone)
+	return AppendUvarint(dst, t.Seq)
+}
+
+// DecodeTraverseDone decodes a FrameTraverseDone body.
+func DecodeTraverseDone(body []byte) (TraverseDone, error) {
+	d := NewDec(body)
+	t := TraverseDone{Seq: d.Uvarint()}
+	return t, d.finish()
+}

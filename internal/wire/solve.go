@@ -1,0 +1,249 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dsteiner/internal/graph"
+)
+
+// Solve is the coordinator's per-query broadcast: run the six solver phases
+// for the canonical (validated, sorted, duplicate-free) seed set.
+type Solve struct {
+	QueryID uint64
+	Seeds   []graph.VID
+}
+
+// EncodeSolve appends a FrameSolve payload.
+func EncodeSolve(dst []byte, s Solve) []byte {
+	dst = append(dst, FrameSolve)
+	dst = AppendUvarint(dst, s.QueryID)
+	return AppendVIDs(dst, s.Seeds)
+}
+
+// DecodeSolve decodes a FrameSolve body.
+func DecodeSolve(body []byte) (Solve, error) {
+	d := NewDec(body)
+	s := Solve{QueryID: d.Uvarint(), Seeds: d.VIDs()}
+	return s, d.finish()
+}
+
+// EdgeRec is one Steiner-tree edge on the wire.
+type EdgeRec struct {
+	U, V graph.VID
+	W    uint32
+}
+
+// PhaseRec is one phase's statistics on the wire (core.PhaseStat).
+type PhaseRec struct {
+	Name        string
+	Seconds     float64
+	Sent        int64
+	Processed   int64
+	MaxRankWork int64
+}
+
+// SolveResult is the wire form of the solver-output parts of core.Result,
+// produced on the worker hosting rank 0 and shipped back inside
+// WorkerDone. Memory accounting and validation happen coordinator-side.
+type SolveResult struct {
+	Tree             []EdgeRec
+	TotalDistance    int64
+	Phases           []PhaseRec
+	DistGraphEdges   int
+	MSTRounds        int
+	CollectiveChunks int
+}
+
+func appendSolveResult(dst []byte, r SolveResult) []byte {
+	dst = AppendUvarint(dst, uint64(len(r.Tree)))
+	for _, e := range r.Tree {
+		dst = AppendUvarint(dst, uint64(uint32(e.U)))
+		dst = AppendUvarint(dst, uint64(uint32(e.V)))
+		dst = AppendUvarint(dst, uint64(e.W))
+	}
+	dst = AppendVarint(dst, r.TotalDistance)
+	dst = AppendUvarint(dst, uint64(len(r.Phases)))
+	for _, p := range r.Phases {
+		dst = AppendString(dst, p.Name)
+		dst = appendFloat64(dst, p.Seconds)
+		dst = AppendVarint(dst, p.Sent)
+		dst = AppendVarint(dst, p.Processed)
+		dst = AppendVarint(dst, p.MaxRankWork)
+	}
+	dst = AppendUvarint(dst, uint64(r.DistGraphEdges))
+	dst = AppendUvarint(dst, uint64(r.MSTRounds))
+	dst = AppendUvarint(dst, uint64(r.CollectiveChunks))
+	return dst
+}
+
+func decodeSolveResult(d *Dec) SolveResult {
+	var r SolveResult
+	nTree := d.count(3, "tree edges") // ≥ 3 bytes per edge
+	for i := 0; i < nTree && d.err == nil; i++ {
+		r.Tree = append(r.Tree, EdgeRec{
+			U: graph.VID(int32(d.Uvarint())),
+			V: graph.VID(int32(d.Uvarint())),
+			W: uint32(d.Uvarint()),
+		})
+	}
+	r.TotalDistance = d.Varint()
+	nPhases := d.Int()
+	if d.err == nil && nPhases > d.Len() {
+		d.err = fmt.Errorf("%w: phase count", ErrCorrupt)
+	}
+	for i := 0; i < nPhases && d.err == nil; i++ {
+		r.Phases = append(r.Phases, PhaseRec{
+			Name:        d.String(),
+			Seconds:     d.Float64(),
+			Sent:        d.Varint(),
+			Processed:   d.Varint(),
+			MaxRankWork: d.Varint(),
+		})
+	}
+	r.DistGraphEdges = d.Int()
+	r.MSTRounds = d.Int()
+	r.CollectiveChunks = d.Int()
+	return r
+}
+
+// NetStats are a transport's cumulative traffic counters; WorkerDone
+// carries per-query deltas so the coordinator can attribute wire cost to
+// individual queries.
+type NetStats struct {
+	FramesOut int64
+	FramesIn  int64
+	BytesOut  int64
+	BytesIn   int64
+	EncodeNs  int64
+	DecodeNs  int64
+}
+
+// Add accumulates o into s.
+func (s *NetStats) Add(o NetStats) {
+	s.FramesOut += o.FramesOut
+	s.FramesIn += o.FramesIn
+	s.BytesOut += o.BytesOut
+	s.BytesIn += o.BytesIn
+	s.EncodeNs += o.EncodeNs
+	s.DecodeNs += o.DecodeNs
+}
+
+// Sub returns s − o (for per-query deltas from cumulative counters).
+func (s NetStats) Sub(o NetStats) NetStats {
+	return NetStats{
+		FramesOut: s.FramesOut - o.FramesOut,
+		FramesIn:  s.FramesIn - o.FramesIn,
+		BytesOut:  s.BytesOut - o.BytesOut,
+		BytesIn:   s.BytesIn - o.BytesIn,
+		EncodeNs:  s.EncodeNs - o.EncodeNs,
+		DecodeNs:  s.DecodeNs - o.DecodeNs,
+	}
+}
+
+func appendNetStats(dst []byte, s NetStats) []byte {
+	dst = AppendVarint(dst, s.FramesOut)
+	dst = AppendVarint(dst, s.FramesIn)
+	dst = AppendVarint(dst, s.BytesOut)
+	dst = AppendVarint(dst, s.BytesIn)
+	dst = AppendVarint(dst, s.EncodeNs)
+	dst = AppendVarint(dst, s.DecodeNs)
+	return dst
+}
+
+func decodeNetStats(d *Dec) NetStats {
+	return NetStats{
+		FramesOut: d.Varint(),
+		FramesIn:  d.Varint(),
+		BytesOut:  d.Varint(),
+		BytesIn:   d.Varint(),
+		EncodeNs:  d.Varint(),
+		DecodeNs:  d.Varint(),
+	}
+}
+
+// WorkerDone closes one query on one worker: the per-hosted-rank cross-cell
+// table sizes (coordinator-side memory accounting), message/suppression
+// counter deltas, the transport traffic delta, and — from the worker
+// hosting rank 0 — the encoded Result. Err carries rank 0's solve error
+// (disconnected seeds), empty on success.
+type WorkerDone struct {
+	QueryID    uint64
+	Err        string
+	TableLens  []int64 // len(E_N table) per hosted rank, rank order
+	Sent       int64   // visitor messages sent by this process
+	Processed  int64   // visit() calls on this process
+	Suppressed int64   // delegate broadcasts suppressed by the changed-since filter
+	Net        NetStats
+	HasResult  bool
+	Result     SolveResult
+}
+
+// EncodeWorkerDone appends a FrameWorkerDone payload.
+func EncodeWorkerDone(dst []byte, w WorkerDone) []byte {
+	dst = append(dst, FrameWorkerDone)
+	dst = AppendUvarint(dst, w.QueryID)
+	dst = AppendString(dst, w.Err)
+	dst = AppendInt64s(dst, w.TableLens)
+	dst = AppendVarint(dst, w.Sent)
+	dst = AppendVarint(dst, w.Processed)
+	dst = AppendVarint(dst, w.Suppressed)
+	dst = appendNetStats(dst, w.Net)
+	dst = appendBool(dst, w.HasResult)
+	if w.HasResult {
+		dst = appendSolveResult(dst, w.Result)
+	}
+	return dst
+}
+
+// DecodeWorkerDone decodes a FrameWorkerDone body.
+func DecodeWorkerDone(body []byte) (WorkerDone, error) {
+	d := NewDec(body)
+	var w WorkerDone
+	w.QueryID = d.Uvarint()
+	w.Err = d.String()
+	w.TableLens = d.Int64s()
+	w.Sent = d.Varint()
+	w.Processed = d.Varint()
+	w.Suppressed = d.Varint()
+	w.Net = decodeNetStats(d)
+	w.HasResult = d.Bool()
+	if w.HasResult {
+		w.Result = decodeSolveResult(d)
+	}
+	return w, d.finish()
+}
+
+// EncodeEdges encodes a []graph.Edge blob for the final tree gather
+// (rank-local tree fragments collected via the OpGather collective).
+func EncodeEdges(dst []byte, edges []graph.Edge) []byte {
+	dst = AppendUvarint(dst, uint64(len(edges)))
+	for _, e := range edges {
+		dst = AppendUvarint(dst, uint64(uint32(e.U)))
+		dst = AppendUvarint(dst, uint64(uint32(e.V)))
+		dst = AppendUvarint(dst, uint64(e.W))
+	}
+	return dst
+}
+
+// DecodeEdges decodes an EncodeEdges blob, appending to out.
+func DecodeEdges(blob []byte, out []graph.Edge) ([]graph.Edge, error) {
+	d := NewDec(blob)
+	n := d.count(3, "edge blob")
+	for i := 0; i < n && d.err == nil; i++ {
+		out = append(out, graph.Edge{
+			U: graph.VID(int32(d.Uvarint())),
+			V: graph.VID(int32(d.Uvarint())),
+			W: uint32(d.Uvarint()),
+		})
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func appendFloat64(dst []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+}

@@ -1,0 +1,469 @@
+// Package wire is the rank transport's binary codec: the versioned,
+// length-prefixed frame format that crosses process boundaries when the
+// solver's simulated MPI ranks become real processes (cmd/rankd driven by a
+// steinersvc/core coordinator). Everything a traversal exchanges in-process
+// has a wire form here:
+//
+//   - visitor-message batches (runtime.Msg, the paper's §IV message plane),
+//   - collective contributions and results (barrier / allreduce / gather —
+//     the MPI_Allreduce/MPI_Allgatherv equivalents of Alg. 5),
+//   - termination-detection tokens (a Safra-style counter+color token that
+//     replaces the shared-memory pending counter for asynchronous
+//     traversals),
+//   - the session-setup handshake: each worker receives its slice of the
+//     partition.ShardPlan — owned vertex lists, CSR slab rows and delegate
+//     stripes — plus the graph metadata needed to rebuild its graph.Shard
+//     and voronoi.StateSlab locally, never materializing the full CSR,
+//   - solve requests and encoded Results flowing back to the coordinator.
+//
+// The codec is deliberately dependency-free and defensive: every decoder
+// returns an error on truncated or corrupt input (fuzzed by
+// FuzzDecodeFrame), never panics, and bounds element counts by the bytes
+// actually present so hostile lengths cannot force huge allocations.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"dsteiner/internal/graph"
+	rt "dsteiner/internal/runtime"
+)
+
+// Version is the wire-protocol version. A coordinator rejects workers whose
+// Hello carries a different version: frames are not cross-version
+// compatible.
+const Version uint32 = 1
+
+// MaxFrame bounds a frame's payload so a corrupt length prefix cannot make
+// a reader allocate unbounded memory. Handshake frames carry whole shard
+// slices, so the bound is generous.
+const MaxFrame = 1 << 30
+
+// Frame types. The first payload byte of every frame identifies it.
+const (
+	// FrameHello is worker → coordinator: protocol version + the address
+	// the worker's peer-mesh listener accepts on.
+	FrameHello uint8 = 1 + iota
+	// FrameSetup is coordinator → worker: the session handshake (Setup).
+	FrameSetup
+	// FrameReady is worker → coordinator: shard + slab built, peer mesh
+	// established, resident byte counts reported.
+	FrameReady
+	// FrameSolve is coordinator → worker: run one query (canonical seeds).
+	FrameSolve
+	// FrameWorkerDone is worker → coordinator: query finished on this
+	// worker's ranks (per-rank table sizes, counter deltas, and — from the
+	// worker hosting rank 0 — the encoded Result).
+	FrameWorkerDone
+	// FrameMsgBatch is worker → worker: one coalesced visitor-message
+	// batch for a remote rank's mailbox.
+	FrameMsgBatch
+	// FrameColl is worker → coordinator: one process's contribution to
+	// collective #Seq.
+	FrameColl
+	// FrameCollReply is coordinator → worker: collective #Seq's result.
+	FrameCollReply
+	// FrameFence is worker → worker: a delivery fence — ordered after all
+	// message frames the sender issued before entering collective #Seq.
+	FrameFence
+	// FrameTraverseBegin is worker → coordinator: an asynchronous
+	// traversal started; begin circulating termination tokens.
+	FrameTraverseBegin
+	// FrameToken carries the Safra-style termination token both ways:
+	// coordinator → worker to probe, worker → coordinator with the
+	// worker's in-flight counter folded in and its color merged.
+	FrameToken
+	// FrameTraverseDone is coordinator → worker: traversal #Seq reached
+	// global quiescence.
+	FrameTraverseDone
+	// FramePeerHello opens a worker-to-worker mesh connection: it names
+	// the dialing worker so the acceptor can index the connection.
+	FramePeerHello
+	// FrameAbort poisons the session in either direction (rank panic,
+	// connection loss); carries a human-readable reason.
+	FrameAbort
+	// FrameGoodbye is coordinator → worker: session over, exit cleanly.
+	FrameGoodbye
+)
+
+// Collective operations carried by FrameColl. They mirror
+// runtime.CollOp one-to-one; the duplication keeps the wire format frozen
+// even if the runtime enum grows.
+const (
+	OpBarrier uint8 = 1 + iota
+	OpSumInt64
+	OpMinInt64
+	OpMaxInt64
+	OpGather
+)
+
+var (
+	// ErrTruncated reports a frame or field cut short.
+	ErrTruncated = errors.New("wire: truncated input")
+	// ErrCorrupt reports a structurally invalid frame.
+	ErrCorrupt = errors.New("wire: corrupt input")
+)
+
+// WriteFrame writes one length-prefixed frame. payload must already start
+// with the frame-type byte.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("%w: empty frame payload", ErrCorrupt)
+	}
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("%w: frame payload %d exceeds limit", ErrCorrupt, len(payload))
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// AppendFrame appends the length-prefixed frame to dst (for write
+// coalescing: many frames per syscall).
+func AppendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...)
+}
+
+// ReadFrame reads one frame payload (type byte first), reusing buf when it
+// has capacity. io.EOF is returned untouched on a clean end-of-stream;
+// a stream cut mid-frame yields ErrTruncated.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: frame header: %v", ErrTruncated, err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return nil, fmt.Errorf("%w: frame length %d", ErrCorrupt, n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("%w: frame body: %v", ErrTruncated, err)
+	}
+	return buf, nil
+}
+
+// DecodeFrame splits a buffered byte stream into (type, body, rest). It is
+// the pure-parsing form of ReadFrame used by tests and the fuzz target.
+func DecodeFrame(b []byte) (typ uint8, body, rest []byte, err error) {
+	if len(b) < 4 {
+		return 0, nil, nil, fmt.Errorf("%w: frame header", ErrTruncated)
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n == 0 || n > MaxFrame {
+		return 0, nil, nil, fmt.Errorf("%w: frame length %d", ErrCorrupt, n)
+	}
+	if uint64(len(b)-4) < uint64(n) {
+		return 0, nil, nil, fmt.Errorf("%w: frame body", ErrTruncated)
+	}
+	payload := b[4 : 4+n]
+	return payload[0], payload[1:], b[4+n:], nil
+}
+
+// ---------------------------------------------------------------------------
+// Primitive append/decode helpers.
+
+// AppendUvarint appends x in unsigned LEB128.
+func AppendUvarint(dst []byte, x uint64) []byte { return binary.AppendUvarint(dst, x) }
+
+// AppendVarint appends x zigzag-encoded.
+func AppendVarint(dst []byte, x int64) []byte { return binary.AppendVarint(dst, x) }
+
+// AppendString appends a length-prefixed string.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendBytes appends a length-prefixed byte slice.
+func AppendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// AppendVIDs appends a length-prefixed []graph.VID as raw little-endian
+// 32-bit values (bulk arrays skip varint: shard slices dominate handshake
+// size and are effectively random, where varint only adds branches).
+func AppendVIDs(dst []byte, vs []graph.VID) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(vs)))
+	for _, v := range vs {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(v))
+	}
+	return dst
+}
+
+// AppendUint32s appends a length-prefixed []uint32 raw little-endian.
+func AppendUint32s(dst []byte, vs []uint32) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(vs)))
+	for _, v := range vs {
+		dst = binary.LittleEndian.AppendUint32(dst, v)
+	}
+	return dst
+}
+
+// AppendInt64s appends a length-prefixed []int64 raw little-endian.
+func AppendInt64s(dst []byte, vs []int64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(vs)))
+	for _, v := range vs {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+	}
+	return dst
+}
+
+// Dec is a defensive decoder over one frame body. The first failed read
+// poisons it; check Err (or use the per-struct Decode funcs, which do).
+type Dec struct {
+	b   []byte
+	err error
+}
+
+// NewDec returns a decoder over b.
+func NewDec(b []byte) *Dec { return &Dec{b: b} }
+
+// Err returns the first decode error, if any.
+func (d *Dec) Err() error { return d.err }
+
+// Len returns the number of undecoded bytes.
+func (d *Dec) Len() int { return len(d.b) }
+
+func (d *Dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s", ErrTruncated, what)
+	}
+}
+
+// Uvarint decodes an unsigned LEB128 value.
+func (d *Dec) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	x, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return x
+}
+
+// Varint decodes a zigzag value.
+func (d *Dec) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	x, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return x
+}
+
+// Int decodes a uvarint that must fit a non-negative int.
+func (d *Dec) Int() int {
+	x := d.Uvarint()
+	if d.err == nil && x > math.MaxInt32 {
+		d.err = fmt.Errorf("%w: int field %d out of range", ErrCorrupt, x)
+	}
+	return int(x)
+}
+
+// Byte decodes one byte.
+func (d *Dec) Byte() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) == 0 {
+		d.fail("byte")
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+// Bool decodes a 0/1 byte.
+func (d *Dec) Bool() bool { return d.Byte() != 0 }
+
+// Float64 decodes an IEEE-754 bit pattern.
+func (d *Dec) Float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 8 {
+		d.fail("float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b))
+	d.b = d.b[8:]
+	return v
+}
+
+// String decodes a length-prefixed string.
+func (d *Dec) String() string {
+	n := d.Uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.b)) < n {
+		d.fail("string body")
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+// Bytes decodes a length-prefixed byte slice. The result aliases the frame
+// buffer; copy it if it outlives the frame.
+func (d *Dec) Bytes() []byte {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if uint64(len(d.b)) < n {
+		d.fail("bytes body")
+		return nil
+	}
+	b := d.b[:n:n]
+	d.b = d.b[n:]
+	return b
+}
+
+// count validates a bulk-array length against the bytes present. The
+// division form cannot overflow, so a hostile length can never bypass the
+// check and reach an allocation.
+func (d *Dec) count(elemBytes int, what string) int {
+	n := d.Uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(len(d.b))/uint64(elemBytes) {
+		d.fail(what)
+		return 0
+	}
+	return int(n)
+}
+
+// VIDs decodes a length-prefixed []graph.VID.
+func (d *Dec) VIDs() []graph.VID {
+	n := d.count(4, "vid array")
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]graph.VID, n)
+	for i := range out {
+		out[i] = graph.VID(int32(binary.LittleEndian.Uint32(d.b[4*i:])))
+	}
+	d.b = d.b[4*n:]
+	return out
+}
+
+// Uint32s decodes a length-prefixed []uint32.
+func (d *Dec) Uint32s() []uint32 {
+	n := d.count(4, "uint32 array")
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(d.b[4*i:])
+	}
+	d.b = d.b[4*n:]
+	return out
+}
+
+// Int64s decodes a length-prefixed []int64.
+func (d *Dec) Int64s() []int64 {
+	n := d.count(8, "int64 array")
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(d.b[8*i:]))
+	}
+	d.b = d.b[8*n:]
+	return out
+}
+
+// finish returns d.err, upgraded to ErrCorrupt when undecoded bytes remain:
+// a frame must be consumed exactly.
+func (d *Dec) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(d.b))
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Visitor-message batches.
+
+// AppendMsgBatch appends a FrameMsgBatch payload: the batch of visitor
+// messages bound for remote rank dest. Fields are varint-packed — Target,
+// From and Seed are small non-negative vertex IDs and Dist is a bounded
+// distance, so typical messages shrink well below their 21-byte in-memory
+// size.
+func AppendMsgBatch(dst []byte, dest int, msgs []rt.Msg) []byte {
+	dst = append(dst, FrameMsgBatch)
+	dst = binary.AppendUvarint(dst, uint64(dest))
+	dst = binary.AppendUvarint(dst, uint64(len(msgs)))
+	for _, m := range msgs {
+		dst = binary.AppendUvarint(dst, uint64(uint32(m.Target)))
+		dst = binary.AppendUvarint(dst, uint64(uint32(m.From)))
+		dst = binary.AppendUvarint(dst, uint64(uint32(m.Seed)))
+		dst = binary.AppendUvarint(dst, uint64(m.Dist))
+		dst = append(dst, m.Kind)
+	}
+	return dst
+}
+
+// DecodeMsgBatch decodes a FrameMsgBatch body into buf (reused when it has
+// capacity), returning the destination rank and the batch.
+func DecodeMsgBatch(body []byte, buf []rt.Msg) (dest int, msgs []rt.Msg, err error) {
+	d := NewDec(body)
+	dest = d.Int()
+	n := d.count(5, "msg batch") // ≥ 5 bytes per message (4 varints + kind)
+	if d.err != nil {
+		return 0, nil, d.err
+	}
+	if cap(buf) < n {
+		buf = make([]rt.Msg, 0, n)
+	}
+	msgs = buf[:0]
+	for i := 0; i < n; i++ {
+		var m rt.Msg
+		m.Target = graph.VID(int32(d.Uvarint()))
+		m.From = graph.VID(int32(d.Uvarint()))
+		m.Seed = graph.VID(int32(d.Uvarint()))
+		m.Dist = graph.Dist(d.Uvarint())
+		m.Kind = d.Byte()
+		if d.err != nil {
+			return 0, nil, d.err
+		}
+		msgs = append(msgs, m)
+	}
+	if err := d.finish(); err != nil {
+		return 0, nil, err
+	}
+	return dest, msgs, nil
+}

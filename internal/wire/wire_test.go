@@ -1,0 +1,390 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dsteiner/internal/graph"
+	rt "dsteiner/internal/runtime"
+)
+
+// TestFrameRoundTrip checks WriteFrame/ReadFrame and DecodeFrame agree on a
+// stream of frames.
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{
+		{FrameGoodbye},
+		EncodeFence(nil, Fence{Seq: 42}),
+		EncodeToken(nil, Token{Seq: 7, Q: -3, Black: true}),
+	}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Streaming reads.
+	r := bytes.NewReader(buf.Bytes())
+	var scratch []byte
+	for i, want := range payloads {
+		got, err := ReadFrame(r, scratch)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got % x want % x", i, got, want)
+		}
+		scratch = got
+	}
+	if _, err := ReadFrame(r, scratch); err != io.EOF {
+		t.Fatalf("want io.EOF at stream end, got %v", err)
+	}
+	// Buffered decode.
+	rest := buf.Bytes()
+	for i, want := range payloads {
+		typ, body, r2, err := DecodeFrame(rest)
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if typ != want[0] || !bytes.Equal(body, want[1:]) {
+			t.Fatalf("decode %d: type %d body % x", i, typ, body)
+		}
+		rest = r2
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+}
+
+func TestFrameErrors(t *testing.T) {
+	// Truncated header and body.
+	if _, _, _, err := DecodeFrame([]byte{1, 0}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short header: %v", err)
+	}
+	full := AppendFrame(nil, []byte{FrameGoodbye, 9, 9})
+	if _, _, _, err := DecodeFrame(full[:len(full)-1]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short body: %v", err)
+	}
+	// Zero and oversized lengths.
+	if _, _, _, err := DecodeFrame([]byte{0, 0, 0, 0}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("zero length: %v", err)
+	}
+	if _, _, _, err := DecodeFrame([]byte{0xff, 0xff, 0xff, 0xff}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("huge length: %v", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader([]byte{1, 0, 0, 0}), nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("stream cut mid-frame: %v", err)
+	}
+	if err := WriteFrame(io.Discard, nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("empty payload: %v", err)
+	}
+}
+
+// TestHugeCountsRejected pins the overflow guard on bulk-array lengths: a
+// corrupt frame whose element count would overflow count*elemBytes must
+// error, never reach an allocation (the never-panic contract).
+func TestHugeCountsRejected(t *testing.T) {
+	hostile := []uint64{1 << 61, 1 << 62, (1 << 64) - 1, 1 << 40}
+	for _, n := range hostile {
+		prefix := AppendUvarint(nil, n)
+		if got := NewDec(prefix).Int64s(); got != nil {
+			t.Fatalf("count %d: Int64s returned %d elements", n, len(got))
+		}
+		if err := NewDec(prefix).finish(); err == nil {
+			// finish alone passes (prefix fully consumed is not required
+			// here) — the array decoders themselves must have failed.
+			d := NewDec(prefix)
+			d.VIDs()
+			if d.Err() == nil {
+				t.Fatalf("count %d: VIDs decoded without error", n)
+			}
+		}
+		d := NewDec(prefix)
+		d.Uint32s()
+		if d.Err() == nil {
+			t.Fatalf("count %d: Uint32s decoded without error", n)
+		}
+		// And through the message-batch path (dest + hostile count).
+		body := AppendUvarint([]byte{}, 0)
+		body = append(body, prefix...)
+		if _, _, err := DecodeMsgBatch(body, nil); err == nil {
+			t.Fatalf("count %d: msg batch decoded without error", n)
+		}
+	}
+}
+
+// TestMsgBatchRoundTrip is the property test for the hot-path codec: any
+// batch of visitor messages survives encode/decode byte-identically.
+func TestMsgBatchRoundTrip(t *testing.T) {
+	f := func(seed int64, destRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dest := int(destRaw % 64)
+		msgs := make([]rt.Msg, rng.Intn(200))
+		for i := range msgs {
+			msgs[i] = rt.Msg{
+				Target: graph.VID(rng.Intn(1 << 20)),
+				From:   graph.VID(rng.Intn(1 << 20)),
+				Seed:   graph.VID(rng.Intn(1 << 20)),
+				Dist:   graph.Dist(rng.Int63n(int64(graph.InfDist))),
+				Kind:   uint8(rng.Intn(4)),
+			}
+		}
+		payload := AppendMsgBatch(nil, dest, msgs)
+		typ, body, rest, err := DecodeFrame(AppendFrame(nil, payload))
+		if err != nil || typ != FrameMsgBatch || len(rest) != 0 {
+			t.Logf("frame: typ=%d err=%v", typ, err)
+			return false
+		}
+		gotDest, got, err := DecodeMsgBatch(body, nil)
+		if err != nil || gotDest != dest {
+			t.Logf("batch: dest=%d err=%v", gotDest, err)
+			return false
+		}
+		if len(got) != len(msgs) {
+			return false
+		}
+		for i := range msgs {
+			if got[i] != msgs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMsgBatchDecodeReusesBuffer checks the decode-into-buffer contract.
+func TestMsgBatchDecodeReusesBuffer(t *testing.T) {
+	msgs := []rt.Msg{{Target: 1, Dist: 9}, {Target: 2, Dist: 8}}
+	payload := AppendMsgBatch(nil, 3, msgs)
+	buf := make([]rt.Msg, 0, 16)
+	_, got, err := DecodeMsgBatch(payload[1:], buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("decode did not reuse the provided buffer")
+	}
+}
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	h := Hello{Version: Version, PeerAddr: "127.0.0.1:45991"}
+	got, err := DecodeHello(EncodeHello(nil, h)[1:])
+	if err != nil || got != h {
+		t.Fatalf("hello: %+v %v", got, err)
+	}
+
+	setup := Setup{
+		Ranks: 8, NumVertices: 1000, WorkerIndex: 2,
+		RankLo:    []int64{0, 2, 4, 6, 8},
+		PeerAddrs: []string{"a:1", "b:2", "c:3", "d:4"},
+		Queue:     2, BucketDelta: 64, BatchSize: 128,
+		BSP: true, MST: 1, CollectiveChunk: 500, DelegateThreshold: 16,
+		PartitionKind: PartArcBlock,
+		ArcBounds:     []graph.VID{0, 100, 400, 1000},
+		Delegates:     []graph.VID{7, 99},
+		Shards: []ShardSlice{{
+			Rank:          4,
+			Owned:         []graph.VID{4, 5, 6},
+			Offsets:       []int64{0, 2, 2, 5},
+			Targets:       []graph.VID{1, 2, 3, 4, 5},
+			Weights:       []uint32{10, 20, 30, 40, 50},
+			StripeOff:     []int64{0, 1, 3},
+			StripeTargets: []graph.VID{9, 8, 7},
+			StripeWeights: []uint32{1, 2, 3},
+			Mirrored:      []graph.VID{99},
+		}},
+	}
+	gotSetup, err := DecodeSetup(EncodeSetup(nil, setup)[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotSetup, setup) {
+		t.Fatalf("setup round trip:\n got %+v\nwant %+v", gotSetup, setup)
+	}
+
+	r := Ready{ShardBytes: 12345, StateBytes: 678}
+	gotReady, err := DecodeReady(EncodeReady(nil, r)[1:])
+	if err != nil || gotReady != r {
+		t.Fatalf("ready: %+v %v", gotReady, err)
+	}
+
+	p := PeerHello{Worker: 3}
+	gotPeer, err := DecodePeerHello(EncodePeerHello(nil, p)[1:])
+	if err != nil || gotPeer != p {
+		t.Fatalf("peer hello: %+v %v", gotPeer, err)
+	}
+
+	a := Abort{Reason: "rank 3 panicked"}
+	gotAbort, err := DecodeAbort(EncodeAbort(nil, a)[1:])
+	if err != nil || gotAbort != a {
+		t.Fatalf("abort: %+v %v", gotAbort, err)
+	}
+}
+
+func TestCollectiveRoundTrip(t *testing.T) {
+	c := Coll{Seq: 9, Op: OpSumInt64, Payload: EncodeInt64(-77)}
+	gotC, err := DecodeColl(EncodeColl(nil, c)[1:])
+	if err != nil || gotC.Seq != c.Seq || gotC.Op != c.Op || !bytes.Equal(gotC.Payload, c.Payload) {
+		t.Fatalf("coll: %+v %v", gotC, err)
+	}
+	v, err := DecodeInt64(gotC.Payload)
+	if err != nil || v != -77 {
+		t.Fatalf("int64 payload: %d %v", v, err)
+	}
+
+	blobs := []RankBlob{{Rank: 3, Blob: []byte("abc")}, {Rank: 0, Blob: nil}}
+	gotBlobs, err := DecodeRankBlobs(EncodeRankBlobs(nil, blobs))
+	if err != nil || len(gotBlobs) != 2 || gotBlobs[0].Rank != 3 ||
+		!bytes.Equal(gotBlobs[0].Blob, []byte("abc")) || gotBlobs[1].Rank != 0 {
+		t.Fatalf("rank blobs: %+v %v", gotBlobs, err)
+	}
+
+	list := [][]byte{nil, []byte("x"), []byte("yz")}
+	gotList, err := DecodeBlobList(EncodeBlobList(nil, list))
+	if err != nil || len(gotList) != 3 || !bytes.Equal(gotList[2], []byte("yz")) {
+		t.Fatalf("blob list: %+v %v", gotList, err)
+	}
+
+	reply := CollReply{Seq: 10, Payload: []byte{1, 2}}
+	gotReply, err := DecodeCollReply(EncodeCollReply(nil, reply)[1:])
+	if err != nil || gotReply.Seq != 10 || !bytes.Equal(gotReply.Payload, reply.Payload) {
+		t.Fatalf("coll reply: %+v %v", gotReply, err)
+	}
+}
+
+func TestTerminationRoundTrip(t *testing.T) {
+	for _, tok := range []Token{{Seq: 1, Q: 0, Black: false}, {Seq: 900, Q: -12, Black: true}} {
+		got, err := DecodeToken(EncodeToken(nil, tok)[1:])
+		if err != nil || got != tok {
+			t.Fatalf("token %+v: %+v %v", tok, got, err)
+		}
+	}
+	b := TraverseBegin{Seq: 17}
+	gotB, err := DecodeTraverseBegin(EncodeTraverseBegin(nil, b)[1:])
+	if err != nil || gotB != b {
+		t.Fatalf("begin: %+v %v", gotB, err)
+	}
+	d := TraverseDone{Seq: 17}
+	gotD, err := DecodeTraverseDone(EncodeTraverseDone(nil, d)[1:])
+	if err != nil || gotD != d {
+		t.Fatalf("done: %+v %v", gotD, err)
+	}
+	f := Fence{Seq: 31}
+	gotF, err := DecodeFence(EncodeFence(nil, f)[1:])
+	if err != nil || gotF != f {
+		t.Fatalf("fence: %+v %v", gotF, err)
+	}
+}
+
+func TestSolveRoundTrip(t *testing.T) {
+	s := Solve{QueryID: 55, Seeds: []graph.VID{3, 1, 9}}
+	gotS, err := DecodeSolve(EncodeSolve(nil, s)[1:])
+	if err != nil || gotS.QueryID != 55 || !reflect.DeepEqual(gotS.Seeds, s.Seeds) {
+		t.Fatalf("solve: %+v %v", gotS, err)
+	}
+
+	done := WorkerDone{
+		QueryID:    55,
+		TableLens:  []int64{3, 0},
+		Sent:       120,
+		Processed:  119,
+		Suppressed: 4,
+		Net:        NetStats{FramesOut: 9, BytesIn: 1000, EncodeNs: 12345},
+		HasResult:  true,
+		Result: SolveResult{
+			Tree:          []EdgeRec{{U: 1, V: 2, W: 7}, {U: 2, V: 5, W: 1}},
+			TotalDistance: 8,
+			Phases: []PhaseRec{
+				{Name: "Voronoi Cell", Seconds: 0.25, Sent: 100, Processed: 99, MaxRankWork: 60},
+			},
+			DistGraphEdges:   2,
+			MSTRounds:        1,
+			CollectiveChunks: 1,
+		},
+	}
+	gotDone, err := DecodeWorkerDone(EncodeWorkerDone(nil, done)[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotDone, done) {
+		t.Fatalf("worker done:\n got %+v\nwant %+v", gotDone, done)
+	}
+
+	// Error form without a result.
+	fail := WorkerDone{QueryID: 56, Err: "core: seeds span 2 connected components", TableLens: []int64{0}}
+	gotFail, err := DecodeWorkerDone(EncodeWorkerDone(nil, fail)[1:])
+	if err != nil || !reflect.DeepEqual(gotFail, fail) {
+		t.Fatalf("worker done (err): %+v %v", gotFail, err)
+	}
+}
+
+// TestEdgesRoundTrip property-tests the tree-gather blob codec.
+func TestEdgesRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		edges := make([]graph.Edge, rng.Intn(64))
+		for i := range edges {
+			edges[i] = graph.Edge{
+				U: graph.VID(rng.Intn(1 << 16)),
+				V: graph.VID(rng.Intn(1 << 16)),
+				W: uint32(rng.Intn(1 << 10)),
+			}
+		}
+		got, err := DecodeEdges(EncodeEdges(nil, edges), nil)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(edges) {
+			return false
+		}
+		for i := range edges {
+			if got[i] != edges[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodersRejectTruncation drops every suffix of valid bodies through
+// each struct decoder: the result must be an error, never a panic and
+// never silent success.
+func TestDecodersRejectTruncation(t *testing.T) {
+	bodies := map[string]struct {
+		body []byte
+		dec  func([]byte) error
+	}{
+		"hello": {EncodeHello(nil, Hello{Version: 1, PeerAddr: "x:1"})[1:],
+			func(b []byte) error { _, err := DecodeHello(b); return err }},
+		"setup": {EncodeSetup(nil, Setup{Ranks: 4, RankLo: []int64{0, 4}, PeerAddrs: []string{"a"},
+			Shards: []ShardSlice{{Rank: 1, Owned: []graph.VID{1}, Offsets: []int64{0, 0}}}})[1:],
+			func(b []byte) error { _, err := DecodeSetup(b); return err }},
+		"solve": {EncodeSolve(nil, Solve{QueryID: 1, Seeds: []graph.VID{1, 2}})[1:],
+			func(b []byte) error { _, err := DecodeSolve(b); return err }},
+		"done": {EncodeWorkerDone(nil, WorkerDone{QueryID: 1, TableLens: []int64{1}, HasResult: true,
+			Result: SolveResult{Tree: []EdgeRec{{U: 1, V: 2, W: 3}}, Phases: []PhaseRec{{Name: "p"}}}})[1:],
+			func(b []byte) error { _, err := DecodeWorkerDone(b); return err }},
+		"batch": {AppendMsgBatch(nil, 1, []rt.Msg{{Target: 5, Dist: 7}})[1:],
+			func(b []byte) error { _, _, err := DecodeMsgBatch(b, nil); return err }},
+	}
+	for name, tc := range bodies {
+		if err := tc.dec(tc.body); err != nil {
+			t.Fatalf("%s: valid body rejected: %v", name, err)
+		}
+		for cut := 0; cut < len(tc.body); cut++ {
+			if err := tc.dec(tc.body[:cut]); err == nil {
+				t.Fatalf("%s: truncation at %d/%d decoded silently", name, cut, len(tc.body))
+			}
+		}
+	}
+}
