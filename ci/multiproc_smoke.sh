@@ -11,6 +11,10 @@ set -euo pipefail
 
 DATASET="${DATASET:-LVJ}"
 SCALE="${SCALE:-0.02}"
+# Delegate threshold low enough that the scaled-down graph has hubs: the
+# superstep broadcast outbox only engages on delegate partitions, and the
+# smoke asserts nonzero batched broadcasts below.
+DELEGATES="${DELEGATES:-8}"
 RANKS=4
 WORKERS=4
 COORD=127.0.0.1:7611
@@ -36,6 +40,7 @@ go build -o "$workdir/rankd" ./cmd/rankd
 echo "== starting tcp coordinator + $WORKERS rankd workers"
 "$workdir/steinersvc" -dataset "$DATASET" -scale "$SCALE" -ranks $RANKS \
   -backend tcp -workers $WORKERS -rank-listen "$COORD" \
+  -delegates "$DELEGATES" \
   -addr "$TCP_HTTP" -cache 0 -jobs 0 >"$workdir/tcp.log" 2>&1 &
 pids+=($!)
 for i in $(seq 1 $WORKERS); do
@@ -45,6 +50,7 @@ done
 
 echo "== starting inproc reference"
 "$workdir/steinersvc" -dataset "$DATASET" -scale "$SCALE" -ranks $RANKS \
+  -delegates "$DELEGATES" \
   -addr "$INPROC_HTTP" -cache 0 -jobs 0 >"$workdir/inproc.log" 2>&1 &
 pids+=($!)
 
@@ -93,11 +99,17 @@ if [ "$bytes_out" -le 0 ] || [ "$frames_out" -le 0 ]; then
   echo "FAIL: tcp backend reports no wire traffic: $stats" >&2
   exit 1
 fi
+batched=$(echo "$stats" | jq -r .broadcasts.batched)
+if [ "$batched" -le 0 ]; then
+  echo "FAIL: tcp backend reports no superstep-batched delegate broadcasts: $stats" >&2
+  exit 1
+fi
 inproc_bytes=$(curl -fsS "http://$INPROC_HTTP/stats" | jq -r .transport.bytesOut)
 if [ "$inproc_bytes" != "0" ]; then
   echo "FAIL: inproc backend reports wire traffic ($inproc_bytes bytes)" >&2
   exit 1
 fi
 echo "   ${#QUERIES[@]} queries moved $frames_out frames / $bytes_out bytes over TCP"
+echo "   delegate outbox batched $batched broadcasts across the fleet"
 
 echo "PASS: tcp backend byte-identical to inproc across ${#QUERIES[@]} queries"

@@ -27,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -39,10 +41,20 @@ func main() {
 		coord      = flag.String("coordinator", "127.0.0.1:7600", "coordinator address to dial")
 		peerListen = flag.String("peer-listen", "127.0.0.1:0", "address to accept peer-worker connections on")
 		retry      = flag.Duration("retry", 15*time.Second, "keep re-dialing the coordinator for this long")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6061; empty = off)")
 	)
 	flag.Parse()
 	log.SetPrefix("rankd: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
 
 	cfg := core.WorkerConfig{
 		PeerListen: *peerListen,

@@ -60,6 +60,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -86,8 +87,21 @@ func main() {
 		cache      = flag.Int("cache", 256, "LRU solution cache entries (0 disables)")
 		jobs       = flag.Int("jobs", 64, "async job queue bound (0 disables /solve/async)")
 		drainWait  = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// The profiling listener is separate from the API server so it can
+		// stay bound to localhost while the API faces the network; handlers
+		// come from net/http/pprof's DefaultServeMux registration.
+		go func() {
+			log.Printf("steinersvc: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("steinersvc: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	g, err := loadGraph(*graphFile, *dataset, *scale)
 	if err != nil {

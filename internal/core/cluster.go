@@ -7,7 +7,6 @@ import (
 
 	"dsteiner/internal/graph"
 	"dsteiner/internal/partition"
-	rt "dsteiner/internal/runtime"
 	"dsteiner/internal/transport"
 	"dsteiner/internal/voronoi"
 	"dsteiner/internal/wire"
@@ -114,6 +113,7 @@ func newClusterEngine(g *graph.Graph, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	hub.LimitWireVersion(opts.MaxWireVersion)
 	if opts.OnListen != nil {
 		opts.OnListen(hub.Addr())
 	}
@@ -181,14 +181,9 @@ func (cl *cluster) solve(e *Engine, dedup []graph.VID) (*Result, error) {
 	}
 	res := fromWireResult(out.Result, dedup)
 	res.SuppressedBroadcasts = out.Suppressed
-	res.Net = rt.TransportStats{
-		FramesOut: out.Net.FramesOut,
-		FramesIn:  out.Net.FramesIn,
-		BytesOut:  out.Net.BytesOut,
-		BytesIn:   out.Net.BytesIn,
-		EncodeNs:  out.Net.EncodeNs,
-		DecodeNs:  out.Net.DecodeNs,
-	}
+	res.BatchedBroadcasts = out.Batched
+	res.CoalescedBroadcasts = out.Coalesced
+	res.Net = transport.FromNetStats(out.Net)
 	res.SteinerVertices = countSteinerVertices(res.Tree, dedup)
 	res.Memory = memoryStatsFromLens(e.g, cl.shard.ShardBytes, cl.stateBytes, out.TableLens, res, e.opts)
 	if !e.opts.SkipValidation {

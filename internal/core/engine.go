@@ -392,7 +392,10 @@ func (e *Engine) solveCanonLocked(dedup []graph.VID) (*Result, error) {
 	if env.err != nil {
 		return nil, env.err
 	}
-	res.SuppressedBroadcasts = e.comm.Stats().Suppressed - s0.Suppressed
+	s1 := e.comm.Stats()
+	res.SuppressedBroadcasts = s1.Suppressed - s0.Suppressed
+	res.BatchedBroadcasts = s1.BatchedBroadcasts - s0.BatchedBroadcasts
+	res.CoalescedBroadcasts = s1.CoalescedBroadcasts - s0.CoalescedBroadcasts
 
 	res.SteinerVertices = countSteinerVertices(res.Tree, dedup)
 	res.Memory = memoryStats(g, e.ShardStats().ShardBytes, e.stateBytes(), e.localENs, res, opts)

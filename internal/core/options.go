@@ -196,6 +196,11 @@ type Options struct {
 	OnListen func(addr string)
 	// WorkerWait bounds the BackendTCP session handshake (default 60s).
 	WorkerWait time.Duration
+	// MaxWireVersion caps the wire protocol version the BackendTCP
+	// coordinator negotiates with its workers (0 = latest). The rollback
+	// knob: pinning 1 forces the v1 frame encodings everywhere even when
+	// both sides speak v2.
+	MaxWireVersion uint32
 }
 
 func (o Options) withDefaults() Options {

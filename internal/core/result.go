@@ -84,6 +84,15 @@ type Result struct {
 	// by the changed-since filter during this query (cluster-wide total on
 	// the TCP backend).
 	SuppressedBroadcasts int64
+	// BatchedBroadcasts counts delegate offers that left a rank's superstep
+	// outbox as real broadcasts; CoalescedBroadcasts counts offers absorbed
+	// into an already-staged outbox entry for the same delegate (each
+	// absorption is a broadcast that never happened). Together with
+	// SuppressedBroadcasts these partition every delegate offer the solver
+	// generated: suppressed by the changed-since filter, coalesced in the
+	// outbox, or sent.
+	BatchedBroadcasts   int64
+	CoalescedBroadcasts int64
 	// Net is the transport traffic attributable to this query, summed over
 	// the worker processes. All zero on the in-process loopback backend.
 	Net rt.TransportStats

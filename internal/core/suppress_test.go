@@ -28,19 +28,26 @@ func TestChangedSinceFilterSuppresses(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer e.Close()
-	var suppressed int64
+	var suppressed, batched int64
 	for _, seeds := range seedSets {
 		res, err := e.Solve(seeds)
 		if err != nil {
 			t.Fatal(err)
 		}
 		suppressed += res.SuppressedBroadcasts
+		batched += res.BatchedBroadcasts
+		if res.CoalescedBroadcasts < 0 {
+			t.Fatalf("negative coalesced count %d", res.CoalescedBroadcasts)
+		}
 		if res.Net.FramesOut != 0 {
 			t.Fatalf("loopback solve reports transport traffic: %+v", res.Net)
 		}
 	}
 	if suppressed == 0 {
 		t.Fatal("delegate solves suppressed nothing — the changed-since filter is dead")
+	}
+	if batched == 0 {
+		t.Fatal("delegate solves batched nothing — the superstep outbox is dead")
 	}
 
 	plain, err := NewEngine(g, Default(4))
@@ -54,5 +61,9 @@ func TestChangedSinceFilterSuppresses(t *testing.T) {
 	}
 	if res.SuppressedBroadcasts != 0 {
 		t.Fatalf("delegate-free solve suppressed %d offers", res.SuppressedBroadcasts)
+	}
+	if res.BatchedBroadcasts != 0 || res.CoalescedBroadcasts != 0 {
+		t.Fatalf("delegate-free solve reports outbox traffic: batched=%d coalesced=%d",
+			res.BatchedBroadcasts, res.CoalescedBroadcasts)
 	}
 }

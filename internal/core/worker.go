@@ -180,6 +180,9 @@ func buildWorker(setup wire.Setup, coord net.Conn, ln net.Listener, cfg WorkerCo
 		return nil, err
 	}
 	w.trans = transport.NewTCP(setup.WorkerIndex, setup.RankLo, coord, mesh)
+	// Pin the negotiated wire version before any traffic: it selects the
+	// visitor-batch frame encoding and the WorkerDone stats tail.
+	w.trans.SetWireVersion(setup.WireVersion)
 	comm, err := rt.New(rt.Config{
 		Ranks:       setup.Ranks,
 		Queue:       rt.QueueKind(setup.Queue),
@@ -309,6 +312,8 @@ func (w *worker) solveQuery(q wire.Solve, cfg WorkerConfig) (err error) {
 		Sent:       s1.Sent - s0.Sent,
 		Processed:  s1.Processed - s0.Processed,
 		Suppressed: s1.Suppressed - s0.Suppressed,
+		Batched:    s1.BatchedBroadcasts - s0.BatchedBroadcasts,
+		Coalesced:  s1.CoalescedBroadcasts - s0.CoalescedBroadcasts,
 		Net:        w.trans.NetStats().Sub(net0),
 	}
 	for rank := w.lo; rank < w.hi; rank++ {

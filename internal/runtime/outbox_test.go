@@ -1,0 +1,161 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dsteiner/internal/graph"
+)
+
+// recvLog collects the messages each rank's Visit observed.
+type recvLog struct {
+	mu  sync.Mutex
+	got map[int][]Msg
+}
+
+func (l *recvLog) add(rank int, m Msg) {
+	l.mu.Lock()
+	l.got[rank] = append(l.got[rank], m)
+	l.mu.Unlock()
+}
+
+// TestOutboxFlushKeepsBestOffer is the outbox property test: for random
+// offer sequences staged through BroadcastBatched, the flush broadcasts
+// exactly one message per delegate carrying the lexicographically minimal
+// (Dist, Seed) of every offer staged for it — the same message an eager
+// per-offer broadcast sequence would have converged on — and the
+// batched/coalesced counters partition the offers exactly.
+func TestOutboxFlushKeepsBestOffer(t *testing.T) {
+	for _, bsp := range []bool{false, true} {
+		t.Run(fmt.Sprintf("bsp=%v", bsp), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(77))
+			for iter := 0; iter < 50; iter++ {
+				c := newComm(t, 16, 4, QueueFIFO)
+				nTargets := 1 + rng.Intn(5)
+				nOffers := nTargets + rng.Intn(20)
+				offers := make([]Msg, nOffers)
+				for i := range offers {
+					offers[i] = Msg{
+						Target: graph.VID(rng.Intn(nTargets)),
+						From:   graph.VID(100 + rng.Intn(3)),
+						Seed:   graph.VID(rng.Intn(4)),
+						Dist:   graph.Dist(rng.Intn(6)),
+						Kind:   1,
+					}
+				}
+				// Reference: lexicographic (Dist, Seed) minimum per target,
+				// first arrival winning ties (ties never replace the stage).
+				best := map[graph.VID]Msg{}
+				for _, m := range offers {
+					b, ok := best[m.Target]
+					if !ok || m.Dist < b.Dist || (m.Dist == b.Dist && m.Seed < b.Seed) {
+						best[m.Target] = m
+					}
+				}
+				log := &recvLog{got: map[int][]Msg{}}
+				c.Run(func(r *Rank) {
+					r.Traverse(&Traversal{
+						BSP:   bsp,
+						Visit: func(r *Rank, m Msg) { log.add(r.ID(), m) },
+						Init: func(r *Rank) {
+							if r.ID() == 0 {
+								for _, m := range offers {
+									r.BroadcastBatched(m)
+								}
+							}
+						},
+					})
+				})
+				for rank := 0; rank < 4; rank++ {
+					msgs := log.got[rank]
+					if len(msgs) != len(best) {
+						t.Fatalf("iter %d: rank %d received %d messages, want one per %d staged delegates",
+							iter, rank, len(msgs), len(best))
+					}
+					for _, m := range msgs {
+						if want := best[m.Target]; m != want {
+							t.Fatalf("iter %d: rank %d got %+v for delegate %d, want %+v",
+								iter, rank, m, m.Target, want)
+						}
+					}
+				}
+				st := c.Stats()
+				if st.BatchedBroadcasts != int64(len(best)) {
+					t.Fatalf("iter %d: batched = %d, want %d", iter, st.BatchedBroadcasts, len(best))
+				}
+				if st.CoalescedBroadcasts != int64(nOffers-len(best)) {
+					t.Fatalf("iter %d: coalesced = %d, want %d", iter, st.CoalescedBroadcasts, nOffers-len(best))
+				}
+			}
+		})
+	}
+}
+
+// TestOutboxPreservesCrossRankTies pins the (dist, src) tie-send rule the
+// delegate changed-since filter depends on: outboxes are rank-local, so two
+// ranks staging byte-identical offers for the same delegate must BOTH
+// broadcast — batching coalesces within a rank's superstep, never across
+// ranks. Every rank therefore sees both copies.
+func TestOutboxPreservesCrossRankTies(t *testing.T) {
+	c := newComm(t, 16, 4, QueueFIFO)
+	offer := Msg{Target: 3, From: 9, Seed: 2, Dist: 5, Kind: 1}
+	log := &recvLog{got: map[int][]Msg{}}
+	c.Run(func(r *Rank) {
+		r.Traverse(&Traversal{
+			Visit: func(r *Rank, m Msg) { log.add(r.ID(), m) },
+			Init: func(r *Rank) {
+				if r.ID() == 1 || r.ID() == 2 {
+					r.BroadcastBatched(offer)
+				}
+			},
+		})
+	})
+	for rank := 0; rank < 4; rank++ {
+		if n := len(log.got[rank]); n != 2 {
+			t.Fatalf("rank %d received %d copies of the tied offer, want 2 (one per staging rank)", rank, n)
+		}
+		for _, m := range log.got[rank] {
+			if m != offer {
+				t.Fatalf("rank %d received %+v, want %+v", rank, m, offer)
+			}
+		}
+	}
+	if st := c.Stats(); st.BatchedBroadcasts != 2 || st.CoalescedBroadcasts != 0 {
+		t.Fatalf("counters %+v, want batched=2 coalesced=0", st)
+	}
+}
+
+// TestOutboxTieAbsorption pins the within-rank half of the tie rule: a
+// byte-identical duplicate staged on the SAME rank is absorbed (it would
+// reach every receiver as an exact duplicate of the staged offer, which the
+// strictly-better delegate filter drops anyway), while a strictly better
+// offer replaces the stage in place without a second broadcast.
+func TestOutboxTieAbsorption(t *testing.T) {
+	c := newComm(t, 16, 2, QueueFIFO)
+	log := &recvLog{got: map[int][]Msg{}}
+	better := Msg{Target: 3, From: 9, Seed: 1, Dist: 4, Kind: 1}
+	c.Run(func(r *Rank) {
+		r.Traverse(&Traversal{
+			Visit: func(r *Rank, m Msg) { log.add(r.ID(), m) },
+			Init: func(r *Rank) {
+				if r.ID() == 0 {
+					stage := Msg{Target: 3, From: 9, Seed: 2, Dist: 5, Kind: 1}
+					r.BroadcastBatched(stage)
+					r.BroadcastBatched(stage)  // exact tie: absorbed
+					r.BroadcastBatched(better) // strict improvement: replaces
+				}
+			},
+		})
+	})
+	for rank := 0; rank < 2; rank++ {
+		msgs := log.got[rank]
+		if len(msgs) != 1 || msgs[0] != better {
+			t.Fatalf("rank %d received %+v, want exactly [%+v]", rank, msgs, better)
+		}
+	}
+	if st := c.Stats(); st.BatchedBroadcasts != 1 || st.CoalescedBroadcasts != 2 {
+		t.Fatalf("counters %+v, want batched=1 coalesced=2", st)
+	}
+}

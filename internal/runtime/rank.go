@@ -31,6 +31,7 @@ type Rank struct {
 	queue   pq.Queue[Msg]
 	keyOf   KeyFunc
 	visit   VisitFunc
+	admit   func(r *Rank, m Msg) bool // optional inbound dominance filter
 	shuffle *rand.Rand
 	// bsp defers local sends to the next superstep via the mailbox.
 	bsp bool
@@ -39,6 +40,14 @@ type Rank struct {
 	// allocating (~7 append-growth allocations per 64-message batch
 	// otherwise — the dominant allocation source of a solve).
 	free [][]Msg
+
+	// Delegate outbox (superstep broadcast batching): BroadcastBatched
+	// stages at most one pending broadcast per delegate, keeping only the
+	// lexicographically best (Dist, Seed) offer; flushOutbox releases the
+	// stage at superstep boundaries. k rapid improvements of one hub thus
+	// cost one P-way broadcast instead of k.
+	doutIdx map[graph.VID]int32
+	dout    []Msg
 
 	// Per-traversal counters (reset by Traverse).
 	sentHere      int64
@@ -150,6 +159,53 @@ func (r *Rank) Broadcast(m Msg) {
 	}
 }
 
+// BroadcastBatched stages m in the delegate outbox instead of broadcasting
+// eagerly. At most one offer per delegate (m.Target) is staged: a strictly
+// lex-better (Dist, Seed) offer replaces the stage, anything else — worse
+// offers and exact ties — is absorbed (counted as coalesced). Absorbing a
+// tie is safe because the staged message is byte-identical to the absorbed
+// one; the tie-send rule the changed-since filter depends on concerns
+// distinct senders, and the flush always releases the staged best.
+//
+// A staged entry holds one unit of the pending counter so an asynchronous
+// traversal cannot be declared terminated while offers sit in an outbox;
+// flushOutbox transfers that unit into the real broadcast before release.
+func (r *Rank) BroadcastBatched(m Msg) {
+	if i, ok := r.doutIdx[m.Target]; ok {
+		s := &r.dout[i]
+		if m.Dist < s.Dist || (m.Dist == s.Dist && m.Seed < s.Seed) {
+			*s = m
+		}
+		r.comm.coalesced.Add(1)
+		return
+	}
+	if r.doutIdx == nil {
+		r.doutIdx = make(map[graph.VID]int32)
+	}
+	r.comm.pending.Add(1)
+	r.doutIdx[m.Target] = int32(len(r.dout))
+	r.dout = append(r.dout, m)
+}
+
+// flushOutbox broadcasts every staged delegate offer and clears the stage,
+// reporting whether anything was flushed. Broadcasts are counted before the
+// staging sentinels are released, so the pending counter can never dip to
+// zero mid-flush.
+func (r *Rank) flushOutbox() bool {
+	n := len(r.dout)
+	if n == 0 {
+		return false
+	}
+	for _, m := range r.dout {
+		r.Broadcast(m)
+	}
+	r.comm.batchedBroadcasts.Add(int64(n))
+	r.dout = r.dout[:0]
+	clear(r.doutIdx)
+	r.comm.pending.Add(int64(-n))
+	return true
+}
+
 // buffer appends m to dest's outgoing batch (recycled from the free list
 // when possible) and flushes a full batch.
 func (r *Rank) buffer(dest int, m Msg) {
@@ -241,6 +297,7 @@ func (r *Rank) drainInbox() bool {
 		})
 	}
 	moved := false
+	c := r.comm
 	for _, batch := range batches {
 		if r.shuffle != nil {
 			r.shuffle.Shuffle(len(batch), func(i, j int) {
@@ -248,6 +305,16 @@ func (r *Rank) drainInbox() bool {
 			})
 		}
 		for _, m := range batch {
+			if r.admit != nil && !r.admit(r, m) {
+				// Dropped as if visited and rejected. The message's unit of
+				// the loopback pending counter is released here; transport
+				// termination counts at the process boundary (Deliver/
+				// Inbound), which this message has already cleared.
+				if c.trans == nil && c.pending.Add(-1) == 0 {
+					c.closeDone()
+				}
+				continue
+			}
 			r.enqueueLocal(m)
 			moved = true
 		}

@@ -182,6 +182,9 @@ type Comm struct {
 	processed  atomic.Int64
 	batches    atomic.Int64
 	suppressed atomic.Int64
+	// Delegate-outbox counters (Rank.BroadcastBatched / flushOutbox).
+	batchedBroadcasts atomic.Int64
+	coalesced         atomic.Int64
 }
 
 // job is one Run body dispatched to a persistent rank worker.
@@ -545,6 +548,10 @@ func (c *Comm) resetForRun() {
 				r.recycleBuf(buf)
 			}
 		}
+		// Drop any delegate-outbox stage an aborted run left behind; the
+		// pending counter it guarded was reset above.
+		r.dout = r.dout[:0]
+		clear(r.doutIdx)
 	}
 	select {
 	case <-c.abort:
@@ -572,6 +579,13 @@ type Stats struct {
 	// changed-since filter: offers provably rejectable against the local
 	// delegate mirror, never sent (internal/voronoi).
 	Suppressed int64
+	// BatchedBroadcasts counts delegate broadcasts released by superstep
+	// outbox flushes (each one became NumRanks sent messages).
+	BatchedBroadcasts int64
+	// CoalescedBroadcasts counts delegate offers absorbed into an already
+	// staged outbox entry — broadcasts that never happened because a
+	// better or identical offer was pending for the same hub.
+	CoalescedBroadcasts int64
 	// Net reports the transport's cumulative traffic; all zero for
 	// loopback communicators.
 	Net TransportStats
@@ -580,10 +594,12 @@ type Stats struct {
 // Stats returns current global counters.
 func (c *Comm) Stats() Stats {
 	s := Stats{
-		Sent:       c.sent.Load(),
-		Processed:  c.processed.Load(),
-		Batches:    c.batches.Load(),
-		Suppressed: c.suppressed.Load(),
+		Sent:                c.sent.Load(),
+		Processed:           c.processed.Load(),
+		Batches:             c.batches.Load(),
+		Suppressed:          c.suppressed.Load(),
+		BatchedBroadcasts:   c.batchedBroadcasts.Load(),
+		CoalescedBroadcasts: c.coalesced.Load(),
 	}
 	if c.trans != nil {
 		s.Net = c.trans.Stats()
@@ -598,4 +614,6 @@ func (c *Comm) ResetStats() {
 	c.processed.Store(0)
 	c.batches.Store(0)
 	c.suppressed.Store(0)
+	c.batchedBroadcasts.Store(0)
+	c.coalesced.Store(0)
 }

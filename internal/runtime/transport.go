@@ -69,6 +69,13 @@ type TransportHost interface {
 	// folds the process's in-flight counter into q and its color into
 	// black, resets the color to white, and returns the updated token.
 	HoldToken(q int64, black bool) (int64, bool)
+	// ElideSent uncounts n messages that were handed to Deliver (and thus
+	// already counted as sent for termination detection) but dropped at
+	// encode time as dominated duplicates within a compacted batch. The
+	// window between the count and the uncount can only inflate the
+	// in-flight total a token observes — conservative, never a false
+	// termination.
+	ElideSent(n int)
 	// Poison aborts every local rank (peer process failure).
 	Poison()
 }
@@ -100,6 +107,31 @@ type TransportStats struct {
 	// EncodeNs/DecodeNs are cumulative nanoseconds spent in the wire
 	// codec.
 	EncodeNs, DecodeNs int64
+	// CompactionSavedBytes is the number of wire bytes the compacted v2
+	// message-batch frame saved versus encoding the same batches with the
+	// v1 codec (column deltas plus dominated-offer elision). Zero on v1
+	// sessions.
+	CompactionSavedBytes int64
+	// FlushesSmall/Mid/Large histogram the per-peer socket flush sizes:
+	// < 4 KiB, [4 KiB, 256 KiB), ≥ 256 KiB. A tail of small flushes means
+	// latency-bound control traffic; large ones mean coalescing works.
+	FlushesSmall, FlushesMid, FlushesLarge int64
+}
+
+// Add returns the field-wise sum of two counter snapshots, for aggregating
+// per-query deltas into service-lifetime totals.
+func (s TransportStats) Add(o TransportStats) TransportStats {
+	s.FramesOut += o.FramesOut
+	s.FramesIn += o.FramesIn
+	s.BytesOut += o.BytesOut
+	s.BytesIn += o.BytesIn
+	s.EncodeNs += o.EncodeNs
+	s.DecodeNs += o.DecodeNs
+	s.CompactionSavedBytes += o.CompactionSavedBytes
+	s.FlushesSmall += o.FlushesSmall
+	s.FlushesMid += o.FlushesMid
+	s.FlushesLarge += o.FlushesLarge
+	return s
 }
 
 // termState tracks what Safra-style termination detection needs from this
@@ -212,6 +244,17 @@ func (c *Comm) Inbound(dest int, batch []Msg) {
 		panic("runtime: transport delivered a batch for a rank this process does not host")
 	}
 	r.box.put(batch)
+}
+
+// ElideSent implements TransportHost: fold n encode-time-elided messages
+// back out of the termination counter.
+func (c *Comm) ElideSent(n int) {
+	if n == 0 {
+		return
+	}
+	c.term.mu.Lock()
+	c.term.sent -= int64(n)
+	c.term.mu.Unlock()
 }
 
 // BatchBuf implements TransportHost: a recycled buffer for the transport's

@@ -21,6 +21,16 @@ type Traversal struct {
 	// traversal by calling r.Send (HavoqGT's init_all visitors). May be
 	// nil.
 	Init func(r *Rank)
+	// Admit, when set, pre-filters inbound mailbox messages before they
+	// enter the local queue: a message for which Admit returns false is
+	// dropped as if Visit had received and rejected it. It must be a pure
+	// dominance check — only return false when Visit is guaranteed to be a
+	// side-effect-free no-op for m, now and at any later time (e.g. the
+	// local state already lexicographically beats the offer and can only
+	// keep improving). Stale offers then cost one comparison instead of a
+	// queue insertion, a pop and a visit — the bulk of a remote rank's
+	// redundant work, since transport batching widens the staleness window.
+	Admit func(r *Rank, m Msg) bool
 	// BSP switches from asynchronous processing to bulk-synchronous
 	// supersteps separated by barriers (the ablation of §IV's async
 	// design choice). Messages sent in superstep i are processed in
@@ -53,7 +63,12 @@ func (r *Rank) Traverse(t *Traversal) TraversalStats {
 	}
 	r.keyOf = key
 	r.visit = t.Visit
+	r.admit = t.Admit
 	r.sentHere, r.processedHere = 0, 0
+	// Discard any stale outbox stage (an aborted traversal may have left
+	// entries behind); the counters it guarded are reset below.
+	r.dout = r.dout[:0]
+	clear(r.doutIdx)
 
 	c := r.comm
 	// Reset termination state with all ranks quiescent. Loopback detects
@@ -100,6 +115,7 @@ func (r *Rank) runAsync() TraversalStats {
 	// Initial messages are already counted in pending (Send). Flush them
 	// and synchronize so the zero-message case is decided globally; with
 	// a transport the token ring decides it instead.
+	r.flushOutbox()
 	r.flushAll()
 	r.Barrier()
 	if !dist && r.id == c.lo && c.pending.Load() == 0 {
@@ -126,6 +142,11 @@ func (r *Rank) runAsync() TraversalStats {
 			sinceFlush++
 			if sinceFlush >= flushEvery {
 				sinceFlush = 0
+				// Release staged delegate broadcasts alongside the regular
+				// flush: within-window improvements still coalesce, but a
+				// rank grinding a long local queue cannot let hub offers
+				// go stale on its peers.
+				r.flushOutbox()
 				r.flushAll()
 				// Yield so peer ranks advance at a similar rate even
 				// when simulated ranks outnumber physical cores:
@@ -139,8 +160,14 @@ func (r *Rank) runAsync() TraversalStats {
 			}
 			continue
 		}
-		// Local queue empty: everything buffered must go out before we
-		// sleep, or the system deadlocks with work parked in buffers.
+		// Local queue empty: everything staged and buffered must go out
+		// before we sleep, or the system deadlocks with work parked in
+		// buffers. A flushed outbox re-seeds the local queue (the
+		// broadcast's self-copy), so restart the loop.
+		if r.flushOutbox() {
+			r.flushAll()
+			continue
+		}
 		r.flushAll()
 		if r.drainInbox() {
 			continue
@@ -173,6 +200,7 @@ func (r *Rank) runBSP() TraversalStats {
 	r.bsp = true
 	defer func() { r.bsp = false }()
 	// Move init messages (buffered, including self-sends) into round 1.
+	r.flushOutbox()
 	r.flushAll()
 	r.Barrier()
 	r.drainInbox()
@@ -192,6 +220,9 @@ func (r *Rank) runBSP() TraversalStats {
 			c.processed.Add(1)
 			r.processedHere++
 		}
+		// Superstep boundary: the staged best offer per delegate goes out
+		// exactly once per round.
+		r.flushOutbox()
 		r.flushAll()
 		r.Barrier()
 		r.drainInbox()

@@ -96,6 +96,8 @@ type serviceStats struct {
 	phaseSeconds  map[string]float64
 	phaseCalls    map[string]int64
 	suppressed    int64
+	coalesced     int64
+	batched       int64
 	net           rt.TransportStats
 }
 
@@ -383,6 +385,28 @@ type TransportStats struct {
 	BytesIn       int64   `json:"bytesIn"`
 	EncodeSeconds float64 `json:"encodeSeconds"`
 	DecodeSeconds float64 `json:"decodeSeconds"`
+	// CompactionSavedBytes is what the v2 compacted batch frames saved
+	// versus the v1 encoding of the same batches (0 on v1 sessions).
+	CompactionSavedBytes int64 `json:"compactionSavedBytes"`
+	// Flush size histogram: coalesced writer flushes under 4 KiB, between
+	// 4 KiB and 256 KiB, and 256 KiB or larger.
+	FlushesSmall int64 `json:"flushesSmall"`
+	FlushesMid   int64 `json:"flushesMid"`
+	FlushesLarge int64 `json:"flushesLarge"`
+}
+
+// BroadcastStats is the /stats accounting of delegate relaxation offers:
+// every offer the solver generated is either Suppressed (dropped by the
+// changed-since filter), Coalesced (absorbed into an already-staged
+// superstep-outbox entry for the same delegate), or Sent as a real
+// broadcast. Batched counts the offers that went through the outbox before
+// being sent; with batching on (always, currently) Sent == Batched — the
+// fields are kept separate so an eager send path remains representable.
+type BroadcastStats struct {
+	Suppressed int64 `json:"suppressed"`
+	Coalesced  int64 `json:"coalesced"`
+	Batched    int64 `json:"batched"`
+	Sent       int64 `json:"sent"`
 }
 
 // JobStats reports the async job queue for /stats. Completed counts
@@ -412,14 +436,14 @@ type StatsResponse struct {
 	AvgSolveSeconds float64 `json:"avgSolveSeconds"`
 	// Backend names the rank backend serving the pool (inproc | tcp).
 	Backend string `json:"backend"`
-	// SuppressedBroadcasts totals the delegate offers dropped by the
-	// changed-since filter across all served queries.
-	SuppressedBroadcasts int64          `json:"suppressedBroadcasts"`
-	Transport            TransportStats `json:"transport"`
-	Phases               []PhaseStats   `json:"phases"`
-	Shard                ShardStats     `json:"shard"`
-	Cache                *CacheStats    `json:"cache,omitempty"`
-	Jobs                 *JobStats      `json:"jobs,omitempty"`
+	// Broadcasts partitions every delegate offer generated across all
+	// served queries: suppressed, coalesced, batched, sent.
+	Broadcasts BroadcastStats `json:"broadcasts"`
+	Transport  TransportStats `json:"transport"`
+	Phases     []PhaseStats   `json:"phases"`
+	Shard      ShardStats     `json:"shard"`
+	Cache      *CacheStats    `json:"cache,omitempty"`
+	Jobs       *JobStats      `json:"jobs,omitempty"`
 }
 
 func (s *Service) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -455,23 +479,32 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := &s.stats
 	st.mu.Lock()
 	resp := StatsResponse{
-		Engines:              s.NumEngines(),
-		EnginesIdle:          len(s.engines),
-		InFlight:             st.inFlight,
-		MaxInFlight:          st.maxInFlight,
-		Queries:              st.queries,
-		Errors:               st.errors,
-		BatchRequests:        st.batchRequests,
-		BatchQueries:         st.batchQueries,
-		Backend:              s.opts.Backend.String(),
-		SuppressedBroadcasts: st.suppressed,
+		Engines:       s.NumEngines(),
+		EnginesIdle:   len(s.engines),
+		InFlight:      st.inFlight,
+		MaxInFlight:   st.maxInFlight,
+		Queries:       st.queries,
+		Errors:        st.errors,
+		BatchRequests: st.batchRequests,
+		BatchQueries:  st.batchQueries,
+		Backend:       s.opts.Backend.String(),
+		Broadcasts: BroadcastStats{
+			Suppressed: st.suppressed,
+			Coalesced:  st.coalesced,
+			Batched:    st.batched,
+			Sent:       st.batched,
+		},
 		Transport: TransportStats{
-			FramesOut:     st.net.FramesOut,
-			FramesIn:      st.net.FramesIn,
-			BytesOut:      st.net.BytesOut,
-			BytesIn:       st.net.BytesIn,
-			EncodeSeconds: float64(st.net.EncodeNs) / 1e9,
-			DecodeSeconds: float64(st.net.DecodeNs) / 1e9,
+			FramesOut:            st.net.FramesOut,
+			FramesIn:             st.net.FramesIn,
+			BytesOut:             st.net.BytesOut,
+			BytesIn:              st.net.BytesIn,
+			EncodeSeconds:        float64(st.net.EncodeNs) / 1e9,
+			DecodeSeconds:        float64(st.net.DecodeNs) / 1e9,
+			CompactionSavedBytes: st.net.CompactionSavedBytes,
+			FlushesSmall:         st.net.FlushesSmall,
+			FlushesMid:           st.net.FlushesMid,
+			FlushesLarge:         st.net.FlushesLarge,
 		},
 	}
 	if st.queries > 0 {
@@ -564,12 +597,9 @@ func (s *Service) recordQuery(res *core.Result, elapsed time.Duration, err error
 			st.phaseCalls[ph.Name]++
 		}
 		st.suppressed += res.SuppressedBroadcasts
-		st.net.FramesOut += res.Net.FramesOut
-		st.net.FramesIn += res.Net.FramesIn
-		st.net.BytesOut += res.Net.BytesOut
-		st.net.BytesIn += res.Net.BytesIn
-		st.net.EncodeNs += res.Net.EncodeNs
-		st.net.DecodeNs += res.Net.DecodeNs
+		st.coalesced += res.CoalescedBroadcasts
+		st.batched += res.BatchedBroadcasts
+		st.net = st.net.Add(res.Net)
 	}
 	st.mu.Unlock()
 }

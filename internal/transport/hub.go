@@ -30,6 +30,12 @@ type Hub struct {
 	events  chan hubEvent
 	loopEnd chan struct{}
 
+	// maxWireVer caps the wire version the hub negotiates (operator
+	// rollback knob, core.Options.MaxWireVersion); wireVer is the session
+	// version settled by Handshake: min over worker Hellos and the cap.
+	maxWireVer uint32
+	wireVer    uint32
+
 	solveMu sync.Mutex // one query outstanding at a time
 
 	failOnce sync.Once
@@ -70,6 +76,8 @@ type QueryOutcome struct {
 	Sent       int64
 	Processed  int64
 	Suppressed int64
+	Batched    int64 // delegate broadcasts released by outbox flushes
+	Coalesced  int64 // delegate offers absorbed into staged outbox entries
 	Net        wire.NetStats
 }
 
@@ -98,16 +106,34 @@ func ListenHub(addr string, workers, ranks int) (*Hub, error) {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
 	h := &Hub{
-		ln:      ln,
-		ranks:   ranks,
-		workers: workers,
-		rankLo:  SplitRanks(ranks, workers),
-		events:  make(chan hubEvent, 64),
-		loopEnd: make(chan struct{}),
-		failCh:  make(chan struct{}),
+		ln:         ln,
+		ranks:      ranks,
+		workers:    workers,
+		rankLo:     SplitRanks(ranks, workers),
+		events:     make(chan hubEvent, 64),
+		loopEnd:    make(chan struct{}),
+		failCh:     make(chan struct{}),
+		maxWireVer: wire.Version,
 	}
 	return h, nil
 }
+
+// LimitWireVersion caps the wire version the hub will negotiate (rollback
+// to the v1 batch frames without redeploying workers). Call before
+// Handshake; 0 or anything above wire.Version means no extra cap.
+func (h *Hub) LimitWireVersion(v uint32) {
+	if v == 0 || v > wire.Version {
+		v = wire.Version
+	}
+	if v < wire.MinVersion {
+		v = wire.MinVersion
+	}
+	h.maxWireVer = v
+}
+
+// WireVersion returns the session's negotiated wire version (valid after
+// Handshake).
+func (h *Hub) WireVersion() uint32 { return h.wireVer }
 
 // SplitRanks returns the contiguous rank ranges of a session: worker w
 // hosts ranks [out[w], out[w+1]), ranges differing by at most one rank.
@@ -145,6 +171,7 @@ func (h *Hub) Handshake(timeout time.Duration, setupFor func(w int) wire.Setup) 
 		addr string
 	}
 	conns := make([]accepted, 0, h.workers)
+	sessionVer := h.maxWireVer
 	fail := func(err error) ([]wire.Ready, error) {
 		for _, a := range conns {
 			_ = a.conn.Close()
@@ -172,12 +199,19 @@ func (h *Hub) Handshake(timeout time.Duration, setupFor func(w int) wire.Setup) 
 		if err != nil {
 			return fail(fmt.Errorf("transport: hello from worker %d: %w", len(conns), err))
 		}
-		if hello.Version != wire.Version {
-			return fail(fmt.Errorf("transport: worker %d speaks wire version %d, coordinator %d",
-				len(conns), hello.Version, wire.Version))
+		if hello.Version < wire.MinVersion || hello.Version > wire.Version {
+			return fail(fmt.Errorf("transport: worker %d speaks wire version %d, coordinator supports [%d, %d]",
+				len(conns), hello.Version, wire.MinVersion, wire.Version))
+		}
+		// The session runs at the minimum version any worker speaks
+		// (capped by the operator limit): all peers must agree on the
+		// batch frame encoding because batches flow worker ↔ worker.
+		if hello.Version < sessionVer {
+			sessionVer = hello.Version
 		}
 		conns = append(conns, accepted{conn: conn, addr: hello.PeerAddr})
 	}
+	h.wireVer = sessionVer
 	h.peerAddrs = make([]string, h.workers)
 	for w, a := range conns {
 		h.peerAddrs[w] = a.addr
@@ -189,6 +223,7 @@ func (h *Hub) Handshake(timeout time.Duration, setupFor func(w int) wire.Setup) 
 		setup.WorkerIndex = w
 		setup.RankLo = h.rankLo
 		setup.PeerAddrs = h.peerAddrs
+		setup.WireVersion = sessionVer
 		if err := wire.WriteFrame(a.conn, wire.EncodeSetup(nil, setup)); err != nil {
 			return fail(fmt.Errorf("transport: setup to worker %d: %w", w, err))
 		}
@@ -421,6 +456,8 @@ func (h *Hub) handleFrame(ev hubEvent, colls map[uint64]*collAcc,
 		pq.out.Sent += done.Sent
 		pq.out.Processed += done.Processed
 		pq.out.Suppressed += done.Suppressed
+		pq.out.Batched += done.Batched
+		pq.out.Coalesced += done.Coalesced
 		pq.out.Net.Add(done.Net)
 		if done.Err != "" {
 			pq.out.Err = done.Err

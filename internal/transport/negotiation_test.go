@@ -1,0 +1,162 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"dsteiner/internal/wire"
+)
+
+// fakeWorker performs just enough of the session handshake to exercise
+// version negotiation: dial, Hello at the given version, read the Setup,
+// reply Ready. It never meshes or solves — the hub is closed right after.
+type fakeWorker struct {
+	conn  net.Conn
+	setup wire.Setup
+	raw   []byte // the undecoded Setup frame, for byte-level assertions
+}
+
+func dialFakeWorker(t *testing.T, addr string, version uint32) *fakeWorker {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial hub: %v", err)
+	}
+	if err := wire.WriteFrame(conn, wire.EncodeHello(nil, wire.Hello{
+		Version:  version,
+		PeerAddr: "127.0.0.1:1", // never dialed: the fake never meshes
+	})); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	return &fakeWorker{conn: conn}
+}
+
+// finishHandshake reads the Setup and answers Ready.
+func (f *fakeWorker) finishHandshake(t *testing.T) {
+	t.Helper()
+	frame, err := wire.ReadFrame(f.conn, nil)
+	if err != nil {
+		t.Fatalf("read setup: %v", err)
+	}
+	if frame[0] != wire.FrameSetup {
+		t.Fatalf("got frame %d, want setup", frame[0])
+	}
+	f.raw = append([]byte(nil), frame...)
+	if f.setup, err = wire.DecodeSetup(frame[1:]); err != nil {
+		t.Fatalf("decode setup: %v", err)
+	}
+	if err := wire.WriteFrame(f.conn, wire.EncodeReady(nil, wire.Ready{})); err != nil {
+		t.Fatalf("ready: %v", err)
+	}
+}
+
+// runNegotiation runs a hub handshake against fake workers announcing the
+// given Hello versions and returns the hub plus the workers' views.
+func runNegotiation(t *testing.T, cap uint32, versions ...uint32) (*Hub, []*fakeWorker) {
+	t.Helper()
+	hub, err := ListenHub("127.0.0.1:0", len(versions), len(versions))
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	if cap != 0 {
+		hub.LimitWireVersion(cap)
+	}
+	workers := make([]*fakeWorker, len(versions))
+	done := make(chan error, 1)
+	go func() {
+		_, err := hub.Handshake(5*time.Second, func(w int) wire.Setup {
+			return wire.Setup{Ranks: len(versions), NumVertices: 1}
+		})
+		done <- err
+	}()
+	for i, v := range versions {
+		workers[i] = dialFakeWorker(t, hub.Addr(), v)
+	}
+	for _, f := range workers {
+		f.finishHandshake(t)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	t.Cleanup(func() {
+		for _, f := range workers {
+			_ = f.conn.Close()
+		}
+		hub.Close()
+	})
+	return hub, workers
+}
+
+// TestHandshakeNegotiatesWireVersion pins the negotiation matrix: the
+// session runs at the minimum version any worker announces, capped by the
+// operator's rollback limit.
+func TestHandshakeNegotiatesWireVersion(t *testing.T) {
+	cases := []struct {
+		name     string
+		cap      uint32
+		versions []uint32
+		want     uint32
+	}{
+		{"all-current", 0, []uint32{wire.Version, wire.Version}, wire.Version},
+		{"old-worker-new-coordinator", 0, []uint32{wire.Version, 1}, 1},
+		{"all-old", 0, []uint32{1, 1}, 1},
+		{"coordinator-capped-to-v1", 1, []uint32{wire.Version, wire.Version}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			hub, workers := runNegotiation(t, tc.cap, tc.versions...)
+			if got := hub.WireVersion(); got != tc.want {
+				t.Fatalf("session version %d, want %d", got, tc.want)
+			}
+			for i, f := range workers {
+				if f.setup.WireVersion != tc.want {
+					t.Fatalf("worker %d saw setup version %d, want %d", i, f.setup.WireVersion, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestHandshakeV1SetupIsLegacyCompatible asserts the rollback property the
+// versioned Setup relies on: a session pinned to v1 emits a Setup frame
+// with no version field at all — byte-identical to what a pre-v2
+// coordinator would send — so a genuinely old worker (whose decoder
+// rejects trailing bytes) accepts it.
+func TestHandshakeV1SetupIsLegacyCompatible(t *testing.T) {
+	_, workers := runNegotiation(t, 1, wire.Version)
+	f := workers[0]
+	legacy := f.setup
+	legacy.WireVersion = 1 // encoded as "absent" at v1
+	want := wire.EncodeSetup(nil, legacy)
+	if string(f.raw) != string(want) {
+		t.Fatalf("v1-pinned setup frame differs from legacy encoding:\n got %d bytes\nwant %d bytes", len(f.raw), len(want))
+	}
+}
+
+// TestHandshakeRejectsUnknownVersion pins the failure mode for a worker
+// from the future: the handshake fails before any session state is built.
+func TestHandshakeRejectsUnknownVersion(t *testing.T) {
+	hub, err := ListenHub("127.0.0.1:0", 1, 1)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := hub.Handshake(2*time.Second, func(w int) wire.Setup { return wire.Setup{} })
+		done <- err
+	}()
+	conn, err := net.Dial("tcp", hub.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if err := wire.WriteFrame(conn, wire.EncodeHello(nil, wire.Hello{
+		Version: wire.Version + 1, PeerAddr: "127.0.0.1:1",
+	})); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("handshake accepted a wire version from the future")
+	}
+}

@@ -13,6 +13,7 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"net"
@@ -28,12 +29,30 @@ import (
 // because readers drain unconditionally into unbounded mailboxes.
 const maxPend = 8 << 20
 
+// Small control frames (tokens, fences, collective contributions) bypass
+// the maxPend backpressure up to an extra smallSlack: a termination token
+// must not stall behind megabytes of queued visitor batches, or the system
+// idles waiting for a token that is itself waiting for the system to idle.
+const (
+	smallFrame = 256
+	smallSlack = 64 << 10
+)
+
+// readBufSize sizes the per-connection buffered reader. Raw frame reads
+// cost two syscalls each (length prefix + body); buffering turns a burst
+// of small frames into one read syscall.
+const readBufSize = 64 << 10
+
 // peer is one framed connection with write coalescing: senders append
 // frames to a pending buffer under a short lock and a dedicated writer
 // goroutine flushes whole buffers per syscall. Reads happen on the
 // owner's read loop, not here.
 type peer struct {
 	conn net.Conn
+	// br buffers inbound frame reads. Only the owner's read loop touches
+	// it; handshake traffic is read raw from the conn before the peer is
+	// built, so no bytes can be stranded in the buffer at creation.
+	br *bufio.Reader
 
 	mu      sync.Mutex
 	wake    *sync.Cond // writer: pending bytes available (or closed)
@@ -50,7 +69,7 @@ type peer struct {
 
 // newPeer wraps conn and starts its writer goroutine.
 func newPeer(conn net.Conn, onWrite func(frames, bytes int64)) *peer {
-	p := &peer{conn: conn, onWrite: onWrite}
+	p := &peer{conn: conn, br: bufio.NewReaderSize(conn, readBufSize), onWrite: onWrite}
 	p.wake = sync.NewCond(&p.mu)
 	p.space = sync.NewCond(&p.mu)
 	go p.writeLoop()
@@ -58,11 +77,17 @@ func newPeer(conn net.Conn, onWrite func(frames, bytes int64)) *peer {
 }
 
 // appendFrame appends one length-prefixed frame built in place by build
-// (which must only append to its argument and return the result). Blocks
-// while the coalescing buffer is over maxPend.
-func (p *peer) appendFrame(build func(dst []byte) []byte) error {
+// (which must only append to its argument and return the result) and
+// reports the frame's payload size. Blocks while the coalescing buffer is
+// over maxPend; small control frames get smallSlack extra headroom so they
+// never queue behind full visitor-batch backpressure.
+func (p *peer) appendFrame(small bool, build func(dst []byte) []byte) (int, error) {
+	limit := maxPend
+	if small {
+		limit += smallSlack
+	}
 	p.mu.Lock()
-	for len(p.pend) > maxPend && !p.closed {
+	for len(p.pend) > limit && !p.closed {
 		p.space.Wait()
 	}
 	if p.closed {
@@ -71,7 +96,7 @@ func (p *peer) appendFrame(build func(dst []byte) []byte) error {
 		if err == nil {
 			err = net.ErrClosed
 		}
-		return err
+		return 0, err
 	}
 	off := len(p.pend)
 	p.pend = append(p.pend, 0, 0, 0, 0)
@@ -80,18 +105,19 @@ func (p *peer) appendFrame(build func(dst []byte) []byte) error {
 	if n <= 0 || n > wire.MaxFrame {
 		p.pend = p.pend[:off] // drop the malformed frame, keep the stream sane
 		p.mu.Unlock()
-		return fmt.Errorf("transport: bad frame size %d", n)
+		return 0, fmt.Errorf("transport: bad frame size %d", n)
 	}
 	binary.LittleEndian.PutUint32(p.pend[off:], uint32(n))
 	p.frames++
 	p.mu.Unlock()
 	p.wake.Signal()
-	return nil
+	return n, nil
 }
 
 // send appends an already-encoded frame payload (type byte first).
 func (p *peer) send(payload []byte) error {
-	return p.appendFrame(func(dst []byte) []byte { return append(dst, payload...) })
+	_, err := p.appendFrame(len(payload) <= smallFrame, func(dst []byte) []byte { return append(dst, payload...) })
+	return err
 }
 
 // writeLoop flushes coalesced frames until the peer closes.
@@ -158,7 +184,8 @@ func (p *peer) close() {
 	_ = p.conn.Close()
 }
 
-// readFrame reads the next inbound frame on the caller's goroutine.
+// readFrame reads the next inbound frame on the caller's goroutine,
+// through the connection's buffered reader.
 func (p *peer) readFrame(buf []byte) ([]byte, error) {
-	return wire.ReadFrame(p.conn, buf)
+	return wire.ReadFrame(p.br, buf)
 }

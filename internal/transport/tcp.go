@@ -73,10 +73,19 @@ type TCP struct {
 	failCh   chan struct{}
 	closing  atomic.Bool
 
+	// wireVer is the session's negotiated wire version (Setup.WireVersion);
+	// it selects the visitor-batch frame encoding. Set once via
+	// SetWireVersion before Attach, then read-only.
+	wireVer uint32
+
 	// Traffic counters (runtime.TransportStats).
 	framesOut, framesIn atomic.Int64
 	bytesOut, bytesIn   atomic.Int64
 	encodeNs, decodeNs  atomic.Int64
+	compactionSaved     atomic.Int64
+	flushSmall          atomic.Int64
+	flushMid            atomic.Int64
+	flushLarge          atomic.Int64
 
 	closeOnce sync.Once
 }
@@ -99,9 +108,18 @@ func NewTCP(self int, rankLo []int64, coord net.Conn, peerConns []net.Conn) *TCP
 		failCh:    make(chan struct{}),
 	}
 	t.fenceCond = sync.NewCond(&t.fenceMu)
+	t.wireVer = 1
 	onWrite := func(frames, bytes int64) {
 		t.framesOut.Add(frames)
 		t.bytesOut.Add(bytes)
+		switch {
+		case bytes < 4<<10:
+			t.flushSmall.Add(1)
+		case bytes < 256<<10:
+			t.flushMid.Add(1)
+		default:
+			t.flushLarge.Add(1)
+		}
 	}
 	t.coord = newPeer(coord, onWrite)
 	t.peers = make([]*peer, len(peerConns))
@@ -113,6 +131,17 @@ func NewTCP(self int, rankLo []int64, coord net.Conn, peerConns []net.Conn) *TCP
 	}
 	return t
 }
+
+// SetWireVersion pins the session's negotiated wire version (from
+// Setup.WireVersion). Call before Attach; the default is 1.
+func (t *TCP) SetWireVersion(v uint32) {
+	if v >= 2 {
+		t.wireVer = v
+	}
+}
+
+// WireVersion returns the session's negotiated wire version.
+func (t *TCP) WireVersion() uint32 { return t.wireVer }
 
 // Attach implements runtime.Transport; it also starts the read loops, so
 // the communicator must be fully constructed first.
@@ -147,7 +176,10 @@ func (t *TCP) workerOf(rank int) int {
 
 // Deliver implements runtime.Transport: encode the batch into the owning
 // peer's coalescing buffer and recycle the batch buffer into the
-// communicator's free lists.
+// communicator's free lists. On v2 sessions the batch is compacted first
+// (sorted, delta-encoded, dominated offers elided); elided messages are
+// folded back out of the termination counter via the host, and the byte
+// savings versus the v1 encoding are tracked.
 func (t *TCP) Deliver(dest int, batch []rt.Msg) {
 	w := t.workerOf(dest)
 	p := t.peers[w]
@@ -156,11 +188,29 @@ func (t *TCP) Deliver(dest int, batch []rt.Msg) {
 		panic(errPoisoned)
 	}
 	start := time.Now()
-	err := p.appendFrame(func(dst []byte) []byte {
-		return wire.AppendMsgBatch(dst, dest, batch)
-	})
+	var err error
+	elided := 0
+	if t.wireVer >= 2 {
+		size1 := wire.MsgBatchSize1(dest, batch)
+		var n int
+		n, err = p.appendFrame(false, func(dst []byte) []byte {
+			var out []byte
+			out, elided = wire.AppendMsgBatch2(dst, dest, batch)
+			return out
+		})
+		if err == nil {
+			t.compactionSaved.Add(int64(size1 - n))
+		}
+	} else {
+		_, err = p.appendFrame(false, func(dst []byte) []byte {
+			return wire.AppendMsgBatch(dst, dest, batch)
+		})
+	}
 	t.encodeNs.Add(time.Since(start).Nanoseconds())
 	t.host.RecycleBatch(batch)
+	if elided > 0 {
+		t.host.ElideSent(elided)
+	}
 	if err != nil {
 		t.fail(fmt.Errorf("transport: deliver to worker %d: %w", w, err))
 		panic(errPoisoned)
@@ -209,12 +259,15 @@ func (t *TCP) Err() error {
 func (t *TCP) fence() {
 	t.fenceSeq++
 	seq := t.fenceSeq
-	payload := wire.EncodeFence(nil, wire.Fence{Seq: seq})
 	for w, p := range t.peers {
 		if p == nil {
 			continue
 		}
-		if err := p.send(payload); err != nil {
+		// Encode in place into the coalescing buffer: a fence is a handful
+		// of bytes and must never queue behind full batch backpressure.
+		if _, err := p.appendFrame(true, func(dst []byte) []byte {
+			return wire.EncodeFence(dst, wire.Fence{Seq: seq})
+		}); err != nil {
 			t.fail(fmt.Errorf("transport: fence to worker %d: %w", w, err))
 			panic(errPoisoned)
 		}
@@ -246,8 +299,9 @@ func (t *TCP) fenceReachedLocked(seq uint64) bool {
 func (t *TCP) collective(op uint8, payload []byte) []byte {
 	t.fence()
 	t.collSeq++
-	req := wire.EncodeColl(nil, wire.Coll{Seq: t.collSeq, Op: op, Payload: payload})
-	if err := t.coord.send(req); err != nil {
+	if _, err := t.coord.appendFrame(true, func(dst []byte) []byte {
+		return wire.EncodeColl(dst, wire.Coll{Seq: t.collSeq, Op: op, Payload: payload})
+	}); err != nil {
 		t.fail(fmt.Errorf("transport: collective %d: %w", t.collSeq, err))
 		panic(errPoisoned)
 	}
@@ -309,7 +363,9 @@ func (t *TCP) StartTraversal(seq uint64) chan struct{} {
 	t.travMu.Lock()
 	t.travDone[seq] = ch
 	t.travMu.Unlock()
-	if err := t.coord.send(wire.EncodeTraverseBegin(nil, wire.TraverseBegin{Seq: seq})); err != nil {
+	if _, err := t.coord.appendFrame(true, func(dst []byte) []byte {
+		return wire.EncodeTraverseBegin(dst, wire.TraverseBegin{Seq: seq})
+	}); err != nil {
 		t.fail(fmt.Errorf("transport: traverse begin: %w", err))
 		panic(errPoisoned)
 	}
@@ -319,12 +375,16 @@ func (t *TCP) StartTraversal(seq uint64) chan struct{} {
 // Stats implements runtime.Transport.
 func (t *TCP) Stats() rt.TransportStats {
 	return rt.TransportStats{
-		FramesOut: t.framesOut.Load(),
-		FramesIn:  t.framesIn.Load(),
-		BytesOut:  t.bytesOut.Load(),
-		BytesIn:   t.bytesIn.Load(),
-		EncodeNs:  t.encodeNs.Load(),
-		DecodeNs:  t.decodeNs.Load(),
+		FramesOut:            t.framesOut.Load(),
+		FramesIn:             t.framesIn.Load(),
+		BytesOut:             t.bytesOut.Load(),
+		BytesIn:              t.bytesIn.Load(),
+		EncodeNs:             t.encodeNs.Load(),
+		DecodeNs:             t.decodeNs.Load(),
+		CompactionSavedBytes: t.compactionSaved.Load(),
+		FlushesSmall:         t.flushSmall.Load(),
+		FlushesMid:           t.flushMid.Load(),
+		FlushesLarge:         t.flushLarge.Load(),
 	}
 }
 
@@ -336,12 +396,32 @@ func (t *TCP) NetStats() wire.NetStats { return ToNetStats(t.Stats()) }
 // path (the hub decodes back with core's reverse conversion).
 func ToNetStats(s rt.TransportStats) wire.NetStats {
 	return wire.NetStats{
-		FramesOut: s.FramesOut,
-		FramesIn:  s.FramesIn,
-		BytesOut:  s.BytesOut,
-		BytesIn:   s.BytesIn,
-		EncodeNs:  s.EncodeNs,
-		DecodeNs:  s.DecodeNs,
+		FramesOut:            s.FramesOut,
+		FramesIn:             s.FramesIn,
+		BytesOut:             s.BytesOut,
+		BytesIn:              s.BytesIn,
+		EncodeNs:             s.EncodeNs,
+		DecodeNs:             s.DecodeNs,
+		CompactionSavedBytes: s.CompactionSavedBytes,
+		FlushesSmall:         s.FlushesSmall,
+		FlushesMid:           s.FlushesMid,
+		FlushesLarge:         s.FlushesLarge,
+	}
+}
+
+// FromNetStats is ToNetStats' inverse (the hub's decode side).
+func FromNetStats(s wire.NetStats) rt.TransportStats {
+	return rt.TransportStats{
+		FramesOut:            s.FramesOut,
+		FramesIn:             s.FramesIn,
+		BytesOut:             s.BytesOut,
+		BytesIn:              s.BytesIn,
+		EncodeNs:             s.EncodeNs,
+		DecodeNs:             s.DecodeNs,
+		CompactionSavedBytes: s.CompactionSavedBytes,
+		FlushesSmall:         s.FlushesSmall,
+		FlushesMid:           s.FlushesMid,
+		FlushesLarge:         s.FlushesLarge,
 	}
 }
 
@@ -351,9 +431,13 @@ func (t *TCP) SendReady(r wire.Ready) error {
 	return t.coord.send(wire.EncodeReady(nil, r))
 }
 
-// SendWorkerDone ships a query's closing frame to the coordinator.
+// SendWorkerDone ships a query's closing frame to the coordinator,
+// including the v2 stats tail when the session speaks v2.
 func (t *TCP) SendWorkerDone(done wire.WorkerDone) error {
-	return t.coord.send(wire.EncodeWorkerDone(nil, done))
+	_, err := t.coord.appendFrame(true, func(dst []byte) []byte {
+		return wire.EncodeWorkerDone(dst, done, t.wireVer)
+	})
+	return err
 }
 
 // SendAbort reports a local failure (rank panic) to the coordinator.
@@ -463,7 +547,9 @@ func (t *TCP) holdToken(tok wire.Token) {
 	if t.Err() != nil {
 		return
 	}
-	if err := t.coord.send(wire.EncodeToken(nil, wire.Token{Seq: tok.Seq, Q: q, Black: black})); err != nil {
+	if _, err := t.coord.appendFrame(true, func(dst []byte) []byte {
+		return wire.EncodeToken(dst, wire.Token{Seq: tok.Seq, Q: q, Black: black})
+	}); err != nil {
 		t.fail(fmt.Errorf("transport: token return: %w", err))
 	}
 }
@@ -494,6 +580,15 @@ func (t *TCP) readPeer(w int, p *peer) {
 			t.decodeNs.Add(time.Since(start).Nanoseconds())
 			if err != nil {
 				t.fail(fmt.Errorf("transport: batch from worker %d: %w", w, err))
+				return
+			}
+			t.host.Inbound(dest, batch)
+		case wire.FrameMsgBatch2:
+			start := time.Now()
+			dest, batch, err := wire.DecodeMsgBatch2(body, t.host.BatchBuf())
+			t.decodeNs.Add(time.Since(start).Nanoseconds())
+			if err != nil {
+				t.fail(fmt.Errorf("transport: batch2 from worker %d: %w", w, err))
 				return
 			}
 			t.host.Inbound(dest, batch)

@@ -168,8 +168,12 @@ func run(r *rt.Rank, seeds []graph.VID, bsp bool) rt.TraversalStats {
 			// Hub: fan the relaxation out to all ranks; each scans its
 			// materialized stripe of v's (large) adjacency. Broadcasts
 			// carry freshly-installed, strictly-improving state: nothing
-			// to filter here.
-			r.Broadcast(rt.Msg{Target: v, From: v, Seed: src, Dist: dist, Kind: delegateRelax})
+			// to filter here — but they are staged, not sent: the outbox
+			// keeps only the best (dist, src) offer per hub and releases
+			// it at the superstep boundary, so k rapid improvements of one
+			// hub cross the wire as one broadcast (Stats.BatchedBroadcasts
+			// / CoalescedBroadcasts).
+			r.BroadcastBatched(rt.Msg{Target: v, From: v, Seed: src, Dist: dist, Kind: delegateRelax})
 			return
 		}
 		ts, ws := r.Adj(v)
@@ -268,7 +272,7 @@ func runGlobal(r *rt.Rank, g *graph.Graph, seeds []graph.VID, st *State, bsp boo
 func runWith(r *rt.Rank, seeds []graph.VID, st Control, bsp bool,
 	relaxNeighbors func(r *rt.Rank, v graph.VID, src graph.VID, dist graph.Dist),
 	relaxStripe func(r *rt.Rank, m rt.Msg)) rt.TraversalStats {
-	return r.Traverse(&rt.Traversal{
+	tr := &rt.Traversal{
 		Key: rt.DistKey,
 		BSP: bsp,
 		Init: func(r *rt.Rank) {
@@ -296,7 +300,27 @@ func runWith(r *rt.Rank, seeds []graph.VID, st Control, bsp bool,
 				relaxNeighbors(r, vj, m.Seed, m.Dist)
 			}
 		},
-	})
+	}
+	if r.Distributed() {
+		// Dominance pre-filter for inbound offers: an offer the owned entry
+		// already lexicographically beats would be rejected by Visit
+		// unchanged — state only ever improves — so it is dropped before
+		// paying for a queue insertion. Exact ties are NOT dropped here or
+		// in Visit (offerBetter is strict), and delegate broadcasts always
+		// pass: their stripe relax must run regardless of the mirror's
+		// view. Distributed sessions only: transport batching widens the
+		// staleness window that makes the check pay; loopback ranks drain
+		// fresh offers, and for them the extra state lookup per message is
+		// pure overhead.
+		tr.Admit = func(r *rt.Rank, m rt.Msg) bool {
+			if m.Kind == delegateRelax {
+				return true
+			}
+			os, op, od := st.Get(m.Target)
+			return offerBetter(m.Dist, m.Seed, m.From, od, os, op)
+		}
+	}
+	return r.Traverse(tr)
 }
 
 // Compute runs the Voronoi-cell phase standalone on a fresh traversal over

@@ -23,8 +23,11 @@ func FuzzDecodeFrame(f *testing.F) {
 		AppendFrame(nil, EncodeReady(nil, Ready{ShardBytes: 100, StateBytes: 50})),
 		AppendFrame(nil, EncodeSolve(nil, Solve{QueryID: 1, Seeds: []graph.VID{1, 2, 3}})),
 		AppendFrame(nil, EncodeWorkerDone(nil, WorkerDone{QueryID: 1, TableLens: []int64{2}, HasResult: true,
-			Result: SolveResult{Tree: []EdgeRec{{U: 1, V: 2, W: 3}}, Phases: []PhaseRec{{Name: "MST", Seconds: 0.1}}}})),
+			Result: SolveResult{Tree: []EdgeRec{{U: 1, V: 2, W: 3}}, Phases: []PhaseRec{{Name: "MST", Seconds: 0.1}}}}, 1)),
+		AppendFrame(nil, EncodeWorkerDone(nil, WorkerDone{QueryID: 2, Batched: 7, Coalesced: 9,
+			Net: NetStats{CompactionSavedBytes: 11, FlushesSmall: 1}}, Version)),
 		AppendFrame(nil, AppendMsgBatch(nil, 2, []rt.Msg{{Target: 1, From: 2, Seed: 3, Dist: 4, Kind: 1}})),
+		AppendFrame(nil, msgBatch2Seed()),
 		AppendFrame(nil, EncodeColl(nil, Coll{Seq: 1, Op: OpGather, Payload: EncodeRankBlobs(nil, []RankBlob{{Rank: 1, Blob: []byte("b")}})})),
 		AppendFrame(nil, EncodeCollReply(nil, CollReply{Seq: 1, Payload: EncodeBlobList(nil, [][]byte{{1}, {2}})})),
 		AppendFrame(nil, EncodeFence(nil, Fence{Seq: 3})),
@@ -57,6 +60,16 @@ func FuzzDecodeFrame(f *testing.F) {
 	})
 }
 
+// msgBatch2Seed builds one compacted v2 batch covering the mixed-kind path.
+func msgBatch2Seed() []byte {
+	b, _ := AppendMsgBatch2(nil, 3, []rt.Msg{
+		{Target: 9, From: 2, Seed: 3, Dist: 4, Kind: 1},
+		{Target: 9, From: 2, Seed: 5, Dist: 7, Kind: 1}, // dominated
+		{Target: 1, From: 1, Seed: 1, Dist: 1, Kind: 0},
+	})
+	return b
+}
+
 // decodeBody dispatches a frame body to its decoder, discarding results:
 // the fuzz property is only "no panic, bounded allocation".
 func decodeBody(typ uint8, body []byte) {
@@ -73,6 +86,8 @@ func decodeBody(typ uint8, body []byte) {
 		_, _ = DecodeWorkerDone(body)
 	case FrameMsgBatch:
 		_, _, _ = DecodeMsgBatch(body, nil)
+	case FrameMsgBatch2:
+		_, _, _ = DecodeMsgBatch2(body, nil)
 	case FrameColl:
 		if c, err := DecodeColl(body); err == nil {
 			switch c.Op {

@@ -119,6 +119,14 @@ type Setup struct {
 
 	// This worker's shard slices, one per hosted rank.
 	Shards []ShardSlice
+
+	// WireVersion pins the session's negotiated wire version: the minimum
+	// Hello.Version across all workers (capped by the coordinator's own
+	// Version and any operator limit). It is encoded as a trailing field
+	// only when ≥ 2, so a v1 coordinator's Setup — which never has the
+	// field — still decodes (absent ⇒ 1) and a v2 coordinator pinned to a
+	// v1 session emits a byte-identical v1 Setup.
+	WireVersion uint32
 }
 
 // EncodeSetup appends a FrameSetup payload.
@@ -145,6 +153,9 @@ func EncodeSetup(dst []byte, s Setup) []byte {
 	dst = AppendUvarint(dst, uint64(len(s.Shards)))
 	for _, sh := range s.Shards {
 		dst = appendShardSlice(dst, sh)
+	}
+	if s.WireVersion >= 2 {
+		dst = AppendUvarint(dst, uint64(s.WireVersion))
 	}
 	return dst
 }
@@ -180,6 +191,12 @@ func DecodeSetup(body []byte) (Setup, error) {
 	}
 	for i := 0; i < nShards && d.err == nil; i++ {
 		s.Shards = append(s.Shards, decodeShardSlice(d))
+	}
+	// Trailing negotiated version, absent in v1 Setups.
+	if d.err == nil && d.Len() > 0 {
+		s.WireVersion = uint32(d.Uvarint())
+	} else {
+		s.WireVersion = 1
 	}
 	return s, d.finish()
 }

@@ -118,6 +118,14 @@ type NetStats struct {
 	BytesIn   int64
 	EncodeNs  int64
 	DecodeNs  int64
+
+	// v2 additions: compacted-batch savings and the peer flush-size
+	// histogram. These ride in a version-gated tail of WorkerDone, never
+	// in the frozen v1 NetStats block.
+	CompactionSavedBytes int64
+	FlushesSmall         int64 // flushes < 4 KiB
+	FlushesMid           int64 // flushes in [4 KiB, 256 KiB)
+	FlushesLarge         int64 // flushes ≥ 256 KiB
 }
 
 // Add accumulates o into s.
@@ -128,17 +136,25 @@ func (s *NetStats) Add(o NetStats) {
 	s.BytesIn += o.BytesIn
 	s.EncodeNs += o.EncodeNs
 	s.DecodeNs += o.DecodeNs
+	s.CompactionSavedBytes += o.CompactionSavedBytes
+	s.FlushesSmall += o.FlushesSmall
+	s.FlushesMid += o.FlushesMid
+	s.FlushesLarge += o.FlushesLarge
 }
 
 // Sub returns s − o (for per-query deltas from cumulative counters).
 func (s NetStats) Sub(o NetStats) NetStats {
 	return NetStats{
-		FramesOut: s.FramesOut - o.FramesOut,
-		FramesIn:  s.FramesIn - o.FramesIn,
-		BytesOut:  s.BytesOut - o.BytesOut,
-		BytesIn:   s.BytesIn - o.BytesIn,
-		EncodeNs:  s.EncodeNs - o.EncodeNs,
-		DecodeNs:  s.DecodeNs - o.DecodeNs,
+		FramesOut:            s.FramesOut - o.FramesOut,
+		FramesIn:             s.FramesIn - o.FramesIn,
+		BytesOut:             s.BytesOut - o.BytesOut,
+		BytesIn:              s.BytesIn - o.BytesIn,
+		EncodeNs:             s.EncodeNs - o.EncodeNs,
+		DecodeNs:             s.DecodeNs - o.DecodeNs,
+		CompactionSavedBytes: s.CompactionSavedBytes - o.CompactionSavedBytes,
+		FlushesSmall:         s.FlushesSmall - o.FlushesSmall,
+		FlushesMid:           s.FlushesMid - o.FlushesMid,
+		FlushesLarge:         s.FlushesLarge - o.FlushesLarge,
 	}
 }
 
@@ -175,13 +191,19 @@ type WorkerDone struct {
 	Sent       int64   // visitor messages sent by this process
 	Processed  int64   // visit() calls on this process
 	Suppressed int64   // delegate broadcasts suppressed by the changed-since filter
+	Batched    int64   // delegate broadcasts released by superstep outbox flushes
+	Coalesced  int64   // delegate offers absorbed into a staged outbox entry
 	Net        NetStats
 	HasResult  bool
 	Result     SolveResult
 }
 
-// EncodeWorkerDone appends a FrameWorkerDone payload.
-func EncodeWorkerDone(dst []byte, w WorkerDone) []byte {
+// EncodeWorkerDone appends a FrameWorkerDone payload. wireVer is the
+// session's negotiated version: on v1 sessions the frame stops after the
+// Result exactly as v1 coordinators expect; on v2 sessions a tail carries
+// the outbox counters and the NetStats v2 additions. The tail is
+// decode-tolerant (absent ⇒ zero), mirroring Setup.WireVersion.
+func EncodeWorkerDone(dst []byte, w WorkerDone, wireVer uint32) []byte {
 	dst = append(dst, FrameWorkerDone)
 	dst = AppendUvarint(dst, w.QueryID)
 	dst = AppendString(dst, w.Err)
@@ -193,6 +215,14 @@ func EncodeWorkerDone(dst []byte, w WorkerDone) []byte {
 	dst = appendBool(dst, w.HasResult)
 	if w.HasResult {
 		dst = appendSolveResult(dst, w.Result)
+	}
+	if wireVer >= 2 {
+		dst = AppendVarint(dst, w.Batched)
+		dst = AppendVarint(dst, w.Coalesced)
+		dst = AppendVarint(dst, w.Net.CompactionSavedBytes)
+		dst = AppendVarint(dst, w.Net.FlushesSmall)
+		dst = AppendVarint(dst, w.Net.FlushesMid)
+		dst = AppendVarint(dst, w.Net.FlushesLarge)
 	}
 	return dst
 }
@@ -211,6 +241,15 @@ func DecodeWorkerDone(body []byte) (WorkerDone, error) {
 	w.HasResult = d.Bool()
 	if w.HasResult {
 		w.Result = decodeSolveResult(d)
+	}
+	// v2 tail, absent on v1 sessions.
+	if d.err == nil && d.Len() > 0 {
+		w.Batched = d.Varint()
+		w.Coalesced = d.Varint()
+		w.Net.CompactionSavedBytes = d.Varint()
+		w.Net.FlushesSmall = d.Varint()
+		w.Net.FlushesMid = d.Varint()
+		w.Net.FlushesLarge = d.Varint()
 	}
 	return w, d.finish()
 }

@@ -28,15 +28,24 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"slices"
 
 	"dsteiner/internal/graph"
 	rt "dsteiner/internal/runtime"
 )
 
-// Version is the wire-protocol version. A coordinator rejects workers whose
-// Hello carries a different version: frames are not cross-version
-// compatible.
-const Version uint32 = 1
+// Version is the highest wire-protocol version this build speaks. A
+// worker's Hello advertises its own Version; the coordinator accepts any
+// worker in [MinVersion, Version] and pins the session to the minimum
+// advertised version, shipped back in Setup.WireVersion (absent = 1). Only
+// the visitor-message batch frame is versioned: v1 sessions use
+// FrameMsgBatch, v2 sessions the compacted FrameMsgBatch2; both decoders
+// stay live for rollback.
+const Version uint32 = 2
+
+// MinVersion is the oldest wire-protocol version this build interoperates
+// with.
+const MinVersion uint32 = 1
 
 // MaxFrame bounds a frame's payload so a corrupt length prefix cannot make
 // a reader allocate unbounded memory. Handshake frames carry whole shard
@@ -88,6 +97,12 @@ const (
 	FrameAbort
 	// FrameGoodbye is coordinator → worker: session over, exit cleanly.
 	FrameGoodbye
+	// FrameMsgBatch2 is the version-2 compacted form of FrameMsgBatch
+	// (worker → worker), used only in sessions negotiated at WireVersion
+	// >= 2: messages are sorted by target and field columns are
+	// delta-varint encoded, with superseded offers elided (see
+	// AppendMsgBatch2).
+	FrameMsgBatch2
 )
 
 // Collective operations carried by FrameColl. They mirror
@@ -461,6 +476,213 @@ func DecodeMsgBatch(body []byte, buf []rt.Msg) (dest int, msgs []rt.Msg, err err
 			return 0, nil, d.err
 		}
 		msgs = append(msgs, m)
+	}
+	if err := d.finish(); err != nil {
+		return 0, nil, err
+	}
+	return dest, msgs, nil
+}
+
+// MsgBatchSize1 returns the exact FrameMsgBatch payload size for the batch —
+// the byte cost the v1 layout would pay. The transport uses it to account
+// compaction savings when it encodes the same batch as a FrameMsgBatch2.
+func MsgBatchSize1(dest int, msgs []rt.Msg) int {
+	n := 1 + uvarintLen(uint64(dest)) + uvarintLen(uint64(len(msgs)))
+	for _, m := range msgs {
+		n += uvarintLen(uint64(uint32(m.Target))) +
+			uvarintLen(uint64(uint32(m.From))) +
+			uvarintLen(uint64(uint32(m.Seed))) +
+			uvarintLen(uint64(m.Dist)) + 1
+	}
+	return n
+}
+
+// uvarintLen returns the LEB128-encoded size of x.
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// zigzag maps a signed delta onto the unsigned varint space (as
+// binary.AppendVarint does, without the append).
+func zigzag(x int64) uint64 { return uint64(x<<1) ^ uint64(x>>63) }
+
+// AppendMsgBatch2 appends a FrameMsgBatch2 payload: the compacted v2 form
+// of a visitor-message batch. The batch is sorted by (Target, From, Kind,
+// Dist, Seed) — delivery order within a batch carries no meaning (pinned by
+// the shuffle-delivery property tests) — then encoded columnar: an
+// ascending-delta target column, zigzag-delta seed and dist columns, a
+// from column as the delta against the same row's target (offers mostly
+// come from a vertex near the one they relax), and a kind column that
+// collapses to a single byte when uniform.
+//
+// Superseded offers are elided: a message is dropped iff an earlier message
+// in the sorted batch has the same (Target, From, Kind) and a strictly
+// lexicographically smaller (Dist, Seed). The visitor contract makes
+// elision unobservable — offer adoption is a monotone lexicographic
+// tie-break, so a strictly dominated offer can neither be installed at the
+// fixed point nor send anything a dominating offer's relaxation would not —
+// and ties are always kept, preserving the (dist, src) tie-send rule.
+// The returned elided count must be folded back into termination detection
+// by the caller (the messages were counted as sent but never cross the
+// wire).
+//
+// AppendMsgBatch2 reorders and compacts msgs in place; callers hand over
+// ownership of the batch (as Transport.Deliver already does).
+func AppendMsgBatch2(dst []byte, dest int, msgs []rt.Msg) (out []byte, elided int) {
+	sortMsgs(msgs)
+	// Compact in place: within a (Target, From, Kind) group — adjacent
+	// after the sort, ascending in (Dist, Seed) — every survivor ties the
+	// group minimum, so comparing against the last survivor eliminates
+	// exactly the strictly dominated messages.
+	kept := 0
+	uniformKind := true
+	for i := range msgs {
+		if kept > 0 {
+			p := &msgs[kept-1]
+			m := &msgs[i]
+			if m.Target == p.Target && m.From == p.From && m.Kind == p.Kind &&
+				(m.Dist != p.Dist || m.Seed != p.Seed) {
+				continue
+			}
+			if m.Kind != msgs[0].Kind {
+				uniformKind = false
+			}
+		}
+		msgs[kept] = msgs[i]
+		kept++
+	}
+	elided = len(msgs) - kept
+	msgs = msgs[:kept]
+
+	dst = append(dst, FrameMsgBatch2)
+	dst = binary.AppendUvarint(dst, uint64(dest))
+	dst = binary.AppendUvarint(dst, uint64(kept))
+	if uniformKind {
+		kind0 := uint8(0)
+		if kept > 0 {
+			kind0 = msgs[0].Kind
+		}
+		dst = append(dst, 1, kind0)
+	} else {
+		dst = append(dst, 0)
+	}
+	// Target column: first absolute, then ascending deltas.
+	prev := uint64(0)
+	for i, m := range msgs {
+		t := uint64(uint32(m.Target))
+		if i == 0 {
+			dst = binary.AppendUvarint(dst, t)
+		} else {
+			dst = binary.AppendUvarint(dst, t-prev)
+		}
+		prev = t
+	}
+	// Seed column: zigzag deltas from the previous seed.
+	prevS := int64(0)
+	for _, m := range msgs {
+		s := int64(int32(m.Seed))
+		dst = binary.AppendUvarint(dst, zigzag(s-prevS))
+		prevS = s
+	}
+	// From column: zigzag delta against the same row's target.
+	for _, m := range msgs {
+		dst = binary.AppendUvarint(dst, zigzag(int64(int32(m.From))-int64(int32(m.Target))))
+	}
+	// Dist column: zigzag deltas from the previous dist.
+	prevD := int64(0)
+	for _, m := range msgs {
+		x := int64(m.Dist)
+		dst = binary.AppendUvarint(dst, zigzag(x-prevD))
+		prevD = x
+	}
+	if !uniformKind {
+		for _, m := range msgs {
+			dst = append(dst, m.Kind)
+		}
+	}
+	return dst, elided
+}
+
+// sortMsgs orders a batch by (Target, From, Kind, Dist, Seed) — the v2
+// column layout's order, chosen so dominated offers become adjacent.
+func sortMsgs(msgs []rt.Msg) {
+	slices.SortFunc(msgs, func(a, b rt.Msg) int {
+		if a.Target != b.Target {
+			return int(a.Target) - int(b.Target)
+		}
+		if a.From != b.From {
+			return int(a.From) - int(b.From)
+		}
+		if a.Kind != b.Kind {
+			return int(a.Kind) - int(b.Kind)
+		}
+		if a.Dist != b.Dist {
+			if a.Dist < b.Dist {
+				return -1
+			}
+			return 1
+		}
+		return int(a.Seed) - int(b.Seed)
+	})
+}
+
+// DecodeMsgBatch2 decodes a FrameMsgBatch2 body into buf (reused when it
+// has capacity), returning the destination rank and the batch.
+func DecodeMsgBatch2(body []byte, buf []rt.Msg) (dest int, msgs []rt.Msg, err error) {
+	d := NewDec(body)
+	dest = d.Int()
+	n := d.count(4, "msg batch2") // ≥ 4 column bytes per message
+	uniform := d.Bool()
+	var kind uint8
+	if uniform {
+		kind = d.Byte()
+	}
+	if d.err != nil {
+		return 0, nil, d.err
+	}
+	if cap(buf) < n {
+		buf = make([]rt.Msg, 0, n)
+	}
+	msgs = buf[:n]
+	prev := uint64(0)
+	for i := 0; i < n; i++ {
+		delta := d.Uvarint()
+		if i == 0 {
+			prev = delta
+		} else {
+			prev += delta
+		}
+		if prev > math.MaxUint32 {
+			d.err = fmt.Errorf("%w: msg batch2 target overflow", ErrCorrupt)
+		}
+		msgs[i].Target = graph.VID(int32(uint32(prev)))
+	}
+	prevS := int64(0)
+	for i := 0; i < n; i++ {
+		prevS += d.Varint()
+		msgs[i].Seed = graph.VID(int32(prevS))
+	}
+	for i := 0; i < n; i++ {
+		msgs[i].From = graph.VID(int32(int64(int32(msgs[i].Target)) + d.Varint()))
+	}
+	prevD := int64(0)
+	for i := 0; i < n; i++ {
+		prevD += d.Varint()
+		msgs[i].Dist = graph.Dist(prevD)
+	}
+	if uniform {
+		for i := 0; i < n; i++ {
+			msgs[i].Kind = kind
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			msgs[i].Kind = d.Byte()
+		}
 	}
 	if err := d.finish(); err != nil {
 		return 0, nil, err

@@ -200,6 +200,7 @@ func TestHandshakeRoundTrip(t *testing.T) {
 			StripeWeights: []uint32{1, 2, 3},
 			Mirrored:      []graph.VID{99},
 		}},
+		WireVersion: 2,
 	}
 	gotSetup, err := DecodeSetup(EncodeSetup(nil, setup)[1:])
 	if err != nil {
@@ -207,6 +208,20 @@ func TestHandshakeRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(gotSetup, setup) {
 		t.Fatalf("setup round trip:\n got %+v\nwant %+v", gotSetup, setup)
+	}
+
+	// A v1 Setup has no trailing version field; decode must default to 1,
+	// and the v1 encoding must be byte-identical to what a v1 coordinator
+	// would emit (no trailing bytes).
+	setup.WireVersion = 1
+	v1Body := EncodeSetup(nil, setup)[1:]
+	gotV1Setup, err := DecodeSetup(v1Body)
+	if err != nil || gotV1Setup.WireVersion != 1 {
+		t.Fatalf("v1 setup decode: ver=%d err=%v", gotV1Setup.WireVersion, err)
+	}
+	setup.WireVersion = 2
+	if len(EncodeSetup(nil, setup))-len(v1Body) != 2 {
+		t.Fatalf("v2 setup should add exactly the frame byte + 1 version byte")
 	}
 
 	r := Ready{ShardBytes: 12345, StateBytes: 678}
@@ -309,7 +324,7 @@ func TestSolveRoundTrip(t *testing.T) {
 			CollectiveChunks: 1,
 		},
 	}
-	gotDone, err := DecodeWorkerDone(EncodeWorkerDone(nil, done)[1:])
+	gotDone, err := DecodeWorkerDone(EncodeWorkerDone(nil, done, 1)[1:])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,9 +332,26 @@ func TestSolveRoundTrip(t *testing.T) {
 		t.Fatalf("worker done:\n got %+v\nwant %+v", gotDone, done)
 	}
 
+	// v2 sessions carry the outbox counters and extended net stats in a
+	// trailing block; a v1 encode of the same struct must drop them.
+	done.Batched = 17
+	done.Coalesced = 40
+	done.Net.CompactionSavedBytes = 512
+	done.Net.FlushesSmall = 3
+	done.Net.FlushesMid = 2
+	done.Net.FlushesLarge = 1
+	gotV2, err := DecodeWorkerDone(EncodeWorkerDone(nil, done, 2)[1:])
+	if err != nil || !reflect.DeepEqual(gotV2, done) {
+		t.Fatalf("worker done v2:\n got %+v\nwant %+v (%v)", gotV2, done, err)
+	}
+	gotV1, err := DecodeWorkerDone(EncodeWorkerDone(nil, done, 1)[1:])
+	if err != nil || gotV1.Batched != 0 || gotV1.Coalesced != 0 || gotV1.Net.CompactionSavedBytes != 0 {
+		t.Fatalf("worker done v1 must drop v2 tail: %+v (%v)", gotV1, err)
+	}
+
 	// Error form without a result.
 	fail := WorkerDone{QueryID: 56, Err: "core: seeds span 2 connected components", TableLens: []int64{0}}
-	gotFail, err := DecodeWorkerDone(EncodeWorkerDone(nil, fail)[1:])
+	gotFail, err := DecodeWorkerDone(EncodeWorkerDone(nil, fail, 1)[1:])
 	if err != nil || !reflect.DeepEqual(gotFail, fail) {
 		t.Fatalf("worker done (err): %+v %v", gotFail, err)
 	}
@@ -372,7 +404,7 @@ func TestDecodersRejectTruncation(t *testing.T) {
 		"solve": {EncodeSolve(nil, Solve{QueryID: 1, Seeds: []graph.VID{1, 2}})[1:],
 			func(b []byte) error { _, err := DecodeSolve(b); return err }},
 		"done": {EncodeWorkerDone(nil, WorkerDone{QueryID: 1, TableLens: []int64{1}, HasResult: true,
-			Result: SolveResult{Tree: []EdgeRec{{U: 1, V: 2, W: 3}}, Phases: []PhaseRec{{Name: "p"}}}})[1:],
+			Result: SolveResult{Tree: []EdgeRec{{U: 1, V: 2, W: 3}}, Phases: []PhaseRec{{Name: "p"}}}}, 1)[1:],
 			func(b []byte) error { _, err := DecodeWorkerDone(b); return err }},
 		"batch": {AppendMsgBatch(nil, 1, []rt.Msg{{Target: 5, Dist: 7}})[1:],
 			func(b []byte) error { _, _, err := DecodeMsgBatch(b, nil); return err }},
