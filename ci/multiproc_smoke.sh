@@ -91,6 +91,28 @@ for seeds in "${QUERIES[@]}"; do
   echo "   seeds=$seeds OK ($(echo "$tcp_out" | jq -r .total) total distance)"
 done
 
+echo "== solving one forest and one prize query on both backends"
+# Mode queries go over POST /v1/solve; the TCP session negotiated wire v3,
+# so forest/prize specs cross the wire as SolveSpec frames. Compare the
+# full mode output: group subtrees, skipped set, penalties, objective.
+MODE_QUERIES=(
+  '{"mode":"forest","groups":[[1,2,3],[5,9],[20,21]]}'
+  '{"mode":"prize","seeds":[0,7,32],"penalties":[4,100000,100000]}'
+)
+for body in "${MODE_QUERIES[@]}"; do
+  mode=$(echo "$body" | jq -r .mode)
+  tcp_out=$(curl -fsS -d "$body" "http://$TCP_HTTP/v1/solve" |
+    jq -S '{seeds, edges, total, steinerVertices, mode, groups, groupEdges, skipped, paidPenalty, objective}')
+  inproc_out=$(curl -fsS -d "$body" "http://$INPROC_HTTP/v1/solve" |
+    jq -S '{seeds, edges, total, steinerVertices, mode, groups, groupEdges, skipped, paidPenalty, objective}')
+  if [ "$tcp_out" != "$inproc_out" ]; then
+    echo "FAIL: $mode query differs between backends" >&2
+    diff <(echo "$inproc_out") <(echo "$tcp_out") >&2 || true
+    exit 1
+  fi
+  echo "   mode=$mode OK (objective $(echo "$tcp_out" | jq -r .objective))"
+done
+
 echo "== checking transport counters"
 stats=$(curl -fsS "http://$TCP_HTTP/stats")
 bytes_out=$(echo "$stats" | jq -r .transport.bytesOut)

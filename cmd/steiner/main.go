@@ -42,6 +42,9 @@ func main() {
 		dotFile   = flag.String("dot", "", "write the tree as Graphviz DOT")
 		edges     = flag.Bool("edges", false, "print every tree edge")
 		compare   = flag.Bool("compare", false, "also run KMB/Mehlhorn/WWW and (|S|<=12) the exact solver")
+		mode      = flag.String("mode", "tree", "query mode: tree | forest | prize")
+		groups    = flag.String("groups", "", `forest terminal groups as ";"-separated seed lists (e.g. "1,2;7,9")`)
+		penalties = flag.String("penalties", "", "prize per-seed penalties, comma-separated, parallel to -seeds")
 	)
 	flag.Parse()
 
@@ -59,16 +62,39 @@ func main() {
 	fmt.Printf("graph: |V|=%d 2|E|=%d weights=[%s]\n",
 		g.NumVertices(), g.NumArcs(), weightRange(g))
 
+	qmode, err := dsteiner.ParseMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+	spec := dsteiner.QuerySpec{Mode: qmode}
 	var seedSet []dsteiner.VID
-	if len(stpTerminals) > 0 && *seedsFlag == "" && *k == 0 {
-		seedSet = stpTerminals // the instance's own terminal set
+	if qmode == dsteiner.ModeForest {
+		spec.Groups, err = parseGroups(*groups)
+		if err != nil {
+			fatal(err)
+		}
+		for _, grp := range spec.Groups {
+			seedSet = append(seedSet, grp...)
+		}
+		fmt.Printf("seeds: |S|=%d in %d groups\n", len(seedSet), len(spec.Groups))
 	} else {
-		seedSet, err = resolveSeeds(g, *seedsFlag, *k, *strategy, *rngSeed)
+		if len(stpTerminals) > 0 && *seedsFlag == "" && *k == 0 {
+			seedSet = stpTerminals // the instance's own terminal set
+		} else {
+			seedSet, err = resolveSeeds(g, *seedsFlag, *k, *strategy, *rngSeed)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		spec.Seeds = seedSet
+		fmt.Printf("seeds: |S|=%d\n", len(seedSet))
+	}
+	if qmode == dsteiner.ModePrize {
+		spec.Penalties, err = parsePenalties(*penalties)
 		if err != nil {
 			fatal(err)
 		}
 	}
-	fmt.Printf("seeds: |S|=%d\n", len(seedSet))
 
 	opts := dsteiner.Defaults(*ranks)
 	opts.Partition, err = dsteiner.ParsePartition(*partKind)
@@ -89,7 +115,7 @@ func main() {
 	opts.DelegateThreshold = *delegates
 
 	start := time.Now()
-	res, err := dsteiner.Solve(g, seedSet, opts)
+	res, err := dsteiner.SolveQuery(g, spec, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -97,6 +123,17 @@ func main() {
 
 	fmt.Printf("\nsteiner tree: %d edges, %d steiner vertices, D(G_S)=%d (%.3fs)\n",
 		len(res.Tree), res.SteinerVertices, res.TotalDistance, elapsed.Seconds())
+	switch qmode {
+	case dsteiner.ModeForest:
+		for gi, sub := range res.GroupTrees {
+			fmt.Printf("  group %d: %d terminals, %d edges, weight %d\n",
+				gi, len(res.Groups[gi]), len(sub), treeWeight(sub))
+		}
+	case dsteiner.ModePrize:
+		fmt.Printf("  kept %d/%d terminals, skipped %v, paid penalty %d, objective %d\n",
+			len(res.Seeds)-len(res.Skipped), len(res.Seeds), res.Skipped,
+			res.PaidPenalty, res.Objective)
+	}
 	t := tables.Table{
 		Title:  "Per-phase breakdown",
 		Header: []string{"Phase", "Time", "Sent", "Processed", "MaxRankWork"},
@@ -124,8 +161,58 @@ func main() {
 		fmt.Printf("wrote %s\n", *dotFile)
 	}
 	if *compare {
+		if qmode != dsteiner.ModeTree {
+			fatal(fmt.Errorf("-compare applies to tree mode only"))
+		}
 		runComparison(g, seedSet, res)
 	}
+}
+
+// parseGroups parses the -groups value: ";"-separated groups of
+// ","-separated vertex IDs.
+func parseGroups(s string) ([][]dsteiner.VID, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-mode forest needs -groups (e.g. -groups \"1,2;7,9\")")
+	}
+	var out [][]dsteiner.VID
+	for _, grpStr := range strings.Split(s, ";") {
+		var grp []dsteiner.VID
+		for _, part := range strings.Split(grpStr, ",") {
+			id, err := strconv.ParseInt(strings.TrimSpace(part), 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("bad group vertex %q: %w", part, err)
+			}
+			grp = append(grp, dsteiner.VID(id))
+		}
+		out = append(out, grp)
+	}
+	return out, nil
+}
+
+// parsePenalties parses the -penalties value: ","-separated non-negative
+// integers, parallel to the seed list.
+func parsePenalties(s string) ([]dsteiner.Dist, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-mode prize needs -penalties (one per seed)")
+	}
+	var out []dsteiner.Dist
+	for _, part := range strings.Split(s, ",") {
+		p, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad penalty %q: %w", part, err)
+		}
+		out = append(out, dsteiner.Dist(p))
+	}
+	return out, nil
+}
+
+// treeWeight sums an edge list's weights.
+func treeWeight(edges []dsteiner.Edge) dsteiner.Dist {
+	var total dsteiner.Dist
+	for _, e := range edges {
+		total += dsteiner.Dist(e.W)
+	}
+	return total
 }
 
 func loadSTP(path string) (*dsteiner.Graph, []dsteiner.VID, error) {

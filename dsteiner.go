@@ -88,7 +88,28 @@ type (
 	DatasetConfig = gen.Config
 	// BaselineTree is the output of the sequential baselines.
 	BaselineTree = baseline.Tree
+	// QuerySpec is a full query description — mode plus its terminal
+	// fields — accepted by SolveQuery and Engine.SolveSpec.
+	QuerySpec = core.QuerySpec
+	// Mode selects a query kind: ModeTree, ModeForest or ModePrize.
+	Mode = core.Mode
 )
+
+// Query modes (see docs/API.md for the per-mode semantics).
+const (
+	// ModeTree is the classic single Steiner tree spanning Seeds.
+	ModeTree = core.ModeTree
+	// ModeForest solves Steiner Forest: one tree per terminal group in
+	// Groups, each internally connected, no edge bridging two groups.
+	ModeForest = core.ModeForest
+	// ModePrize solves prize-collecting Steiner tree: each seed carries a
+	// penalty the solver may pay to leave it unconnected, minimizing tree
+	// cost plus paid penalties.
+	ModePrize = core.ModePrize
+)
+
+// ParseMode maps "tree" (or ""), "forest" or "prize" to its Mode.
+func ParseMode(s string) (Mode, error) { return core.ParseMode(s) }
 
 // Queue disciplines (see the paper's §IV and the Fig. 5/6 ablation).
 const (
@@ -164,6 +185,14 @@ func Defaults(ranks int) Options { return core.Default(ranks) }
 // callers should hold an Engine (see NewEngine) instead.
 func Solve(g *Graph, seedSet []VID, opts Options) (*Result, error) {
 	return core.Solve(g, seedSet, opts)
+}
+
+// SolveQuery is Solve generalized over query modes: it answers one
+// QuerySpec — tree, forest or prize — with a transient engine. Tree-mode
+// specs behave exactly like Solve. For repeated queries use NewEngine and
+// Engine.SolveSpec.
+func SolveQuery(g *Graph, spec QuerySpec, opts Options) (*Result, error) {
+	return core.SolveQuery(g, spec, opts)
 }
 
 // NewEngine builds a reusable solver session bound to g: repeated

@@ -167,9 +167,22 @@ func newClusterEngine(g *graph.Graph, opts Options) (*Engine, error) {
 // the Result the loopback path would have produced: the rank-0 worker's
 // solver output plus coordinator-side Steiner-vertex counting, memory
 // accounting and validation (the coordinator holds the full graph).
-func (cl *cluster) solve(e *Engine, dedup []graph.VID) (*Result, error) {
+func (cl *cluster) solve(e *Engine, cq canonQuery) (*Result, error) {
+	dedup := cq.dedup
 	cl.qid++
-	out, err := cl.hub.Solve(cl.qid, dedup)
+	var out transport.QueryOutcome
+	var err error
+	if cq.spec.Mode == ModeTree {
+		// Tree queries keep the legacy FrameSolve at every negotiated
+		// version, so v1/v2-pinned fleets serve them byte-identically.
+		out, err = cl.hub.Solve(cl.qid, dedup)
+	} else {
+		if v := cl.hub.WireVersion(); v < 3 {
+			return nil, fmt.Errorf("core: tcp backend: %s queries need a wire v3 session; this session negotiated v%d (tree queries still work)",
+				cq.spec.Mode, v)
+		}
+		out, err = cl.hub.SolveSpec(toWireSpec(cl.qid, cq.spec))
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: tcp backend: %w", err)
 	}
@@ -180,18 +193,51 @@ func (cl *cluster) solve(e *Engine, dedup []graph.VID) (*Result, error) {
 		return nil, fmt.Errorf("core: tcp backend: no worker reported the rank-0 result")
 	}
 	res := fromWireResult(out.Result, dedup)
+	res.Skipped = out.Skipped
 	res.SuppressedBroadcasts = out.Suppressed
 	res.BatchedBroadcasts = out.Batched
 	res.CoalescedBroadcasts = out.Coalesced
 	res.Net = transport.FromNetStats(out.Net)
 	res.SteinerVertices = countSteinerVertices(res.Tree, dedup)
 	res.Memory = memoryStatsFromLens(e.g, cl.shard.ShardBytes, cl.stateBytes, out.TableLens, res, e.opts)
-	if !e.opts.SkipValidation {
-		if err := graph.ValidateSteinerTree(e.g, dedup, res.Tree); err != nil {
-			return nil, fmt.Errorf("core: internal error, invalid output: %w", err)
-		}
+	if err := finalizeResult(e.g, cq, res, e.opts.SkipValidation); err != nil {
+		return nil, err
 	}
 	return res, nil
+}
+
+// toWireSpec converts a canonical QuerySpec to its wire form.
+func toWireSpec(qid uint64, spec QuerySpec) wire.SolveSpec {
+	ws := wire.SolveSpec{
+		QueryID: qid,
+		Mode:    uint8(spec.Mode),
+		Seeds:   spec.Seeds,
+		Groups:  spec.Groups,
+	}
+	if len(spec.Penalties) > 0 {
+		ws.Penalties = make([]int64, len(spec.Penalties))
+		for i, p := range spec.Penalties {
+			ws.Penalties[i] = int64(p)
+		}
+	}
+	return ws
+}
+
+// specFromWire converts a wire SolveSpec back to the core QuerySpec the
+// coordinator encoded (already canonical).
+func specFromWire(ws wire.SolveSpec) QuerySpec {
+	spec := QuerySpec{
+		Mode:   Mode(ws.Mode),
+		Seeds:  ws.Seeds,
+		Groups: ws.Groups,
+	}
+	if len(ws.Penalties) > 0 {
+		spec.Penalties = make([]graph.Dist, len(ws.Penalties))
+		for i, p := range ws.Penalties {
+			spec.Penalties[i] = graph.Dist(p)
+		}
+	}
+	return spec
 }
 
 // close tears the worker session down.

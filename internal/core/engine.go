@@ -293,13 +293,23 @@ func canonSeedSet(n int, seeds []graph.VID, seen map[graph.VID]bool) ([]graph.VI
 // an error is returned. Results are identical to a cold Solve with the same
 // options and seeds.
 func (e *Engine) Solve(seeds []graph.VID) (*Result, error) {
+	return e.SolveSpec(TreeSpec(seeds))
+}
+
+// SolveSpec answers one QuerySpec — tree, forest or prize — on the
+// resident graph. The spec is validated and canonicalized first (see
+// CanonicalSpec); tree-mode specs behave exactly like Solve. On the TCP
+// backend, forest and prize queries need a wire v3 session — against a
+// v1/v2-pinned fleet they fail with an error while tree queries keep
+// working.
+func (e *Engine) SolveSpec(spec QuerySpec) (*Result, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	dedup, err := canonSeedSet(e.g.NumVertices(), seeds, e.seen)
+	cq, err := canonSpec(e.g.NumVertices(), spec, e.seen)
 	if err != nil {
 		return nil, err
 	}
-	return e.solveCanonLocked(dedup)
+	return e.solveCanonLocked(cq)
 }
 
 // BatchItem is one query's outcome within a SolveBatch call. Items succeed
@@ -318,20 +328,31 @@ type BatchItem struct {
 // between items: once it is cancelled the remaining items fail with its
 // error instead of pinning the engine on work nobody will read.
 func (e *Engine) SolveBatch(ctx context.Context, seedSets [][]graph.VID) []BatchItem {
-	out := make([]BatchItem, len(seedSets))
+	specs := make([]QuerySpec, len(seedSets))
+	for i, seeds := range seedSets {
+		specs[i] = TreeSpec(seeds)
+	}
+	return e.SolveSpecBatch(ctx, specs)
+}
+
+// SolveSpecBatch is SolveBatch over full QuerySpecs: each spec — any mix of
+// tree, forest and prize queries — is solved in order under one pass
+// through the engine's internal serialization.
+func (e *Engine) SolveSpecBatch(ctx context.Context, specs []QuerySpec) []BatchItem {
+	out := make([]BatchItem, len(specs))
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	for i, seeds := range seedSets {
+	for i, spec := range specs {
 		if err := ctx.Err(); err != nil {
 			out[i].Err = err
 			continue
 		}
-		dedup, err := canonSeedSet(e.g.NumVertices(), seeds, e.seen)
+		cq, err := canonSpec(e.g.NumVertices(), spec, e.seen)
 		if err != nil {
 			out[i].Err = err
 			continue
 		}
-		out[i].Result, out[i].Err = e.solveCanonLocked(dedup)
+		out[i].Result, out[i].Err = e.solveCanonLocked(cq)
 	}
 	return out
 }
@@ -345,15 +366,19 @@ func ValidateSeedSet(n int, seeds []graph.VID) error {
 	return err
 }
 
-// solveCanonLocked runs the six solver phases for a validated, sorted,
-// duplicate-free seed set. The caller holds e.mu.
-func (e *Engine) solveCanonLocked(dedup []graph.VID) (*Result, error) {
-	res := &Result{Seeds: dedup}
+// solveCanonLocked runs the six solver phases for a validated canonical
+// query. The caller holds e.mu.
+func (e *Engine) solveCanonLocked(cq canonQuery) (*Result, error) {
+	dedup := cq.dedup
+	res := &Result{Seeds: dedup, Mode: cq.spec.Mode}
 	if len(dedup) == 1 {
+		if err := finalizeResult(e.g, cq, res, e.opts.SkipValidation); err != nil {
+			return nil, err
+		}
 		return res, nil
 	}
 	if e.cluster != nil {
-		return e.cluster.solve(e, dedup)
+		return e.cluster.solve(e, cq)
 	}
 
 	g, opts := e.g, e.opts
@@ -379,6 +404,10 @@ func (e *Engine) solveCanonLocked(dedup []graph.VID) (*Result, error) {
 		comm:      e.comm,
 		dedup:     dedup,
 		seedIdx:   e.seedIdx,
+		mode:      cq.spec.Mode,
+		groupOf:   cq.groupOf,
+		numGroups: len(cq.spec.Groups),
+		penalty:   cq.penalty,
 		res:       res,
 		localENs:  e.localENs,
 		pruneds:   e.pruneds,
@@ -399,10 +428,8 @@ func (e *Engine) solveCanonLocked(dedup []graph.VID) (*Result, error) {
 
 	res.SteinerVertices = countSteinerVertices(res.Tree, dedup)
 	res.Memory = memoryStats(g, e.ShardStats().ShardBytes, e.stateBytes(), e.localENs, res, opts)
-	if !opts.SkipValidation {
-		if err := graph.ValidateSteinerTree(g, dedup, res.Tree); err != nil {
-			return nil, fmt.Errorf("core: internal error, invalid output: %w", err)
-		}
+	if err := finalizeResult(g, cq, res, opts.SkipValidation); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"sort"
+
+	"dsteiner/internal/graph"
+	"dsteiner/internal/mst"
+)
+
+// prizePlan decides which terminals a prize-mode query connects and which
+// it pays to skip. It runs over the replicated merged distance graph G'_1
+// (the same table phase 4 feeds to the MST), so like the sequential MST it
+// executes identically on every rank — loopback or rankd — with no extra
+// communication: all arithmetic is integral and every tie-break is by a
+// fixed enumeration order.
+//
+// The pass is the unrooted Goemans–Williamson primal-dual scheme (cf.
+// Saikia & Karmakar, arXiv:1710.07040): every terminal starts as its own
+// active moat with dual budget equal to its penalty; moats grow uniformly,
+// merge when a distance-graph edge goes tight, and deactivate when their
+// pooled budget is exhausted. Growth stops when at most one active moat
+// remains. The laminar family of every component the growth ever forms —
+// singletons included, plus the full terminal set — is then evaluated
+// exactly (restricted-MST cost + penalties of the excluded terminals) and
+// the cheapest feasible subset wins. Singleton subsets are always feasible,
+// so the plan always keeps at least one terminal.
+//
+// edges carries dense terminal indices (0..nT-1); penalty is parallel to
+// the dense ordering. The returned slice marks kept terminals.
+func prizePlan(nT int, edges []mst.WEdge, penalty []graph.Dist) []bool {
+	keep := make([]bool, nT)
+	if nT == 0 {
+		return keep
+	}
+
+	// Moat state. All dual quantities are doubled (suffix 2) so event
+	// times with closing speed 2 stay integral; candidate event times are
+	// compared as exact rationals num/den with den in {1, 2}.
+	parent := make([]int32, nT)
+	budget2 := make([]int64, nT) // remaining pooled budget of the root's moat
+	active := make([]bool, nT)
+	members := make([][]int32, nT)
+	y2 := make([]int64, nT) // total dual accumulated around each terminal
+	activeCount := 0
+	for i := 0; i < nT; i++ {
+		parent[i] = int32(i)
+		budget2[i] = 2 * int64(penalty[i])
+		active[i] = budget2[i] > 0
+		if active[i] {
+			activeCount++
+		}
+		members[i] = []int32{int32(i)}
+	}
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+
+	candidates := make([][]int32, 0, 2*nT+1)
+	for i := 0; i < nT; i++ {
+		candidates = append(candidates, members[i])
+	}
+
+	sorted := make([]mst.WEdge, len(edges))
+	copy(sorted, edges)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.W != b.W {
+			return a.W < b.W
+		}
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	})
+
+	for activeCount >= 2 {
+		// Earliest event: an inter-moat edge going tight, or an active
+		// moat exhausting its budget. First strictly-smaller time in
+		// enumeration order wins, keeping the run deterministic.
+		const none = -1
+		bestNum, bestDen := int64(0), int64(0)
+		bestEdge, bestComp := none, int32(none)
+		better := func(num, den int64) bool {
+			return bestDen == 0 || num*bestDen < bestNum*den
+		}
+		for ei, e := range sorted {
+			ru, rv := find(e.U), find(e.V)
+			if ru == rv {
+				continue
+			}
+			speed := int64(0)
+			if active[ru] {
+				speed++
+			}
+			if active[rv] {
+				speed++
+			}
+			if speed == 0 {
+				continue
+			}
+			slack2 := 2*int64(e.W) - y2[e.U] - y2[e.V]
+			if slack2 < 0 {
+				slack2 = 0
+			}
+			if better(slack2, speed) {
+				bestNum, bestDen, bestEdge, bestComp = slack2, speed, ei, none
+			}
+		}
+		seen := make(map[int32]bool, activeCount)
+		for i := int32(0); int(i) < nT; i++ {
+			r := find(i)
+			if !active[r] || seen[r] {
+				continue
+			}
+			seen[r] = true
+			if better(budget2[r], 2) {
+				bestNum, bestDen, bestEdge, bestComp = budget2[r], 2, none, r
+			}
+		}
+		if bestDen == 0 {
+			break
+		}
+
+		// Advance every active moat to the event: dy2 = 2*num/den is
+		// integral because den is 1 or 2.
+		dy2 := 2 * bestNum / bestDen
+		if dy2 > 0 {
+			for v := int32(0); int(v) < nT; v++ {
+				if active[find(v)] {
+					y2[v] += dy2
+				}
+			}
+			for r := range seen {
+				budget2[r] -= dy2
+			}
+		}
+
+		if bestEdge != none {
+			e := sorted[bestEdge]
+			ru, rv := find(e.U), find(e.V)
+			wasActive := 0
+			if active[ru] {
+				wasActive++
+			}
+			if active[rv] {
+				wasActive++
+			}
+			parent[rv] = ru
+			budget2[ru] += budget2[rv]
+			merged := make([]int32, 0, len(members[ru])+len(members[rv]))
+			merged = append(append(merged, members[ru]...), members[rv]...)
+			sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+			members[ru] = merged
+			active[ru] = budget2[ru] > 0
+			activeCount -= wasActive
+			if active[ru] {
+				activeCount++
+			}
+			candidates = append(candidates, merged)
+		} else {
+			active[bestComp] = false
+			budget2[bestComp] = 0
+			activeCount--
+		}
+	}
+
+	full := make([]int32, nT)
+	for i := range full {
+		full[i] = int32(i)
+	}
+	candidates = append(candidates, full)
+
+	// Selection: exact objective per candidate subset — restricted-MST
+	// cost plus the penalties of everything outside it. Subsets the
+	// distance graph cannot span are infeasible and skipped.
+	totalPen := int64(0)
+	for _, p := range penalty {
+		totalPen += int64(p)
+	}
+	inK := make([]bool, nT)
+	uf := make([]int32, nT)
+	var bestSet []int32
+	bestObj := int64(0)
+	for _, cand := range candidates {
+		cost, ok := restrictedMSTCost(sorted, cand, inK, uf)
+		if !ok {
+			continue
+		}
+		pen := totalPen
+		for _, i := range cand {
+			pen -= int64(penalty[i])
+		}
+		obj := cost + pen
+		if bestSet == nil || obj < bestObj {
+			bestObj, bestSet = obj, cand
+		}
+	}
+	for _, i := range bestSet {
+		keep[i] = true
+	}
+	return keep
+}
+
+// restrictedMSTCost runs Kruskal over the weight-sorted distance-graph
+// edges restricted to the candidate subset. Reports the spanning cost, or
+// ok=false when the subset is not connected in the distance graph. inK and
+// uf are caller-provided scratch sized to the full terminal count.
+func restrictedMSTCost(sorted []mst.WEdge, cand []int32, inK []bool, uf []int32) (int64, bool) {
+	if len(cand) == 1 {
+		return 0, true
+	}
+	for i := range inK {
+		inK[i] = false
+	}
+	for _, i := range cand {
+		inK[i] = true
+		uf[i] = i
+	}
+	find := func(x int32) int32 {
+		for uf[x] != x {
+			uf[x] = uf[uf[x]]
+			x = uf[x]
+		}
+		return x
+	}
+	cost, joined := int64(0), 0
+	for _, e := range sorted {
+		if !inK[e.U] || !inK[e.V] {
+			continue
+		}
+		ru, rv := find(e.U), find(e.V)
+		if ru == rv {
+			continue
+		}
+		uf[ru] = rv
+		cost += int64(e.W)
+		joined++
+		if joined == len(cand)-1 {
+			return cost, true
+		}
+	}
+	return 0, false
+}

@@ -96,6 +96,25 @@ type Result struct {
 	// Net is the transport traffic attributable to this query, summed over
 	// the worker processes. All zero on the in-process loopback backend.
 	Net rt.TransportStats
+
+	// Mode is the query mode this result answers (ModeTree for plain
+	// Solve calls).
+	Mode Mode
+	// Groups echoes a forest query's canonical terminal groups, parallel
+	// to GroupTrees. Nil outside forest mode.
+	Groups [][]graph.VID
+	// GroupTrees splits a forest-mode Tree into per-group subtrees,
+	// parallel to Groups (a singleton group's entry is empty). Nil
+	// outside forest mode.
+	GroupTrees [][]graph.Edge
+	// Skipped lists the terminals a prize-mode query paid to leave out,
+	// sorted ascending. Nil outside prize mode.
+	Skipped []graph.VID
+	// PaidPenalty is the total penalty paid for Skipped terminals.
+	PaidPenalty graph.Dist
+	// Objective is the achieved objective value: TotalDistance for tree
+	// and forest queries, TotalDistance + PaidPenalty for prize queries.
+	Objective graph.Dist
 }
 
 // Clone returns a deep copy of res that shares no slices with the receiver.
@@ -116,6 +135,21 @@ func (res *Result) Clone() *Result {
 	}
 	if res.Phases != nil {
 		cp.Phases = append([]PhaseStat(nil), res.Phases...)
+	}
+	if res.Groups != nil {
+		cp.Groups = make([][]graph.VID, len(res.Groups))
+		for i, grp := range res.Groups {
+			cp.Groups[i] = append([]graph.VID(nil), grp...)
+		}
+	}
+	if res.GroupTrees != nil {
+		cp.GroupTrees = make([][]graph.Edge, len(res.GroupTrees))
+		for i, t := range res.GroupTrees {
+			cp.GroupTrees[i] = append([]graph.Edge(nil), t...)
+		}
+	}
+	if res.Skipped != nil {
+		cp.Skipped = append([]graph.VID(nil), res.Skipped...)
 	}
 	return &cp
 }

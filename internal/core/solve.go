@@ -86,6 +86,17 @@ func Solve(g *graph.Graph, seeds []graph.VID, opts Options) (*Result, error) {
 	return e.Solve(dedup)
 }
 
+// SolveQuery is the one-shot form of Engine.SolveSpec: it answers one
+// tree, forest or prize QuerySpec on a throwaway Engine.
+func SolveQuery(g *graph.Graph, spec QuerySpec, opts Options) (*Result, error) {
+	e, err := NewEngine(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	return e.SolveSpec(spec)
+}
+
 // countSteinerVertices counts tree vertices that are not seeds. seeds must
 // be sorted (Solve's dedup guarantees it). Sorted-slice dedup plus a merge
 // against the seed list keeps this map-free — on large trees the map

@@ -29,6 +29,14 @@ type solveEnv struct {
 	dedup   []graph.VID
 	seedIdx map[graph.VID]int32
 
+	// Mode-specific inputs, also identical on every process: the query
+	// mode, the dense-terminal→group map and group count (forest; nil/0
+	// otherwise) and the dense-terminal penalties (prize; nil otherwise).
+	mode      Mode
+	groupOf   []int32
+	numGroups int
+	penalty   []graph.Dist
+
 	// res is written by global rank 0 between barriers; only the process
 	// hosting rank 0 publishes it. err is rank 0's solve error.
 	res *Result
@@ -107,6 +115,12 @@ func (env *solveEnv) rankBody(r *rt.Rank) {
 	recordCandidate := func(u, v graph.VID, dv graph.Dist, srcV graph.VID) {
 		su := st.Src(u)
 		if su == graph.NilVID || srcV == graph.NilVID || su == srcV {
+			return
+		}
+		// Forest mode: a candidate joining cells of two different groups
+		// can never appear in any group's tree, so it is excluded here —
+		// the merged distance graph then holds intra-group edges only.
+		if env.groupOf != nil && env.groupOf[seedIdx[su]] != env.groupOf[seedIdx[srcV]] {
 			return
 		}
 		w, ok := edgeWeight(u, v) // u is always owned by this rank
@@ -212,6 +226,37 @@ func (env *solveEnv) rankBody(r *rt.Rank) {
 			s, t := unpackSeedKey(k)
 			wedges[i] = mst.WEdge{U: seedIdx[s], V: seedIdx[t], W: merged[k].D}
 		}
+		if r.ID() == 0 {
+			res.DistGraphEdges = len(wedges)
+		}
+
+		// Prize mode: the moat-growing plan (deterministic over the
+		// replicated table, hence identical on every rank) picks the kept
+		// subset; skipped terminals and their edges leave the MST input.
+		keptCount := len(dedup)
+		if env.mode == ModePrize {
+			keep := prizePlan(len(dedup), wedges, env.penalty)
+			kept := wedges[:0]
+			for _, we := range wedges {
+				if keep[we.U] && keep[we.V] {
+					kept = append(kept, we)
+				}
+			}
+			wedges = kept
+			keptCount = 0
+			var skipped []graph.VID
+			for i, k := range keep {
+				if k {
+					keptCount++
+				} else {
+					skipped = append(skipped, dedup[i])
+				}
+			}
+			if r.ID() == 0 {
+				res.Skipped = skipped
+			}
+		}
+
 		var forest mst.Result
 		switch opts.MST {
 		case MSTKruskal:
@@ -225,13 +270,27 @@ func (env *solveEnv) rankBody(r *rt.Rank) {
 		default:
 			forest = mst.Prim(len(dedup), wedges)
 		}
-		if r.ID() == 0 {
-			res.DistGraphEdges = len(wedges)
+
+		// Connectivity requirement by mode: one component spanning all
+		// terminals for tree, one per group for forest (the MST of the
+		// group-filtered table is a spanning forest with exactly one tree
+		// per group), one over the kept subset for prize.
+		want := keptCount - 1
+		if env.mode == ModeForest {
+			want = len(dedup) - env.numGroups
 		}
-		if len(forest.Edges) < len(dedup)-1 {
+		if len(forest.Edges) < want {
 			if r.ID() == 0 {
-				env.err = fmt.Errorf("core: seeds span %d connected components; Steiner tree requires one",
-					len(dedup)-len(forest.Edges))
+				switch env.mode {
+				case ModeForest:
+					env.err = forestDisconnectedErr(env.groupOf, env.numGroups, len(dedup), forest.Edges)
+				case ModePrize:
+					env.err = fmt.Errorf("core: internal error: prize kept set spans %d connected components",
+						keptCount-len(forest.Edges))
+				default:
+					env.err = fmt.Errorf("core: seeds span %d connected components; Steiner tree requires one",
+						len(dedup)-len(forest.Edges))
+				}
 			}
 			mstPairs = nil
 			return 0
@@ -335,6 +394,43 @@ func (env *solveEnv) rankBody(r *rt.Rank) {
 		res.Tree = sorted
 		res.TotalDistance = graph.TotalWeight(sorted)
 	}
+}
+
+// forestDisconnectedErr names the first forest group whose terminals the
+// group-filtered distance graph cannot connect.
+func forestDisconnectedErr(groupOf []int32, numGroups, nT int, edges []mst.WEdge) error {
+	uf := make([]int32, nT)
+	for i := range uf {
+		uf[i] = int32(i)
+	}
+	find := func(x int32) int32 {
+		for uf[x] != x {
+			uf[x] = uf[uf[x]]
+			x = uf[x]
+		}
+		return x
+	}
+	for _, e := range edges {
+		if ru, rv := find(e.U), find(e.V); ru != rv {
+			uf[ru] = rv
+		}
+	}
+	comps := make([]int, numGroups)
+	seen := make(map[int32]bool, nT)
+	for i := 0; i < nT; i++ {
+		r := find(int32(i))
+		if !seen[r] {
+			seen[r] = true
+			comps[groupOf[i]]++
+		}
+	}
+	for gi, c := range comps {
+		if c > 1 {
+			return fmt.Errorf("core: forest group %d spans %d connected components; each group must be connected",
+				gi, c)
+		}
+	}
+	return fmt.Errorf("core: forest groups are not all connected")
 }
 
 // mergeCrossTables merges the per-rank E_N tables into the globally-minimal

@@ -248,7 +248,7 @@ func (w *worker) serve(cfg WorkerConfig) error {
 	for ctl := range w.trans.Controls() {
 		switch ctl.Kind {
 		case transport.ControlSolve:
-			if err := w.solveQuery(ctl.Solve, cfg); err != nil {
+			if err := w.solveQuery(ctl.Spec, cfg); err != nil {
 				w.trans.SendAbort(err.Error())
 				return err
 			}
@@ -264,7 +264,11 @@ func (w *worker) serve(cfg WorkerConfig) error {
 
 // solveQuery runs the SPMD body for one query on the hosted ranks and
 // reports the worker's outcome (including rank 0's Result when hosted).
-func (w *worker) solveQuery(q wire.Solve, cfg WorkerConfig) (err error) {
+// The coordinator ships every query as a canonical SolveSpec — a legacy
+// FrameSolve arrives as a tree-mode spec — and the worker's deterministic
+// flattening reproduces the coordinator's dense terminal indices.
+func (w *worker) solveQuery(q wire.SolveSpec, cfg WorkerConfig) (err error) {
+	cq := flattenCanonical(specFromWire(q))
 	w.comm.ResetStateSlabs()
 	for rank := w.lo; rank < w.hi; rank++ {
 		clear(w.localENs[rank])
@@ -272,18 +276,22 @@ func (w *worker) solveQuery(q wire.Solve, cfg WorkerConfig) (err error) {
 		w.trees[rank] = w.trees[rank][:0]
 	}
 	clear(w.seedIdx)
-	for i, s := range q.Seeds {
+	for i, s := range cq.dedup {
 		w.seedIdx[s] = int32(i)
 	}
 	env := &solveEnv{
-		opts:     w.opts,
-		comm:     w.comm,
-		dedup:    q.Seeds,
-		seedIdx:  w.seedIdx,
-		res:      &Result{Seeds: q.Seeds},
-		localENs: w.localENs,
-		pruneds:  w.pruneds,
-		trees:    w.trees,
+		opts:      w.opts,
+		comm:      w.comm,
+		dedup:     cq.dedup,
+		seedIdx:   w.seedIdx,
+		mode:      cq.spec.Mode,
+		groupOf:   cq.groupOf,
+		numGroups: len(cq.spec.Groups),
+		penalty:   cq.penalty,
+		res:       &Result{Seeds: cq.dedup, Mode: cq.spec.Mode},
+		localENs:  w.localENs,
+		pruneds:   w.pruneds,
+		trees:     w.trees,
 	}
 	s0 := w.comm.Stats()
 	net0 := w.trans.NetStats()
@@ -325,6 +333,7 @@ func (w *worker) solveQuery(q wire.Solve, cfg WorkerConfig) (err error) {
 		} else {
 			done.HasResult = true
 			done.Result = toWireResult(env.res)
+			done.Skipped = env.res.Skipped
 		}
 	}
 	if err := w.trans.SendWorkerDone(done); err != nil {

@@ -4,24 +4,37 @@ import (
 	"container/list"
 	"context"
 	"encoding/binary"
-	"sort"
 	"sync"
 
 	"dsteiner/internal/core"
 	"dsteiner/internal/graph"
 )
 
-// cacheKey canonicalizes a terminal set into the solution-cache key: the
-// seeds sorted ascending and packed little-endian, so every permutation of
-// the same set maps to one entry. Seed sets reaching the cache are already
-// validated (in range, duplicate-free), which makes the sorted encoding a
-// bijection with the set itself.
-func cacheKey(seedSet []graph.VID) string {
-	sorted := append([]graph.VID(nil), seedSet...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	buf := make([]byte, 4*len(sorted))
-	for i, s := range sorted {
-		binary.LittleEndian.PutUint32(buf[4*i:], uint32(s))
+// specKey packs an already-canonical QuerySpec (core.CanonicalSpec) into
+// the solution-cache key. The mode leads the key, so queries of different
+// modes over the same vertex set can never collide; the remaining fields
+// are the canonical form's, which is a bijection with the query itself:
+//
+//	tree:   0x00 | seeds (sorted, LE uint32 each)
+//	forest: 0x01 | per group: uint32 length | members (sorted, LE uint32)
+//	prize:  0x02 | seeds (sorted, LE uint32) | penalties (co-sorted, LE uint64)
+func specKey(spec core.QuerySpec) string {
+	buf := []byte{byte(spec.Mode)}
+	putVIDs := func(vs []graph.VID) {
+		for _, v := range vs {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+		}
+	}
+	if spec.Mode == core.ModeForest {
+		for _, grp := range spec.Groups {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(grp)))
+			putVIDs(grp)
+		}
+	} else {
+		putVIDs(spec.Seeds)
+		for _, p := range spec.Penalties {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(p))
+		}
 	}
 	return string(buf)
 }

@@ -12,21 +12,66 @@ import (
 	"dsteiner/internal/graph"
 )
 
+// treeKey canonicalizes a seed set into its tree-mode cache key, the
+// pre-mode cacheKey equivalent.
+func treeKey(t *testing.T, seedSet []graph.VID) string {
+	t.Helper()
+	canonical, err := core.CanonicalSpec(100, core.TreeSpec(seedSet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return specKey(canonical)
+}
+
 func TestCacheKeyCanonicalization(t *testing.T) {
-	base := cacheKey([]graph.VID{1, 2, 3})
+	base := treeKey(t, []graph.VID{1, 2, 3})
 	for _, perm := range [][]graph.VID{{3, 1, 2}, {2, 3, 1}, {3, 2, 1}, {1, 3, 2}} {
-		if cacheKey(perm) != base {
+		if treeKey(t, perm) != base {
 			t.Fatalf("permutation %v maps to a different key", perm)
 		}
 	}
-	for _, other := range [][]graph.VID{{1, 2}, {1, 2, 4}, {1, 2, 3, 4}, {}} {
-		if cacheKey(other) == base {
+	for _, other := range [][]graph.VID{{1, 2}, {1, 2, 4}, {1, 2, 3, 4}} {
+		if treeKey(t, other) == base {
 			t.Fatalf("distinct set %v collides with {1,2,3}", other)
 		}
 	}
-	// The key must be the set's value, not its slice identity.
-	if cacheKey([]graph.VID{0}) == cacheKey([]graph.VID{}) {
-		t.Fatal("empty and single-seed keys collide")
+}
+
+// TestSpecKeyModesDistinct is the cache-correctness regression for query
+// modes: a forest query and a tree query over the same vertex set must get
+// distinct cache entries, as must prize queries differing only in
+// penalties.
+func TestSpecKeyModesDistinct(t *testing.T) {
+	canon := func(spec core.QuerySpec) string {
+		c, err := core.CanonicalSpec(100, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return specKey(c)
+	}
+	tree := canon(core.TreeSpec([]graph.VID{1, 2, 3, 4}))
+	forest := canon(core.QuerySpec{Mode: core.ModeForest, Groups: [][]graph.VID{{1, 2}, {3, 4}}})
+	forestOther := canon(core.QuerySpec{Mode: core.ModeForest, Groups: [][]graph.VID{{1, 3}, {2, 4}}})
+	prize := canon(core.QuerySpec{Mode: core.ModePrize, Seeds: []graph.VID{1, 2, 3, 4},
+		Penalties: []graph.Dist{5, 6, 7, 8}})
+	prizeOther := canon(core.QuerySpec{Mode: core.ModePrize, Seeds: []graph.VID{1, 2, 3, 4},
+		Penalties: []graph.Dist{5, 6, 7, 9}})
+	keys := map[string]string{"tree": tree, "forest": forest, "forest2": forestOther,
+		"prize": prize, "prize2": prizeOther}
+	for a, ka := range keys {
+		for b, kb := range keys {
+			if a != b && ka == kb {
+				t.Fatalf("%s and %s queries over the same vertex set share a cache key", a, b)
+			}
+		}
+	}
+	// Canonicalization still collapses equivalent specs of one mode.
+	if canon(core.QuerySpec{Mode: core.ModeForest, Groups: [][]graph.VID{{4, 3}, {2, 1}}}) != forest {
+		t.Fatal("equivalent forest specs map to different keys")
+	}
+	if canon(core.QuerySpec{Mode: core.ModePrize, Seeds: []graph.VID{4, 3, 2, 1},
+		Penalties: []graph.Dist{8, 7, 6, 5}}) != prize {
+		t.Fatal("equivalent prize specs map to different keys")
 	}
 }
 

@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"dsteiner/internal/core"
-	"dsteiner/internal/graph"
 )
 
 // The async job API decouples long solves from HTTP connections: POST
@@ -36,8 +35,8 @@ const (
 // job is one async query. Fields past the identity block are guarded by the
 // owning jobStore's mutex.
 type job struct {
-	id      string
-	seedSet []graph.VID
+	id   string
+	spec core.QuerySpec
 
 	state     jobState
 	res       *core.Result
@@ -89,9 +88,9 @@ func newJobStore(capacity int) *jobStore {
 	}
 }
 
-// submit registers a job for the seed set and enqueues it, or reports
+// submit registers a job for the query spec and enqueues it, or reports
 // ErrJobQueueFull / errJobsClosed without registering anything.
-func (js *jobStore) submit(seedSet []graph.VID) (string, error) {
+func (js *jobStore) submit(spec core.QuerySpec) (string, error) {
 	js.mu.Lock()
 	defer js.mu.Unlock()
 	if js.closed {
@@ -100,7 +99,7 @@ func (js *jobStore) submit(seedSet []graph.VID) (string, error) {
 	js.nextID++
 	j := &job{
 		id:        fmt.Sprintf("j%06d", js.nextID),
-		seedSet:   seedSet,
+		spec:      spec,
 		state:     jobQueued,
 		submitted: time.Now(),
 	}

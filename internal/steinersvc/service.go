@@ -163,6 +163,7 @@ func New(g *graph.Graph, opts core.Options, cfg Config) (*Service, error) {
 	}
 	s.mux.HandleFunc("/info", s.handleInfo)
 	s.mux.HandleFunc("/solve", s.handleSolve)
+	s.mux.HandleFunc("/v1/solve", s.handleSolveV1)
 	s.mux.HandleFunc("/solve/batch", s.handleSolveBatch)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	return s, nil
@@ -265,13 +266,26 @@ type InfoResponse struct {
 	StateSlabBytes int64 `json:"stateSlabBytes"`
 }
 
-// SolveRequest is the /solve request body. Exactly one of Seeds or K must
-// be set; Strategy defaults to BFS-level when K is used.
+// SolveRequest is the /solve and /v1/solve request body. Mode selects the
+// query kind (default "tree"); the terminal fields it uses are:
+//
+//   - tree: exactly one of Seeds or K (Strategy defaults to BFS-level when
+//     K is used);
+//   - forest: Groups, one slice of terminals per group;
+//   - prize: Seeds plus one Penalty per seed, parallel by index.
+//
+// Quality is reserved for future approximation tiers; only "" and "fast"
+// (the current solver) are accepted.
 type SolveRequest struct {
 	Seeds    []int32 `json:"seeds,omitempty"`
 	K        int     `json:"k,omitempty"`
 	Strategy string  `json:"strategy,omitempty"`
 	RNGSeed  int64   `json:"rngSeed,omitempty"`
+
+	Mode      string    `json:"mode,omitempty"`
+	Groups    [][]int32 `json:"groups,omitempty"`
+	Penalties []int64   `json:"penalties,omitempty"`
+	Quality   string    `json:"quality,omitempty"`
 }
 
 // TreeEdge is one Steiner tree edge.
@@ -288,9 +302,15 @@ type PhaseInfo struct {
 	Sent    int64   `json:"sent"`
 }
 
-// SolveResponse is the /solve reply. Cached reports whether the answer came
-// from the solution cache (including coalescing onto another request's
-// in-flight solve) rather than a dedicated engine solve.
+// SolveResponse is the /solve and /v1/solve reply. Cached reports whether
+// the answer came from the solution cache (including coalescing onto
+// another request's in-flight solve) rather than a dedicated engine solve.
+//
+// The mode block is present only on non-tree queries, so tree responses —
+// including every legacy endpoint's — are byte-identical to the pre-mode
+// API. Forest replies carry the canonical Groups and one GroupEdges slice
+// per group (partitioning Edges); prize replies carry the Skipped
+// terminals, the PaidPenalty total, and Objective = total + paidPenalty.
 type SolveResponse struct {
 	Seeds           []int32     `json:"seeds"`
 	Edges           []TreeEdge  `json:"edges"`
@@ -298,6 +318,50 @@ type SolveResponse struct {
 	SteinerVertices int         `json:"steinerVertices"`
 	Phases          []PhaseInfo `json:"phases"`
 	Cached          bool        `json:"cached,omitempty"`
+
+	Mode        string       `json:"mode,omitempty"`
+	Groups      [][]int32    `json:"groups,omitempty"`
+	GroupEdges  [][]TreeEdge `json:"groupEdges,omitempty"`
+	Skipped     []int32      `json:"skipped,omitempty"`
+	PaidPenalty int64        `json:"paidPenalty,omitempty"`
+	Objective   *int64       `json:"objective,omitempty"`
+}
+
+// ErrorResponse is the structured error body every endpoint returns on
+// failure: a stable machine-readable code plus a human-readable message.
+type ErrorResponse struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error codes. Each maps to exactly one HTTP status (see writeError's
+// callers): invalid_argument 400, not_found 404, method_not_allowed 405,
+// unsolvable 422, queue_full 429, unavailable 503.
+const (
+	CodeInvalidArgument  = "invalid_argument"
+	CodeNotFound         = "not_found"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeUnsolvable       = "unsolvable"
+	CodeQueueFull        = "queue_full"
+	CodeUnavailable      = "unavailable"
+)
+
+// writeError replies with the structured {code, message} error body.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSONStatus(w, status, ErrorResponse{Code: code, Message: msg})
+}
+
+// solveErrCode maps a solve-path HTTP status (solveErrStatus) to its error
+// code.
+func solveErrCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeInvalidArgument
+	case http.StatusServiceUnavailable:
+		return CodeUnavailable
+	default:
+		return CodeUnsolvable
+	}
 }
 
 // BatchRequest is the POST /solve/batch body: a slice of independent
@@ -448,7 +512,7 @@ type StatsResponse struct {
 
 func (s *Service) handleInfo(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
 		return
 	}
 	minW, maxW := s.g.WeightRange()
@@ -473,7 +537,7 @@ func (s *Service) handleInfo(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
 		return
 	}
 	st := &s.stats
@@ -612,18 +676,28 @@ func (s *Service) returnEngine(e *core.Engine) {
 	s.engines <- e
 }
 
-// solveCached is the shared query path for /solve and async jobs: canonical
-// cache key, single-flight coalescing, engine-pool solve on a miss. The
+// solveCached is the shared query path for /solve, /v1/solve and async
+// jobs: canonical cache key, single-flight coalescing, engine-pool solve on
+// a miss. The spec is canonicalized first, so the cache key covers the full
+// query — mode, sorted terminal groups, co-sorted penalties — and a forest
+// query can never collide with a tree query over the same vertex set. The
 // returned Result may be cache-shared: read-only.
-func (s *Service) solveCached(ctx context.Context, seedSet []graph.VID) (*core.Result, bool, error) {
-	key := cacheKey(seedSet)
+func (s *Service) solveCached(ctx context.Context, spec core.QuerySpec) (*core.Result, bool, error) {
+	canonical, err := core.CanonicalSpec(s.g.NumVertices(), spec)
+	if err != nil {
+		// Range and duplicate errors used to surface from the engine solve;
+		// keep counting them as failed queries now that they fail up front.
+		s.recordQuery(nil, 0, err)
+		return nil, false, err
+	}
+	key := specKey(canonical)
 	solve := func() (*core.Result, error) {
 		eng, err := s.acquire(ctx)
 		if err != nil {
 			return nil, err
 		}
 		start := time.Now()
-		res, err := eng.Solve(seedSet)
+		res, err := eng.SolveSpec(canonical)
 		s.recordQuery(res, time.Since(start), err)
 		s.returnEngine(eng)
 		return res, err
@@ -659,20 +733,50 @@ func solveErrStatus(err error) int {
 	}
 }
 
+// handleSolve serves the legacy /solve endpoint: a thin adapter that builds
+// a (tree-mode, unless the body says otherwise) QuerySpec and runs the same
+// cached solve path as /v1/solve. Successful tree responses are
+// byte-identical to the pre-mode API.
 func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 	req, err := parseSolveRequest(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, err.Error())
 		return
 	}
-	seedSet, err := s.resolveSeeds(req)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	s.serveSpec(w, r, req)
+}
+
+// handleSolveV1 serves POST /v1/solve, the mode-aware query endpoint:
+// {mode, groups|seeds, penalties, quality?} with mode defaulting to "tree".
+func (s *Service) handleSolveV1(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
 		return
 	}
-	res, cached, err := s.solveCached(r.Context(), seedSet)
+	var req SolveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, fmt.Sprintf("bad JSON body: %v", err))
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, err.Error())
+		return
+	}
+	s.serveSpec(w, r, req)
+}
+
+// serveSpec is the shared tail of /solve and /v1/solve: build the spec,
+// run the cached solve, reply.
+func (s *Service) serveSpec(w http.ResponseWriter, r *http.Request, req SolveRequest) {
+	spec, err := s.buildSpec(req)
 	if err != nil {
-		http.Error(w, err.Error(), solveErrStatus(err))
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, err.Error())
+		return
+	}
+	res, cached, err := s.solveCached(r.Context(), spec)
+	if err != nil {
+		status := solveErrStatus(err)
+		writeError(w, status, solveErrCode(status), err.Error())
 		return
 	}
 	resp := solveResponse(res)
@@ -682,30 +786,30 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
 		return
 	}
 	var req BatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, fmt.Sprintf("bad JSON body: %v", err), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, fmt.Sprintf("bad JSON body: %v", err))
 		return
 	}
 	if len(req.Queries) == 0 {
-		http.Error(w, "empty batch", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, "empty batch")
 		return
 	}
 	if len(req.Queries) > maxBatchQueries {
-		http.Error(w, fmt.Sprintf("batch of %d exceeds limit %d", len(req.Queries), maxBatchQueries),
-			http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument,
+			fmt.Sprintf("batch of %d exceeds limit %d", len(req.Queries), maxBatchQueries))
 		return
 	}
 
 	type batchItem struct {
-		seedSet []graph.VID
-		key     string
-		res     *core.Result
-		cached  bool
-		err     error
+		spec   core.QuerySpec
+		key    string
+		res    *core.Result
+		cached bool
+		err    error
 	}
 	items := make([]batchItem, len(req.Queries))
 	for i, q := range req.Queries {
@@ -713,13 +817,20 @@ func (s *Service) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 			items[i].err = err
 			continue
 		}
-		seedSet, err := s.resolveSeeds(q)
+		spec, err := s.buildSpec(q)
 		if err != nil {
 			items[i].err = err
 			continue
 		}
-		items[i].seedSet = seedSet
-		items[i].key = cacheKey(seedSet)
+		canonical, err := core.CanonicalSpec(s.g.NumVertices(), spec)
+		if err != nil {
+			// Previously an engine-solve failure; keep the stats accounting.
+			s.recordQuery(nil, 0, err)
+			items[i].err = err
+			continue
+		}
+		items[i].spec = canonical
+		items[i].key = specKey(canonical)
 	}
 
 	// Serve cache hits, then group the misses by canonical key so repeated
@@ -727,7 +838,7 @@ func (s *Service) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 	// engine checkout.
 	missIdx := make(map[string][]int)
 	var missKeys []string
-	var missSets [][]graph.VID
+	var missSpecs []core.QuerySpec
 	for i := range items {
 		it := &items[i]
 		if it.err != nil {
@@ -739,18 +850,18 @@ func (s *Service) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		if _, seen := missIdx[it.key]; !seen {
 			missKeys = append(missKeys, it.key)
-			missSets = append(missSets, it.seedSet)
+			missSpecs = append(missSpecs, it.spec)
 		}
 		missIdx[it.key] = append(missIdx[it.key], i)
 	}
-	if len(missSets) > 0 {
+	if len(missSpecs) > 0 {
 		eng, err := s.acquire(r.Context())
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			writeError(w, http.StatusServiceUnavailable, CodeUnavailable, err.Error())
 			return
 		}
 		start := time.Now()
-		solved := eng.SolveBatch(r.Context(), missSets)
+		solved := eng.SolveSpecBatch(r.Context(), missSpecs)
 		// The batch shares one wall-clock measurement; attribute an equal
 		// share to each query so avgSolveSeconds stays meaningful.
 		per := time.Since(start) / time.Duration(len(solved))
@@ -786,34 +897,37 @@ func (s *Service) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleSolveAsync(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
 		return
 	}
 	req, err := parseSolveRequest(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, err.Error())
 		return
 	}
-	seedSet, err := s.resolveSeeds(req)
+	spec, err := s.buildSpec(req)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, err.Error())
 		return
 	}
-	// Validate now so a bad query fails at submission, not as a failed job
-	// discovered on the first poll. solveErrStatus keeps the codes
+	// Canonicalize now so a bad query fails at submission, not as a failed
+	// job discovered on the first poll. solveErrStatus keeps the codes
 	// consistent with /solve: duplicates 400, out-of-range 422.
-	if err := s.validateSeedSet(seedSet); err != nil {
-		http.Error(w, err.Error(), solveErrStatus(err))
+	canonical, err := core.CanonicalSpec(s.g.NumVertices(), spec)
+	if err != nil {
+		status := solveErrStatus(err)
+		writeError(w, status, solveErrCode(status), err.Error())
 		return
 	}
-	id, err := s.jobs.submit(seedSet)
+	id, err := s.jobs.submit(canonical)
 	switch {
 	case errors.Is(err, ErrJobQueueFull):
 		w.Header().Set("Retry-After", "1")
-		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		writeError(w, http.StatusTooManyRequests, CodeQueueFull, err.Error())
 		return
 	case err != nil:
-		http.Error(w, err.Error(), solveErrStatus(err))
+		status := solveErrStatus(err)
+		writeError(w, status, solveErrCode(status), err.Error())
 		return
 	}
 	writeJSONStatus(w, http.StatusAccepted, JobAccepted{ID: id, Location: "/jobs/" + id})
@@ -821,12 +935,12 @@ func (s *Service) handleSolveAsync(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
 		return
 	}
 	snap, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
-		http.Error(w, "unknown job", http.StatusNotFound)
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown job")
 		return
 	}
 	resp := JobResponse{
@@ -850,12 +964,14 @@ func (s *Service) jobWorker() {
 	defer s.workerWG.Done()
 	for j := range s.jobs.queue {
 		s.jobs.markRunning(j)
-		res, cached, err := s.solveCached(context.Background(), j.seedSet)
+		res, cached, err := s.solveCached(context.Background(), j.spec)
 		s.jobs.markFinished(j, res, cached, err)
 	}
 }
 
-// solveResponse converts a solver Result into the wire form.
+// solveResponse converts a solver Result into the wire form. The mode
+// block is emitted only for non-tree results, keeping tree responses
+// byte-identical to the pre-mode API.
 func solveResponse(res *core.Result) SolveResponse {
 	resp := SolveResponse{
 		Total:           int64(res.TotalDistance),
@@ -870,18 +986,123 @@ func solveResponse(res *core.Result) SolveResponse {
 	for _, ph := range res.Phases {
 		resp.Phases = append(resp.Phases, PhaseInfo{Name: ph.Name, Seconds: ph.Seconds, Sent: ph.Sent})
 	}
+	if res.Mode == core.ModeTree {
+		return resp
+	}
+	resp.Mode = res.Mode.String()
+	obj := int64(res.Objective)
+	resp.Objective = &obj
+	switch res.Mode {
+	case core.ModeForest:
+		for _, grp := range res.Groups {
+			g32 := make([]int32, len(grp))
+			for i, v := range grp {
+				g32[i] = int32(v)
+			}
+			resp.Groups = append(resp.Groups, g32)
+		}
+		for _, sub := range res.GroupTrees {
+			edges := make([]TreeEdge, len(sub))
+			for i, e := range sub {
+				edges[i] = TreeEdge{U: int32(e.U), V: int32(e.V), W: e.W}
+			}
+			resp.GroupEdges = append(resp.GroupEdges, edges)
+		}
+	case core.ModePrize:
+		for _, v := range res.Skipped {
+			resp.Skipped = append(resp.Skipped, int32(v))
+		}
+		resp.PaidPenalty = int64(res.PaidPenalty)
+	}
 	return resp
 }
 
-// validate checks the request's seeds/k exclusivity rules.
+// validate checks the request's field rules for its query mode.
 func (req SolveRequest) validate() error {
-	if len(req.Seeds) == 0 && req.K <= 0 {
-		return fmt.Errorf("need seeds or k")
+	mode, err := core.ParseMode(req.Mode)
+	if err != nil {
+		return err
 	}
-	if len(req.Seeds) > 0 && req.K > 0 {
-		return fmt.Errorf("use either seeds or k, not both")
+	switch req.Quality {
+	case "", "fast":
+	default:
+		return fmt.Errorf("unknown quality %q (only \"fast\" is available)", req.Quality)
+	}
+	switch mode {
+	case core.ModeForest:
+		if len(req.Groups) == 0 {
+			return fmt.Errorf("forest mode needs groups")
+		}
+		if len(req.Seeds) > 0 || req.K > 0 || len(req.Penalties) > 0 {
+			return fmt.Errorf("forest mode takes groups, not seeds, k or penalties")
+		}
+	case core.ModePrize:
+		if len(req.Seeds) == 0 {
+			return fmt.Errorf("prize mode needs explicit seeds")
+		}
+		if req.K > 0 || len(req.Groups) > 0 {
+			return fmt.Errorf("prize mode takes seeds and penalties, not k or groups")
+		}
+		if len(req.Penalties) != len(req.Seeds) {
+			return fmt.Errorf("prize mode needs one penalty per seed (%d penalties for %d seeds)",
+				len(req.Penalties), len(req.Seeds))
+		}
+		for i, p := range req.Penalties {
+			if p < 0 {
+				return fmt.Errorf("negative penalty %d for seed %d", p, req.Seeds[i])
+			}
+		}
+	default: // tree
+		if len(req.Groups) > 0 || len(req.Penalties) > 0 {
+			return fmt.Errorf("tree mode takes seeds or k, not groups or penalties")
+		}
+		if len(req.Seeds) == 0 && req.K <= 0 {
+			return fmt.Errorf("need seeds or k")
+		}
+		if len(req.Seeds) > 0 && req.K > 0 {
+			return fmt.Errorf("use either seeds or k, not both")
+		}
 	}
 	return nil
+}
+
+// buildSpec turns a validated request into a core.QuerySpec, resolving
+// k-based seed selection for tree mode.
+func (s *Service) buildSpec(req SolveRequest) (core.QuerySpec, error) {
+	mode, err := core.ParseMode(req.Mode)
+	if err != nil {
+		return core.QuerySpec{}, err
+	}
+	switch mode {
+	case core.ModeForest:
+		spec := core.QuerySpec{Mode: core.ModeForest, Groups: make([][]graph.VID, len(req.Groups))}
+		for gi, grp := range req.Groups {
+			spec.Groups[gi] = make([]graph.VID, len(grp))
+			for i, id := range grp {
+				spec.Groups[gi][i] = graph.VID(id)
+			}
+		}
+		return spec, nil
+	case core.ModePrize:
+		spec := core.QuerySpec{
+			Mode:      core.ModePrize,
+			Seeds:     make([]graph.VID, len(req.Seeds)),
+			Penalties: make([]graph.Dist, len(req.Penalties)),
+		}
+		for i, id := range req.Seeds {
+			spec.Seeds[i] = graph.VID(id)
+		}
+		for i, p := range req.Penalties {
+			spec.Penalties[i] = graph.Dist(p)
+		}
+		return spec, nil
+	default:
+		seedSet, err := s.resolveSeeds(req)
+		if err != nil {
+			return core.QuerySpec{}, err
+		}
+		return core.TreeSpec(seedSet), nil
+	}
 }
 
 func parseSolveRequest(r *http.Request) (SolveRequest, error) {
@@ -939,13 +1160,6 @@ func (s *Service) resolveSeeds(req SolveRequest) ([]graph.VID, error) {
 		return nil, fmt.Errorf("unknown strategy %q", req.Strategy)
 	}
 	return seeds.Select(s.g, req.K, strat, req.RNGSeed)
-}
-
-// validateSeedSet applies the solver's own seed validation (range,
-// duplicates) so async submissions fail fast at submit time; the engine
-// re-checks when the job runs.
-func (s *Service) validateSeedSet(seedSet []graph.VID) error {
-	return core.ValidateSeedSet(s.g.NumVertices(), seedSet)
 }
 
 // writeJSON marshals v before touching the ResponseWriter, so an encoding

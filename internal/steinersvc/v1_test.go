@@ -1,0 +1,301 @@
+package steinersvc
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestV1SolveTreeDefault checks POST /v1/solve with no mode behaves as a
+// tree query and keeps the legacy response shape.
+func TestV1SolveTreeDefault(t *testing.T) {
+	srv := httptest.NewServer(testService(t))
+	defer srv.Close()
+	resp := postJSON(t, srv.URL+"/v1/solve", SolveRequest{Seeds: []int32{0, 2, 3, 7, 8}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	out := decodeBody[SolveResponse](t, resp)
+	if out.Total != 14 || out.Mode != "" || out.Objective != nil {
+		t.Fatalf("tree response carries mode fields: %+v", out)
+	}
+	// GET is not part of the v1 surface.
+	getResp, err := http.Get(srv.URL + "/v1/solve?seeds=0,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/solve status = %d", getResp.StatusCode)
+	}
+}
+
+// TestV1SolveForest checks a forest query end to end through the HTTP
+// layer: canonical groups echoed, one edge set per group partitioning the
+// full edge list.
+func TestV1SolveForest(t *testing.T) {
+	srv := httptest.NewServer(testService(t))
+	defer srv.Close()
+	resp := postJSON(t, srv.URL+"/v1/solve", SolveRequest{
+		Mode:   "forest",
+		Groups: [][]int32{{8, 7}, {4, 0}}, // unsorted: canonicalization must fix
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	out := decodeBody[SolveResponse](t, resp)
+	if out.Mode != "forest" {
+		t.Fatalf("mode = %q", out.Mode)
+	}
+	if !reflect.DeepEqual(out.Groups, [][]int32{{0, 4}, {7, 8}}) {
+		t.Fatalf("groups = %v, want canonical [[0 4] [7 8]]", out.Groups)
+	}
+	if len(out.GroupEdges) != 2 {
+		t.Fatalf("groupEdges = %d sets", len(out.GroupEdges))
+	}
+	var union []TreeEdge
+	for _, sub := range out.GroupEdges {
+		union = append(union, sub...)
+	}
+	sort.Slice(union, func(i, j int) bool {
+		if union[i].U != union[j].U {
+			return union[i].U < union[j].U
+		}
+		return union[i].V < union[j].V
+	})
+	if !reflect.DeepEqual(union, out.Edges) {
+		t.Fatalf("group edges do not partition the tree: %v vs %v", union, out.Edges)
+	}
+	if out.Objective == nil || *out.Objective != out.Total {
+		t.Fatalf("forest objective = %v, want total %d", out.Objective, out.Total)
+	}
+}
+
+// TestV1SolvePrize checks both prize outcomes over the Fig. 1 graph: cheap
+// penalties make skipping optimal, expensive ones keep every terminal.
+func TestV1SolvePrize(t *testing.T) {
+	srv := httptest.NewServer(testService(t))
+	defer srv.Close()
+
+	// Skipping 0 costs nothing, connecting 0-8 costs 11: skip.
+	resp := postJSON(t, srv.URL+"/v1/solve", SolveRequest{
+		Mode: "prize", Seeds: []int32{0, 8}, Penalties: []int64{0, 1000000},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	out := decodeBody[SolveResponse](t, resp)
+	if out.Mode != "prize" || !reflect.DeepEqual(out.Skipped, []int32{0}) {
+		t.Fatalf("skip case: %+v", out)
+	}
+	if out.PaidPenalty != 0 || out.Objective == nil || *out.Objective != 0 || out.Total != 0 {
+		t.Fatalf("skip case accounting: %+v", out)
+	}
+
+	// Both penalties exceed the 0-8 path cost 11: connect everything.
+	resp = postJSON(t, srv.URL+"/v1/solve", SolveRequest{
+		Mode: "prize", Seeds: []int32{0, 8}, Penalties: []int64{100, 100},
+	})
+	out = decodeBody[SolveResponse](t, resp)
+	if len(out.Skipped) != 0 || out.PaidPenalty != 0 {
+		t.Fatalf("keep case skipped %v paid %d", out.Skipped, out.PaidPenalty)
+	}
+	if out.Total != 11 || out.Objective == nil || *out.Objective != 11 {
+		t.Fatalf("keep case total %d objective %v, want 11", out.Total, out.Objective)
+	}
+}
+
+// TestV1SolveValidation checks the mode-aware request validation and the
+// structured error body.
+func TestV1SolveValidation(t *testing.T) {
+	srv := httptest.NewServer(testService(t))
+	defer srv.Close()
+	for _, tc := range []struct {
+		name   string
+		req    SolveRequest
+		status int
+		code   string
+		msg    string
+	}{
+		{"unknown mode", SolveRequest{Mode: "lasso", Seeds: []int32{0}},
+			http.StatusBadRequest, CodeInvalidArgument, "unknown query mode"},
+		{"forest without groups", SolveRequest{Mode: "forest"},
+			http.StatusBadRequest, CodeInvalidArgument, "forest mode needs groups"},
+		{"forest with k", SolveRequest{Mode: "forest", Groups: [][]int32{{0}}, K: 3},
+			http.StatusBadRequest, CodeInvalidArgument, "not seeds, k or penalties"},
+		{"prize without penalties", SolveRequest{Mode: "prize", Seeds: []int32{0, 8}},
+			http.StatusBadRequest, CodeInvalidArgument, "one penalty per seed"},
+		{"prize negative penalty", SolveRequest{Mode: "prize", Seeds: []int32{0}, Penalties: []int64{-1}},
+			http.StatusBadRequest, CodeInvalidArgument, "negative penalty"},
+		{"tree with penalties", SolveRequest{Seeds: []int32{0}, Penalties: []int64{1}},
+			http.StatusBadRequest, CodeInvalidArgument, "not groups or penalties"},
+		{"bad quality", SolveRequest{Seeds: []int32{0, 8}, Quality: "exact"},
+			http.StatusBadRequest, CodeInvalidArgument, "unknown quality"},
+		{"forest dup across groups", SolveRequest{Mode: "forest", Groups: [][]int32{{0, 4}, {4, 8}}},
+			http.StatusBadRequest, CodeInvalidArgument, "more than once"},
+	} {
+		resp := postJSON(t, srv.URL+"/v1/solve", tc.req)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.status)
+			resp.Body.Close()
+			continue
+		}
+		errResp := decodeBody[ErrorResponse](t, resp)
+		if errResp.Code != tc.code || !strings.Contains(errResp.Message, tc.msg) {
+			t.Errorf("%s: error = %+v, want code %q message %q", tc.name, errResp, tc.code, tc.msg)
+		}
+	}
+}
+
+// TestLegacySolveResponseShapePinned pins the legacy /solve contract: a
+// tree query's JSON carries exactly the pre-mode field set — no mode,
+// groups, objective or other new keys may leak in — and error bodies are
+// the structured {code, message} form.
+func TestLegacySolveResponseShapePinned(t *testing.T) {
+	srv := httptest.NewServer(testService(t))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/solve?seeds=0,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(body, &fields); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"edges", "phases", "seeds", "steinerVertices", "total"}
+	var got []string
+	for k := range fields {
+		got = append(got, k)
+	}
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("legacy /solve keys = %v, want exactly %v", got, want)
+	}
+
+	// The same query through /v1/solve returns the identical body modulo
+	// phase timings (both uncached solves of a canonical query).
+	v1 := postJSON(t, srv.URL+"/v1/solve", SolveRequest{Seeds: []int32{0, 8}})
+	v1out := decodeBody[SolveResponse](t, v1)
+	var legacy SolveResponse
+	if err := json.Unmarshal(body, &legacy); err != nil {
+		t.Fatal(err)
+	}
+	if v1out.Total != legacy.Total || !reflect.DeepEqual(v1out.Edges, legacy.Edges) ||
+		!reflect.DeepEqual(v1out.Seeds, legacy.Seeds) {
+		t.Fatalf("/v1/solve tree answer differs from legacy /solve:\n%+v\n%+v", v1out, legacy)
+	}
+
+	// Errors are structured now, on legacy endpoints too.
+	resp, err = http.Get(srv.URL + "/solve?seeds=0,0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("duplicate-seed status = %d", resp.StatusCode)
+	}
+	errResp := decodeBody[ErrorResponse](t, resp)
+	if errResp.Code != CodeInvalidArgument || !strings.Contains(errResp.Message, "duplicate") {
+		t.Fatalf("duplicate-seed error = %+v", errResp)
+	}
+}
+
+// TestCacheKeysModesEndToEnd is the solution-cache regression through the
+// HTTP layer: a forest query and a tree query over the same vertex set get
+// distinct cache entries, while a repeated forest query hits.
+func TestCacheKeysModesEndToEnd(t *testing.T) {
+	svc := testServiceCfg(t, Config{Engines: 1, CacheEntries: 16})
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+	treeReq := SolveRequest{Seeds: []int32{0, 4, 7, 8}}
+	forestReq := SolveRequest{Mode: "forest", Groups: [][]int32{{0, 4}, {7, 8}}}
+
+	warm := decodeBody[SolveResponse](t, postJSON(t, srv.URL+"/v1/solve", treeReq))
+	if warm.Cached {
+		t.Fatal("first tree query cached")
+	}
+	forest := decodeBody[SolveResponse](t, postJSON(t, srv.URL+"/v1/solve", forestReq))
+	if forest.Cached {
+		t.Fatal("forest query over the same vertex set hit the tree query's cache entry")
+	}
+	if forest.Total >= warm.Total {
+		// Forest drops the cross-group connection, so it must be cheaper
+		// than the tree spanning all four terminals here.
+		t.Fatalf("forest total %d >= tree total %d", forest.Total, warm.Total)
+	}
+	again := decodeBody[SolveResponse](t, postJSON(t, srv.URL+"/v1/solve", forestReq))
+	if !again.Cached {
+		t.Fatal("repeated forest query missed the cache")
+	}
+	if again.Total != forest.Total || !reflect.DeepEqual(again.GroupEdges, forest.GroupEdges) {
+		t.Fatalf("cached forest reply differs: %+v vs %+v", again, forest)
+	}
+	treeAgain := decodeBody[SolveResponse](t, postJSON(t, srv.URL+"/solve", treeReq))
+	if !treeAgain.Cached || treeAgain.Total != warm.Total {
+		t.Fatalf("legacy /solve missed the v1-warmed tree entry: %+v", treeAgain)
+	}
+}
+
+// TestBatchAndAsyncAcceptSpecs checks the batch and async endpoints carry
+// full query specs: a mixed-mode batch answers each item in its own mode,
+// and an async forest job completes with forest output.
+func TestBatchAndAsyncAcceptSpecs(t *testing.T) {
+	svc := testServiceCfg(t, Config{Engines: 1, CacheEntries: 16, JobQueue: 4})
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+
+	batch := decodeBody[BatchResponse](t, postJSON(t, srv.URL+"/solve/batch", BatchRequest{
+		Queries: []SolveRequest{
+			{Seeds: []int32{0, 8}},
+			{Mode: "forest", Groups: [][]int32{{0, 4}, {7, 8}}},
+			{Mode: "prize", Seeds: []int32{0, 8}, Penalties: []int64{0, 1000000}},
+			{Mode: "prize", Seeds: []int32{0}}, // invalid: no penalties
+		},
+	}))
+	if len(batch.Results) != 4 {
+		t.Fatalf("results = %d", len(batch.Results))
+	}
+	if r := batch.Results[0].Result; r == nil || r.Mode != "" || r.Total != 11 {
+		t.Fatalf("tree item: %+v", batch.Results[0])
+	}
+	if r := batch.Results[1].Result; r == nil || r.Mode != "forest" || len(r.GroupEdges) != 2 {
+		t.Fatalf("forest item: %+v", batch.Results[1])
+	}
+	if r := batch.Results[2].Result; r == nil || r.Mode != "prize" || !reflect.DeepEqual(r.Skipped, []int32{0}) {
+		t.Fatalf("prize item: %+v", batch.Results[2])
+	}
+	if e := batch.Results[3].Error; !strings.Contains(e, "one penalty per seed") {
+		t.Fatalf("invalid item error = %q", e)
+	}
+
+	accepted := decodeBody[JobAccepted](t, postJSON(t, srv.URL+"/solve/async",
+		SolveRequest{Mode: "forest", Groups: [][]int32{{0, 4}, {7, 8}}}))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/jobs/" + accepted.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jr := decodeBody[JobResponse](t, resp)
+		if jr.State == "done" {
+			if jr.Result == nil || jr.Result.Mode != "forest" || len(jr.Result.GroupEdges) != 2 {
+				t.Fatalf("async forest result: %+v", jr.Result)
+			}
+			break
+		}
+		if jr.State == "failed" || time.Now().After(deadline) {
+			t.Fatalf("job state %q (error %q)", jr.State, jr.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -79,6 +79,9 @@ type QueryOutcome struct {
 	Batched    int64 // delegate broadcasts released by outbox flushes
 	Coalesced  int64 // delegate offers absorbed into staged outbox entries
 	Net        wire.NetStats
+	// Skipped is the rank-0 worker's skipped-terminal list for prize-mode
+	// queries (wire v3 sessions only; always nil for tree and forest).
+	Skipped []graph.VID
 }
 
 // collAcc accumulates one collective's per-worker contributions.
@@ -293,9 +296,28 @@ func (h *Hub) Err() error {
 	return h.failErr
 }
 
-// Solve broadcasts one query and blocks until every worker reports done
-// (or the session fails). Calls are serialized; qid must be unique.
+// Solve broadcasts one tree query and blocks until every worker reports
+// done (or the session fails). Calls are serialized; qid must be unique.
+// Tree queries use this legacy frame at every negotiated wire version, so
+// v1/v2 fleets keep answering them byte-identically.
 func (h *Hub) Solve(qid uint64, seeds []graph.VID) (QueryOutcome, error) {
+	return h.dispatch(qid, wire.EncodeSolve(nil, wire.Solve{QueryID: qid, Seeds: seeds}))
+}
+
+// SolveSpec broadcasts one mode-carrying query (forest or prize). The
+// session must have negotiated wire version >= 3; the caller checks
+// WireVersion first.
+func (h *Hub) SolveSpec(spec wire.SolveSpec) (QueryOutcome, error) {
+	if h.WireVersion() < 3 {
+		return QueryOutcome{}, fmt.Errorf("transport: session wire version %d cannot carry a SolveSpec (need >= 3)",
+			h.WireVersion())
+	}
+	return h.dispatch(spec.QueryID, wire.EncodeSolveSpec(nil, spec))
+}
+
+// dispatch broadcasts one encoded query frame and blocks until every worker
+// reports done (or the session fails).
+func (h *Hub) dispatch(qid uint64, payload []byte) (QueryOutcome, error) {
 	h.solveMu.Lock()
 	defer h.solveMu.Unlock()
 	if err := h.Err(); err != nil {
@@ -312,7 +334,6 @@ func (h *Hub) Solve(qid uint64, seeds []graph.VID) (QueryOutcome, error) {
 	case <-h.failCh:
 		return QueryOutcome{}, h.Err()
 	}
-	payload := wire.EncodeSolve(nil, wire.Solve{QueryID: qid, Seeds: seeds})
 	for w, p := range h.peers {
 		if err := p.send(payload); err != nil {
 			h.fail(fmt.Errorf("transport: solve to worker %d: %w", w, err))
@@ -465,6 +486,7 @@ func (h *Hub) handleFrame(ev hubEvent, colls map[uint64]*collAcc,
 		if done.HasResult {
 			res := done.Result
 			pq.out.Result = &res
+			pq.out.Skipped = done.Skipped
 		}
 		pq.done++
 		if pq.done == h.workers {

@@ -26,10 +26,12 @@ const (
 )
 
 // Control is one application-level frame delivered to the worker loop.
+// Query broadcasts always populate Spec — a legacy FrameSolve arrives as a
+// tree-mode SolveSpec — so the worker runs one uniform query path.
 type Control struct {
-	Kind  ControlKind
-	Solve wire.Solve
-	Err   error
+	Kind ControlKind
+	Spec wire.SolveSpec
+	Err  error
 }
 
 // TCP is the worker-side runtime.Transport: visitor-message batches flow
@@ -515,7 +517,16 @@ func (t *TCP) readCoord() {
 				t.fail(fmt.Errorf("transport: solve: %w", err))
 				return
 			}
-			t.controls <- Control{Kind: ControlSolve, Solve: solve}
+			t.controls <- Control{Kind: ControlSolve, Spec: wire.SolveSpec{
+				QueryID: solve.QueryID, Seeds: solve.Seeds,
+			}}
+		case wire.FrameSolveSpec:
+			spec, err := wire.DecodeSolveSpec(body)
+			if err != nil {
+				t.fail(fmt.Errorf("transport: solve spec: %w", err))
+				return
+			}
+			t.controls <- Control{Kind: ControlSolve, Spec: spec}
 		case wire.FrameGoodbye:
 			// Clean end. Relay the goodbye over the mesh before anyone
 			// closes a link: peers that have not read their own goodbye

@@ -12,6 +12,16 @@
 // neighbor's offer). The unique fixed point therefore does not depend on
 // rank count, queue discipline or message timing — property-tested in
 // voronoi_test.go and relied on by the paper-reproduction experiments.
+//
+// The flood is query-mode agnostic. Steiner Forest and prize-collecting
+// queries (core.QuerySpec) reuse the exact same cell computation: every
+// terminal floods as a seed regardless of which group it belongs to or what
+// penalty it carries, so cells partition the graph identically across
+// modes. Mode semantics enter only in the later phases — forest queries tag
+// each seed with its group and drop cross-group candidate edges during
+// phase 2, and prize queries filter the replicated distance graph before
+// the phase-4 MST — which keeps this package, and the rank-local slab
+// layout it fills, byte-for-byte identical for every query mode.
 package voronoi
 
 import (

@@ -22,6 +22,10 @@ func FuzzDecodeFrame(f *testing.F) {
 		})),
 		AppendFrame(nil, EncodeReady(nil, Ready{ShardBytes: 100, StateBytes: 50})),
 		AppendFrame(nil, EncodeSolve(nil, Solve{QueryID: 1, Seeds: []graph.VID{1, 2, 3}})),
+		AppendFrame(nil, EncodeSolveSpec(nil, SolveSpec{QueryID: 2, Mode: 1,
+			Groups: [][]graph.VID{{1, 2}, {3, 4}}})),
+		AppendFrame(nil, EncodeSolveSpec(nil, SolveSpec{QueryID: 3, Mode: 2,
+			Seeds: []graph.VID{1, 2, 3}, Penalties: []int64{4, 0, 9}})),
 		AppendFrame(nil, EncodeWorkerDone(nil, WorkerDone{QueryID: 1, TableLens: []int64{2}, HasResult: true,
 			Result: SolveResult{Tree: []EdgeRec{{U: 1, V: 2, W: 3}}, Phases: []PhaseRec{{Name: "MST", Seconds: 0.1}}}}, 1)),
 		AppendFrame(nil, EncodeWorkerDone(nil, WorkerDone{QueryID: 2, Batched: 7, Coalesced: 9,
@@ -82,6 +86,8 @@ func decodeBody(typ uint8, body []byte) {
 		_, _ = DecodeReady(body)
 	case FrameSolve:
 		_, _ = DecodeSolve(body)
+	case FrameSolveSpec:
+		_, _ = DecodeSolveSpec(body)
 	case FrameWorkerDone:
 		_, _ = DecodeWorkerDone(body)
 	case FrameMsgBatch:

@@ -29,6 +29,49 @@ func DecodeSolve(body []byte) (Solve, error) {
 	return s, d.finish()
 }
 
+// SolveSpec is the v3 mode-carrying query broadcast (core.QuerySpec on the
+// wire): Mode 0 is a tree query over Seeds, mode 1 a Steiner Forest query
+// over Groups, mode 2 a prize-collecting query over Seeds with index-
+// parallel Penalties. The coordinator ships the canonical form; workers
+// flatten it deterministically, so dense terminal indices agree fleet-wide.
+type SolveSpec struct {
+	QueryID   uint64
+	Mode      uint8
+	Seeds     []graph.VID
+	Penalties []int64
+	Groups    [][]graph.VID
+}
+
+// EncodeSolveSpec appends a FrameSolveSpec payload (wire v3+ sessions only).
+func EncodeSolveSpec(dst []byte, s SolveSpec) []byte {
+	dst = append(dst, FrameSolveSpec)
+	dst = AppendUvarint(dst, s.QueryID)
+	dst = append(dst, s.Mode)
+	dst = AppendVIDs(dst, s.Seeds)
+	dst = AppendInt64s(dst, s.Penalties)
+	dst = AppendUvarint(dst, uint64(len(s.Groups)))
+	for _, g := range s.Groups {
+		dst = AppendVIDs(dst, g)
+	}
+	return dst
+}
+
+// DecodeSolveSpec decodes a FrameSolveSpec body.
+func DecodeSolveSpec(body []byte) (SolveSpec, error) {
+	d := NewDec(body)
+	s := SolveSpec{
+		QueryID:   d.Uvarint(),
+		Mode:      d.Byte(),
+		Seeds:     d.VIDs(),
+		Penalties: d.Int64s(),
+	}
+	nGroups := d.count(1, "spec groups")
+	for i := 0; i < nGroups && d.err == nil; i++ {
+		s.Groups = append(s.Groups, d.VIDs())
+	}
+	return s, d.finish()
+}
+
 // EdgeRec is one Steiner-tree edge on the wire.
 type EdgeRec struct {
 	U, V graph.VID
@@ -196,6 +239,11 @@ type WorkerDone struct {
 	Net        NetStats
 	HasResult  bool
 	Result     SolveResult
+	// Skipped lists the terminals a prize-mode query paid to leave out
+	// (set by the worker hosting rank 0). It rides in the v3 tail; on
+	// v1/v2 sessions — which only ever run tree queries — it is always
+	// empty and never encoded.
+	Skipped []graph.VID
 }
 
 // EncodeWorkerDone appends a FrameWorkerDone payload. wireVer is the
@@ -224,6 +272,9 @@ func EncodeWorkerDone(dst []byte, w WorkerDone, wireVer uint32) []byte {
 		dst = AppendVarint(dst, w.Net.FlushesMid)
 		dst = AppendVarint(dst, w.Net.FlushesLarge)
 	}
+	if wireVer >= 3 {
+		dst = AppendVIDs(dst, w.Skipped)
+	}
 	return dst
 }
 
@@ -250,6 +301,10 @@ func DecodeWorkerDone(body []byte) (WorkerDone, error) {
 		w.Net.FlushesSmall = d.Varint()
 		w.Net.FlushesMid = d.Varint()
 		w.Net.FlushesLarge = d.Varint()
+	}
+	// v3 tail, absent on v1/v2 sessions.
+	if d.err == nil && d.Len() > 0 {
+		w.Skipped = d.VIDs()
 	}
 	return w, d.finish()
 }

@@ -37,11 +37,14 @@ import (
 // Version is the highest wire-protocol version this build speaks. A
 // worker's Hello advertises its own Version; the coordinator accepts any
 // worker in [MinVersion, Version] and pins the session to the minimum
-// advertised version, shipped back in Setup.WireVersion (absent = 1). Only
-// the visitor-message batch frame is versioned: v1 sessions use
-// FrameMsgBatch, v2 sessions the compacted FrameMsgBatch2; both decoders
-// stay live for rollback.
-const Version uint32 = 2
+// advertised version, shipped back in Setup.WireVersion (absent = 1).
+// Versioned behavior: v1 sessions use FrameMsgBatch, v2 sessions the
+// compacted FrameMsgBatch2 (both decoders stay live for rollback); v3
+// sessions additionally accept FrameSolveSpec — the mode-carrying query
+// frame for forest and prize-collecting solves — and return the skipped
+// terminal set in the WorkerDone tail. Tree-mode queries use FrameSolve at
+// every version, so v1/v2-pinned sessions keep serving them byte-identically.
+const Version uint32 = 3
 
 // MinVersion is the oldest wire-protocol version this build interoperates
 // with.
@@ -103,6 +106,11 @@ const (
 	// delta-varint encoded, with superseded offers elided (see
 	// AppendMsgBatch2).
 	FrameMsgBatch2
+	// FrameSolveSpec is coordinator → worker: run one full QuerySpec query
+	// (mode + canonical seeds/groups/penalties). Sent only in sessions
+	// negotiated at WireVersion >= 3; tree-mode queries keep using
+	// FrameSolve at every version.
+	FrameSolveSpec
 )
 
 // Collective operations carried by FrameColl. They mirror
