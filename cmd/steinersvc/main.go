@@ -82,6 +82,7 @@ func main() {
 		rankAddr   = flag.String("rank-listen", "127.0.0.1:7600", "coordinator listen address for -backend tcp (rankd dials this)")
 		workerWait = flag.Duration("worker-wait", 60*time.Second, "how long to wait for rankd workers to dial in")
 		partKind   = flag.String("partition", "arcblock", "vertex partition: block | hash | arcblock")
+		mstMode    = flag.String("mst", "auto", "phase 3-5 merge: auto | fragment | replicated")
 		delegates  = flag.Int("delegates", 0, "delegate high-degree vertices above this degree (0 = off)")
 		engines    = flag.Int("engines", 1, "resident solver engines (max concurrent queries; must be 1 with -backend tcp)")
 		cache      = flag.Int("cache", 256, "LRU solution cache entries (0 disables)")
@@ -115,6 +116,11 @@ func main() {
 		os.Exit(1)
 	}
 	opts.DelegateThreshold = *delegates
+	opts.MSTMode, err = dsteiner.ParseMSTMode(*mstMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "steinersvc: %v\n", err)
+		os.Exit(1)
+	}
 	opts.Backend, err = dsteiner.ParseBackend(*backend)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "steinersvc: %v\n", err)

@@ -149,6 +149,22 @@ const (
 // ParseBackend maps "inproc" or "tcp" to its Backend.
 func ParseBackend(s string) (core.Backend, error) { return core.ParseBackend(s) }
 
+// MST merge modes: how phases 3–5 merge the cross-edge table and build the
+// distance-graph MST (see internal/core Options.MSTMode).
+const (
+	// MSTModeAuto picks the fragment merge wherever it is available and
+	// falls back to replicated elsewhere (GlobalCSR, pre-v4 TCP fleets).
+	MSTModeAuto = core.MSTModeAuto
+	// MSTReplicated gathers the full cross-edge table on every rank and
+	// runs a sequential MST — the paper's original path, kept as oracle.
+	MSTReplicated = core.MSTReplicated
+	// MSTFragment is the rank-parallel Borůvka/GHS fragment merge.
+	MSTFragment = core.MSTFragment
+)
+
+// ParseMSTMode maps "auto", "replicated" or "fragment" to its MSTMode.
+func ParseMSTMode(s string) (core.MSTMode, error) { return core.ParseMSTMode(s) }
+
 // WorkerConfig parameterizes RunWorker (peer listen address, timeouts).
 type WorkerConfig = core.WorkerConfig
 

@@ -119,6 +119,11 @@ func newClusterEngine(g *graph.Graph, opts Options) (*Engine, error) {
 	}
 	_, err = hub.Handshake(opts.WorkerWait, func(w int) wire.Setup {
 		lo, hi := hub.RankRange(w)
+		// The session's wire version is negotiated before setups are cut,
+		// so the MST mode resolves here: auto takes the fragment merge on
+		// v4+ fleets and falls back to the replicated path on older ones
+		// (whose Setup cannot carry the mode byte anyway).
+		mode := resolveMSTModeTCP(opts.MSTMode, hub.WireVersion())
 		setup := wire.Setup{
 			Ranks:             opts.Ranks,
 			NumVertices:       n,
@@ -126,7 +131,8 @@ func newClusterEngine(g *graph.Graph, opts Options) (*Engine, error) {
 			BucketDelta:       opts.BucketDelta,
 			BatchSize:         opts.BatchSize,
 			BSP:               opts.BSP,
-			MST:               uint8(opts.MST),
+			MST:               mstAlgoToWire(opts.MST),
+			MSTMode:           uint8(mode),
 			CollectiveChunk:   opts.CollectiveChunk,
 			DelegateThreshold: opts.DelegateThreshold,
 			PartitionKind:     kind,
@@ -152,6 +158,11 @@ func newClusterEngine(g *graph.Graph, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.MSTMode == MSTFragment && hub.WireVersion() < 4 {
+		hub.Close()
+		return nil, fmt.Errorf("core: tcp backend: MSTFragment needs a wire v4 session; this fleet negotiated v%d (use auto or replicated)",
+			hub.WireVersion())
+	}
 	cl.hub = hub
 
 	return &Engine{
@@ -159,8 +170,22 @@ func newClusterEngine(g *graph.Graph, opts Options) (*Engine, error) {
 		opts:    opts,
 		cluster: cl,
 		plan:    plan,
+		mstMode: resolveMSTModeTCP(opts.MSTMode, hub.WireVersion()),
 		seen:    make(map[graph.VID]bool),
 	}, nil
+}
+
+// resolveMSTModeTCP resolves MSTModeAuto against a TCP session's negotiated
+// wire version: the fragment merge needs the v4 frames, older fleets keep
+// the replicated path (their Setup cannot carry the mode byte anyway).
+func resolveMSTModeTCP(mode MSTMode, wireVer uint32) MSTMode {
+	if mode != MSTModeAuto {
+		return mode
+	}
+	if wireVer >= 4 {
+		return MSTFragment
+	}
+	return MSTReplicated
 }
 
 // solve dispatches one canonical query to the worker fleet and assembles
@@ -194,6 +219,9 @@ func (cl *cluster) solve(e *Engine, cq canonQuery) (*Result, error) {
 	}
 	res := fromWireResult(out.Result, dedup)
 	res.Skipped = out.Skipped
+	res.MSTFragment = out.MSTFragment
+	res.CrossTableBytes = out.CrossTableBytes
+	res.FragmentMsgs = out.FragmentMsgs
 	res.SuppressedBroadcasts = out.Suppressed
 	res.BatchedBroadcasts = out.Batched
 	res.CoalescedBroadcasts = out.Coalesced

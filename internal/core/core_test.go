@@ -179,6 +179,9 @@ func TestMSTAlgorithmsAgree(t *testing.T) {
 	for _, algo := range []MSTAlgo{MSTPrim, MSTKruskal, MSTBoruvka} {
 		opts := Default(3)
 		opts.MST = algo
+		// The sequential MST switch only exists on the replicated path
+		// (the fragment merge has its own Borůvka and ignores MST).
+		opts.MSTMode = MSTReplicated
 		res, err := Solve(g, seeds, opts)
 		if err != nil {
 			t.Fatalf("%v: %v", algo, err)
@@ -419,6 +422,9 @@ func TestChunkedCollectiveMatchesSingle(t *testing.T) {
 	}
 	opts := Default(4)
 	opts.CollectiveChunk = 7
+	// Chunking exists only on the replicated merge (the fragment merge
+	// never builds the global table it would chunk).
+	opts.MSTMode = MSTReplicated
 	chunked, err := Solve(g, seeds, opts)
 	if err != nil {
 		t.Fatal(err)

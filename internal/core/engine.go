@@ -57,6 +57,13 @@ type Engine struct {
 	seedIdx   map[graph.VID]int32   // seed -> dense index, rebuilt per query
 	pruneds   []map[int64]crossEdge // per-rank phase-5 survivors
 	trees     [][]graph.Edge        // per-rank phase-6 edge accumulators
+	owneds    []map[int64]crossEdge // per-rank fragment-merge table shards
+	frags     [][]int32             // per-rank fragment-label arrays
+
+	// mstMode is the resolved phase 3–5 merge strategy (never auto):
+	// fragment by default, replicated in GlobalCSR reference mode or when
+	// pinned by Options.MSTMode.
+	mstMode MSTMode
 }
 
 // NewEngine builds a reusable solver session for g. The returned Engine
@@ -65,6 +72,9 @@ type Engine struct {
 // which shares the immutable shard substrate instead of rebuilding it.
 func NewEngine(g *graph.Graph, opts Options) (*Engine, error) {
 	opts = opts.withDefaults()
+	if opts.MSTMode == MSTFragment && opts.GlobalCSR {
+		return nil, fmt.Errorf("core: MSTFragment needs the sharded path (GlobalCSR is the replicated reference mode)")
+	}
 	if opts.Backend == BackendTCP {
 		return newClusterEngine(g, opts)
 	}
@@ -140,6 +150,16 @@ func newEngine(g *graph.Graph, opts Options, part partition.Partition,
 		seedIdx:  make(map[graph.VID]int32),
 		pruneds:  make([]map[int64]crossEdge, opts.Ranks),
 		trees:    make([][]graph.Edge, opts.Ranks),
+		owneds:   make([]map[int64]crossEdge, opts.Ranks),
+		frags:    make([][]int32, opts.Ranks),
+		mstMode:  opts.MSTMode,
+	}
+	if e.mstMode == MSTModeAuto {
+		if opts.GlobalCSR {
+			e.mstMode = MSTReplicated
+		} else {
+			e.mstMode = MSTFragment
+		}
 	}
 	if shards != nil {
 		if err := comm.AttachShards(shards); err != nil {
@@ -163,6 +183,7 @@ func newEngine(g *graph.Graph, opts Options, part partition.Partition,
 	for i := range e.localENs {
 		e.localENs[i] = map[int64]crossEdge{}
 		e.pruneds[i] = map[int64]crossEdge{}
+		e.owneds[i] = map[int64]crossEdge{}
 	}
 	return e, nil
 }
@@ -216,6 +237,11 @@ type ShardStats struct {
 	// MaxShardBytes, the per-process footprint of a multi-process rank.
 	MaxStateSlabBytes int64
 }
+
+// MSTMode reports the resolved phase 3–5 merge strategy this engine runs
+// (never MSTModeAuto: auto is resolved at construction, on the TCP backend
+// against the fleet's negotiated wire version).
+func (e *Engine) MSTMode() MSTMode { return e.mstMode }
 
 // ShardStats reports the engine's shard substrate. In GlobalCSR reference
 // mode only Partition/Ranks/DelegateThreshold are populated.
@@ -391,6 +417,7 @@ func (e *Engine) solveCanonLocked(cq canonQuery) (*Result, error) {
 	for i := range e.localENs {
 		clear(e.localENs[i])
 		clear(e.pruneds[i])
+		clear(e.owneds[i])
 		e.trees[i] = e.trees[i][:0]
 	}
 	clear(e.seedIdx)
@@ -399,22 +426,25 @@ func (e *Engine) solveCanonLocked(cq canonQuery) (*Result, error) {
 	}
 
 	env := &solveEnv{
-		g:         g,
-		opts:      opts,
-		comm:      e.comm,
-		dedup:     dedup,
-		seedIdx:   e.seedIdx,
-		mode:      cq.spec.Mode,
-		groupOf:   cq.groupOf,
-		numGroups: len(cq.spec.Groups),
-		penalty:   cq.penalty,
-		res:       res,
-		localENs:  e.localENs,
-		pruneds:   e.pruneds,
-		trees:     e.trees,
-		st:        e.st,
-		walked:    e.walked,
-		walkedGen: e.walkedGen,
+		g:           g,
+		opts:        opts,
+		comm:        e.comm,
+		dedup:       dedup,
+		seedIdx:     e.seedIdx,
+		mode:        cq.spec.Mode,
+		groupOf:     cq.groupOf,
+		numGroups:   len(cq.spec.Groups),
+		penalty:     cq.penalty,
+		res:         res,
+		mstFragment: e.mstMode == MSTFragment && cq.spec.Mode != ModePrize,
+		localENs:    e.localENs,
+		pruneds:     e.pruneds,
+		trees:       e.trees,
+		owneds:      e.owneds,
+		frags:       e.frags,
+		st:          e.st,
+		walked:      e.walked,
+		walkedGen:   e.walkedGen,
 	}
 	s0 := e.comm.Stats()
 	e.comm.Run(env.rankBody)

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dsteiner/internal/graph"
+	"dsteiner/internal/mst"
+	rt "dsteiner/internal/runtime"
+	"dsteiner/internal/wire"
+)
+
+// This file is the rank-parallel fragment-merge MST: phases 3–5 without the
+// replicated cross table. Phase 3 routes every E_N record to the rank that
+// owns the pair's lower seed vertex, so the distance graph lives sharded —
+// no rank ever holds the O(k²) table. Phase 4 runs distributed Borůvka/GHS
+// rounds: each rank proposes the minimum outgoing edge of every fragment it
+// can see in its shard, the proposals are broadcast, and every rank replays
+// the identical winner sequence against its fragment-label array. Winners
+// double as phase-5 pruned entries, so phase 5 needs no extra collective.
+//
+// The replicated path (mergeCrossTables + sequential mst.Kruskal) is kept
+// behind Options.MSTMode == MSTReplicated as the equivalence oracle.
+
+// fragStats accumulates one rank's fragment-merge traffic for the query's
+// CrossTableBytes / FragmentMsgs counters (and the coordinator-bound
+// FragmentRoundSummary). Bytes stay zero on loopback, where routed records
+// travel as in-memory values instead of encoded blobs. The replicated path
+// reuses the bytes field for its gathered-table payload so the two modes
+// report comparable CrossTableBytes.
+type fragStats struct {
+	bytes int64
+	msgs  int64
+}
+
+// routedEntry is a cross-table record in flight to its owner rank on the
+// loopback path (the wire path encodes the same record with
+// appendCrossEntry).
+type routedEntry struct {
+	dest int
+	key  int64
+	ce   crossEdge
+}
+
+// fragProposal is one fragment's candidate minimum outgoing edge for a
+// Borůvka round: the proposing fragment label plus the full cross edge, so
+// winners can be kept as pruned entries without re-fetching them from the
+// owning rank.
+type fragProposal struct {
+	frag int32
+	key  int64
+	d    graph.Dist
+	u, v graph.VID
+}
+
+// lessProposal orders proposals by (D, key) — the same total order as
+// pickCross and mst.Kruskal's (W, U, V) sort: dense seed indices are
+// monotone in seed VID (dedup is sorted), so key order equals (U, V) order.
+// Under a strict total order the minimum spanning forest is unique, which
+// is what makes the fragment merge's chosen edge set byte-identical to the
+// replicated Kruskal's.
+func lessProposal(a, b fragProposal) bool {
+	if a.d != b.d {
+		return a.d < b.d
+	}
+	return a.key < b.key
+}
+
+// fragmentRoute is the fragment merge's phase 3: every cross-cell record is
+// routed to the rank owning the pair's lower seed vertex, leaving each rank
+// with a disjoint shard of the global E_N table (same pickCross survivor
+// per pair as the replicated merge — the fold is order-insensitive).
+// Returns ok=false after recording env.err on rank 0 when a routed blob
+// fails to decode; received blobs are personalized, so the failure is
+// agreed with an allreduce and all ranks bail uniformly.
+func (env *solveEnv) fragmentRoute(r *rt.Rank, localEN map[int64]crossEdge, fs *fragStats) (map[int64]crossEdge, bool) {
+	owned := env.owneds[r.ID()]
+	fold := func(k int64, ce crossEdge) {
+		if cur, ok := owned[k]; ok {
+			owned[k] = pickCross(cur, ce)
+		} else {
+			owned[k] = ce
+		}
+	}
+	if r.ID() == 0 {
+		env.res.CollectiveChunks = 1 // the fragment merge never chunks
+	}
+	if !r.Distributed() {
+		var out []routedEntry
+		for k, ce := range localEN {
+			s, _ := unpackSeedKey(k)
+			if d := r.Owner(s); d != r.ID() {
+				fs.msgs++
+				out = append(out, routedEntry{dest: d, key: k, ce: ce})
+			} else {
+				fold(k, ce)
+			}
+		}
+		for _, e := range rt.AllGather(r, out) {
+			if e.dest == r.ID() {
+				fold(e.key, e.ce)
+			}
+		}
+		return owned, true
+	}
+	blobs := map[int][]byte{}
+	for k, ce := range localEN {
+		s, _ := unpackSeedKey(k)
+		if d := r.Owner(s); d != r.ID() {
+			fs.msgs++
+			blobs[d] = appendCrossEntry(blobs[d], k, ce)
+		} else {
+			fold(k, ce)
+		}
+	}
+	out := make([]rt.FragBlob, 0, len(blobs))
+	for d, b := range blobs {
+		fs.bytes += int64(len(b))
+		out = append(out, rt.FragBlob{Src: r.ID(), Dest: d, Blob: b})
+	}
+	var failed int64
+	for _, fb := range rt.FragmentExchange(r, out) {
+		fs.bytes += int64(len(fb.Blob))
+		if err := decodeCrossEntries(fb.Blob, fold); err != nil && failed == 0 {
+			failed = int64(r.ID()) + 1
+		}
+	}
+	if bad := r.AllreduceMaxInt64(failed); bad > 0 {
+		if r.ID() == 0 {
+			env.err = fmt.Errorf("core: fragment cross-table exchange: corrupt blob at rank %d", bad-1)
+		}
+		return nil, false
+	}
+	return owned, true
+}
+
+// fragmentMST is the fragment merge's phase 4: Borůvka/GHS rounds over the
+// rank-sharded table. Each round every rank scans its owned entries for the
+// best outgoing edge per fragment under the (D, key) total order, the
+// proposals are broadcast, and all ranks apply the per-fragment winners in
+// the same sorted order against identical union-find state — so the label
+// array never needs to travel. Intra-fragment entries are deleted as they
+// are discovered, shrinking later scans. Accepted winners accumulate into
+// pruned (the pooled phase-5 map, identical on every rank).
+func (env *solveEnv) fragmentMST(r *rt.Rank, owned, pruned map[int64]crossEdge, fs *fragStats) bool {
+	res, dedup, seedIdx := env.res, env.dedup, env.seedIdx
+	k := len(dedup)
+	if total := r.AllreduceSumInt64(int64(len(owned))); r.ID() == 0 {
+		res.DistGraphEdges = int(total)
+	}
+
+	frag := env.frags[r.ID()]
+	if cap(frag) < k {
+		frag = make([]int32, k)
+	}
+	frag = frag[:k]
+	env.frags[r.ID()] = frag
+	for i := range frag {
+		frag[i] = int32(i)
+	}
+	find := func(x int32) int32 {
+		for frag[x] != x {
+			frag[x] = frag[frag[x]]
+			x = frag[x]
+		}
+		return x
+	}
+
+	best := make(map[int32]fragProposal, 16)
+	rounds, chosen := 0, 0
+	for {
+		clear(best)
+		for key, ce := range owned {
+			s, t := unpackSeedKey(key)
+			fu, fv := frag[seedIdx[s]], frag[seedIdx[t]]
+			if fu == fv {
+				delete(owned, key) // intra-fragment: dead for all later rounds
+				continue
+			}
+			p := fragProposal{key: key, d: ce.D, u: ce.U, v: ce.V}
+			for _, f := range [2]int32{fu, fv} {
+				p.frag = f
+				if cur, ok := best[f]; !ok || lessProposal(p, cur) {
+					best[f] = p
+				}
+			}
+		}
+		props := make([]fragProposal, 0, len(best))
+		for _, p := range best {
+			props = append(props, p)
+		}
+		fs.msgs += int64(len(props))
+		all, err := exchangeProposals(r, props, fs)
+		if err != nil {
+			// Proposal blobs are broadcast, so every rank sees the same
+			// corrupt payload and fails here together.
+			if r.ID() == 0 {
+				env.err = fmt.Errorf("core: fragment merge round %d: %w", rounds+1, err)
+			}
+			return false
+		}
+		if len(all) == 0 {
+			break
+		}
+		rounds++
+		// Global minimum per fragment, then a deterministic application
+		// order: every rank replays the identical union sequence.
+		winner := map[int32]fragProposal{}
+		for _, p := range all {
+			if cur, ok := winner[p.frag]; !ok || lessProposal(p, cur) {
+				winner[p.frag] = p
+			}
+		}
+		ws := make([]fragProposal, 0, len(winner))
+		for _, p := range winner {
+			ws = append(ws, p)
+		}
+		sort.Slice(ws, func(i, j int) bool { return lessProposal(ws[i], ws[j]) })
+		for _, p := range ws {
+			s, t := unpackSeedKey(p.key)
+			ru, rv := find(seedIdx[s]), find(seedIdx[t])
+			if ru == rv {
+				continue // both endpoint fragments picked this same edge
+			}
+			if rv < ru {
+				ru, rv = rv, ru
+			}
+			frag[rv] = ru // min-root representative keeps labels canonical
+			pruned[p.key] = crossEdge{D: p.d, U: p.u, V: p.v}
+			chosen++
+		}
+		for i := range frag {
+			frag[i] = find(int32(i)) // pointer-jump full relabel
+		}
+	}
+
+	if r.Distributed() {
+		bytes := r.AllreduceSumInt64(fs.bytes)
+		msgs := r.AllreduceSumInt64(fs.msgs)
+		if r.ID() == 0 {
+			res.CrossTableBytes = bytes
+			res.FragmentMsgs = msgs
+		}
+		rt.FragmentSummary(r, rt.FragSummary{Rounds: int64(rounds), Msgs: fs.msgs, Bytes: fs.bytes})
+	} else if msgs := r.AllreduceSumInt64(fs.msgs); r.ID() == 0 {
+		res.FragmentMsgs = msgs
+	}
+	if r.ID() == 0 {
+		res.MSTFragment = true
+		res.MSTRounds = rounds
+	}
+
+	want := k - 1
+	if env.mode == ModeForest {
+		want = k - env.numGroups
+	}
+	if chosen < want {
+		if r.ID() == 0 {
+			env.err = fragmentDisconnectedErr(env, k, chosen, pruned)
+		}
+		return false
+	}
+	return true
+}
+
+// fragmentDisconnectedErr reproduces the replicated path's mode-specific
+// disconnection errors from the fragment merge's chosen edge set (the
+// unique MSF, so the component counts match the sequential solver's
+// exactly).
+func fragmentDisconnectedErr(env *solveEnv, nT, chosen int, pruned map[int64]crossEdge) error {
+	switch env.mode {
+	case ModeForest:
+		edges := make([]mst.WEdge, 0, len(pruned))
+		for key := range pruned {
+			s, t := unpackSeedKey(key)
+			edges = append(edges, mst.WEdge{U: env.seedIdx[s], V: env.seedIdx[t]})
+		}
+		return forestDisconnectedErr(env.groupOf, env.numGroups, nT, edges)
+	case ModePrize:
+		return fmt.Errorf("core: internal error: prize kept set spans %d connected components", nT-chosen)
+	default:
+		return fmt.Errorf("core: seeds span %d connected components; Steiner tree requires one", nT-chosen)
+	}
+}
+
+// exchangeProposals broadcasts every rank's round proposals to all ranks:
+// typed values through the generic allgather on loopback, one encoded blob
+// per rank (Dest -1) across a transport.
+func exchangeProposals(r *rt.Rank, props []fragProposal, fs *fragStats) ([]fragProposal, error) {
+	if !r.Distributed() {
+		return rt.AllGather(r, props), nil
+	}
+	var blob []byte
+	for _, p := range props {
+		blob = appendProposal(blob, p)
+	}
+	var out []rt.FragBlob
+	if len(blob) > 0 {
+		fs.bytes += int64(len(blob))
+		out = append(out, rt.FragBlob{Src: r.ID(), Dest: -1, Blob: blob})
+	}
+	var all []fragProposal
+	for _, fb := range rt.FragmentExchange(r, out) {
+		fs.bytes += int64(len(fb.Blob))
+		var err error
+		if all, err = decodeProposals(fb.Blob, all); err != nil {
+			return nil, err
+		}
+	}
+	return all, nil
+}
+
+// appendCrossEntry appends one routed cross-table record. Records carry no
+// count prefix — the router appends per-destination incrementally and the
+// enclosing blob delimits them.
+func appendCrossEntry(dst []byte, k int64, ce crossEdge) []byte {
+	dst = wire.AppendVarint(dst, k)
+	dst = wire.AppendUvarint(dst, uint64(ce.D))
+	dst = wire.AppendUvarint(dst, uint64(uint32(ce.U)))
+	dst = wire.AppendUvarint(dst, uint64(uint32(ce.V)))
+	return dst
+}
+
+// decodeCrossEntries folds every record of a routed blob through fold.
+func decodeCrossEntries(blob []byte, fold func(k int64, ce crossEdge)) error {
+	d := wire.NewDec(blob)
+	for d.Len() > 0 {
+		k := d.Varint()
+		ce := crossEdge{
+			D: graph.Dist(d.Uvarint()),
+			U: graph.VID(int32(d.Uvarint())),
+			V: graph.VID(int32(d.Uvarint())),
+		}
+		if err := d.Err(); err != nil {
+			return err
+		}
+		fold(k, ce)
+	}
+	return d.Err()
+}
+
+func appendProposal(dst []byte, p fragProposal) []byte {
+	dst = wire.AppendUvarint(dst, uint64(uint32(p.frag)))
+	dst = wire.AppendVarint(dst, p.key)
+	dst = wire.AppendUvarint(dst, uint64(p.d))
+	dst = wire.AppendUvarint(dst, uint64(uint32(p.u)))
+	dst = wire.AppendUvarint(dst, uint64(uint32(p.v)))
+	return dst
+}
+
+func decodeProposals(blob []byte, into []fragProposal) ([]fragProposal, error) {
+	d := wire.NewDec(blob)
+	for d.Len() > 0 {
+		p := fragProposal{
+			frag: int32(d.Uvarint()),
+			key:  d.Varint(),
+			d:    graph.Dist(d.Uvarint()),
+			u:    graph.VID(int32(d.Uvarint())),
+			v:    graph.VID(int32(d.Uvarint())),
+		}
+		if err := d.Err(); err != nil {
+			return into, err
+		}
+		into = append(into, p)
+	}
+	return into, d.Err()
+}

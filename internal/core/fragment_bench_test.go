@@ -1,0 +1,38 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkFragmentMST pits the two phase 3-5 merge strategies against each
+// other on a warm loopback engine at high terminal count — the regime where
+// the replicated cross-table is largest and the fragment merge earns its
+// keep. Both sub-benchmarks are tracked by benchgate so the loopback cost
+// of either path can't drift silently PR over PR.
+func BenchmarkFragmentMST(b *testing.B) {
+	const n, k = 4000, 512
+	g := engineTestGraph(41, n)
+	rng := rand.New(rand.NewSource(9))
+	seeds := pickEngineSeeds(rng, n, k)
+	for _, mode := range []MSTMode{MSTFragment, MSTReplicated} {
+		b.Run(mode.String(), func(b *testing.B) {
+			opts := Default(4)
+			opts.MSTMode = mode
+			e, err := NewEngine(g, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			if _, err := e.Solve(seeds); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Solve(seeds); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -6,10 +6,13 @@
 //  1. Voronoi Cell          — asynchronous multi-seed Bellman–Ford (Alg. 4)
 //  2. Local Min Dist. Edge  — per-rank min cross-cell edge per cell pair,
 //     with a request/reply exchange for remote endpoint distances (Alg. 5)
-//  3. Global Min Dist. Edge — Allreduce(MIN) merge of the per-rank tables
-//  4. MST                   — sequential Prim on the replicated distance
-//     graph G'₁ (the paper's design choice; Kruskal and Borůvka are
-//     available for the ablation benchmark)
+//  3. Global Min Dist. Edge — rank-local cross-edge ownership with a
+//     distributed fragment merge (default), or the paper's replicated
+//     Allreduce(MIN) merge of the per-rank tables (MSTReplicated)
+//  4. MST                   — distributed Borůvka/GHS fragment merge over
+//     the rank-owned cross edges, byte-identical to sequential Kruskal on
+//     the replicated distance graph G'₁; the replicated sequential path
+//     (Prim/Kruskal/Borůvka) is retained as the equivalence oracle
 //  5. Global Edge Pruning   — drop cross-cell edges absent from the MST G'₂
 //  6. Steiner Tree Edge     — predecessor walks from surviving cross-cell
 //     edge endpoints back to each cell's seed (Alg. 6)
@@ -29,14 +32,43 @@ import (
 type MSTAlgo int
 
 const (
+	// MSTKruskal sorts + union-find. It is the zero value (and Default)
+	// because its (weight, U, V) total order is the one the fragment merge
+	// reproduces byte-identically, so replicated and fragment solves agree
+	// without configuration.
+	MSTKruskal MSTAlgo = iota
 	// MSTPrim is the paper's choice (Boost Prim in the original).
-	MSTPrim MSTAlgo = iota
-	// MSTKruskal sorts + union-find.
-	MSTKruskal
+	MSTPrim
 	// MSTBoruvka is the parallel-style algorithm used by the DESIGN.md
 	// ablation of the "sequential MST is sufficient" claim.
 	MSTBoruvka
 )
+
+// mstAlgoToWire freezes the MSTAlgo wire byte at the original encoding
+// (0=prim, 1=kruskal, 2=boruvka) so reordering the Go constants cannot
+// change what crosses a version-skewed handshake.
+func mstAlgoToWire(a MSTAlgo) uint8 {
+	switch a {
+	case MSTKruskal:
+		return 1
+	case MSTBoruvka:
+		return 2
+	default:
+		return 0 // Prim
+	}
+}
+
+// mstAlgoFromWire is the inverse of mstAlgoToWire.
+func mstAlgoFromWire(b uint8) MSTAlgo {
+	switch b {
+	case 1:
+		return MSTKruskal
+	case 2:
+		return MSTBoruvka
+	default:
+		return MSTPrim
+	}
+}
 
 // String returns the flag/API name of the MST algorithm.
 func (a MSTAlgo) String() string {
@@ -49,6 +81,56 @@ func (a MSTAlgo) String() string {
 		return "boruvka"
 	default:
 		return fmt.Sprintf("MSTAlgo(%d)", int(a))
+	}
+}
+
+// MSTMode selects how phases 3–5 merge the cross-edge table and build the
+// MST of the distance graph G'₁.
+type MSTMode int
+
+const (
+	// MSTModeAuto picks the fragment merge wherever it is available: every
+	// sharded solve (loopback or a wire v4+ TCP session). GlobalCSR solves
+	// and TCP sessions pinned below wire v4 fall back to replicated.
+	MSTModeAuto MSTMode = iota
+	// MSTReplicated is the paper's original path: every rank gathers the
+	// entire merged cross-edge table (O(k²) entries to all P ranks) and
+	// runs the same sequential MST over it. Retained as the equivalence
+	// oracle, like Options.GlobalCSR.
+	MSTReplicated
+	// MSTFragment is the distributed Borůvka/GHS fragment merge: cross
+	// edges stay rank-local (owned by the rank of the lex-min endpoint
+	// cell), fragments merge in rounds over O(k) proposal exchanges, and
+	// phase 5 consumes an allgather of the O(k) chosen edges instead of
+	// the O(k²) table. Deterministic (weight, seedKey) tie-breaking makes
+	// the chosen edge set byte-identical to sequential Kruskal.
+	MSTFragment
+)
+
+// String returns the flag/API name of the MST mode.
+func (m MSTMode) String() string {
+	switch m {
+	case MSTReplicated:
+		return "replicated"
+	case MSTFragment:
+		return "fragment"
+	default:
+		return "auto"
+	}
+}
+
+// ParseMSTMode maps a flag/API string to its MSTMode ("auto",
+// "replicated", "fragment").
+func ParseMSTMode(s string) (MSTMode, error) {
+	switch s {
+	case "", "auto":
+		return MSTModeAuto, nil
+	case "replicated":
+		return MSTReplicated, nil
+	case "fragment":
+		return MSTFragment, nil
+	default:
+		return MSTModeAuto, fmt.Errorf("core: unknown mst mode %q (want auto, replicated or fragment)", s)
 	}
 }
 
@@ -156,8 +238,16 @@ type Options struct {
 	// BSP runs the vertex-centric phases bulk-synchronously instead of
 	// asynchronously (the §IV ablation).
 	BSP bool
-	// MST selects the phase-4 algorithm (default Prim, as in the paper).
+	// MST selects the sequential phase-4 algorithm of the replicated path
+	// (default Kruskal — the order the fragment merge reproduces; the
+	// paper used Prim). Ignored by the fragment merge, which is
+	// Kruskal-equivalent by construction.
 	MST MSTAlgo
+	// MSTMode selects replicated-table sequential MST vs the distributed
+	// fragment merge for phases 3–5 (default auto: fragment wherever
+	// available). MSTFragment is incompatible with GlobalCSR and with TCP
+	// sessions negotiated below wire v4.
+	MSTMode MSTMode
 	// CollectiveChunk, when positive, splits the Global Min Dist. Edge
 	// reduction into chunks of at most this many table entries — the
 	// paper's §V-F memory optimization ("multiple collective operations
@@ -212,14 +302,16 @@ func (o Options) withDefaults() Options {
 
 // Default returns the paper's optimized configuration at the given rank
 // count: asynchronous processing with distance-priority message queues,
-// sequential Prim MST, and arc-balanced contiguous partitioning (our
-// equivalent of HavoqGT's edge-count load balancing for scale-free graphs —
-// see the DESIGN.md substitution table and BenchmarkAblation_Delegates).
+// Kruskal as the replicated-path MST (the order the fragment merge
+// reproduces byte-identically), and arc-balanced contiguous partitioning
+// (our equivalent of HavoqGT's edge-count load balancing for scale-free
+// graphs — see the DESIGN.md substitution table and
+// BenchmarkAblation_Delegates).
 func Default(ranks int) Options {
 	return Options{
 		Ranks:     ranks,
 		Queue:     rt.QueuePriority,
-		MST:       MSTPrim,
+		MST:       MSTKruskal,
 		Partition: PartitionArcBlock,
 	}
 }

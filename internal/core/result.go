@@ -75,8 +75,21 @@ type Result struct {
 	// DistGraphEdges is |E'₁|, the number of cross-cell candidate edges
 	// after the global merge.
 	DistGraphEdges int
-	// MSTRounds reports Borůvka rounds when Options.MST == MSTBoruvka.
+	// MSTRounds reports merge rounds: fragment-merge rounds when the query
+	// ran with MSTFragment, or sequential Borůvka rounds when
+	// Options.MST == MSTBoruvka on the replicated path.
 	MSTRounds int
+	// MSTFragment reports whether phases 3–5 ran the rank-parallel
+	// fragment merge (false: the replicated cross table + sequential MST).
+	MSTFragment bool
+	// CrossTableBytes is the phase 3–4 merge payload moved through
+	// collectives, summed over ranks (contributed + received). Zero on the
+	// in-process loopback backend, where records travel as shared values.
+	CrossTableBytes int64
+	// FragmentMsgs counts fragment-merge records exchanged (routed
+	// cross-table entries plus per-round proposals), summed over ranks.
+	// Zero on the replicated path.
+	FragmentMsgs int64
 	// CollectiveChunks is the number of chunked reductions used by the
 	// Global Min Dist. Edge phase (1 = single collective).
 	CollectiveChunks int

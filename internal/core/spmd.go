@@ -42,10 +42,23 @@ type solveEnv struct {
 	res *Result
 	err error
 
+	// mstFragment selects the rank-parallel fragment merge for phases 3–5
+	// (resolved from Options.MSTMode by the engine or worker, identically
+	// on every process; always false for prize queries, whose moat-growing
+	// plan needs the full replicated table).
+	mstFragment bool
+
 	// Pooled per-rank scratch (the owning Engine's or worker's pools).
 	localENs []map[int64]crossEdge
 	pruneds  []map[int64]crossEdge
 	trees    [][]graph.Edge
+	// owneds and frags are the fragment merge's pooled per-rank state: the
+	// rank-sharded cross table and the fragment-label array. merges is the
+	// replicated path's pooled wire scratch (encode buffer + merge target);
+	// nil on loopback, which merges shared maps in-memory.
+	owneds []map[int64]crossEdge
+	frags  [][]int32
+	merges []*mergeScratch
 
 	// GlobalCSR reference-mode shared state (loopback only).
 	st        *voronoi.State
@@ -173,15 +186,24 @@ func (env *solveEnv) rankBody(r *rt.Rank) {
 		return ts.Processed
 	})
 
-	// Phase 3: global min-distance edges —
+	// Phase 3: global min-distance edges. The fragment merge routes each
+	// record to the rank owning the pair's lower seed, leaving a disjoint
+	// table shard per rank; the replicated path is the paper's
 	// MPI_Allreduce(MPI_MIN) over the per-rank E_N tables. With
-	// CollectiveChunk set, the table is reduced in key-partitioned
-	// chunks, trading collective-buffer memory for extra rounds
-	// (the paper's §V-F mitigation for the |S|=10K blowup).
+	// CollectiveChunk set (replicated only), the table is reduced in
+	// key-partitioned chunks, trading collective-buffer memory for extra
+	// rounds (the paper's §V-F mitigation for the |S|=10K blowup).
 	var merged map[int64]crossEdge
+	var owned map[int64]crossEdge
+	fs := &fragStats{}
+	ok := true
 	rec.phase(r, PhaseGlobalMinEdge, func() int64 {
+		if env.mstFragment {
+			owned, ok = env.fragmentRoute(r, localEN, fs)
+			return 0
+		}
 		if opts.CollectiveChunk <= 0 {
-			merged = mergeCrossTables(r, localEN)
+			merged, ok = env.mergeCrossTables(r, localEN, fs)
 			if r.ID() == 0 {
 				res.CollectiveChunks = 1
 			}
@@ -200,7 +222,12 @@ func (env *solveEnv) rankBody(r *rt.Rank) {
 					sub[k] = v
 				}
 			}
-			for k, v := range mergeCrossTables(r, sub) {
+			part, partOK := env.mergeCrossTables(r, sub, fs)
+			if !partOK {
+				ok = false
+				return 0
+			}
+			for k, v := range part {
 				merged[k] = v
 			}
 		}
@@ -209,13 +236,30 @@ func (env *solveEnv) rankBody(r *rt.Rank) {
 		}
 		return 0
 	})
+	if !ok {
+		return // cross-table decode failure: all ranks bail together
+	}
 
-	// Phase 4: sequential MST of the replicated distance graph G'₁
-	// (Alg. 3 line 17). Every rank computes it locally — G'₁ is
-	// small, so replication avoids remote copies, as in the paper.
-	// seedIdx is shared read-only (built before the SPMD body).
+	// Phase 4: MST of the distance graph G'₁ (Alg. 3 line 17). The
+	// fragment merge runs distributed Borůvka rounds over the sharded
+	// table; the replicated path computes a sequential MST locally on
+	// every rank — G'₁ is small, so replication avoids remote copies, as
+	// in the paper. seedIdx is shared read-only (built before the SPMD
+	// body).
+	pruned := env.pruneds[r.ID()]
 	var mstPairs map[int64]bool
 	rec.phase(r, PhaseMST, func() int64 {
+		if env.mstFragment {
+			ok = env.fragmentMST(r, owned, pruned, fs)
+			return 0
+		}
+		if r.Distributed() {
+			// The replicated gather's payload total, for comparison with
+			// the fragment merge's CrossTableBytes.
+			if bytes := r.AllreduceSumInt64(fs.bytes); r.ID() == 0 {
+				res.CrossTableBytes = bytes
+			}
+		}
 		keys := make([]int64, 0, len(merged))
 		for k := range merged {
 			keys = append(keys, k)
@@ -301,7 +345,11 @@ func (env *solveEnv) rankBody(r *rt.Rank) {
 		}
 		return 0
 	})
-	if mstPairs == nil {
+	if env.mstFragment {
+		if !ok {
+			return // disconnected seeds or corrupt round: uniform bail
+		}
+	} else if mstPairs == nil {
 		return // disconnected seeds: all ranks bail out identically
 	}
 
@@ -309,8 +357,12 @@ func (env *solveEnv) rankBody(r *rt.Rank) {
 	// cross-cell edges whose cell pair is not an MST edge are
 	// dropped. The total order in pickCross already guarantees a
 	// unique survivor per pair, so no second collective is needed.
-	pruned := env.pruneds[r.ID()]
+	// The fragment merge accumulated its winners into pruned during
+	// the Borůvka rounds, so its phase 5 is already done.
 	rec.phase(r, PhasePruning, func() int64 {
+		if env.mstFragment {
+			return 0
+		}
 		for k, ce := range merged {
 			if mstPairs[k] {
 				pruned[k] = ce
@@ -433,24 +485,45 @@ func forestDisconnectedErr(groupOf []int32, numGroups, nT int, edges []mst.WEdge
 	return fmt.Errorf("core: forest groups are not all connected")
 }
 
+// mergeScratch is a rank's pooled replicated-merge wire scratch: the
+// cross-table encode buffer and the distributed merge target map, reused
+// across queries like the transport's encode scratch.
+type mergeScratch struct {
+	enc    []byte
+	merged map[int64]crossEdge
+}
+
 // mergeCrossTables merges the per-rank E_N tables into the globally-minimal
 // cross-cell edge per cell pair. Loopback uses the generic shared-memory
 // map reduction; across a transport each rank's table travels as an
 // encoded blob through the rank-ordered gather, and every process merges
 // locally — pickCross is associative and commutative with a total order,
 // so the merged table is identical everywhere regardless of merge order.
-func mergeCrossTables(r *rt.Rank, local map[int64]crossEdge) map[int64]crossEdge {
+// A decode failure is uniform (every process decodes the same gathered
+// blobs), so all ranks return ok=false together and rank 0 records the
+// error — a fail-stop session abort instead of a process-killing panic.
+// The returned map is the pooled scratch: valid until the next query.
+func (env *solveEnv) mergeCrossTables(r *rt.Rank, local map[int64]crossEdge, fs *fragStats) (map[int64]crossEdge, bool) {
 	if !r.Distributed() {
-		return rt.ReduceMap(r, local, pickCross)
+		return rt.ReduceMap(r, local, pickCross), true
 	}
-	parts := rt.GatherBlobs(r, encodeCrossTable(nil, local))
-	merged := make(map[int64]crossEdge, 2*len(local))
+	sc := env.merges[r.ID()]
+	sc.enc = encodeCrossTable(sc.enc[:0], local)
+	fs.bytes += int64(len(sc.enc))
+	parts := rt.GatherBlobs(r, sc.enc)
+	clear(sc.merged)
 	for rank, blob := range parts {
-		if err := decodeCrossTableInto(merged, blob); err != nil {
-			panic(fmt.Sprintf("core: cross-table gather from rank %d: %v", rank, err))
+		if rank != r.ID() {
+			fs.bytes += int64(len(blob))
+		}
+		if err := decodeCrossTableInto(sc.merged, blob); err != nil {
+			if r.ID() == 0 {
+				env.err = fmt.Errorf("core: cross-table gather from rank %d: %w", rank, err)
+			}
+			return nil, false
 		}
 	}
-	return merged
+	return sc.merged, true
 }
 
 // encodeCrossTable encodes an E_N table for the gather collective.

@@ -112,11 +112,18 @@ type worker struct {
 	shardBytes int64
 	stateBytes int64
 
+	// mstMode is the coordinator-resolved phase 3–5 merge strategy from
+	// the setup frame (absent on pre-v4 sessions ⇒ replicated).
+	mstMode MSTMode
+
 	// Pooled per-query scratch (hosted entries only).
 	localENs []map[int64]crossEdge
 	pruneds  []map[int64]crossEdge
 	trees    [][]graph.Edge
 	seedIdx  map[graph.VID]int32
+	owneds   []map[int64]crossEdge
+	frags    [][]int32
+	merges   []*mergeScratch
 }
 
 // buildWorker reconstructs the rank substrate from the setup frame and
@@ -145,14 +152,21 @@ func buildWorker(setup wire.Setup, coord net.Conn, ln net.Listener, cfg WorkerCo
 			BucketDelta:       setup.BucketDelta,
 			BatchSize:         setup.BatchSize,
 			BSP:               setup.BSP,
-			MST:               MSTAlgo(setup.MST),
+			MST:               mstAlgoFromWire(setup.MST),
 			CollectiveChunk:   setup.CollectiveChunk,
 			DelegateThreshold: setup.DelegateThreshold,
 		},
+		mstMode:  MSTMode(setup.MSTMode),
 		localENs: make([]map[int64]crossEdge, setup.Ranks),
 		pruneds:  make([]map[int64]crossEdge, setup.Ranks),
 		trees:    make([][]graph.Edge, setup.Ranks),
 		seedIdx:  make(map[graph.VID]int32),
+		owneds:   make([]map[int64]crossEdge, setup.Ranks),
+		frags:    make([][]int32, setup.Ranks),
+		merges:   make([]*mergeScratch, setup.Ranks),
+	}
+	if w.mstMode != MSTFragment {
+		w.mstMode = MSTReplicated // absent/unknown ⇒ the legacy path
 	}
 
 	shards := make([]*graph.Shard, 0, hi-lo)
@@ -170,6 +184,8 @@ func buildWorker(setup wire.Setup, coord net.Conn, ln net.Listener, cfg WorkerCo
 		w.stateBytes += slab.MemoryBytes()
 		w.localENs[sl.Rank] = map[int64]crossEdge{}
 		w.pruneds[sl.Rank] = map[int64]crossEdge{}
+		w.owneds[sl.Rank] = map[int64]crossEdge{}
+		w.merges[sl.Rank] = &mergeScratch{merged: map[int64]crossEdge{}}
 	}
 
 	cfg.Logf("rankd: worker %d/%d hosting ranks [%d,%d), |V|=%d, shard %d B, slab %d B",
@@ -273,6 +289,7 @@ func (w *worker) solveQuery(q wire.SolveSpec, cfg WorkerConfig) (err error) {
 	for rank := w.lo; rank < w.hi; rank++ {
 		clear(w.localENs[rank])
 		clear(w.pruneds[rank])
+		clear(w.owneds[rank])
 		w.trees[rank] = w.trees[rank][:0]
 	}
 	clear(w.seedIdx)
@@ -280,18 +297,22 @@ func (w *worker) solveQuery(q wire.SolveSpec, cfg WorkerConfig) (err error) {
 		w.seedIdx[s] = int32(i)
 	}
 	env := &solveEnv{
-		opts:      w.opts,
-		comm:      w.comm,
-		dedup:     cq.dedup,
-		seedIdx:   w.seedIdx,
-		mode:      cq.spec.Mode,
-		groupOf:   cq.groupOf,
-		numGroups: len(cq.spec.Groups),
-		penalty:   cq.penalty,
-		res:       &Result{Seeds: cq.dedup, Mode: cq.spec.Mode},
-		localENs:  w.localENs,
-		pruneds:   w.pruneds,
-		trees:     w.trees,
+		opts:        w.opts,
+		comm:        w.comm,
+		dedup:       cq.dedup,
+		seedIdx:     w.seedIdx,
+		mode:        cq.spec.Mode,
+		groupOf:     cq.groupOf,
+		numGroups:   len(cq.spec.Groups),
+		penalty:     cq.penalty,
+		res:         &Result{Seeds: cq.dedup, Mode: cq.spec.Mode},
+		mstFragment: w.mstMode == MSTFragment && cq.spec.Mode != ModePrize,
+		localENs:    w.localENs,
+		pruneds:     w.pruneds,
+		trees:       w.trees,
+		owneds:      w.owneds,
+		frags:       w.frags,
+		merges:      w.merges,
 	}
 	s0 := w.comm.Stats()
 	net0 := w.trans.NetStats()
@@ -334,6 +355,9 @@ func (w *worker) solveQuery(q wire.SolveSpec, cfg WorkerConfig) (err error) {
 			done.HasResult = true
 			done.Result = toWireResult(env.res)
 			done.Skipped = env.res.Skipped
+			done.MSTFragment = env.res.MSTFragment
+			done.CrossTableBytes = env.res.CrossTableBytes
+			done.FragmentMsgs = env.res.FragmentMsgs
 		}
 	}
 	if err := w.trans.SendWorkerDone(done); err != nil {

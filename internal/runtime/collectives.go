@@ -190,6 +190,58 @@ func GatherBlobs(r *Rank, blob []byte) [][]byte {
 	return c.coll.reduce(tag, pickLeader).(leaderTag).val.([][]byte)
 }
 
+// FragmentExchange routes the fragment-merge MST's per-round blobs: every
+// rank contributes its routed blobs (Dest = a global rank, or -1 for
+// broadcast to all) and receives back exactly the blobs addressed to it
+// plus every broadcast blob, in no particular order (callers that need
+// determinism sort by blob content). Every rank must call it in the same
+// program order, like any collective. Across a transport the coordinator
+// personalizes each process's reply, so a routed blob crosses the wire
+// twice (up, down) instead of down P times — the fragment merge's wire-byte
+// win over GatherBlobs.
+func FragmentExchange(r *Rank, blobs []FragBlob) []FragBlob {
+	c := r.comm
+	type contrib struct{ blobs []FragBlob }
+	all := c.coll.reduce(contrib{blobs: blobs}, func(a, b any) any {
+		return contrib{blobs: append(a.(contrib).blobs, b.(contrib).blobs...)}
+	}).(contrib).blobs
+	if c.trans != nil {
+		var tag leaderTag
+		if r.id == c.lo {
+			tag = leaderTag{has: true, val: c.trans.FragmentExchange(all)}
+		}
+		all = c.coll.reduce(tag, pickLeader).(leaderTag).val.([]FragBlob)
+	}
+	// The merged list is shared between hosted ranks: filter into a fresh
+	// per-rank slice.
+	var out []FragBlob
+	for _, fb := range all {
+		if fb.Dest == r.id || fb.Dest == -1 {
+			out = append(out, fb)
+		}
+	}
+	return out
+}
+
+// FragmentSummary reports one query's fragment-merge totals to the
+// coordinator: the hosted ranks' summaries are combined in-process (max of
+// rounds — they must agree — sum of the rest) and the process leader ships
+// the partial. A no-op without a transport. Every rank must call it.
+func FragmentSummary(r *Rank, s FragSummary) {
+	c := r.comm
+	total := c.coll.reduce(s, func(a, b any) any {
+		as, bs := a.(FragSummary), b.(FragSummary)
+		return FragSummary{
+			Rounds: max(as.Rounds, bs.Rounds),
+			Msgs:   as.Msgs + bs.Msgs,
+			Bytes:  as.Bytes + bs.Bytes,
+		}
+	}).(FragSummary)
+	if c.trans != nil && r.id == c.lo {
+		c.trans.FragmentSummary(total)
+	}
+}
+
 // wireOnly panics: the generic shared-memory collectives cannot cross a
 // process boundary (their payloads are arbitrary Go values and their
 // combiners are closures). Transport-aware algorithms use the int64

@@ -126,11 +126,13 @@ func TestGenericCollectivesRefuseTransport(t *testing.T) {
 // nopTransport satisfies Transport for construction-only tests.
 type nopTransport struct{}
 
-func (nopTransport) Attach(TransportHost)                   {}
-func (nopTransport) Deliver(int, []Msg)                     {}
-func (nopTransport) Barrier()                               {}
-func (nopTransport) AllreduceInt64(_ CollOp, x int64) int64 { return x }
-func (nopTransport) Gather(_ []int, b [][]byte) [][]byte    { return b }
-func (nopTransport) StartTraversal(uint64) chan struct{}    { return make(chan struct{}) }
-func (nopTransport) Stats() TransportStats                  { return TransportStats{} }
-func (nopTransport) Close() error                           { return nil }
+func (nopTransport) Attach(TransportHost)                     {}
+func (nopTransport) Deliver(int, []Msg)                       {}
+func (nopTransport) Barrier()                                 {}
+func (nopTransport) AllreduceInt64(_ CollOp, x int64) int64   { return x }
+func (nopTransport) Gather(_ []int, b [][]byte) [][]byte      { return b }
+func (nopTransport) FragmentExchange(b []FragBlob) []FragBlob { return b }
+func (nopTransport) FragmentSummary(FragSummary)              {}
+func (nopTransport) StartTraversal(uint64) chan struct{}      { return make(chan struct{}) }
+func (nopTransport) Stats() TransportStats                    { return TransportStats{} }
+func (nopTransport) Close() error                             { return nil }

@@ -66,6 +66,10 @@ type Service struct {
 	// pool; captured from the first engine at construction).
 	shard core.ShardStats
 
+	// mstMode is the pool's resolved phase 3–5 merge strategy ("fragment"
+	// or "replicated"; identical across siblings, captured like shard).
+	mstMode string
+
 	// engines is the bounded pool: a query blocks here until an engine is
 	// free, so at most cap(engines) solves are in flight at once.
 	engines chan *core.Engine
@@ -99,6 +103,15 @@ type serviceStats struct {
 	coalesced     int64
 	batched       int64
 	net           rt.TransportStats
+
+	// Fragment-merge MST accounting: queries served by the fragment path,
+	// their merge rounds, and the phase 3–4 merge payload (both merge
+	// modes report crossTableBytes on the TCP backend, so the two are
+	// comparable from /stats alone).
+	mstFragmentQueries int64
+	mstFragmentRounds  int64
+	mstCrossTableBytes int64
+	mstFragmentMsgs    int64
 }
 
 // New builds a Service over g with per-query solver options. See Config
@@ -147,6 +160,7 @@ func New(g *graph.Graph, opts core.Options, cfg Config) (*Service, error) {
 		if first == nil {
 			first = e
 			s.shard = e.ShardStats()
+			s.mstMode = e.MSTMode().String()
 		}
 		s.engines <- e
 	}
@@ -473,6 +487,20 @@ type BroadcastStats struct {
 	Sent       int64 `json:"sent"`
 }
 
+// MSTStats is the /stats accounting of the phase 3–5 merge: how many
+// queries ran the rank-parallel fragment merge, their total Borůvka
+// rounds and exchanged records, and the merge payload bytes moved through
+// collectives (replicated queries contribute to crossTableBytes too, so a
+// fragment fleet and a replicated fleet are directly comparable; loopback
+// engines always report zero bytes — records travel as shared values).
+type MSTStats struct {
+	Mode             string `json:"mode"`
+	FragmentQueries  int64  `json:"fragmentQueries"`
+	FragmentRounds   int64  `json:"fragmentRounds"`
+	FragmentMessages int64  `json:"fragmentMessages"`
+	CrossTableBytes  int64  `json:"crossTableBytes"`
+}
+
 // JobStats reports the async job queue for /stats. Completed counts
 // successful jobs only; Completed + Failed is everything that finished.
 type JobStats struct {
@@ -503,11 +531,13 @@ type StatsResponse struct {
 	// Broadcasts partitions every delegate offer generated across all
 	// served queries: suppressed, coalesced, batched, sent.
 	Broadcasts BroadcastStats `json:"broadcasts"`
-	Transport  TransportStats `json:"transport"`
-	Phases     []PhaseStats   `json:"phases"`
-	Shard      ShardStats     `json:"shard"`
-	Cache      *CacheStats    `json:"cache,omitempty"`
-	Jobs       *JobStats      `json:"jobs,omitempty"`
+	// MST reports the phase 3–5 merge strategy and its traffic.
+	MST       MSTStats       `json:"mst"`
+	Transport TransportStats `json:"transport"`
+	Phases    []PhaseStats   `json:"phases"`
+	Shard     ShardStats     `json:"shard"`
+	Cache     *CacheStats    `json:"cache,omitempty"`
+	Jobs      *JobStats      `json:"jobs,omitempty"`
 }
 
 func (s *Service) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -557,6 +587,13 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 			Coalesced:  st.coalesced,
 			Batched:    st.batched,
 			Sent:       st.batched,
+		},
+		MST: MSTStats{
+			Mode:             s.mstMode,
+			FragmentQueries:  st.mstFragmentQueries,
+			FragmentRounds:   st.mstFragmentRounds,
+			FragmentMessages: st.mstFragmentMsgs,
+			CrossTableBytes:  st.mstCrossTableBytes,
 		},
 		Transport: TransportStats{
 			FramesOut:            st.net.FramesOut,
@@ -664,6 +701,12 @@ func (s *Service) recordQuery(res *core.Result, elapsed time.Duration, err error
 		st.coalesced += res.CoalescedBroadcasts
 		st.batched += res.BatchedBroadcasts
 		st.net = st.net.Add(res.Net)
+		if res.MSTFragment {
+			st.mstFragmentQueries++
+			st.mstFragmentRounds += int64(res.MSTRounds)
+			st.mstFragmentMsgs += res.FragmentMsgs
+		}
+		st.mstCrossTableBytes += res.CrossTableBytes
 	}
 	st.mu.Unlock()
 }

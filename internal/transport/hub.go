@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dsteiner/internal/graph"
+	rt "dsteiner/internal/runtime"
 	"dsteiner/internal/wire"
 )
 
@@ -63,6 +64,10 @@ type pendingQuery struct {
 	done int
 	out  QueryOutcome
 	ch   chan QueryOutcome
+	// fragRounds is the fragment-merge round count reported by
+	// FragmentRoundSummary frames (-1 until the first arrives); every
+	// worker must report the same count or the session is poisoned.
+	fragRounds int64
 }
 
 // QueryOutcome is everything the coordinator learns about one query from
@@ -82,6 +87,18 @@ type QueryOutcome struct {
 	// Skipped is the rank-0 worker's skipped-terminal list for prize-mode
 	// queries (wire v3 sessions only; always nil for tree and forest).
 	Skipped []graph.VID
+	// Fragment-merge MST counters from the rank-0 worker's v4 tail:
+	// whether phase 4 ran the fragment merge, and the query's phase-3/4
+	// cross-table wire bytes and fragment-exchange record count.
+	MSTFragment     bool
+	CrossTableBytes int64
+	FragmentMsgs    int64
+}
+
+// fragAcc accumulates one fragment exchange's per-worker contributions.
+type fragAcc struct {
+	count int
+	blobs []rt.FragBlob
 }
 
 // collAcc accumulates one collective's per-worker contributions.
@@ -324,9 +341,10 @@ func (h *Hub) dispatch(qid uint64, payload []byte) (QueryOutcome, error) {
 		return QueryOutcome{}, err
 	}
 	pq := &pendingQuery{
-		qid: qid,
-		out: QueryOutcome{QueryID: qid, TableLens: make([]int64, h.ranks)},
-		ch:  make(chan QueryOutcome, 1),
+		qid:        qid,
+		out:        QueryOutcome{QueryID: qid, TableLens: make([]int64, h.ranks)},
+		ch:         make(chan QueryOutcome, 1),
+		fragRounds: -1,
 	}
 	// Register before broadcasting so no done frame can beat the query.
 	select {
@@ -375,6 +393,7 @@ func (h *Hub) Close() {
 func (h *Hub) run() {
 	defer close(h.loopEnd)
 	colls := make(map[uint64]*collAcc)
+	frags := make(map[uint64]*fragAcc)
 	sessions := make(map[uint64]*tokenSession)
 	var pending *pendingQuery
 	closedReaders := 0
@@ -393,7 +412,7 @@ func (h *Hub) run() {
 				return
 			}
 		default:
-			if err := h.handleFrame(ev, colls, sessions, &pending); err != nil {
+			if err := h.handleFrame(ev, colls, frags, sessions, &pending); err != nil {
 				h.fail(err)
 			}
 		}
@@ -401,7 +420,7 @@ func (h *Hub) run() {
 }
 
 // handleFrame processes one worker frame inside the event loop.
-func (h *Hub) handleFrame(ev hubEvent, colls map[uint64]*collAcc,
+func (h *Hub) handleFrame(ev hubEvent, colls map[uint64]*collAcc, frags map[uint64]*fragAcc,
 	sessions map[uint64]*tokenSession, pending **pendingQuery) error {
 	w := ev.worker
 	switch ev.typ {
@@ -411,6 +430,29 @@ func (h *Hub) handleFrame(ev hubEvent, colls map[uint64]*collAcc,
 			return fmt.Errorf("transport: collective from worker %d: %w", w, err)
 		}
 		return h.handleColl(w, coll, colls)
+
+	case wire.FrameFragmentConnect:
+		fc, err := wire.DecodeFragmentConnect(ev.body)
+		if err != nil {
+			return fmt.Errorf("transport: fragment connect from worker %d: %w", w, err)
+		}
+		return h.handleFragment(w, fc, frags)
+
+	case wire.FrameFragmentRoundSummary:
+		fs, err := wire.DecodeFragmentRoundSummary(ev.body)
+		if err != nil {
+			return fmt.Errorf("transport: fragment summary from worker %d: %w", w, err)
+		}
+		pq := *pending
+		if pq == nil {
+			return fmt.Errorf("transport: fragment summary with no pending query from worker %d", w)
+		}
+		if pq.fragRounds >= 0 && pq.fragRounds != fs.Rounds {
+			return fmt.Errorf("transport: fragment merge diverged: worker %d ran %d rounds, earlier workers ran %d",
+				w, fs.Rounds, pq.fragRounds)
+		}
+		pq.fragRounds = fs.Rounds
+		return nil
 
 	case wire.FrameTraverseBegin:
 		tb, err := wire.DecodeTraverseBegin(ev.body)
@@ -487,6 +529,9 @@ func (h *Hub) handleFrame(ev hubEvent, colls map[uint64]*collAcc,
 			res := done.Result
 			pq.out.Result = &res
 			pq.out.Skipped = done.Skipped
+			pq.out.MSTFragment = done.MSTFragment
+			pq.out.CrossTableBytes = done.CrossTableBytes
+			pq.out.FragmentMsgs = done.FragmentMsgs
 		}
 		pq.done++
 		if pq.done == h.workers {
@@ -509,6 +554,44 @@ func (h *Hub) handleFrame(ev hubEvent, colls map[uint64]*collAcc,
 func (h *Hub) sendToken(s *tokenSession, tok wire.Token) error {
 	if err := h.peers[s.at].send(wire.EncodeToken(nil, tok)); err != nil {
 		return fmt.Errorf("transport: token to worker %d: %w", s.at, err)
+	}
+	return nil
+}
+
+// handleFragment folds one fragment-exchange contribution and, once every
+// worker has contributed, answers each worker with a personalized reply:
+// only the blobs addressed to its rank range, plus broadcasts. This is the
+// routing step that replaces OpGather's everything-to-everyone blob list.
+func (h *Hub) handleFragment(w int, fc wire.FragmentConnect, frags map[uint64]*fragAcc) error {
+	acc := frags[fc.Seq]
+	if acc == nil {
+		acc = &fragAcc{}
+		frags[fc.Seq] = acc
+	}
+	for _, fb := range fc.Blobs {
+		if fb.Dest != -1 && (fb.Dest < 0 || fb.Dest >= h.ranks) {
+			return fmt.Errorf("transport: fragment exchange %d: dest rank %d out of range from worker %d",
+				fc.Seq, fb.Dest, w)
+		}
+	}
+	acc.blobs = append(acc.blobs, fc.Blobs...)
+	acc.count++
+	if acc.count < h.workers {
+		return nil
+	}
+	delete(frags, fc.Seq)
+	for dw, p := range h.peers {
+		lo, hi := h.RankRange(dw)
+		var out []rt.FragBlob
+		for _, fb := range acc.blobs {
+			if fb.Dest == -1 || (fb.Dest >= lo && fb.Dest < hi) {
+				out = append(out, fb)
+			}
+		}
+		reply := wire.EncodeFragmentRelabel(nil, wire.FragmentRelabel{Seq: fc.Seq, Blobs: out})
+		if err := p.send(reply); err != nil {
+			return fmt.Errorf("transport: fragment reply to worker %d: %w", dw, err)
+		}
 	}
 	return nil
 }

@@ -54,6 +54,11 @@ type TCP struct {
 	collSeq   uint64
 	collReply chan wire.CollReply
 
+	// Fragment-exchange state (wire v4): same single-outstanding leader
+	// discipline as collectives, with its own sequence space.
+	fragSeq   uint64
+	fragReply chan wire.FragmentRelabel
+
 	// Fence state: highest fence sequence received from each peer.
 	fenceMu   sync.Mutex
 	fenceCond *sync.Cond
@@ -104,6 +109,7 @@ func NewTCP(self int, rankLo []int64, coord net.Conn, peerConns []net.Conn) *TCP
 		self:      self,
 		rankLo:    rankLo,
 		collReply: make(chan wire.CollReply, 1),
+		fragReply: make(chan wire.FragmentRelabel, 1),
 		fenceGot:  make([]uint64, len(peerConns)),
 		travDone:  make(map[uint64]chan struct{}),
 		controls:  make(chan Control, 4),
@@ -357,6 +363,44 @@ func (t *TCP) Gather(ranks []int, blobs [][]byte) [][]byte {
 	return list
 }
 
+// FragmentExchange implements runtime.Transport: ship the hosted ranks'
+// routed fragment blobs to the coordinator, receive back the personalized
+// set — blobs addressed to this worker's rank range plus broadcasts. Like a
+// collective it is fenced, single-outstanding, and leader-only.
+func (t *TCP) FragmentExchange(blobs []rt.FragBlob) []rt.FragBlob {
+	t.fence()
+	t.fragSeq++
+	if _, err := t.coord.appendFrame(true, func(dst []byte) []byte {
+		return wire.EncodeFragmentConnect(dst, wire.FragmentConnect{Seq: t.fragSeq, Blobs: blobs})
+	}); err != nil {
+		t.fail(fmt.Errorf("transport: fragment exchange %d: %w", t.fragSeq, err))
+		panic(errPoisoned)
+	}
+	select {
+	case reply := <-t.fragReply:
+		if reply.Seq != t.fragSeq {
+			t.fail(fmt.Errorf("transport: fragment reply %d for request %d", reply.Seq, t.fragSeq))
+			panic(errPoisoned)
+		}
+		return reply.Blobs
+	case <-t.failCh:
+		panic(errPoisoned)
+	}
+}
+
+// FragmentSummary implements runtime.Transport: one-way per-query fragment
+// totals to the coordinator, folded into the pending query's outcome.
+func (t *TCP) FragmentSummary(s rt.FragSummary) {
+	if _, err := t.coord.appendFrame(true, func(dst []byte) []byte {
+		return wire.EncodeFragmentRoundSummary(dst, wire.FragmentRoundSummary{
+			Rounds: s.Rounds, Msgs: s.Msgs, Bytes: s.Bytes,
+		})
+	}); err != nil {
+		t.fail(fmt.Errorf("transport: fragment summary: %w", err))
+		panic(errPoisoned)
+	}
+}
+
 // StartTraversal implements runtime.Transport: announce the asynchronous
 // traversal to the coordinator and hand back the channel its
 // termination-token ring will close at global quiescence.
@@ -488,6 +532,23 @@ func (t *TCP) readCoord() {
 			case t.collReply <- reply:
 			default:
 				t.fail(errors.New("transport: unexpected collective reply"))
+				return
+			}
+		case wire.FrameFragmentRelabel:
+			reply, err := wire.DecodeFragmentRelabel(body)
+			if err != nil {
+				t.fail(fmt.Errorf("transport: fragment reply: %w", err))
+				return
+			}
+			// The blobs alias the read buffer: copy before handing them to
+			// the waiting leader rank.
+			for i := range reply.Blobs {
+				reply.Blobs[i].Blob = append([]byte(nil), reply.Blobs[i].Blob...)
+			}
+			select {
+			case t.fragReply <- reply:
+			default:
+				t.fail(errors.New("transport: unexpected fragment reply"))
 				return
 			}
 		case wire.FrameToken:

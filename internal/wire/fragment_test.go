@@ -1,0 +1,146 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	rt "dsteiner/internal/runtime"
+)
+
+// TestFragmentRoundTrip covers the wire v4 fragment-merge frames: routed
+// blob lists (including the -1 broadcast destination and empty blobs)
+// survive encode/decode, and the round summary round-trips exactly.
+func TestFragmentRoundTrip(t *testing.T) {
+	blobs := []rt.FragBlob{
+		{Src: 0, Dest: 3, Blob: []byte{9, 8, 7}},
+		{Src: 2, Dest: -1, Blob: []byte("broadcast")},
+		{Src: 1, Dest: 0, Blob: nil},
+	}
+	c := FragmentConnect{Seq: 41, Blobs: blobs}
+	gotC, err := DecodeFragmentConnect(EncodeFragmentConnect(nil, c)[1:])
+	if err != nil || gotC.Seq != 41 || !blobsEqual(gotC.Blobs, blobs) {
+		t.Fatalf("fragment connect: %+v %v", gotC, err)
+	}
+
+	r := FragmentRelabel{Seq: 42, Blobs: blobs[1:]}
+	gotR, err := DecodeFragmentRelabel(EncodeFragmentRelabel(nil, r)[1:])
+	if err != nil || gotR.Seq != 42 || !blobsEqual(gotR.Blobs, blobs[1:]) {
+		t.Fatalf("fragment relabel: %+v %v", gotR, err)
+	}
+
+	// Empty contributions are legal (a rank may own no cross edges).
+	empty, err := DecodeFragmentConnect(EncodeFragmentConnect(nil, FragmentConnect{Seq: 7})[1:])
+	if err != nil || empty.Seq != 7 || len(empty.Blobs) != 0 {
+		t.Fatalf("empty fragment connect: %+v %v", empty, err)
+	}
+
+	s := FragmentRoundSummary{Rounds: 3, Msgs: 120, Bytes: 4096}
+	gotS, err := DecodeFragmentRoundSummary(EncodeFragmentRoundSummary(nil, s)[1:])
+	if err != nil || gotS != s {
+		t.Fatalf("fragment summary: %+v %v", gotS, err)
+	}
+}
+
+func blobsEqual(a, b []rt.FragBlob) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Src != b[i].Src || a[i].Dest != b[i].Dest ||
+			string(a[i].Blob) != string(b[i].Blob) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFragmentDecodersRejectTruncation drops every suffix of valid v4
+// fragment bodies through their decoders: always an error, never a panic
+// and never silent success.
+func TestFragmentDecodersRejectTruncation(t *testing.T) {
+	blobs := []rt.FragBlob{{Src: 1, Dest: -1, Blob: []byte{1, 2, 3}}, {Src: 0, Dest: 2, Blob: []byte{4}}}
+	bodies := map[string]struct {
+		body []byte
+		dec  func([]byte) error
+	}{
+		"connect": {EncodeFragmentConnect(nil, FragmentConnect{Seq: 5, Blobs: blobs})[1:],
+			func(b []byte) error { _, err := DecodeFragmentConnect(b); return err }},
+		"relabel": {EncodeFragmentRelabel(nil, FragmentRelabel{Seq: 6, Blobs: blobs})[1:],
+			func(b []byte) error { _, err := DecodeFragmentRelabel(b); return err }},
+		"summary": {EncodeFragmentRoundSummary(nil, FragmentRoundSummary{Rounds: 2, Msgs: 30, Bytes: 400})[1:],
+			func(b []byte) error { _, err := DecodeFragmentRoundSummary(b); return err }},
+	}
+	for name, tc := range bodies {
+		if err := tc.dec(tc.body); err != nil {
+			t.Fatalf("%s: valid body rejected: %v", name, err)
+		}
+		for cut := 0; cut < len(tc.body); cut++ {
+			if err := tc.dec(tc.body[:cut]); err == nil {
+				t.Fatalf("%s: truncation at %d/%d decoded silently", name, cut, len(tc.body))
+			}
+		}
+	}
+}
+
+// TestFragmentBlobDestRejected pins the destination guard: a decoded blob
+// destination below -1 is corrupt, not a routing request.
+func TestFragmentBlobDestRejected(t *testing.T) {
+	var bad []byte
+	bad = AppendUvarint(bad, 1) // seq
+	bad = AppendUvarint(bad, 1) // blob count
+	bad = AppendUvarint(bad, 0) // src
+	bad = AppendVarint(bad, -2) // dest: only -1 (broadcast) and ranks are legal
+	bad = AppendBytes(bad, nil) // blob
+	if _, err := DecodeFragmentConnect(bad); err == nil {
+		t.Fatal("dest -2 decoded silently")
+	}
+}
+
+// TestSetupMSTModeRoundTrip pins the v4 Setup tail: the resolved MST mode
+// byte rides v4+ Setups, is dropped from v2/v3 encodes byte-for-byte, and
+// decodes as 0 (replicated) when absent.
+func TestSetupMSTModeRoundTrip(t *testing.T) {
+	s := Setup{
+		Ranks: 4, NumVertices: 100, RankLo: []int64{0, 2, 4},
+		PeerAddrs:   []string{"a:1", "b:2"},
+		WireVersion: 4, MSTMode: 2,
+	}
+	got, err := DecodeSetup(EncodeSetup(nil, s)[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.WireVersion != 4 || got.MSTMode != 2 {
+		t.Fatalf("v4 setup: ver=%d mode=%d, want 4/2", got.WireVersion, got.MSTMode)
+	}
+
+	s.WireVersion = 3
+	v3 := EncodeSetup(nil, s)
+	gotV3, err := DecodeSetup(v3[1:])
+	if err != nil || gotV3.MSTMode != 0 {
+		t.Fatalf("v3 setup must drop the mode byte: mode=%d err=%v", gotV3.MSTMode, err)
+	}
+	s.WireVersion = 4
+	if len(EncodeSetup(nil, s))-len(v3) != 1 {
+		t.Fatal("v4 setup should add exactly one trailing mode byte over v3")
+	}
+}
+
+// TestWorkerDoneV4Tail pins the WorkerDone v4 tail: the fragment counters
+// ride v4 sessions and are dropped (decode ⇒ zero) on older ones.
+func TestWorkerDoneV4Tail(t *testing.T) {
+	done := WorkerDone{
+		QueryID: 9, TableLens: []int64{2}, HasResult: true,
+		Result:          SolveResult{TotalDistance: 5, MSTRounds: 3},
+		MSTFragment:     true,
+		CrossTableBytes: 9999,
+		FragmentMsgs:    123,
+	}
+	gotV4, err := DecodeWorkerDone(EncodeWorkerDone(nil, done, 4)[1:])
+	if err != nil || !reflect.DeepEqual(gotV4, done) {
+		t.Fatalf("worker done v4:\n got %+v\nwant %+v (%v)", gotV4, done, err)
+	}
+	gotV3, err := DecodeWorkerDone(EncodeWorkerDone(nil, done, 3)[1:])
+	if err != nil || gotV3.MSTFragment || gotV3.CrossTableBytes != 0 || gotV3.FragmentMsgs != 0 {
+		t.Fatalf("worker done v3 must drop the v4 tail: %+v (%v)", gotV3, err)
+	}
+}

@@ -39,6 +39,11 @@ func FuzzDecodeFrame(f *testing.F) {
 		AppendFrame(nil, EncodeToken(nil, Token{Seq: 4, Q: -1, Black: true})),
 		AppendFrame(nil, EncodeTraverseDone(nil, TraverseDone{Seq: 4})),
 		AppendFrame(nil, EncodePeerHello(nil, PeerHello{Worker: 1})),
+		AppendFrame(nil, EncodeFragmentConnect(nil, FragmentConnect{Seq: 5,
+			Blobs: []rt.FragBlob{{Src: 0, Dest: -1, Blob: []byte{1, 2}}, {Src: 1, Dest: 3, Blob: []byte{9}}}})),
+		AppendFrame(nil, EncodeFragmentRelabel(nil, FragmentRelabel{Seq: 5,
+			Blobs: []rt.FragBlob{{Src: 2, Dest: 0, Blob: []byte{7, 7, 7}}}})),
+		AppendFrame(nil, EncodeFragmentRoundSummary(nil, FragmentRoundSummary{Rounds: 2, Msgs: 40, Bytes: 512})),
 		AppendFrame(nil, EncodeAbort(nil, Abort{Reason: "boom"})),
 		AppendFrame(nil, []byte{FrameGoodbye}),
 		{0, 0, 0, 0},
@@ -118,6 +123,12 @@ func decodeBody(typ uint8, body []byte) {
 		_, _ = DecodeTraverseDone(body)
 	case FramePeerHello:
 		_, _ = DecodePeerHello(body)
+	case FrameFragmentConnect:
+		_, _ = DecodeFragmentConnect(body)
+	case FrameFragmentRelabel:
+		_, _ = DecodeFragmentRelabel(body)
+	case FrameFragmentRoundSummary:
+		_, _ = DecodeFragmentRoundSummary(body)
 	case FrameAbort:
 		_, _ = DecodeAbort(body)
 	}

@@ -127,6 +127,12 @@ type Setup struct {
 	// field — still decodes (absent ⇒ 1) and a v2 coordinator pinned to a
 	// v1 session emits a byte-identical v1 Setup.
 	WireVersion uint32
+
+	// MSTMode is the coordinator's RESOLVED phase 3–5 merge strategy
+	// (core.MSTMode: 1 = replicated, 2 = fragment — never 0/auto, the
+	// coordinator resolves before encoding). A v4 trailing field; absent
+	// (v1–v3 sessions) ⇒ 0, which workers treat as replicated.
+	MSTMode uint8
 }
 
 // EncodeSetup appends a FrameSetup payload.
@@ -156,6 +162,9 @@ func EncodeSetup(dst []byte, s Setup) []byte {
 	}
 	if s.WireVersion >= 2 {
 		dst = AppendUvarint(dst, uint64(s.WireVersion))
+	}
+	if s.WireVersion >= 4 {
+		dst = append(dst, s.MSTMode)
 	}
 	return dst
 }
@@ -197,6 +206,10 @@ func DecodeSetup(body []byte) (Setup, error) {
 		s.WireVersion = uint32(d.Uvarint())
 	} else {
 		s.WireVersion = 1
+	}
+	// Trailing resolved MST mode, absent below v4 (⇒ 0 = replicated).
+	if d.err == nil && d.Len() > 0 {
+		s.MSTMode = d.Byte()
 	}
 	return s, d.finish()
 }

@@ -244,6 +244,12 @@ type WorkerDone struct {
 	// v1/v2 sessions — which only ever run tree queries — it is always
 	// empty and never encoded.
 	Skipped []graph.VID
+	// v4 tail (set by the worker hosting rank 0): whether phase 4 ran the
+	// fragment merge, and the query's phase-3/4 cross-table wire bytes and
+	// fragment-exchange record count.
+	MSTFragment     bool
+	CrossTableBytes int64
+	FragmentMsgs    int64
 }
 
 // EncodeWorkerDone appends a FrameWorkerDone payload. wireVer is the
@@ -275,6 +281,11 @@ func EncodeWorkerDone(dst []byte, w WorkerDone, wireVer uint32) []byte {
 	if wireVer >= 3 {
 		dst = AppendVIDs(dst, w.Skipped)
 	}
+	if wireVer >= 4 {
+		dst = appendBool(dst, w.MSTFragment)
+		dst = AppendVarint(dst, w.CrossTableBytes)
+		dst = AppendVarint(dst, w.FragmentMsgs)
+	}
 	return dst
 }
 
@@ -305,6 +316,12 @@ func DecodeWorkerDone(body []byte) (WorkerDone, error) {
 	// v3 tail, absent on v1/v2 sessions.
 	if d.err == nil && d.Len() > 0 {
 		w.Skipped = d.VIDs()
+	}
+	// v4 tail, absent on v1–v3 sessions.
+	if d.err == nil && d.Len() > 0 {
+		w.MSTFragment = d.Bool()
+		w.CrossTableBytes = d.Varint()
+		w.FragmentMsgs = d.Varint()
 	}
 	return w, d.finish()
 }

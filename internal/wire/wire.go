@@ -42,9 +42,12 @@ import (
 // compacted FrameMsgBatch2 (both decoders stay live for rollback); v3
 // sessions additionally accept FrameSolveSpec — the mode-carrying query
 // frame for forest and prize-collecting solves — and return the skipped
-// terminal set in the WorkerDone tail. Tree-mode queries use FrameSolve at
+// terminal set in the WorkerDone tail; v4 sessions add the fragment-merge
+// MST frames (FrameFragmentConnect / FrameFragmentRelabel /
+// FrameFragmentRoundSummary), the Setup MSTMode byte, and the fragment
+// counters in the WorkerDone tail. Tree-mode queries use FrameSolve at
 // every version, so v1/v2-pinned sessions keep serving them byte-identically.
-const Version uint32 = 3
+const Version uint32 = 4
 
 // MinVersion is the oldest wire-protocol version this build interoperates
 // with.
@@ -111,6 +114,21 @@ const (
 	// negotiated at WireVersion >= 3; tree-mode queries keep using
 	// FrameSolve at every version.
 	FrameSolveSpec
+	// FrameFragmentConnect is worker → coordinator: one process's
+	// contribution to fragment exchange #Seq — the rank-tagged,
+	// destination-routed blobs of a fragment-merge MST round. Sent only in
+	// sessions negotiated at WireVersion >= 4.
+	FrameFragmentConnect
+	// FrameFragmentRelabel is coordinator → worker: fragment exchange
+	// #Seq's result, personalized per worker — only the blobs addressed to
+	// the worker's rank range (plus broadcasts), unlike OpGather's
+	// replicated full list.
+	FrameFragmentRelabel
+	// FrameFragmentRoundSummary is worker → coordinator (one-way): the
+	// fragment merge's per-query round/message/byte totals, folded into the
+	// pending query's outcome and cross-checked for agreement across
+	// workers.
+	FrameFragmentRoundSummary
 )
 
 // Collective operations carried by FrameColl. They mirror
