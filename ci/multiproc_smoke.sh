@@ -199,4 +199,89 @@ if [ "$frag_delta" -ge "$repl_delta" ]; then
 fi
 echo "   k=$K cross-table bytes: fragment=$frag_delta replicated=$repl_delta"
 
+echo "== starting recovering fleet for the kill/respawn check"
+# Fault-tolerance end to end: a 4-worker fleet where one rankd is doomed
+# (FAULTPOINTS=solve.phase3:exit kills its process at solver phase 3), the
+# coordinator runs -recover with a -respawn-cmd that starts one replacement,
+# and the survivors run -rejoin. The query that kills the worker must still
+# answer — byte-identical to the inproc reference — after the coordinator
+# heals the session and requeues it.
+CHAOS_COORD=127.0.0.1:7613
+CHAOS_HTTP=127.0.0.1:8714
+cat >"$workdir/respawn.sh" <<EOF
+#!/bin/sh
+# Started by the coordinator on each detected fault; only the first
+# invocation spawns (one worker died, one replacement is needed).
+if [ -e "$workdir/respawned" ]; then exit 0; fi
+touch "$workdir/respawned"
+"$workdir/rankd" -coordinator "$CHAOS_COORD" -rejoin 30s \
+  >"$workdir/respawn_rankd.log" 2>&1 &
+echo \$! >"$workdir/respawn_rankd.pid"
+EOF
+chmod +x "$workdir/respawn.sh"
+"$workdir/steinersvc" -dataset "$DATASET" -scale "$SCALE" -ranks $RANKS \
+  -backend tcp -workers $WORKERS -rank-listen "$CHAOS_COORD" \
+  -delegates "$DELEGATES" \
+  -recover -rejoin-wait 30s -respawn-cmd "$workdir/respawn.sh" \
+  -addr "$CHAOS_HTTP" -cache 0 -jobs 0 >"$workdir/chaos.log" 2>&1 &
+pids+=($!)
+for i in $(seq 1 $((WORKERS - 1))); do
+  "$workdir/rankd" -coordinator "$CHAOS_COORD" -retry 30s -rejoin 30s \
+    >"$workdir/chaos_rankd$i.log" 2>&1 &
+  pids+=($!)
+done
+FAULTPOINTS=solve.phase3:exit "$workdir/rankd" -coordinator "$CHAOS_COORD" \
+  -retry 30s >"$workdir/doomed_rankd.log" 2>&1 &
+doomed_pid=$!
+pids+=($doomed_pid)
+wait_http "$CHAOS_HTTP" "recovering tcp steinersvc"
+
+echo "== killing one rankd mid-solve (FAULTPOINTS=solve.phase3:exit)"
+SEEDS="5,9,13,21"
+inproc_out=$(curl -fsS "http://$INPROC_HTTP/solve?seeds=$SEEDS" |
+  jq -S '{seeds, edges, total, steinerVertices}')
+chaos_out=$(curl -fsS --max-time 120 "http://$CHAOS_HTTP/solve?seeds=$SEEDS" |
+  jq -S '{seeds, edges, total, steinerVertices}')
+if [ "$chaos_out" != "$inproc_out" ]; then
+  echo "FAIL: recovered solve differs from inproc reference" >&2
+  diff <(echo "$inproc_out") <(echo "$chaos_out") >&2 || true
+  exit 1
+fi
+rc=0
+wait "$doomed_pid" || rc=$?
+if [ "$rc" -ne 3 ]; then
+  echo "FAIL: doomed rankd exited $rc, want faultpoint exit code 3" >&2
+  tail -n 20 "$workdir/doomed_rankd.log" >&2 || true
+  exit 1
+fi
+if [ ! -e "$workdir/respawned" ]; then
+  echo "FAIL: coordinator never ran -respawn-cmd" >&2
+  exit 1
+fi
+if [ -s "$workdir/respawn_rankd.pid" ]; then
+  pids+=("$(cat "$workdir/respawn_rankd.pid")")
+fi
+echo "   worker died at phase 3 (exit 3), replacement respawned, answer byte-identical"
+
+echo "== checking fault accounting and the healed fleet"
+faults=$(curl -fsS "http://$CHAOS_HTTP/stats" | jq -S .faults)
+detected=$(echo "$faults" | jq -r .detected)
+heals=$(echo "$faults" | jq -r .heals)
+rejoins=$(echo "$faults" | jq -r .rejoins)
+retried=$(echo "$faults" | jq -r .retriedSolves)
+if [ "$detected" -lt 1 ] || [ "$heals" -lt 1 ] || [ "$rejoins" -lt 1 ] || [ "$retried" -lt 1 ]; then
+  echo "FAIL: recovery not accounted in /stats faults: $faults" >&2
+  exit 1
+fi
+# The healed fleet must keep answering correctly.
+healed_out=$(curl -fsS "http://$CHAOS_HTTP/solve?seeds=$SEEDS" |
+  jq -S '{seeds, edges, total, steinerVertices}')
+if [ "$healed_out" != "$inproc_out" ]; then
+  echo "FAIL: healed fleet answers differently" >&2
+  diff <(echo "$inproc_out") <(echo "$healed_out") >&2 || true
+  exit 1
+fi
+echo "   faults: detected=$detected rejoins=$rejoins heals=$heals retriedSolves=$retried"
+
 echo "PASS: tcp backend byte-identical to inproc across ${#QUERIES[@]} queries"
+echo "PASS: one worker killed mid-solve, fleet healed, answer byte-identical"

@@ -17,10 +17,20 @@
 // the peers (the default binds localhost, matching a single-machine
 // cluster). -retry keeps re-dialing a coordinator that has not started
 // listening yet, so workers and coordinator can start in any order.
+// -rejoin, when positive, survives session faults: instead of exiting, the
+// worker re-handshakes with the coordinator's healing session (wire v5
+// Rejoin), waiting up to the given duration for re-admission — pair it
+// with a coordinator running steinersvc -recover.
+//
+// The FAULTPOINTS environment variable arms deterministic crash injection
+// for chaos testing (e.g. FAULTPOINTS=solve.phase3:exit kills this process
+// at the start of solver phase 3); see internal/faultpoint for the point
+// names and actions.
 //
 // The process exits 0 on a clean session end (coordinator goodbye) and
-// non-zero when the session aborts (a rank panic anywhere in the fleet, a
-// lost connection, a handshake mismatch).
+// non-zero when the session aborts unrecoverably (a rank panic anywhere in
+// the fleet without -rejoin, a lost connection, a handshake mismatch), or
+// 3 on an injected faultpoint exit.
 package main
 
 import (
@@ -34,6 +44,7 @@ import (
 	"time"
 
 	"dsteiner/internal/core"
+	"dsteiner/internal/faultpoint"
 )
 
 func main() {
@@ -41,11 +52,20 @@ func main() {
 		coord      = flag.String("coordinator", "127.0.0.1:7600", "coordinator address to dial")
 		peerListen = flag.String("peer-listen", "127.0.0.1:0", "address to accept peer-worker connections on")
 		retry      = flag.Duration("retry", 15*time.Second, "keep re-dialing the coordinator for this long")
+		rejoin     = flag.Duration("rejoin", 0, "survive session faults: re-handshake with the healing session, waiting up to this long (0 = fail-stop)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6061; empty = off)")
 	)
 	flag.Parse()
 	log.SetPrefix("rankd: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	if spec := os.Getenv("FAULTPOINTS"); spec != "" {
+		if err := faultpoint.ArmFromSpec(spec); err != nil {
+			fmt.Fprintf(os.Stderr, "rankd: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("armed fault points: %s", spec)
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -58,16 +78,19 @@ func main() {
 
 	cfg := core.WorkerConfig{
 		PeerListen: *peerListen,
+		RejoinWait: *rejoin,
 		Logf:       log.Printf,
 	}
 	deadline := time.Now().Add(*retry)
 	for {
-		err := core.RunWorker(*coord, cfg)
+		err := core.ServeWorker(*coord, cfg)
 		if err == nil {
 			return
 		}
 		// Only the initial dial is retried (coordinator not up yet); a
-		// session that established and then failed is fatal.
+		// session that established and then failed is fatal — unless
+		// -rejoin is set, in which case ServeWorker already rejoined and
+		// an error here means the rejoin itself was rejected or timed out.
 		if time.Now().Before(deadline) && isDialError(err) {
 			time.Sleep(250 * time.Millisecond)
 			continue

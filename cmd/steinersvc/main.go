@@ -28,6 +28,15 @@
 // TCP. /stats exposes the wire traffic (frames, bytes, codec time) per
 // pool, so the loopback-vs-TCP overhead is measurable.
 //
+// -recover arms fault tolerance for the TCP session: when a worker dies or
+// a connection drops, the coordinator retains the shard handshake, waits up
+// to -rejoin-wait for the fleet to re-handshake (survivors rejoin via the
+// wire v5 Rejoin frame when started with rankd -rejoin; replacements send a
+// fresh Hello), and requeues the interrupted query on the healed fleet —
+// the answer is byte-identical to an undisturbed run. -respawn-cmd names a
+// shell command the coordinator fires on each fault to start replacement
+// workers. /stats reports the fault accounting under "faults".
+//
 // -engines N keeps a pool of N resident solver engines, so up to N queries
 // run concurrently on the shared graph; further requests queue for the next
 // free engine. -cache N keeps the N most recently used solutions, keyed by
@@ -62,6 +71,7 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/exec"
 	"os/signal"
 	"syscall"
 	"time"
@@ -81,6 +91,9 @@ func main() {
 		workers    = flag.Int("workers", 4, "rankd worker processes for -backend tcp")
 		rankAddr   = flag.String("rank-listen", "127.0.0.1:7600", "coordinator listen address for -backend tcp (rankd dials this)")
 		workerWait = flag.Duration("worker-wait", 60*time.Second, "how long to wait for rankd workers to dial in")
+		recoverOn  = flag.Bool("recover", false, "heal a poisoned tcp session: re-admit rejoining/respawned workers and requeue the in-flight query")
+		rejoinWait = flag.Duration("rejoin-wait", 30*time.Second, "how long one session heal waits for all workers to re-handshake (with -recover)")
+		respawnCmd = flag.String("respawn-cmd", "", "shell command run (async, via sh -c) each time the tcp session loses a worker — e.g. a script starting one replacement rankd")
 		partKind   = flag.String("partition", "arcblock", "vertex partition: block | hash | arcblock")
 		mstMode    = flag.String("mst", "auto", "phase 3-5 merge: auto | fragment | replicated")
 		delegates  = flag.Int("delegates", 0, "delegate high-degree vertices above this degree (0 = off)")
@@ -133,6 +146,33 @@ func main() {
 		opts.OnListen = func(a string) {
 			log.Printf("steinersvc: waiting up to %v for %d rankd worker(s) on %s "+
 				"(start them with: rankd -coordinator %s)", *workerWait, *workers, a, a)
+		}
+		if *recoverOn {
+			opts.Recover = true
+			opts.RejoinWait = *rejoinWait
+			cmd := *respawnCmd
+			opts.OnWorkerLost = func(err error) {
+				log.Printf("steinersvc: session fault: %v (healing on next solve)", err)
+				if cmd == "" {
+					return
+				}
+				// Coordinator-driven respawn: fire the operator's command
+				// (asynchronously — OnWorkerLost must not block the heal)
+				// so a replacement worker can dial in. Survivors rejoin on
+				// their own with rankd -rejoin.
+				c := exec.Command("sh", "-c", cmd)
+				c.Stdout = os.Stderr
+				c.Stderr = os.Stderr
+				if err := c.Start(); err != nil {
+					log.Printf("steinersvc: respawn-cmd: %v", err)
+					return
+				}
+				go func() {
+					if err := c.Wait(); err != nil {
+						log.Printf("steinersvc: respawn-cmd exited: %v", err)
+					}
+				}()
+			}
 		}
 	}
 	svc, err := steinersvc.New(g, opts, steinersvc.Config{

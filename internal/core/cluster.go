@@ -114,6 +114,9 @@ func newClusterEngine(g *graph.Graph, opts Options) (*Engine, error) {
 		return nil, err
 	}
 	hub.LimitWireVersion(opts.MaxWireVersion)
+	if opts.Recover {
+		hub.EnableRecovery(opts.RejoinWait, opts.OnWorkerLost)
+	}
 	if opts.OnListen != nil {
 		opts.OnListen(hub.Addr())
 	}
@@ -209,7 +212,10 @@ func (cl *cluster) solve(e *Engine, cq canonQuery) (*Result, error) {
 		out, err = cl.hub.SolveSpec(toWireSpec(cl.qid, cq.spec))
 	}
 	if err != nil {
-		return nil, fmt.Errorf("core: tcp backend: %w", err)
+		// Dispatch only fails when the session faulted (and, with
+		// Options.Recover, could not be healed in time); mark it so
+		// serving layers can retry against a later-healed fleet.
+		return nil, &sessionFaultErr{fmt.Errorf("core: tcp backend: %w", err)}
 	}
 	if out.Err != "" {
 		return nil, errors.New(out.Err)

@@ -1,0 +1,53 @@
+package core
+
+import "errors"
+
+// ErrSessionFault marks solve errors caused by a TCP worker-session fault
+// — a lost worker or coordinator connection, a rank crash, a poisoned
+// session — as opposed to errors of the query itself (bad seeds,
+// disconnected terminals, version mismatches). Serving layers match it
+// with errors.Is (or IsSessionFault) to decide a solve is worth retrying
+// against a healed fleet: the query was fine, the fleet was not.
+var ErrSessionFault = errors.New("core: session fault")
+
+// sessionFaultErr wraps a TCP-backend dispatch error so errors.Is(err,
+// ErrSessionFault) matches while the original error chain stays intact.
+type sessionFaultErr struct{ err error }
+
+func (e *sessionFaultErr) Error() string { return e.err.Error() }
+
+func (e *sessionFaultErr) Unwrap() error { return e.err }
+
+func (e *sessionFaultErr) Is(target error) bool { return target == ErrSessionFault }
+
+// IsSessionFault reports whether err came from a worker-session fault
+// rather than the query itself.
+func IsSessionFault(err error) bool { return errors.Is(err, ErrSessionFault) }
+
+// FaultStats is a BackendTCP engine's fault-tolerance accounting, mirrored
+// from the coordinator hub: sessions poisoned, workers re-admitted through
+// Rejoin frames, successful session heals, queries requeued onto a healed
+// generation, and the most recent poisoning reason. Loopback engines
+// report zeros (there is no session to lose).
+type FaultStats struct {
+	Detected  int64
+	Rejoins   int64
+	Heals     int64
+	Requeued  int64
+	LastError string
+}
+
+// FaultStats reports the engine's fault accounting.
+func (e *Engine) FaultStats() FaultStats {
+	if e.cluster == nil {
+		return FaultStats{}
+	}
+	fs := e.cluster.hub.FaultStats()
+	return FaultStats{
+		Detected:  fs.Detected,
+		Rejoins:   fs.Rejoins,
+		Heals:     fs.Heals,
+		Requeued:  fs.Requeued,
+		LastError: fs.LastError,
+	}
+}

@@ -291,6 +291,20 @@ type Options struct {
 	// knob: pinning 1 forces the v1 frame encodings everywhere even when
 	// both sides speak v2.
 	MaxWireVersion uint32
+	// Recover arms BackendTCP session healing: the coordinator retains the
+	// handshake payload so a poisoned session (lost worker, dropped
+	// connection, rank crash) is rebuilt on the next solve — workers
+	// re-handshake (survivors via Rejoin, respawned replacements via a
+	// fresh Hello) and the in-flight query is requeued instead of failing.
+	// Off by default: the pre-v5 behavior is fail-stop.
+	Recover bool
+	// RejoinWait bounds how long one session heal waits for all workers to
+	// re-handshake (default 30s). Only meaningful with Recover.
+	RejoinWait time.Duration
+	// OnWorkerLost, when set with Recover, is called on its own goroutine
+	// each time the session is poisoned — the hook coordinator-driven
+	// worker respawn plugs into (steinersvc's -respawn-cmd).
+	OnWorkerLost func(error)
 }
 
 func (o Options) withDefaults() Options {

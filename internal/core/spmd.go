@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dsteiner/internal/faultpoint"
 	"dsteiner/internal/graph"
 	"dsteiner/internal/mst"
 	rt "dsteiner/internal/runtime"
@@ -106,6 +107,7 @@ func (env *solveEnv) rankBody(r *rt.Rank) {
 	}
 
 	// Phase 1: Voronoi cells (Alg. 4).
+	faultpoint.Hit("solve.phase1")
 	rec.phase(r, PhaseVoronoi, func() int64 {
 		var ts rt.TraversalStats
 		switch {
@@ -148,6 +150,7 @@ func (env *solveEnv) rankBody(r *rt.Rank) {
 			localEN[key] = cand
 		}
 	}
+	faultpoint.Hit("solve.phase2")
 	rec.phase(r, PhaseLocalMinEdge, func() int64 {
 		ts := r.Traverse(&rt.Traversal{
 			BSP: opts.BSP,
@@ -197,6 +200,7 @@ func (env *solveEnv) rankBody(r *rt.Rank) {
 	var owned map[int64]crossEdge
 	fs := &fragStats{}
 	ok := true
+	faultpoint.Hit("solve.phase3")
 	rec.phase(r, PhaseGlobalMinEdge, func() int64 {
 		if env.mstFragment {
 			owned, ok = env.fragmentRoute(r, localEN, fs)
@@ -248,6 +252,7 @@ func (env *solveEnv) rankBody(r *rt.Rank) {
 	// body).
 	pruned := env.pruneds[r.ID()]
 	var mstPairs map[int64]bool
+	faultpoint.Hit("solve.phase4")
 	rec.phase(r, PhaseMST, func() int64 {
 		if env.mstFragment {
 			ok = env.fragmentMST(r, owned, pruned, fs)
@@ -359,6 +364,7 @@ func (env *solveEnv) rankBody(r *rt.Rank) {
 	// unique survivor per pair, so no second collective is needed.
 	// The fragment merge accumulated its winners into pruned during
 	// the Borůvka rounds, so its phase 5 is already done.
+	faultpoint.Hit("solve.phase5")
 	rec.phase(r, PhasePruning, func() int64 {
 		if env.mstFragment {
 			return 0
@@ -378,6 +384,7 @@ func (env *solveEnv) rankBody(r *rt.Rank) {
 	// per-rank accumulator keeps its capacity (the published tree
 	// is a sorted copy, so reuse cannot leak across queries).
 	localTree := env.trees[r.ID()]
+	faultpoint.Hit("solve.phase6")
 	rec.phase(r, PhaseTreeEdge, func() int64 {
 		ts := r.Traverse(&rt.Traversal{
 			BSP: opts.BSP,

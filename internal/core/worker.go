@@ -5,6 +5,7 @@ import (
 	"net"
 	"time"
 
+	"dsteiner/internal/faultpoint"
 	"dsteiner/internal/graph"
 	"dsteiner/internal/partition"
 	rt "dsteiner/internal/runtime"
@@ -13,7 +14,7 @@ import (
 	"dsteiner/internal/wire"
 )
 
-// WorkerConfig parameterizes RunWorker.
+// WorkerConfig parameterizes RunWorker and ServeWorker.
 type WorkerConfig struct {
 	// PeerListen is the address the worker's mesh listener binds
 	// (default 127.0.0.1:0). Its bound form is advertised to the
@@ -23,6 +24,16 @@ type WorkerConfig struct {
 	// DialTimeout bounds the initial coordinator dial and the handshake
 	// steps (default 30s).
 	DialTimeout time.Duration
+	// RejoinWait, when positive, makes ServeWorker treat a session fault
+	// as survivable: the worker re-dials the coordinator and re-handshakes
+	// with a Rejoin frame carrying the session identity, waiting up to
+	// this long for the coordinator's heal to re-admit it. 0 keeps the
+	// legacy fail-stop behavior (any fault ends the worker).
+	RejoinWait time.Duration
+	// Chaos, when set, wraps the session's transport in a fault-injecting
+	// shim (chaos testing). It applies to the FIRST session only: a healed
+	// session runs clean, so an injected fault cannot re-fire forever.
+	Chaos *transport.ChaosConfig
 	// Logf, when set, receives progress lines (rankd wires the standard
 	// logger here).
 	Logf func(format string, args ...any)
@@ -41,51 +52,116 @@ func (c WorkerConfig) withDefaults() WorkerConfig {
 	return c
 }
 
-// RunWorker is the rankd worker session: dial the coordinator, receive
+// RunWorker is one rankd worker session: dial the coordinator, receive
 // this process's slice of the shard plan, rebuild the hosted ranks' shards
 // and state slabs locally (the full CSR is never materialized here), mesh
 // with the peer workers, and serve solve requests until the coordinator
 // says goodbye. Blocks for the whole session; returns nil on a clean
-// goodbye.
+// goodbye. Any session fault is terminal (legacy fail-stop behavior) —
+// ServeWorker is the rejoining form.
 func RunWorker(coordAddr string, cfg WorkerConfig) error {
+	_, err := runWorkerSession(coordAddr, cfg.withDefaults(), nil)
+	return err
+}
+
+// ServeWorker runs worker sessions against one coordinator until a clean
+// goodbye. With cfg.RejoinWait set, a session fault — a lost peer or
+// coordinator connection, a rank panic, a coordinator abort — does not end
+// the worker: it re-dials and re-handshakes with a Rejoin frame proving
+// membership in the lost session, and the coordinator's heal hands it a
+// fresh Setup (possibly hosting different ranks). Handshake and build
+// errors stay terminal: a worker the fleet never admitted has no session
+// to rejoin.
+func ServeWorker(coordAddr string, cfg WorkerConfig) error {
 	cfg = cfg.withDefaults()
-	conn, err := net.DialTimeout("tcp", coordAddr, cfg.DialTimeout)
+	var prev *rejoinTicket
+	for {
+		ticket, err := runWorkerSession(coordAddr, cfg, prev)
+		if err == nil {
+			return nil
+		}
+		if cfg.RejoinWait <= 0 || ticket == nil || ticket.sessionID == 0 {
+			return err
+		}
+		cfg.Logf("rankd: session fault: %v; rejoining session %#x within %v",
+			err, ticket.sessionID, cfg.RejoinWait)
+		prev = ticket
+		// Injected faults apply to the first session only: the healed
+		// session must run clean, or recovery could never converge.
+		cfg.Chaos = nil
+	}
+}
+
+// rejoinTicket is what a worker keeps from a lost session to prove
+// membership on rejoin: the coordinator's session identity plus the slot
+// this process held (advisory — heal assigns slots in accept order).
+type rejoinTicket struct {
+	sessionID  uint64
+	prevWorker int
+}
+
+// runWorkerSession runs one worker session end to end. A non-nil ticket
+// makes the handshake open with a Rejoin frame instead of a Hello (and
+// stretches the handshake deadline to cfg.RejoinWait, since the
+// coordinator only heals on its next dispatch). The returned ticket is
+// non-nil only when a fault ended an established session — the caller may
+// rejoin with it; handshake and build errors return a nil ticket.
+func runWorkerSession(coordAddr string, cfg WorkerConfig, rejoin *rejoinTicket) (*rejoinTicket, error) {
+	window := cfg.DialTimeout
+	if rejoin != nil && cfg.RejoinWait > window {
+		window = cfg.RejoinWait
+	}
+	conn, err := net.DialTimeout("tcp", coordAddr, window)
 	if err != nil {
-		return fmt.Errorf("core: dial coordinator %s: %w", coordAddr, err)
+		return nil, fmt.Errorf("core: dial coordinator %s: %w", coordAddr, err)
 	}
 	ln, err := net.Listen("tcp", cfg.PeerListen)
 	if err != nil {
 		_ = conn.Close()
-		return fmt.Errorf("core: peer listener %s: %w", cfg.PeerListen, err)
+		return nil, fmt.Errorf("core: peer listener %s: %w", cfg.PeerListen, err)
 	}
 	defer ln.Close()
 
-	if err := wire.WriteFrame(conn, wire.EncodeHello(nil, wire.Hello{
-		Version:  wire.Version,
-		PeerAddr: ln.Addr().String(),
-	})); err != nil {
-		_ = conn.Close()
-		return fmt.Errorf("core: hello: %w", err)
+	var opening []byte
+	if rejoin != nil {
+		opening = wire.EncodeRejoin(nil, wire.Rejoin{
+			Version:    wire.Version,
+			PeerAddr:   ln.Addr().String(),
+			SessionID:  rejoin.sessionID,
+			PrevWorker: int64(rejoin.prevWorker),
+		})
+	} else {
+		opening = wire.EncodeHello(nil, wire.Hello{
+			Version:  wire.Version,
+			PeerAddr: ln.Addr().String(),
+		})
 	}
-	_ = conn.SetReadDeadline(time.Now().Add(cfg.DialTimeout))
+	if err := wire.WriteFrame(conn, opening); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("core: hello: %w", err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(window))
 	frame, err := wire.ReadFrame(conn, nil)
 	if err != nil {
 		_ = conn.Close()
-		return fmt.Errorf("core: waiting for setup: %w", err)
+		return nil, fmt.Errorf("core: waiting for setup: %w", err)
 	}
 	if frame[0] == wire.FrameAbort {
-		ab, _ := wire.DecodeAbort(frame[1:])
+		reason := "unreadable abort frame"
+		if ab, err := wire.DecodeAbort(frame[1:]); err == nil {
+			reason = ab.Reason
+		}
 		_ = conn.Close()
-		return fmt.Errorf("core: coordinator rejected session: %s", ab.Reason)
+		return nil, fmt.Errorf("core: coordinator rejected session: %s", reason)
 	}
 	if frame[0] != wire.FrameSetup {
 		_ = conn.Close()
-		return fmt.Errorf("core: coordinator sent frame %d before setup", frame[0])
+		return nil, fmt.Errorf("core: coordinator sent frame %d before setup", frame[0])
 	}
 	setup, err := wire.DecodeSetup(frame[1:])
 	if err != nil {
 		_ = conn.Close()
-		return fmt.Errorf("core: setup: %w", err)
+		return nil, fmt.Errorf("core: setup: %w", err)
 	}
 	_ = conn.SetReadDeadline(time.Time{})
 
@@ -94,9 +170,14 @@ func RunWorker(coordAddr string, cfg WorkerConfig) error {
 		// Best effort: tell the coordinator why this worker is bailing.
 		_ = wire.WriteFrame(conn, wire.EncodeAbort(nil, wire.Abort{Reason: err.Error()}))
 		_ = conn.Close()
-		return err
+		return nil, err
 	}
-	return w.serve(cfg)
+	if err := w.serve(cfg); err != nil {
+		// A fault on an established session: hand the caller the rejoin
+		// ticket (SessionID is 0 on pre-v5 sessions, which cannot heal).
+		return &rejoinTicket{sessionID: setup.SessionID, prevWorker: setup.WorkerIndex}, err
+	}
+	return nil, nil
 }
 
 // worker is one rankd process's session state: the hosted rank range, the
@@ -199,6 +280,14 @@ func buildWorker(setup wire.Setup, coord net.Conn, ln net.Listener, cfg WorkerCo
 	// Pin the negotiated wire version before any traffic: it selects the
 	// visitor-batch frame encoding and the WorkerDone stats tail.
 	w.trans.SetWireVersion(setup.WireVersion)
+	// The communicator talks to the transport seam; chaos testing slides
+	// its fault-injecting shim in here, so injected faults hit the same
+	// sockets and decode paths production traffic uses. The worker keeps
+	// the concrete TCP handle for control traffic (ready/abort/done).
+	var seam rt.Transport = w.trans
+	if cfg.Chaos != nil {
+		seam = transport.NewChaos(w.trans, *cfg.Chaos)
+	}
 	comm, err := rt.New(rt.Config{
 		Ranks:       setup.Ranks,
 		Queue:       rt.QueueKind(setup.Queue),
@@ -206,7 +295,7 @@ func buildWorker(setup wire.Setup, coord net.Conn, ln net.Listener, cfg WorkerCo
 		BatchSize:   setup.BatchSize,
 		HostLo:      lo,
 		HostHi:      hi,
-		Transport:   w.trans,
+		Transport:   seam,
 	}, part)
 	if err != nil {
 		return nil, err
@@ -360,6 +449,7 @@ func (w *worker) solveQuery(q wire.SolveSpec, cfg WorkerConfig) (err error) {
 			done.FragmentMsgs = env.res.FragmentMsgs
 		}
 	}
+	faultpoint.Hit("worker.done")
 	if err := w.trans.SendWorkerDone(done); err != nil {
 		return fmt.Errorf("core: query %d: done: %w", q.QueryID, err)
 	}

@@ -1,0 +1,119 @@
+// Package faultpoint is the deterministic crash-injection hook compiled
+// into the solver and rankd: named points on the solve path call Hit, and a
+// test (or the FAULTPOINTS environment variable parsed by cmd/rankd) arms a
+// point with an action — panic, to exercise the abort/rejoin path in
+// process, or exit, to kill a real rankd mid-solve exactly where the chaos
+// matrix wants it.
+//
+// The unarmed fast path is one atomic load, so the hooks cost nothing in
+// production. Every armed point fires at most once (the first rank to reach
+// it wins and the point disarms), which keeps injected faults from
+// re-firing on a healed session.
+//
+// Points currently compiled in:
+//
+//	solve.phase1 … solve.phase6   start of each SPMD solver phase, per rank
+//	worker.done                   a worker about to report WorkerDone
+package faultpoint
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Action is what an armed point does when hit.
+type Action uint8
+
+const (
+	// ActPanic panics the hitting goroutine. On a rank goroutine the panic
+	// is recovered by the worker's solve wrapper and turns into a session
+	// Abort — the in-process stand-in for a crashing worker.
+	ActPanic Action = 1 + iota
+	// ActExit terminates the whole process immediately (exit code 3), the
+	// real hard-kill for multi-process chaos runs. Never arm it in-process.
+	ActExit
+)
+
+var (
+	mu       sync.Mutex
+	points   map[string]Action
+	armed    atomic.Int32 // count of armed points: the fast-path gate
+	injected atomic.Int64
+)
+
+// Arm schedules action a at the named point. The point fires once — on the
+// first Hit after arming — then disarms itself.
+func Arm(name string, a Action) {
+	mu.Lock()
+	if points == nil {
+		points = make(map[string]Action)
+	}
+	if _, ok := points[name]; !ok {
+		armed.Add(1)
+	}
+	points[name] = a
+	mu.Unlock()
+}
+
+// Reset disarms every point (test cleanup).
+func Reset() {
+	mu.Lock()
+	armed.Add(-int32(len(points)))
+	points = nil
+	mu.Unlock()
+}
+
+// Injected counts the faults this process has fired, for the /stats faults
+// block.
+func Injected() int64 { return injected.Load() }
+
+// Hit fires the named point if armed. The unarmed cost is one atomic load.
+func Hit(name string) {
+	if armed.Load() == 0 {
+		return
+	}
+	mu.Lock()
+	a, ok := points[name]
+	if ok {
+		delete(points, name)
+		armed.Add(-1)
+	}
+	mu.Unlock()
+	if !ok {
+		return
+	}
+	injected.Add(1)
+	if a == ActExit {
+		fmt.Fprintf(os.Stderr, "faultpoint: injected exit at %s\n", name)
+		os.Exit(3)
+	}
+	panic(fmt.Sprintf("faultpoint: injected crash at %s", name))
+}
+
+// ArmFromSpec arms points from a comma-separated "name:action" list, the
+// FAULTPOINTS environment variable format (e.g. "solve.phase3:exit"). An
+// empty spec arms nothing.
+func ArmFromSpec(spec string) error {
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, actName, ok := strings.Cut(part, ":")
+		if !ok || name == "" {
+			return fmt.Errorf("faultpoint: bad spec %q (want name:panic or name:exit)", part)
+		}
+		switch actName {
+		case "panic":
+			Arm(name, ActPanic)
+		case "exit":
+			Arm(name, ActExit)
+		default:
+			return fmt.Errorf("faultpoint: unknown action %q in %q", actName, part)
+		}
+	}
+	return nil
+}

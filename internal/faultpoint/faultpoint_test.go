@@ -1,0 +1,71 @@
+package faultpoint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUnarmedHitIsNoop(t *testing.T) {
+	Reset()
+	Hit("solve.phase1") // must not panic
+}
+
+func TestArmedPointFiresOnce(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	before := Injected()
+	Arm("solve.phase2", ActPanic)
+
+	fired := func() (p bool) {
+		defer func() { p = recover() != nil }()
+		Hit("solve.phase2")
+		return false
+	}
+	if !fired() {
+		t.Fatal("armed point did not panic")
+	}
+	if Injected() != before+1 {
+		t.Fatalf("injected counter: got %d want %d", Injected(), before+1)
+	}
+	// Once-semantics: the point disarmed itself.
+	if fired() {
+		t.Fatal("point fired twice")
+	}
+	// Other points stay unarmed.
+	Hit("solve.phase3")
+}
+
+func TestArmFromSpec(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := ArmFromSpec(""); err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+	if err := ArmFromSpec("solve.phase1:panic, worker.done:panic"); err != nil {
+		t.Fatalf("valid spec: %v", err)
+	}
+	hits := 0
+	for _, name := range []string{"solve.phase1", "worker.done"} {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if !strings.Contains(r.(string), name) {
+						t.Errorf("panic %v does not name point %s", r, name)
+					}
+					hits++
+				}
+			}()
+			Hit(name)
+		}()
+	}
+	if hits != 2 {
+		t.Fatalf("armed 2 points, %d fired", hits)
+	}
+
+	if err := ArmFromSpec("nonsense"); err == nil {
+		t.Fatal("spec without action accepted")
+	}
+	if err := ArmFromSpec("x:reboot"); err == nil {
+		t.Fatal("unknown action accepted")
+	}
+}

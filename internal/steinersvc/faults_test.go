@@ -1,0 +1,133 @@
+package steinersvc
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"dsteiner/internal/core"
+	"dsteiner/internal/faultpoint"
+)
+
+// TestStatsFaultsBlockInproc pins the /stats faults block shape for the
+// backend that cannot fault: it must be present (not omitted) with zeroed
+// session accounting, so dashboards can scrape one schema for both
+// backends.
+func TestStatsFaultsBlockInproc(t *testing.T) {
+	srv := httptest.NewServer(testService(t))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	blob, ok := raw["faults"]
+	if !ok {
+		t.Fatal("/stats response has no faults block")
+	}
+	var fs FaultStats
+	if err := json.Unmarshal(blob, &fs); err != nil {
+		t.Fatal(err)
+	}
+	// Injected is process-global (other tests in this binary may have armed
+	// fault points); the session accounting is what must be zero here.
+	if fs.Detected != 0 || fs.Rejoins != 0 || fs.Heals != 0 || fs.RetriedSolves != 0 || fs.LastError != "" {
+		t.Fatalf("inproc service reports session faults: %+v", fs)
+	}
+}
+
+// TestStatsFaultsBlockAfterRecovery drives one full recovery through the
+// HTTP service: a rank crash (injected faultpoint) poisons the first solve
+// of a recovering TCP fleet, the coordinator heals and requeues, the client
+// still gets the byte-identical answer with a 200 — and /stats then
+// accounts for the whole episode under "faults".
+func TestStatsFaultsBlockAfterRecovery(t *testing.T) {
+	g := testGraph(t)
+	opts := core.Default(2)
+	opts.Backend = core.BackendTCP
+	opts.Workers = 2
+	opts.ListenAddr = "127.0.0.1:0"
+	opts.Recover = true
+	opts.RejoinWait = 15 * time.Second
+	var wg sync.WaitGroup
+	opts.OnListen = func(addr string) {
+		for i := 0; i < opts.Workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := core.ServeWorker(addr, core.WorkerConfig{RejoinWait: 15 * time.Second}); err != nil {
+					t.Errorf("worker: %v", err)
+				}
+			}()
+		}
+	}
+	svc, err := New(g, opts, Config{Engines: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(wg.Wait)
+	t.Cleanup(svc.Close)
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+
+	ref := testService(t) // in-process reference on the same graph
+	refSrv := httptest.NewServer(ref)
+	defer refSrv.Close()
+
+	getJSON := func(url string, out any) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The reference is solved BEFORE arming: the faultpoint registry is
+	// process-global and the reference engine runs the same phase hooks.
+	var want SolveResponse
+	getJSON(refSrv.URL+"/solve?seeds=0,3,5", &want)
+
+	t.Cleanup(faultpoint.Reset)
+	faultpoint.Arm("solve.phase3", faultpoint.ActPanic)
+
+	var got SolveResponse
+	getJSON(srv.URL+"/solve?seeds=0,3,5", &got)
+	if got.Total != want.Total || len(got.Edges) != len(want.Edges) {
+		t.Fatalf("recovered solve differs: %+v != %+v", got, want)
+	}
+	for i := range got.Edges {
+		if got.Edges[i] != want.Edges[i] {
+			t.Fatalf("recovered solve edge %d differs: %+v != %+v", i, got.Edges[i], want.Edges[i])
+		}
+	}
+
+	var st StatsResponse
+	getJSON(srv.URL+"/stats", &st)
+	fs := st.Faults
+	if fs.Injected < 1 {
+		t.Fatalf("armed faultpoint fired but faults.injected = %d", fs.Injected)
+	}
+	if fs.Detected < 1 || fs.Heals < 1 || fs.Rejoins < 2 {
+		t.Fatalf("recovery not accounted: %+v", fs)
+	}
+	if fs.RetriedSolves < 1 {
+		t.Fatalf("healed query not counted as retried: %+v", fs)
+	}
+	if fs.LastError == "" {
+		t.Fatalf("faults block lost the poisoning reason: %+v", fs)
+	}
+}

@@ -33,9 +33,11 @@ import (
 	"time"
 
 	"dsteiner/internal/core"
+	"dsteiner/internal/faultpoint"
 	"dsteiner/internal/graph"
 	rt "dsteiner/internal/runtime"
 	"dsteiner/internal/seeds"
+	"dsteiner/internal/transport"
 )
 
 // maxBatchQueries bounds one POST /solve/batch request, so a single request
@@ -69,6 +71,12 @@ type Service struct {
 	// mstMode is the pool's resolved phase 3–5 merge strategy ("fragment"
 	// or "replicated"; identical across siblings, captured like shard).
 	mstMode string
+
+	// first is the pool's first engine — on the TCP backend, the
+	// coordinator whose fault accounting /stats mirrors. Engines cycle
+	// through the pool channel, so this standing reference is how stats
+	// reach a checked-out engine; FaultStats is safe to read concurrently.
+	first *core.Engine
 
 	// engines is the bounded pool: a query blocks here until an engine is
 	// free, so at most cap(engines) solves are in flight at once.
@@ -112,6 +120,11 @@ type serviceStats struct {
 	mstFragmentRounds  int64
 	mstCrossTableBytes int64
 	mstFragmentMsgs    int64
+
+	// retriedSolves counts queries this service re-ran after a session
+	// fault (the coordinator's internal requeues are counted separately,
+	// by the hub).
+	retriedSolves int64
 }
 
 // New builds a Service over g with per-query solver options. See Config
@@ -159,6 +172,7 @@ func New(g *graph.Graph, opts core.Options, cfg Config) (*Service, error) {
 		}
 		if first == nil {
 			first = e
+			s.first = e
 			s.shard = e.ShardStats()
 			s.mstMode = e.MSTMode().String()
 		}
@@ -501,6 +515,25 @@ type MSTStats struct {
 	CrossTableBytes  int64  `json:"crossTableBytes"`
 }
 
+// FaultStats is the /stats fault-tolerance block. Injected counts faults
+// this process's chaos instrumentation fired (faultpoint crashes plus
+// chaos-transport connection faults — a process-local count: faults
+// injected inside external rankd workers show up here as Detected, not
+// Injected). Detected/Rejoins/Heals mirror the TCP coordinator's session
+// accounting; RetriedSolves counts queries re-run against a healed fleet,
+// whether requeued inside the coordinator or retried by this service.
+// LastError is the most recent session-poisoning reason ("" if none) —
+// it survives even with recovery off, so a dead fleet is diagnosable from
+// /stats alone. All zero on the in-process backend.
+type FaultStats struct {
+	Injected      int64  `json:"injected"`
+	Detected      int64  `json:"detected"`
+	Rejoins       int64  `json:"rejoins"`
+	Heals         int64  `json:"heals"`
+	RetriedSolves int64  `json:"retriedSolves"`
+	LastError     string `json:"lastError"`
+}
+
 // JobStats reports the async job queue for /stats. Completed counts
 // successful jobs only; Completed + Failed is everything that finished.
 type JobStats struct {
@@ -534,10 +567,13 @@ type StatsResponse struct {
 	// MST reports the phase 3–5 merge strategy and its traffic.
 	MST       MSTStats       `json:"mst"`
 	Transport TransportStats `json:"transport"`
-	Phases    []PhaseStats   `json:"phases"`
-	Shard     ShardStats     `json:"shard"`
-	Cache     *CacheStats    `json:"cache,omitempty"`
-	Jobs      *JobStats      `json:"jobs,omitempty"`
+	// Faults is the fault-tolerance block: injected chaos faults, detected
+	// session faults, worker rejoins, session heals and retried solves.
+	Faults FaultStats   `json:"faults"`
+	Phases []PhaseStats `json:"phases"`
+	Shard  ShardStats   `json:"shard"`
+	Cache  *CacheStats  `json:"cache,omitempty"`
+	Jobs   *JobStats    `json:"jobs,omitempty"`
 }
 
 func (s *Service) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -608,6 +644,7 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 			FlushesLarge:         st.net.FlushesLarge,
 		},
 	}
+	retried := st.retriedSolves
 	if st.queries > 0 {
 		resp.AvgSolveSeconds = st.solveSeconds / float64(st.queries)
 	}
@@ -625,6 +662,7 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	st.mu.Unlock()
+	resp.Faults = s.faultStats(retried)
 	resp.Shard = ShardStats{
 		Partition:         s.shard.Partition,
 		Ranks:             s.shard.Ranks,
@@ -662,6 +700,24 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, resp)
+}
+
+// faultStats assembles the /stats faults block: this process's injected
+// chaos faults, the coordinator engine's session accounting, and the
+// retried-solve total (service retries + coordinator requeues).
+func (s *Service) faultStats(retried int64) FaultStats {
+	var ef core.FaultStats
+	if s.first != nil {
+		ef = s.first.FaultStats()
+	}
+	return FaultStats{
+		Injected:      faultpoint.Injected() + transport.InjectedFaults(),
+		Detected:      ef.Detected,
+		Rejoins:       ef.Rejoins,
+		Heals:         ef.Heals,
+		RetriedSolves: retried + ef.Requeued,
+		LastError:     ef.LastError,
+	}
 }
 
 // acquire checks an engine out of the pool, blocking until one is free or
@@ -741,6 +797,17 @@ func (s *Service) solveCached(ctx context.Context, spec core.QuerySpec) (*core.R
 		}
 		start := time.Now()
 		res, err := eng.SolveSpec(canonical)
+		if err != nil && s.opts.Recover && core.IsSessionFault(err) && ctx.Err() == nil {
+			// The query was fine; the fleet was not. The coordinator has
+			// already requeued once internally, so a fault surfacing here
+			// means the heal needed longer (e.g. workers still
+			// respawning): give the fleet one more chance before failing
+			// a retryable query.
+			s.stats.mu.Lock()
+			s.stats.retriedSolves++
+			s.stats.mu.Unlock()
+			res, err = eng.SolveSpec(canonical)
+		}
 		s.recordQuery(res, time.Since(start), err)
 		s.returnEngine(eng)
 		return res, err

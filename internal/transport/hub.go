@@ -1,6 +1,9 @@
 package transport
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -16,36 +19,81 @@ import (
 // workers, runs the session handshake (shipping each worker its shard
 // slices), roots every collective, drives the Safra-style termination-token
 // ring for asynchronous traversals, fans out solve requests and collects
-// their outcomes. All hub state is owned by a single event loop fed by
-// per-connection reader goroutines, so no frame ordering is ever racy.
+// their outcomes.
+//
+// The hub outlives its sessions. A hubSession is one generation of the
+// worker fleet — its connections, event loop and poison state. Without
+// recovery the hub runs exactly one session and a fault is fatal
+// (fail-stop, the pre-v5 behavior). With EnableRecovery the hub retains the
+// handshake payload (every worker's Setup, shard slices included) and a
+// session identity; when a session is poisoned, the next dispatch heals it:
+// workers re-handshake — survivors with a Rejoin frame proving membership,
+// respawned replacements with a fresh Hello — the retained Setups ship
+// again, and the in-flight query is requeued on the new generation instead
+// of failing.
 type Hub struct {
 	ln      net.Listener
 	ranks   int
 	workers int
 	rankLo  []int64
 
-	peers     []*peer
-	peerAddrs []string
-	readys    []wire.Ready
-
-	events  chan hubEvent
-	loopEnd chan struct{}
-
 	// maxWireVer caps the wire version the hub negotiates (operator
 	// rollback knob, core.Options.MaxWireVersion); wireVer is the session
-	// version settled by Handshake: min over worker Hellos and the cap.
+	// version settled by Handshake: min over worker Hellos and the cap. It
+	// is fixed across heals — a rejoining worker must speak at least the
+	// session version, because the retained Setups are encoded at it.
 	maxWireVer uint32
 	wireVer    uint32
 
 	solveMu sync.Mutex // one query outstanding at a time
 
+	// cur is the live session generation (nil before Handshake, or between
+	// a failure and a successful heal when recovery is on).
+	sessMu sync.Mutex
+	cur    *hubSession
+
+	// Recovery state (EnableRecovery): the heal window, the worker-lost
+	// hook (respawn driver), the session identity workers prove on Rejoin,
+	// and the retained per-worker Setups — the PR 5 handshake payload kept
+	// alive so a replacement worker can be rebuilt without the coordinator
+	// re-cutting shards.
+	recov      bool
+	rejoinWait time.Duration
+	onLost     func(error)
+	sessionID  uint64
+	setups     []wire.Setup
+
+	// Fault accounting for the /stats faults block.
+	detected atomic.Int64 // sessions poisoned
+	rejoins  atomic.Int64 // workers re-admitted via Rejoin frames
+	heals    atomic.Int64 // successful session rebuilds
+	requeued atomic.Int64 // in-flight queries re-broadcast after a heal
+	lastMu   sync.Mutex
+	lastErr  string // most recent poisoning reason
+
+	readys []wire.Ready
+
+	closing   atomic.Bool
+	closeOnce sync.Once
+}
+
+// hubSession is one generation of the worker fleet: its peer connections,
+// the event loop serializing their frames, and the first-error poison
+// state. All session state is owned by the event loop fed by per-connection
+// reader goroutines, so no frame ordering is ever racy.
+type hubSession struct {
+	h *Hub
+
+	peers     []*peer
+	peerAddrs []string
+
+	events  chan hubEvent
+	loopEnd chan struct{}
+
 	failOnce sync.Once
 	failErr  error
 	failMu   sync.Mutex
 	failCh   chan struct{}
-
-	closing   atomic.Bool
-	closeOnce sync.Once
 }
 
 // hubEvent is one unit of event-loop input: a decoded frame from a worker,
@@ -95,6 +143,17 @@ type QueryOutcome struct {
 	FragmentMsgs    int64
 }
 
+// FaultStats is the hub's fault-tolerance accounting: sessions poisoned,
+// workers re-admitted through Rejoin, successful heals, queries requeued
+// onto a healed generation, and the most recent poisoning reason.
+type FaultStats struct {
+	Detected  int64
+	Rejoins   int64
+	Heals     int64
+	Requeued  int64
+	LastError string
+}
+
 // fragAcc accumulates one fragment exchange's per-worker contributions.
 type fragAcc struct {
 	count int
@@ -115,6 +174,13 @@ type tokenSession struct {
 	at    int // worker currently holding the token (-1: not circulating)
 }
 
+// acceptedConn is one admitted worker connection during a handshake or
+// heal, before the session is built around it.
+type acceptedConn struct {
+	conn net.Conn
+	addr string
+}
+
 // ListenHub opens the coordinator listener for a session of `workers`
 // processes hosting `ranks` ranks split into contiguous near-equal ranges.
 func ListenHub(addr string, workers, ranks int) (*Hub, error) {
@@ -130,9 +196,6 @@ func ListenHub(addr string, workers, ranks int) (*Hub, error) {
 		ranks:      ranks,
 		workers:    workers,
 		rankLo:     SplitRanks(ranks, workers),
-		events:     make(chan hubEvent, 64),
-		loopEnd:    make(chan struct{}),
-		failCh:     make(chan struct{}),
 		maxWireVer: wire.Version,
 	}
 	return h, nil
@@ -151,9 +214,47 @@ func (h *Hub) LimitWireVersion(v uint32) {
 	h.maxWireVer = v
 }
 
+// EnableRecovery arms session healing: the hub retains every worker's
+// Setup (shard slices included) so a poisoned session is rebuilt on the
+// next dispatch instead of staying dead. rejoinWait bounds how long one
+// heal waits for all workers to re-handshake (0 = 30s); onLost, if set, is
+// called (on its own goroutine) each time a session is poisoned — the hook
+// coordinator-driven respawn plugs into. Call before Handshake.
+func (h *Hub) EnableRecovery(rejoinWait time.Duration, onLost func(error)) {
+	if rejoinWait <= 0 {
+		rejoinWait = 30 * time.Second
+	}
+	h.recov = true
+	h.rejoinWait = rejoinWait
+	h.onLost = onLost
+}
+
 // WireVersion returns the session's negotiated wire version (valid after
 // Handshake).
 func (h *Hub) WireVersion() uint32 { return h.wireVer }
+
+// SessionID returns the session identity workers prove on Rejoin (valid
+// after Handshake; 0 on sessions below wire v5).
+func (h *Hub) SessionID() uint64 {
+	if h.wireVer < 5 {
+		return 0
+	}
+	return h.sessionID
+}
+
+// FaultStats snapshots the hub's fault accounting.
+func (h *Hub) FaultStats() FaultStats {
+	h.lastMu.Lock()
+	last := h.lastErr
+	h.lastMu.Unlock()
+	return FaultStats{
+		Detected:  h.detected.Load(),
+		Rejoins:   h.rejoins.Load(),
+		Heals:     h.heals.Load(),
+		Requeued:  h.requeued.Load(),
+		LastError: last,
+	}
+}
 
 // SplitRanks returns the contiguous rank ranges of a session: worker w
 // hosts ranks [out[w], out[w+1]), ranges differing by at most one rank.
@@ -179,18 +280,40 @@ func (h *Hub) RankRange(w int) (lo, hi int) { return int(h.rankLo[w]), int(h.ran
 // Workers returns the session's worker count.
 func (h *Hub) Workers() int { return h.workers }
 
+// current returns the live session generation, or nil.
+func (h *Hub) current() *hubSession {
+	h.sessMu.Lock()
+	defer h.sessMu.Unlock()
+	return h.cur
+}
+
+func (h *Hub) setCurrent(s *hubSession) {
+	h.sessMu.Lock()
+	h.cur = s
+	h.sessMu.Unlock()
+}
+
+// newSessionID draws a non-zero random session identity (0 is the wire's
+// "no rejoin" sentinel).
+func newSessionID() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		if id := binary.LittleEndian.Uint64(b[:]); id != 0 {
+			return id
+		}
+	}
+	return uint64(time.Now().UnixNano()) | 1
+}
+
 // Handshake accepts every worker, exchanges the session setup and waits
 // for all workers to report ready (shard + slab built, mesh connected).
 // setupFor builds worker w's Setup given the session's peer address list;
-// the hub fills in the geometry fields (WorkerIndex, RankLo, PeerAddrs).
-// On return the hub's event loop is running and Solve may be called.
+// the hub fills in the geometry fields (WorkerIndex, RankLo, PeerAddrs) and
+// the negotiated WireVersion/SessionID. On return the hub's event loop is
+// running and Solve may be called.
 func (h *Hub) Handshake(timeout time.Duration, setupFor func(w int) wire.Setup) ([]wire.Ready, error) {
 	deadline := time.Now().Add(timeout)
-	type accepted struct {
-		conn net.Conn
-		addr string
-	}
-	conns := make([]accepted, 0, h.workers)
+	conns := make([]acceptedConn, 0, h.workers)
 	sessionVer := h.maxWireVer
 	fail := func(err error) ([]wire.Ready, error) {
 		for _, a := range conns {
@@ -229,88 +352,262 @@ func (h *Hub) Handshake(timeout time.Duration, setupFor func(w int) wire.Setup) 
 		if hello.Version < sessionVer {
 			sessionVer = hello.Version
 		}
-		conns = append(conns, accepted{conn: conn, addr: hello.PeerAddr})
+		conns = append(conns, acceptedConn{conn: conn, addr: hello.PeerAddr})
 	}
 	h.wireVer = sessionVer
-	h.peerAddrs = make([]string, h.workers)
-	for w, a := range conns {
-		h.peerAddrs[w] = a.addr
+	h.sessionID = newSessionID()
+	if h.recov {
+		h.setups = make([]wire.Setup, h.workers)
 	}
-	// Ship every setup, then collect readiness: the workers mesh among
-	// themselves in between.
+	if _, err := h.startSession(conns, func(w int) wire.Setup { return setupFor(w) }); err != nil {
+		_ = h.ln.Close()
+		return nil, err
+	}
+	return h.readys, nil
+}
+
+// startSession is the shared tail of Handshake and heal: ship every
+// worker's Setup with the generation's geometry filled in, collect the
+// Ready acknowledgements (workers mesh among themselves in between), then
+// build the session around the connections and start its event loop.
+func (h *Hub) startSession(conns []acceptedConn, setupFor func(w int) wire.Setup) (*hubSession, error) {
+	fail := func(err error) (*hubSession, error) {
+		for _, a := range conns {
+			_ = a.conn.Close()
+		}
+		return nil, err
+	}
+	peerAddrs := make([]string, h.workers)
+	for w, a := range conns {
+		peerAddrs[w] = a.addr
+	}
 	for w, a := range conns {
 		setup := setupFor(w)
 		setup.WorkerIndex = w
 		setup.RankLo = h.rankLo
-		setup.PeerAddrs = h.peerAddrs
-		setup.WireVersion = sessionVer
+		setup.PeerAddrs = peerAddrs
+		setup.WireVersion = h.wireVer
+		setup.SessionID = h.sessionID
+		if h.recov {
+			// Retain the filled Setup; a heal re-ships it with only the
+			// generation fields (WorkerIndex, PeerAddrs) rewritten.
+			h.setups[w] = setup
+		}
 		if err := wire.WriteFrame(a.conn, wire.EncodeSetup(nil, setup)); err != nil {
 			return fail(fmt.Errorf("transport: setup to worker %d: %w", w, err))
 		}
 	}
-	h.readys = make([]wire.Ready, h.workers)
+	readys := make([]wire.Ready, h.workers)
 	for w, a := range conns {
 		frame, err := wire.ReadFrame(a.conn, nil)
 		if err != nil {
 			return fail(fmt.Errorf("transport: ready from worker %d: %w", w, err))
 		}
 		if frame[0] == wire.FrameAbort {
-			ab, _ := wire.DecodeAbort(frame[1:])
-			return fail(fmt.Errorf("transport: worker %d aborted during setup: %s", w, ab.Reason))
+			return fail(fmt.Errorf("transport: worker %d aborted during setup: %s", w, abortReason(frame[1:])))
 		}
 		if frame[0] != wire.FrameReady {
 			return fail(fmt.Errorf("transport: worker %d sent frame %d before ready", w, frame[0]))
 		}
-		if h.readys[w], err = wire.DecodeReady(frame[1:]); err != nil {
+		if readys[w], err = wire.DecodeReady(frame[1:]); err != nil {
 			return fail(fmt.Errorf("transport: ready from worker %d: %w", w, err))
 		}
 		_ = a.conn.SetReadDeadline(time.Time{})
 	}
-	h.peers = make([]*peer, h.workers)
+	h.readys = readys
+	s := &hubSession{
+		h:         h,
+		peers:     make([]*peer, h.workers),
+		peerAddrs: peerAddrs,
+		events:    make(chan hubEvent, 64),
+		loopEnd:   make(chan struct{}),
+		failCh:    make(chan struct{}),
+	}
 	for w, a := range conns {
-		h.peers[w] = newPeer(a.conn, nil)
+		s.peers[w] = newPeer(a.conn, nil)
 	}
-	for w := range h.peers {
-		go h.readWorker(w)
+	for w := range s.peers {
+		go s.readWorker(w)
 	}
-	go h.run()
-	return h.readys, nil
+	go s.run()
+	h.setCurrent(s)
+	return s, nil
+}
+
+// heal rebuilds a poisoned session from the retained Setups: tear the old
+// generation down, re-admit W workers — survivors send Rejoin with the
+// session identity, respawned replacements a fresh Hello — and run the
+// setup/ready exchange again. Worker indices are assigned in accept order;
+// the Setup a worker receives fully describes the ranks it now hosts, so
+// identity across generations is irrelevant. Callers hold solveMu.
+func (h *Hub) heal() (*hubSession, error) {
+	if old := h.current(); old != nil {
+		old.teardown()
+		h.setCurrent(nil)
+	}
+	if len(h.setups) != h.workers {
+		return nil, errors.New("transport: no retained setups to heal from")
+	}
+	deadline := time.Now().Add(h.rejoinWait)
+	if tl, ok := h.ln.(*net.TCPListener); ok {
+		_ = tl.SetDeadline(deadline)
+	}
+	conns := make([]acceptedConn, 0, h.workers)
+	rejoined := 0
+	for len(conns) < h.workers {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			for _, a := range conns {
+				_ = a.conn.Close()
+			}
+			return nil, fmt.Errorf("transport: healing session: %d/%d workers re-handshook within %v: %w",
+				len(conns), h.workers, h.rejoinWait, err)
+		}
+		a, viaRejoin, ok := h.admit(conn, deadline)
+		if !ok {
+			continue // rejected or dead connection; keep accepting
+		}
+		if viaRejoin {
+			rejoined++
+		}
+		conns = append(conns, a)
+	}
+	s, err := h.startSession(conns, func(w int) wire.Setup { return h.setups[w] })
+	if err != nil {
+		return nil, fmt.Errorf("transport: healing session: %w", err)
+	}
+	h.rejoins.Add(int64(rejoined))
+	h.heals.Add(1)
+	return s, nil
+}
+
+// admit reads one connection's opening frame during a heal and validates
+// it: a Rejoin must carry this hub's session identity, and any joiner must
+// speak at least the session's pinned wire version (the retained Setups are
+// encoded at it). Invalid connections get an Abort with the reason and are
+// dropped without failing the heal.
+func (h *Hub) admit(conn net.Conn, deadline time.Time) (acceptedConn, bool, bool) {
+	reject := func(reason string) (acceptedConn, bool, bool) {
+		_ = wire.WriteFrame(conn, wire.EncodeAbort(nil, wire.Abort{Reason: reason}))
+		_ = conn.Close()
+		return acceptedConn{}, false, false
+	}
+	_ = conn.SetReadDeadline(deadline)
+	frame, err := wire.ReadFrame(conn, nil)
+	if err != nil {
+		_ = conn.Close()
+		return acceptedConn{}, false, false
+	}
+	switch frame[0] {
+	case wire.FrameRejoin:
+		rj, err := wire.DecodeRejoin(frame[1:])
+		if err != nil {
+			return reject(fmt.Sprintf("transport: unreadable rejoin: %v", err))
+		}
+		if rj.SessionID != h.sessionID {
+			return reject(fmt.Sprintf("transport: rejoin for unknown session %#x", rj.SessionID))
+		}
+		if rj.Version < h.wireVer || rj.Version > wire.Version {
+			return reject(fmt.Sprintf("transport: rejoin wire version %d outside session range [%d, %d]",
+				rj.Version, h.wireVer, wire.Version))
+		}
+		return acceptedConn{conn: conn, addr: rj.PeerAddr}, true, true
+	case wire.FrameHello:
+		hello, err := wire.DecodeHello(frame[1:])
+		if err != nil {
+			return reject(fmt.Sprintf("transport: unreadable hello: %v", err))
+		}
+		if hello.Version < h.wireVer || hello.Version > wire.Version {
+			return reject(fmt.Sprintf("transport: hello wire version %d below healing session's %d",
+				hello.Version, h.wireVer))
+		}
+		return acceptedConn{conn: conn, addr: hello.PeerAddr}, false, true
+	default:
+		return reject(fmt.Sprintf("transport: frame %d before hello/rejoin", frame[0]))
+	}
 }
 
 // readWorker forwards worker w's frames to the event loop. Each frame gets
 // a fresh buffer: control traffic is low-rate and the event loop owns the
 // bytes afterwards.
-func (h *Hub) readWorker(w int) {
+func (s *hubSession) readWorker(w int) {
 	for {
-		frame, err := h.peers[w].readFrame(nil)
+		frame, err := s.peers[w].readFrame(nil)
 		if err != nil {
-			h.events <- hubEvent{worker: w, err: err}
+			s.events <- hubEvent{worker: w, err: err}
 			return
 		}
-		h.events <- hubEvent{worker: w, typ: frame[0], body: frame[1:]}
+		s.events <- hubEvent{worker: w, typ: frame[0], body: frame[1:]}
 	}
 }
 
 // fail poisons the session: every worker is told to abort, pending waiters
-// unblock with the error.
-func (h *Hub) fail(err error) {
-	h.failOnce.Do(func() {
-		h.failMu.Lock()
-		h.failErr = err
-		h.failMu.Unlock()
+// unblock with the error, and the hub records the fault (driving the
+// onLost respawn hook when recovery is armed).
+func (s *hubSession) fail(err error) {
+	s.failOnce.Do(func() {
+		s.failMu.Lock()
+		s.failErr = err
+		s.failMu.Unlock()
 		payload := wire.EncodeAbort(nil, wire.Abort{Reason: err.Error()})
-		for _, p := range h.peers {
+		for _, p := range s.peers {
 			_ = p.send(payload)
 		}
-		close(h.failCh)
+		close(s.failCh)
+		s.h.sessionFailed(err)
 	})
 }
 
 // Err returns the error that poisoned the session, or nil.
+func (s *hubSession) Err() error {
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	return s.failErr
+}
+
+// sessionFailed records one poisoned generation and fires the respawn
+// hook. Clean closes don't come through here (the event loop checks
+// closing first).
+func (h *Hub) sessionFailed(err error) {
+	if h.closing.Load() {
+		return
+	}
+	h.detected.Add(1)
+	h.lastMu.Lock()
+	h.lastErr = err.Error()
+	h.lastMu.Unlock()
+	if h.recov && h.onLost != nil {
+		go h.onLost(err)
+	}
+}
+
+// teardown ends a (typically already poisoned) generation: close every
+// peer so blocked readers unwind, then wait (bounded) for the event loop
+// to drain.
+func (s *hubSession) teardown() {
+	s.fail(errors.New("transport: session superseded"))
+	for _, p := range s.peers {
+		p.close()
+	}
+	select {
+	case <-s.loopEnd:
+	case <-time.After(5 * time.Second):
+	}
+}
+
+// Err returns the error that poisoned the current session, or nil. With
+// recovery on, a healed hub reports nil again; between failure and heal it
+// reports the most recent poisoning reason.
 func (h *Hub) Err() error {
-	h.failMu.Lock()
-	defer h.failMu.Unlock()
-	return h.failErr
+	if s := h.current(); s != nil {
+		return s.Err()
+	}
+	h.lastMu.Lock()
+	defer h.lastMu.Unlock()
+	if h.lastErr == "" {
+		return nil
+	}
+	return errors.New(h.lastErr)
 }
 
 // Solve broadcasts one tree query and blocks until every worker reports
@@ -333,71 +630,119 @@ func (h *Hub) SolveSpec(spec wire.SolveSpec) (QueryOutcome, error) {
 }
 
 // dispatch broadcasts one encoded query frame and blocks until every worker
-// reports done (or the session fails).
+// reports done. Without recovery a session fault fails the query (and every
+// later one). With recovery the fault triggers a heal — tearing down the
+// poisoned generation, re-admitting the fleet, re-shipping the retained
+// Setups — and the query is requeued on the healed generation, once; the
+// solve is deterministic from setup + query, so the retried answer is
+// byte-identical to what the lost generation would have produced.
 func (h *Hub) dispatch(qid uint64, payload []byte) (QueryOutcome, error) {
 	h.solveMu.Lock()
 	defer h.solveMu.Unlock()
-	if err := h.Err(); err != nil {
+	retried := false
+	for {
+		s, err := h.readySession()
+		if err != nil {
+			return QueryOutcome{}, err
+		}
+		out, err := s.runQuery(qid, payload)
+		if err == nil {
+			return out, nil
+		}
+		if !h.recov || retried || h.closing.Load() {
+			return QueryOutcome{}, err
+		}
+		retried = true
+		h.requeued.Add(1)
+	}
+}
+
+// readySession returns a healthy session to dispatch on, healing a
+// poisoned one first when recovery is armed. Callers hold solveMu.
+func (h *Hub) readySession() (*hubSession, error) {
+	s := h.current()
+	if s != nil && s.Err() == nil {
+		return s, nil
+	}
+	if !h.recov {
+		if s == nil {
+			return nil, errors.New("transport: no active session")
+		}
+		return nil, s.Err()
+	}
+	return h.heal()
+}
+
+// runQuery registers the pending query, broadcasts the frame and waits for
+// every worker's done (or the session's poisoning).
+func (s *hubSession) runQuery(qid uint64, payload []byte) (QueryOutcome, error) {
+	if err := s.Err(); err != nil {
 		return QueryOutcome{}, err
 	}
 	pq := &pendingQuery{
 		qid:        qid,
-		out:        QueryOutcome{QueryID: qid, TableLens: make([]int64, h.ranks)},
+		out:        QueryOutcome{QueryID: qid, TableLens: make([]int64, s.h.ranks)},
 		ch:         make(chan QueryOutcome, 1),
 		fragRounds: -1,
 	}
 	// Register before broadcasting so no done frame can beat the query.
 	select {
-	case h.events <- hubEvent{query: pq}:
-	case <-h.failCh:
-		return QueryOutcome{}, h.Err()
+	case s.events <- hubEvent{query: pq}:
+	case <-s.failCh:
+		return QueryOutcome{}, s.Err()
 	}
-	for w, p := range h.peers {
+	for w, p := range s.peers {
 		if err := p.send(payload); err != nil {
-			h.fail(fmt.Errorf("transport: solve to worker %d: %w", w, err))
-			return QueryOutcome{}, h.Err()
+			s.fail(fmt.Errorf("transport: solve to worker %d: %w", w, err))
+			return QueryOutcome{}, s.Err()
 		}
 	}
 	select {
 	case out := <-pq.ch:
 		return out, nil
-	case <-h.failCh:
-		return QueryOutcome{}, h.Err()
+	case <-s.failCh:
+		return QueryOutcome{}, s.Err()
 	}
 }
 
-// Close ends the session: workers get a goodbye, then the hub waits
-// (bounded) for them to hang up — their readers draining is the signal
-// the goodbye was processed — before tearing the connections down.
+// Close ends the hub: the current session's workers get a goodbye, then the
+// hub waits (bounded) for them to hang up — their readers draining is the
+// signal the goodbye was processed — before tearing the connections and the
+// listener down.
 func (h *Hub) Close() {
 	h.closeOnce.Do(func() {
 		h.closing.Store(true)
-		for _, p := range h.peers {
-			_ = p.send([]byte{wire.FrameGoodbye})
-		}
-		if h.peers != nil {
-			select {
-			case <-h.loopEnd:
-			case <-time.After(5 * time.Second):
-			}
-		}
-		for _, p := range h.peers {
-			p.close()
+		if s := h.current(); s != nil {
+			s.shutdown()
 		}
 		_ = h.ln.Close()
 	})
 }
 
+// shutdown runs a clean session end (Close path).
+func (s *hubSession) shutdown() {
+	for _, p := range s.peers {
+		_ = p.send([]byte{wire.FrameGoodbye})
+	}
+	select {
+	case <-s.loopEnd:
+	case <-time.After(5 * time.Second):
+	}
+	for _, p := range s.peers {
+		p.close()
+	}
+}
+
 // run is the event loop: collectives, termination tokens, query outcomes
 // and failures, all serialized here.
-func (h *Hub) run() {
-	defer close(h.loopEnd)
+func (s *hubSession) run() {
+	defer close(s.loopEnd)
 	colls := make(map[uint64]*collAcc)
 	frags := make(map[uint64]*fragAcc)
 	sessions := make(map[uint64]*tokenSession)
 	var pending *pendingQuery
 	closedReaders := 0
-	for ev := range h.events {
+	for ev := range s.events {
 		switch {
 		case ev.query != nil:
 			pending = ev.query
@@ -405,23 +750,24 @@ func (h *Hub) run() {
 			closedReaders++
 			// During a clean Close, workers hanging up is the expected
 			// end of the session, not a failure.
-			if h.Err() == nil && !h.closing.Load() {
-				h.fail(fmt.Errorf("transport: worker %d connection: %w", ev.worker, ev.err))
+			if s.Err() == nil && !s.h.closing.Load() {
+				s.fail(fmt.Errorf("transport: worker %d connection: %w", ev.worker, ev.err))
 			}
-			if closedReaders == h.workers {
+			if closedReaders == s.h.workers {
 				return
 			}
 		default:
-			if err := h.handleFrame(ev, colls, frags, sessions, &pending); err != nil {
-				h.fail(err)
+			if err := s.handleFrame(ev, colls, frags, sessions, &pending); err != nil {
+				s.fail(err)
 			}
 		}
 	}
 }
 
 // handleFrame processes one worker frame inside the event loop.
-func (h *Hub) handleFrame(ev hubEvent, colls map[uint64]*collAcc, frags map[uint64]*fragAcc,
+func (s *hubSession) handleFrame(ev hubEvent, colls map[uint64]*collAcc, frags map[uint64]*fragAcc,
 	sessions map[uint64]*tokenSession, pending **pendingQuery) error {
+	h := s.h
 	w := ev.worker
 	switch ev.typ {
 	case wire.FrameColl:
@@ -429,14 +775,14 @@ func (h *Hub) handleFrame(ev hubEvent, colls map[uint64]*collAcc, frags map[uint
 		if err != nil {
 			return fmt.Errorf("transport: collective from worker %d: %w", w, err)
 		}
-		return h.handleColl(w, coll, colls)
+		return s.handleColl(w, coll, colls)
 
 	case wire.FrameFragmentConnect:
 		fc, err := wire.DecodeFragmentConnect(ev.body)
 		if err != nil {
 			return fmt.Errorf("transport: fragment connect from worker %d: %w", w, err)
 		}
-		return h.handleFragment(w, fc, frags)
+		return s.handleFragment(w, fc, frags)
 
 	case wire.FrameFragmentRoundSummary:
 		fs, err := wire.DecodeFragmentRoundSummary(ev.body)
@@ -459,18 +805,18 @@ func (h *Hub) handleFrame(ev hubEvent, colls map[uint64]*collAcc, frags map[uint
 		if err != nil {
 			return fmt.Errorf("transport: traverse begin from worker %d: %w", w, err)
 		}
-		s := sessions[tb.Seq]
-		if s == nil {
-			s = &tokenSession{at: -1}
-			sessions[tb.Seq] = s
+		ts := sessions[tb.Seq]
+		if ts == nil {
+			ts = &tokenSession{at: -1}
+			sessions[tb.Seq] = ts
 		}
-		s.began++
-		if s.began == h.workers {
+		ts.began++
+		if ts.began == h.workers {
 			// All processes entered the traversal: start the first token
 			// round. Workers reset their color to black at traversal
 			// start, so at least two rounds always run.
-			s.at = 0
-			return h.sendToken(s, wire.Token{Seq: tb.Seq, Q: 0, Black: false})
+			ts.at = 0
+			return s.sendToken(ts, wire.Token{Seq: tb.Seq, Q: 0, Black: false})
 		}
 		return nil
 
@@ -479,27 +825,27 @@ func (h *Hub) handleFrame(ev hubEvent, colls map[uint64]*collAcc, frags map[uint
 		if err != nil {
 			return fmt.Errorf("transport: token from worker %d: %w", w, err)
 		}
-		s := sessions[tok.Seq]
-		if s == nil || s.at != w {
+		ts := sessions[tok.Seq]
+		if ts == nil || ts.at != w {
 			return fmt.Errorf("transport: unexpected token for traversal %d from worker %d", tok.Seq, w)
 		}
 		if w+1 < h.workers {
-			s.at = w + 1
-			return h.sendToken(s, tok)
+			ts.at = w + 1
+			return s.sendToken(ts, tok)
 		}
 		// Round complete at the last worker.
 		if !tok.Black && tok.Q == 0 {
 			delete(sessions, tok.Seq)
 			payload := wire.EncodeTraverseDone(nil, wire.TraverseDone{Seq: tok.Seq})
-			for dw, p := range h.peers {
+			for dw, p := range s.peers {
 				if err := p.send(payload); err != nil {
 					return fmt.Errorf("transport: traverse done to worker %d: %w", dw, err)
 				}
 			}
 			return nil
 		}
-		s.at = 0
-		return h.sendToken(s, wire.Token{Seq: tok.Seq, Q: 0, Black: false})
+		ts.at = 0
+		return s.sendToken(ts, wire.Token{Seq: tok.Seq, Q: 0, Black: false})
 
 	case wire.FrameWorkerDone:
 		done, err := wire.DecodeWorkerDone(ev.body)
@@ -541,8 +887,7 @@ func (h *Hub) handleFrame(ev hubEvent, colls map[uint64]*collAcc, frags map[uint
 		return nil
 
 	case wire.FrameAbort:
-		ab, _ := wire.DecodeAbort(ev.body)
-		return fmt.Errorf("transport: worker %d aborted: %s", w, ab.Reason)
+		return fmt.Errorf("transport: worker %d aborted: %s", w, abortReason(ev.body))
 
 	default:
 		return fmt.Errorf("transport: unexpected frame type %d from worker %d", ev.typ, w)
@@ -550,10 +895,10 @@ func (h *Hub) handleFrame(ev hubEvent, colls map[uint64]*collAcc, frags map[uint
 }
 
 // sendToken forwards the termination token to the session's current
-// holder (s.at, set by the caller).
-func (h *Hub) sendToken(s *tokenSession, tok wire.Token) error {
-	if err := h.peers[s.at].send(wire.EncodeToken(nil, tok)); err != nil {
-		return fmt.Errorf("transport: token to worker %d: %w", s.at, err)
+// holder (ts.at, set by the caller).
+func (s *hubSession) sendToken(ts *tokenSession, tok wire.Token) error {
+	if err := s.peers[ts.at].send(wire.EncodeToken(nil, tok)); err != nil {
+		return fmt.Errorf("transport: token to worker %d: %w", ts.at, err)
 	}
 	return nil
 }
@@ -562,7 +907,8 @@ func (h *Hub) sendToken(s *tokenSession, tok wire.Token) error {
 // worker has contributed, answers each worker with a personalized reply:
 // only the blobs addressed to its rank range, plus broadcasts. This is the
 // routing step that replaces OpGather's everything-to-everyone blob list.
-func (h *Hub) handleFragment(w int, fc wire.FragmentConnect, frags map[uint64]*fragAcc) error {
+func (s *hubSession) handleFragment(w int, fc wire.FragmentConnect, frags map[uint64]*fragAcc) error {
+	h := s.h
 	acc := frags[fc.Seq]
 	if acc == nil {
 		acc = &fragAcc{}
@@ -580,7 +926,7 @@ func (h *Hub) handleFragment(w int, fc wire.FragmentConnect, frags map[uint64]*f
 		return nil
 	}
 	delete(frags, fc.Seq)
-	for dw, p := range h.peers {
+	for dw, p := range s.peers {
 		lo, hi := h.RankRange(dw)
 		var out []rt.FragBlob
 		for _, fb := range acc.blobs {
@@ -597,7 +943,8 @@ func (h *Hub) handleFragment(w int, fc wire.FragmentConnect, frags map[uint64]*f
 }
 
 // handleColl folds one collective contribution and replies when complete.
-func (h *Hub) handleColl(w int, coll wire.Coll, colls map[uint64]*collAcc) error {
+func (s *hubSession) handleColl(w int, coll wire.Coll, colls map[uint64]*collAcc) error {
+	h := s.h
 	acc := colls[coll.Seq]
 	if acc == nil {
 		acc = &collAcc{op: coll.Op}
@@ -659,7 +1006,7 @@ func (h *Hub) handleColl(w int, coll wire.Coll, colls map[uint64]*collAcc) error
 		payload = wire.EncodeInt64(acc.acc)
 	}
 	reply := wire.EncodeCollReply(nil, wire.CollReply{Seq: coll.Seq, Payload: payload})
-	for dw, p := range h.peers {
+	for dw, p := range s.peers {
 		if err := p.send(reply); err != nil {
 			return fmt.Errorf("transport: collective reply to worker %d: %w", dw, err)
 		}

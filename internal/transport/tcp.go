@@ -491,6 +491,54 @@ func (t *TCP) SendAbort(reason string) {
 	_ = t.coord.send(wire.EncodeAbort(nil, wire.Abort{Reason: reason}))
 }
 
+// abortReason decodes an Abort frame body. A corrupt or truncated Abort —
+// the one frame whose job is to explain a failure — must never decay into
+// an empty reason, so the decode error itself becomes the fallback.
+func abortReason(body []byte) string {
+	a, err := wire.DecodeAbort(body)
+	if err != nil {
+		return fmt.Sprintf("unreadable abort frame: %v", err)
+	}
+	return a.Reason
+}
+
+// InjectPeerDrop abruptly severs the mesh link to worker w, bypassing the
+// coalescing writer's drain — the socket dies as if the peer process was
+// killed. Fault injection only (transport.Chaos); reports whether a live
+// link existed.
+func (t *TCP) InjectPeerDrop(w int) bool {
+	if w < 0 || w >= len(t.peers) || t.peers[w] == nil {
+		return false
+	}
+	_ = t.peers[w].conn.Close()
+	return true
+}
+
+// InjectCoordDrop abruptly severs the coordinator link. Fault injection
+// only.
+func (t *TCP) InjectCoordDrop() {
+	_ = t.coord.conn.Close()
+}
+
+// InjectPeerTruncate writes a deliberately cut-short frame — a header
+// declaring more bytes than follow — straight onto the mesh socket to
+// worker w and closes it. The receiver's framed read must surface a clean
+// decode error (wire.ErrTruncated / unexpected EOF), never a hang or a
+// panic. Fault injection only; reports whether a live link existed.
+func (t *TCP) InjectPeerTruncate(w int) bool {
+	if w < 0 || w >= len(t.peers) || t.peers[w] == nil {
+		return false
+	}
+	p := t.peers[w]
+	// Raw write, racing the coalescing writer on purpose: whatever frame
+	// boundary the receiver ends up mid-way through, the codec's defensive
+	// decoders must turn it into a structured error.
+	hdr := []byte{64, 0, 0, 0, wire.FrameMsgBatch} // "64-byte frame" with 1 byte present
+	_, _ = p.conn.Write(hdr)
+	_ = p.conn.Close()
+	return true
+}
+
 // Close implements runtime.Transport.
 func (t *TCP) Close() error {
 	t.closeOnce.Do(func() {
@@ -602,8 +650,7 @@ func (t *TCP) readCoord() {
 			t.controls <- Control{Kind: ControlGoodbye}
 			return
 		case wire.FrameAbort:
-			a, _ := wire.DecodeAbort(body)
-			t.fail(fmt.Errorf("transport: session aborted by coordinator: %s", a.Reason))
+			t.fail(fmt.Errorf("transport: session aborted by coordinator: %s", abortReason(body)))
 			return
 		default:
 			t.fail(fmt.Errorf("transport: unexpected coordinator frame type %d", typ))

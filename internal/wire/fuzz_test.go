@@ -44,6 +44,8 @@ func FuzzDecodeFrame(f *testing.F) {
 		AppendFrame(nil, EncodeFragmentRelabel(nil, FragmentRelabel{Seq: 5,
 			Blobs: []rt.FragBlob{{Src: 2, Dest: 0, Blob: []byte{7, 7, 7}}}})),
 		AppendFrame(nil, EncodeFragmentRoundSummary(nil, FragmentRoundSummary{Rounds: 2, Msgs: 40, Bytes: 512})),
+		AppendFrame(nil, EncodeRejoin(nil, Rejoin{Version: Version, PeerAddr: "127.0.0.1:9",
+			SessionID: 0xfeedface, PrevWorker: 2})),
 		AppendFrame(nil, EncodeAbort(nil, Abort{Reason: "boom"})),
 		AppendFrame(nil, []byte{FrameGoodbye}),
 		{0, 0, 0, 0},
@@ -129,6 +131,8 @@ func decodeBody(typ uint8, body []byte) {
 		_, _ = DecodeFragmentRelabel(body)
 	case FrameFragmentRoundSummary:
 		_, _ = DecodeFragmentRoundSummary(body)
+	case FrameRejoin:
+		_, _ = DecodeRejoin(body)
 	case FrameAbort:
 		_, _ = DecodeAbort(body)
 	}

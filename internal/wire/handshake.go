@@ -133,6 +133,12 @@ type Setup struct {
 	// coordinator resolves before encoding). A v4 trailing field; absent
 	// (v1–v3 sessions) ⇒ 0, which workers treat as replicated.
 	MSTMode uint8
+
+	// SessionID identifies this handshake's session for fault recovery: a
+	// worker that loses the session re-dials and presents it in a Rejoin
+	// frame. A v5 trailing field; absent (v1–v4 sessions) ⇒ 0, meaning the
+	// session predates rejoin and a disconnected worker cannot return.
+	SessionID uint64
 }
 
 // EncodeSetup appends a FrameSetup payload.
@@ -165,6 +171,9 @@ func EncodeSetup(dst []byte, s Setup) []byte {
 	}
 	if s.WireVersion >= 4 {
 		dst = append(dst, s.MSTMode)
+	}
+	if s.WireVersion >= 5 {
+		dst = AppendUvarint(dst, s.SessionID)
 	}
 	return dst
 }
@@ -211,6 +220,10 @@ func DecodeSetup(body []byte) (Setup, error) {
 	if d.err == nil && d.Len() > 0 {
 		s.MSTMode = d.Byte()
 	}
+	// Trailing session identity, absent below v5 (⇒ 0 = no rejoin).
+	if d.err == nil && d.Len() > 0 {
+		s.SessionID = d.Uvarint()
+	}
 	return s, d.finish()
 }
 
@@ -254,6 +267,41 @@ func DecodePeerHello(body []byte) (PeerHello, error) {
 	d := NewDec(body)
 	p := PeerHello{Worker: d.Int()}
 	return p, d.finish()
+}
+
+// Rejoin is the first frame a worker sends when re-dialing a coordinator
+// after losing an established session (v5+): like Hello it advertises the
+// worker's wire version and mesh listener address, and additionally proves
+// session membership with the SessionID from its Setup. PrevWorker is the
+// index the worker held before the fault — advisory only; the coordinator
+// reassigns indices in accept order when it heals the session.
+type Rejoin struct {
+	Version    uint32
+	PeerAddr   string
+	SessionID  uint64
+	PrevWorker int64
+}
+
+// EncodeRejoin appends a FrameRejoin payload.
+func EncodeRejoin(dst []byte, r Rejoin) []byte {
+	dst = append(dst, FrameRejoin)
+	dst = AppendUvarint(dst, uint64(r.Version))
+	dst = AppendString(dst, r.PeerAddr)
+	dst = AppendUvarint(dst, r.SessionID)
+	dst = AppendVarint(dst, r.PrevWorker)
+	return dst
+}
+
+// DecodeRejoin decodes a FrameRejoin body.
+func DecodeRejoin(body []byte) (Rejoin, error) {
+	d := NewDec(body)
+	r := Rejoin{
+		Version:    uint32(d.Uvarint()),
+		PeerAddr:   d.String(),
+		SessionID:  d.Uvarint(),
+		PrevWorker: d.Varint(),
+	}
+	return r, d.finish()
 }
 
 // Abort carries a session-poisoning reason in either direction.

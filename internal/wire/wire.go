@@ -45,9 +45,12 @@ import (
 // terminal set in the WorkerDone tail; v4 sessions add the fragment-merge
 // MST frames (FrameFragmentConnect / FrameFragmentRelabel /
 // FrameFragmentRoundSummary), the Setup MSTMode byte, and the fragment
-// counters in the WorkerDone tail. Tree-mode queries use FrameSolve at
+// counters in the WorkerDone tail; v5 sessions add fault recovery — the
+// Setup tail carries the coordinator's SessionID and a worker that lost its
+// connection re-handshakes with FrameRejoin (proving session membership)
+// instead of a fresh Hello. Tree-mode queries use FrameSolve at
 // every version, so v1/v2-pinned sessions keep serving them byte-identically.
-const Version uint32 = 4
+const Version uint32 = 5
 
 // MinVersion is the oldest wire-protocol version this build interoperates
 // with.
@@ -129,6 +132,13 @@ const (
 	// pending query's outcome and cross-checked for agreement across
 	// workers.
 	FrameFragmentRoundSummary
+	// FrameRejoin is worker → coordinator: a replacement (or reconnecting)
+	// worker's first frame when re-handshaking into an existing session
+	// after a fault. It carries the SessionID the worker learned from its
+	// Setup, proving it belongs to this coordinator's session rather than
+	// some other fleet. Sent only by v5+ workers; the coordinator answers
+	// with a fresh Setup exactly as it would a Hello.
+	FrameRejoin
 )
 
 // Collective operations carried by FrameColl. They mirror

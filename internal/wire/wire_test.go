@@ -224,6 +224,23 @@ func TestHandshakeRoundTrip(t *testing.T) {
 		t.Fatalf("v2 setup should add exactly the frame byte + 1 version byte")
 	}
 
+	// A v5 Setup appends the session identity after the MST mode; decode
+	// recovers all three trailing fields, and a v4 Setup — which never has
+	// the SessionID — decodes with SessionID 0 (rejoin unavailable).
+	setup.WireVersion = 5
+	setup.MSTMode = 2
+	setup.SessionID = 0xdeadbeefcafe
+	gotV5, err := DecodeSetup(EncodeSetup(nil, setup)[1:])
+	if err != nil || !reflect.DeepEqual(gotV5, setup) {
+		t.Fatalf("v5 setup round trip:\n got %+v\nwant %+v (%v)", gotV5, setup, err)
+	}
+	setup.WireVersion = 4
+	gotV4, err := DecodeSetup(EncodeSetup(nil, setup)[1:])
+	if err != nil || gotV4.SessionID != 0 || gotV4.MSTMode != 2 {
+		t.Fatalf("v4 setup must drop the session id: id=%d mst=%d err=%v",
+			gotV4.SessionID, gotV4.MSTMode, err)
+	}
+
 	r := Ready{ShardBytes: 12345, StateBytes: 678}
 	gotReady, err := DecodeReady(EncodeReady(nil, r)[1:])
 	if err != nil || gotReady != r {
@@ -240,6 +257,12 @@ func TestHandshakeRoundTrip(t *testing.T) {
 	gotAbort, err := DecodeAbort(EncodeAbort(nil, a)[1:])
 	if err != nil || gotAbort != a {
 		t.Fatalf("abort: %+v %v", gotAbort, err)
+	}
+
+	rj := Rejoin{Version: Version, PeerAddr: "127.0.0.1:40001", SessionID: 0xfeedface, PrevWorker: 3}
+	gotRejoin, err := DecodeRejoin(EncodeRejoin(nil, rj)[1:])
+	if err != nil || gotRejoin != rj {
+		t.Fatalf("rejoin: %+v %v", gotRejoin, err)
 	}
 }
 
@@ -408,6 +431,8 @@ func TestDecodersRejectTruncation(t *testing.T) {
 			func(b []byte) error { _, err := DecodeWorkerDone(b); return err }},
 		"batch": {AppendMsgBatch(nil, 1, []rt.Msg{{Target: 5, Dist: 7}})[1:],
 			func(b []byte) error { _, _, err := DecodeMsgBatch(b, nil); return err }},
+		"rejoin": {EncodeRejoin(nil, Rejoin{Version: 5, PeerAddr: "x:1", SessionID: 99, PrevWorker: 1})[1:],
+			func(b []byte) error { _, err := DecodeRejoin(b); return err }},
 	}
 	for name, tc := range bodies {
 		if err := tc.dec(tc.body); err != nil {
