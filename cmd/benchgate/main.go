@@ -9,7 +9,10 @@
 //
 // With several samples per benchmark (go test -count=N) the minimum ns/op is
 // compared — the least-noisy estimate of the code's true cost. Benchmarks
-// present in only one file are reported but never gate. Refresh the baseline
+// present in only one file are reported but never gate. Besides the
+// baseline comparison, -ratio bounds one current benchmark against another
+// from the SAME run (`-ratio 'BenchmarkX/parallel<=0.8*BenchmarkX/serial'`),
+// which gates a speedup factor independently of the runner's hardware. Refresh the baseline
 // from a fresh run with -update, which rewrites the baseline file from the
 // current output instead of gating against it — after validating that the
 // run parses, covers the gated names, and covers every benchmark the old
@@ -156,6 +159,73 @@ func compare(baseline, current map[string]*benchResult, gates []string, maxRegre
 	return verdicts, nil
 }
 
+// ratioConstraint is one cross-benchmark bound checked WITHIN the current
+// run: current ns/op of Left must not exceed Factor × current ns/op of
+// Right. Because both sides come from the same run on the same machine,
+// the bound is hardware-independent — it gates a speedup ratio (e.g. "the
+// parallel variant must beat the serial one by 1.25x"), which an absolute
+// baseline comparison cannot express.
+type ratioConstraint struct {
+	Left   string
+	Factor float64
+	Right  string
+}
+
+// ratioSpec parses "LEFT<=F*RIGHT" (benchmark names may contain '/').
+var ratioSpec = regexp.MustCompile(`^([^<>=]+)<=([0-9.]+)\*(.+)$`)
+
+// parseRatios parses the comma-separated -ratio list.
+func parseRatios(list string) ([]ratioConstraint, error) {
+	var out []ratioConstraint
+	for _, spec := range strings.Split(list, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		m := ratioSpec.FindStringSubmatch(spec)
+		if m == nil {
+			return nil, fmt.Errorf("bad -ratio constraint %q (want LEFT<=F*RIGHT)", spec)
+		}
+		f, err := strconv.ParseFloat(m[2], 64)
+		if err != nil || f <= 0 {
+			return nil, fmt.Errorf("bad -ratio factor in %q", spec)
+		}
+		out = append(out, ratioConstraint{
+			Left:   strings.TrimSpace(m[1]),
+			Factor: f,
+			Right:  strings.TrimSpace(m[3]),
+		})
+	}
+	return out, nil
+}
+
+// checkRatios enforces the -ratio constraints against the current run. A
+// constraint naming a benchmark absent from the run is an error — a
+// silently skipped bound is a broken bound.
+func checkRatios(current map[string]*benchResult, ratios []ratioConstraint, stdout io.Writer) error {
+	failed := false
+	for _, rc := range ratios {
+		l, okL := current[rc.Left]
+		r, okR := current[rc.Right]
+		if !okL || !okR {
+			return fmt.Errorf("ratio benchmark missing from current run (%s: %v, %s: %v)",
+				rc.Left, okL, rc.Right, okR)
+		}
+		got := l.NsPerOp / r.NsPerOp
+		status := "ok"
+		if got > rc.Factor {
+			status = fmt.Sprintf("FAIL (> %.2fx)", rc.Factor)
+			failed = true
+		}
+		fmt.Fprintf(stdout, "ratio %s / %s %7.2fx (limit %.2fx) %s\n",
+			rc.Left, rc.Right, got, rc.Factor, status)
+	}
+	if failed {
+		return fmt.Errorf("cross-benchmark ratio bound exceeded")
+	}
+	return nil
+}
+
 // report is the JSON document written to -json.
 type report struct {
 	Benchmarks []*benchResult `json:"benchmarks"`
@@ -238,7 +308,11 @@ func update(baselinePath, currentPath, gateList string, prune bool, stdout io.Wr
 	return nil
 }
 
-func run(baselinePath, currentPath, gateList, jsonPath string, maxRegress float64, stdout io.Writer) error {
+func run(baselinePath, currentPath, gateList, ratioList, jsonPath string, maxRegress float64, stdout io.Writer) error {
+	ratios, err := parseRatios(ratioList)
+	if err != nil {
+		return err
+	}
 	baseline, err := parseBenchFile(baselinePath)
 	if err != nil {
 		return err
@@ -285,10 +359,11 @@ func run(baselinePath, currentPath, gateList, jsonPath string, maxRegress float6
 		}
 		fmt.Fprintf(stdout, "gate %-35s %7.2fx %s\n", v.Name, v.Ratio, status)
 	}
+	ratioErr := checkRatios(current, ratios, stdout)
 	if failed {
 		return fmt.Errorf("benchmark regression beyond %.0f%%", maxRegress*100)
 	}
-	return nil
+	return ratioErr
 }
 
 func main() {
@@ -296,6 +371,7 @@ func main() {
 		baseline   = flag.String("baseline", "ci/bench_baseline.txt", "checked-in baseline bench output")
 		current    = flag.String("current", "bench_pr.txt", "current bench output")
 		gates      = flag.String("gate", "BenchmarkEngineReuse,BenchmarkShardBuild", "comma-separated benchmarks that gate")
+		ratios     = flag.String("ratio", "", "comma-separated cross-benchmark bounds within the current run, each LEFT<=F*RIGHT (ns/op)")
 		maxRegress = flag.Float64("max-regress", 0.20, "max allowed ns/op regression (0.20 = +20%)")
 		jsonOut    = flag.String("json", "", "write current results as JSON to this path")
 		doUpdate   = flag.Bool("update", false, "rewrite -baseline from -current instead of gating")
@@ -309,7 +385,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*baseline, *current, *gates, *jsonOut, *maxRegress, os.Stdout); err != nil {
+	if err := run(*baseline, *current, *gates, *ratios, *jsonOut, *maxRegress, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(1)
 	}

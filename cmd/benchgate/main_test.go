@@ -87,7 +87,7 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if err := run(base, cur, "BenchmarkEngineReuse", jsonOut, 0.20, &out); err != nil {
+	if err := run(base, cur, "BenchmarkEngineReuse", "", jsonOut, 0.20, &out); err != nil {
 		t.Fatalf("identical runs failed the gate: %v\n%s", err, out.String())
 	}
 	data, err := os.ReadFile(jsonOut)
@@ -109,8 +109,68 @@ func TestRunEndToEnd(t *testing.T) {
 	if err := os.WriteFile(cur, []byte(regressed), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(base, cur, "BenchmarkEngineReuse", "", 0.20, &out); err == nil {
+	if err := run(base, cur, "BenchmarkEngineReuse", "", "", 0.20, &out); err == nil {
 		t.Fatal("2x regression passed the gate")
+	}
+}
+
+// TestRatioBounds pins the cross-benchmark ratio gate: a LEFT<=F*RIGHT
+// constraint compares two benchmarks of the SAME current run, fails when
+// the bound is exceeded, and errors (not skips) when a named benchmark is
+// missing.
+func TestRatioBounds(t *testing.T) {
+	current, _ := parseBench(strings.NewReader(
+		"BenchmarkFrontier/serial-8 10 10000000 ns/op\n" +
+			"BenchmarkFrontier/parallel-8 10 7000000 ns/op\n"))
+
+	ratios, err := parseRatios("BenchmarkFrontier/parallel<=0.8*BenchmarkFrontier/serial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ratios) != 1 || ratios[0].Factor != 0.8 ||
+		ratios[0].Left != "BenchmarkFrontier/parallel" || ratios[0].Right != "BenchmarkFrontier/serial" {
+		t.Fatalf("parsed %+v", ratios)
+	}
+	var out strings.Builder
+	// 0.7x passes a 0.8x bound.
+	if err := checkRatios(current, ratios, &out); err != nil {
+		t.Fatalf("0.7x failed a 0.8x bound: %v\n%s", err, out.String())
+	}
+	// 0.7x fails a 0.5x bound.
+	tight, _ := parseRatios("BenchmarkFrontier/parallel<=0.5*BenchmarkFrontier/serial")
+	if err := checkRatios(current, tight, &out); err == nil {
+		t.Fatal("0.7x passed a 0.5x bound")
+	}
+	// A missing benchmark errors instead of silently passing.
+	missing, _ := parseRatios("BenchmarkNope<=0.8*BenchmarkFrontier/serial")
+	if err := checkRatios(current, missing, &out); err == nil {
+		t.Fatal("missing ratio benchmark did not error")
+	}
+	// Malformed specs are rejected at parse time.
+	for _, bad := range []string{"BenchmarkA<0.8*BenchmarkB", "BenchmarkA<=x*BenchmarkB", "BenchmarkA<=0*BenchmarkB"} {
+		if _, err := parseRatios(bad); err == nil {
+			t.Fatalf("parseRatios accepted %q", bad)
+		}
+	}
+
+	// End to end through run: the bound rides alongside the baseline gate.
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.txt")
+	cur := filepath.Join(dir, "cur.txt")
+	content := "BenchmarkFrontier/serial-8 10 10000000 ns/op\nBenchmarkFrontier/parallel-8 10 7000000 ns/op\n"
+	if err := os.WriteFile(base, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cur, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(base, cur, "BenchmarkFrontier/serial",
+		"BenchmarkFrontier/parallel<=0.8*BenchmarkFrontier/serial", "", 0.20, &out); err != nil {
+		t.Fatalf("passing ratio failed run: %v\n%s", err, out.String())
+	}
+	if err := run(base, cur, "BenchmarkFrontier/serial",
+		"BenchmarkFrontier/parallel<=0.5*BenchmarkFrontier/serial", "", 0.20, &out); err == nil {
+		t.Fatal("failing ratio passed run")
 	}
 }
 
@@ -136,7 +196,7 @@ func TestUpdateRewritesBaseline(t *testing.T) {
 		t.Fatalf("baseline not rewritten from current run:\n%s", got)
 	}
 	// After the update, the gate against the new baseline passes trivially.
-	if err := run(base, cur, "BenchmarkEngineReuse", "", 0.20, &out); err != nil {
+	if err := run(base, cur, "BenchmarkEngineReuse", "", "", 0.20, &out); err != nil {
 		t.Fatalf("gate failed against freshly updated baseline: %v", err)
 	}
 

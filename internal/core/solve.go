@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"time"
 
 	"dsteiner/internal/graph"
@@ -186,7 +189,12 @@ func (rec *recorder) phase(r *rt.Rank, name string, fn func() int64) {
 		rec.s0 = rec.comm.Stats()
 	}
 	r.Barrier()
-	work := fn()
+	// Tag the phase body with pprof labels so CPU profiles split by solver
+	// phase and rank (frontier pool goroutines add their own worker label).
+	var work int64
+	pprof.Do(context.Background(),
+		pprof.Labels("dsteiner_phase", name, "dsteiner_rank", strconv.Itoa(r.ID())),
+		func(context.Context) { work = fn() })
 	r.Barrier()
 	maxWork := r.AllreduceMaxInt64(work)
 	if !rec.dist {

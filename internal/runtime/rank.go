@@ -33,6 +33,14 @@ type Rank struct {
 	visit   VisitFunc
 	admit   func(r *Rank, m Msg) bool // optional inbound dominance filter
 	shuffle *rand.Rand
+	// Parallel-frontier state (frontier.go): the worker pool (created
+	// lazily, released by Comm.Close), the traversal's parallel callbacks
+	// (nil when this traversal drains serially), and the reusable
+	// drained-bucket buffer.
+	pool     *frontierPool
+	pvisit   ParallelVisitFunc
+	pflush   VisitFunc
+	drainBuf []Msg
 	// bsp defers local sends to the next superstep via the mailbox.
 	bsp bool
 	// free recycles cross-rank batch buffers: drainInbox parks drained
@@ -50,8 +58,10 @@ type Rank struct {
 	dout    []Msg
 
 	// Per-traversal counters (reset by Traverse).
-	sentHere      int64
-	processedHere int64
+	sentHere         int64
+	processedHere    int64
+	drainsHere       int64
+	frontierMsgsHere int64
 }
 
 // ID returns this rank's index in [0, NumRanks).

@@ -3,10 +3,22 @@ package runtime
 import (
 	"runtime"
 	"sync"
+
+	"dsteiner/internal/pq"
 )
 
 // goyield cooperatively yields the processor to other goroutines.
 func goyield() { runtime.Gosched() }
+
+// maxProcs returns the process's usable CPU count (the default frontier
+// worker budget).
+func maxProcs() int { return runtime.GOMAXPROCS(0) }
+
+// idleSpins is the number of yield-and-recheck rounds an empty rank spins
+// before escalating to a channel park: a couple of yields catch messages
+// already in flight from an active peer without paying a park/wake cycle,
+// while a truly idle rank still ends up parked, burning no CPU.
+const idleSpins = 2
 
 // Traversal describes one vertex-centric computation phase, the analogue of
 // a HavoqGT do_traversal() round. Every rank must call Rank.Traverse with
@@ -36,13 +48,26 @@ type Traversal struct {
 	// design choice). Messages sent in superstep i are processed in
 	// superstep i+1.
 	BSP bool
+	// ParallelVisit, together with ParallelFlush, is the bucket-drain form
+	// of Visit: when the communicator enables the parallel frontier
+	// (Config.FrontierParallel) and the rank's queue is the Δ-stepping
+	// bucket discipline, whole buckets are drained and relaxed on the
+	// rank's worker pool (frontier.go), with outbound messages staged
+	// per worker and replayed deterministically through ParallelFlush.
+	// Both nil means the traversal always drains serially via Visit.
+	ParallelVisit ParallelVisitFunc
+	// ParallelFlush replays one staged outbound message through the rank's
+	// normal send path (filters, outbox, Send) on the rank goroutine.
+	ParallelFlush VisitFunc
 }
 
 // TraversalStats reports per-rank work done in one Traverse call.
 type TraversalStats struct {
-	Processed  int64 // visit() invocations on this rank
-	Sent       int64 // messages sent by this rank
-	Supersteps int64 // BSP supersteps (0 for async mode)
+	Processed      int64 // visit() invocations on this rank
+	Sent           int64 // messages sent by this rank
+	Supersteps     int64 // BSP supersteps (0 for async mode)
+	BucketsDrained int64 // parallel whole-bucket drains on this rank
+	FrontierMsgs   int64 // messages relaxed inside parallel drains
 }
 
 // Traverse runs t to global quiescence and returns this rank's work
@@ -64,7 +89,15 @@ func (r *Rank) Traverse(t *Traversal) TraversalStats {
 	r.keyOf = key
 	r.visit = t.Visit
 	r.admit = t.Admit
+	r.pvisit, r.pflush = nil, nil
+	if t.ParallelVisit != nil && t.ParallelFlush != nil && r.comm.cfg.FrontierParallel {
+		if _, ok := r.queue.(*pq.Bucket[Msg]); ok {
+			r.ensureFrontierPool()
+			r.pvisit, r.pflush = t.ParallelVisit, t.ParallelFlush
+		}
+	}
 	r.sentHere, r.processedHere = 0, 0
+	r.drainsHere, r.frontierMsgsHere = 0, 0
 	// Discard any stale outbox stage (an aborted traversal may have left
 	// entries behind); the counters it guarded are reset below.
 	r.dout = r.dout[:0]
@@ -106,6 +139,21 @@ func (c *Comm) closeDone() {
 	c.doneOnce.Do(func() { close(c.done) })
 }
 
+// maybeYield is the busy-loop fairness yield: when simulated ranks share
+// cores, a rank grinding a long queue hands the scheduler a slice so peers
+// advance at a similar rate (real MPI ranks run on dedicated cores). When
+// every peer rank hosted here is already parked — the common case under the
+// frontier worker pool, where one rank drains while the others wait for its
+// offers — the yield could only hand the CPU back to this rank, so it is
+// skipped. Transport-backed communicators always yield: the reader
+// goroutines feeding the mailboxes need the CPU even when peer ranks idle.
+func (r *Rank) maybeYield() {
+	c := r.comm
+	if c.trans != nil || int(c.idleRanks.Load())+1 < len(c.ranks) {
+		goyield()
+	}
+}
+
 // runAsync is the asynchronous engine loop: drain the local queue in
 // discipline order, interleaving inbound batches, until the communicator
 // detects that every message ever sent has been processed.
@@ -122,6 +170,12 @@ func (r *Rank) runAsync() TraversalStats {
 		c.closeDone()
 	}
 	done := c.done
+	// bucketQ is non-nil when this traversal drains whole Δ-buckets on the
+	// rank's worker pool instead of popping one message at a time.
+	var bucketQ *pq.Bucket[Msg]
+	if r.pvisit != nil {
+		bucketQ, _ = r.queue.(*pq.Bucket[Msg])
+	}
 	// Flush outgoing buffers at least this often even while local work
 	// remains: hoarding frontier updates would let peers burn cycles on
 	// stale distances (HavoqGT likewise aggregates but sends eagerly).
@@ -135,30 +189,48 @@ func (r *Rank) runAsync() TraversalStats {
 			r.drainInbox()
 		default:
 		}
-		if m, ok := r.queue.Pop(); ok {
-			r.visit(r, m)
-			c.processed.Add(1)
-			r.processedHere++
-			sinceFlush++
+		if n := r.drainFrontier(bucketQ); n > 0 {
+			sinceFlush += n
 			if sinceFlush >= flushEvery {
 				sinceFlush = 0
-				// Release staged delegate broadcasts alongside the regular
-				// flush: within-window improvements still coalesce, but a
-				// rank grinding a long local queue cannot let hub offers
-				// go stale on its peers.
 				r.flushOutbox()
 				r.flushAll()
-				// Yield so peer ranks advance at a similar rate even
-				// when simulated ranks outnumber physical cores:
-				// real MPI ranks run on dedicated cores, and without
-				// the yield one rank can burn a whole scheduler slice
-				// on stale distances.
-				goyield()
+				r.maybeYield()
 			}
-			if !dist && c.pending.Add(-1) == 0 {
+			// drainFrontier replayed (and counted) all staged sends before
+			// returning, so releasing the drained messages' own pending
+			// units here cannot falsely reach zero mid-drain.
+			if !dist && c.pending.Add(-n) == 0 {
 				c.closeDone()
 			}
 			continue
+		}
+		if bucketQ == nil {
+			if m, ok := r.queue.Pop(); ok {
+				r.visit(r, m)
+				c.processed.Add(1)
+				r.processedHere++
+				sinceFlush++
+				if sinceFlush >= flushEvery {
+					sinceFlush = 0
+					// Release staged delegate broadcasts alongside the
+					// regular flush: within-window improvements still
+					// coalesce, but a rank grinding a long local queue
+					// cannot let hub offers go stale on its peers.
+					r.flushOutbox()
+					r.flushAll()
+					// Yield so peer ranks advance at a similar rate even
+					// when simulated ranks outnumber physical cores:
+					// real MPI ranks run on dedicated cores, and without
+					// the yield one rank can burn a whole scheduler slice
+					// on stale distances.
+					r.maybeYield()
+				}
+				if !dist && c.pending.Add(-1) == 0 {
+					c.closeDone()
+				}
+				continue
+			}
 		}
 		// Local queue empty: everything staged and buffered must go out
 		// before we sleep, or the system deadlocks with work parked in
@@ -172,21 +244,42 @@ func (r *Rank) runAsync() TraversalStats {
 		if r.drainInbox() {
 			continue
 		}
+		// Short spin before parking: a couple of yields catch messages
+		// already in flight from an active peer without a park/wake cycle.
+		spun := false
+		for s := 0; s < idleSpins; s++ {
+			goyield()
+			if r.drainInbox() {
+				spun = true
+				break
+			}
+		}
+		if spun {
+			continue
+		}
 		if dist {
 			// Tell the termination tracker this rank is about to block:
 			// once every hosted rank is idle with drained mailboxes, the
 			// process is passive and may forward a held token.
 			c.term.rankIdle()
 		}
+		// Escalate to a channel park: a truly idle rank burns no CPU.
+		c.idleRanks.Add(1)
 		select {
 		case <-r.box.note:
+			c.idleRanks.Add(-1)
 			if dist {
 				c.term.rankBusy()
 			}
 			r.drainInbox()
 		case <-done:
-			return TraversalStats{Processed: r.processedHere, Sent: r.sentHere}
+			c.idleRanks.Add(-1)
+			return TraversalStats{
+				Processed: r.processedHere, Sent: r.sentHere,
+				BucketsDrained: r.drainsHere, FrontierMsgs: r.frontierMsgsHere,
+			}
 		case <-c.abort:
+			c.idleRanks.Add(-1)
 			panic(errAborted)
 		}
 	}
@@ -204,21 +297,33 @@ func (r *Rank) runBSP() TraversalStats {
 	r.flushAll()
 	r.Barrier()
 	r.drainInbox()
+	var bucketQ *pq.Bucket[Msg]
+	if r.pvisit != nil {
+		bucketQ, _ = r.queue.(*pq.Bucket[Msg])
+	}
 	steps := int64(0)
 	for {
 		pending := int64(r.queue.Len())
 		if r.AllreduceSumInt64(pending) == 0 {
-			return TraversalStats{Processed: r.processedHere, Sent: r.sentHere, Supersteps: steps}
+			return TraversalStats{
+				Processed: r.processedHere, Sent: r.sentHere, Supersteps: steps,
+				BucketsDrained: r.drainsHere, FrontierMsgs: r.frontierMsgsHere,
+			}
 		}
 		steps++
 		for {
-			m, ok := r.queue.Pop()
-			if !ok {
-				break
+			if r.drainFrontier(bucketQ) > 0 {
+				continue
 			}
-			r.visit(r, m)
-			c.processed.Add(1)
-			r.processedHere++
+			if bucketQ == nil {
+				if m, ok := r.queue.Pop(); ok {
+					r.visit(r, m)
+					c.processed.Add(1)
+					r.processedHere++
+					continue
+				}
+			}
+			break
 		}
 		// Superstep boundary: the staged best offer per delegate goes out
 		// exactly once per round.

@@ -201,7 +201,60 @@ func run(r *rt.Rank, seeds []graph.VID, bsp bool) rt.TraversalStats {
 			sendOffer(r, u, v, m.Seed, m.Dist+graph.Dist(ws[i]))
 		}
 	}
-	return runWith(r, seeds, sl, bsp, relaxNeighbors, relaxStripe)
+	// Bucket-drain form of the visit for the intra-rank parallel frontier:
+	// same tie-break and state writes, but outbound offers are emitted into
+	// the worker's staging outbox instead of sent. Safe without locks
+	// because the pool partitions a drained bucket by Target and every
+	// state row a visit touches — the owned row (Get/Set) and the delegate
+	// mirror row (ObserveDelegate) alike — is keyed by Target. The
+	// changed-since filter is deliberately NOT applied here: it reads other
+	// vertices' mirror rows, which concurrent chunks may be folding.
+	parallelVisit := func(r *rt.Rank, m rt.Msg, w int, emit func(rt.Msg)) {
+		if m.Kind == delegateRelax {
+			v := m.Target
+			sl.ObserveDelegate(v, m.Seed, m.Dist)
+			ts, ws := r.StripeAdj(v)
+			for i, u := range ts {
+				emit(rt.Msg{Target: u, From: v, Seed: m.Seed, Dist: m.Dist + graph.Dist(ws[i])})
+			}
+			return
+		}
+		vj := m.Target
+		os, op, od := sl.Get(vj)
+		if !offerBetter(m.Dist, m.Seed, m.From, od, os, op) {
+			// A concurrently relaxed chunk (or earlier traffic) already
+			// installed a lex-better entry: the commutative merge resolved
+			// a conflict the serial order never sees as one.
+			r.FrontierConflict(w)
+			return
+		}
+		distImproved := m.Dist != od || m.Seed != os
+		sl.Set(vj, m.Seed, m.From, m.Dist)
+		if !distImproved {
+			return
+		}
+		if r.IsDelegate(vj) {
+			emit(rt.Msg{Target: vj, From: vj, Seed: m.Seed, Dist: m.Dist, Kind: delegateRelax})
+			return
+		}
+		ts, ws := r.Adj(vj)
+		for i, u := range ts {
+			emit(rt.Msg{Target: u, From: vj, Seed: m.Seed, Dist: m.Dist + graph.Dist(ws[i])})
+		}
+	}
+	// Replay of one staged message on the rank goroutine, after all workers
+	// joined: hub broadcasts go through the superstep outbox and plain
+	// offers through the changed-since filter — which now reads the fully
+	// merged mirror state — so wire traffic, tie-send rules and batching
+	// are exactly those of the serial path.
+	parallelFlush := func(r *rt.Rank, m rt.Msg) {
+		if m.Kind == delegateRelax {
+			r.BroadcastBatched(m)
+			return
+		}
+		sendOffer(r, m.Target, m.From, m.Seed, m.Dist)
+	}
+	return runWith(r, seeds, sl, bsp, relaxNeighbors, relaxStripe, parallelVisit, parallelFlush)
 }
 
 // offerSender returns the relaxation-offer send function, with the
@@ -271,7 +324,9 @@ func runGlobal(r *rt.Rank, g *graph.Graph, seeds []graph.VID, st *State, bsp boo
 			r.Send(rt.Msg{Target: u, From: v, Seed: m.Seed, Dist: m.Dist + graph.Dist(ws[i])})
 		}
 	}
-	return runWith(r, seeds, st, bsp, relaxNeighbors, relaxStripe)
+	// The global-CSR reference path shares one State array across ranks and
+	// stays strictly serial per rank: no parallel frontier.
+	return runWith(r, seeds, st, bsp, relaxNeighbors, relaxStripe, nil, nil)
 }
 
 // runWith is the shared traversal skeleton: tie-breaking and state updates
@@ -281,10 +336,13 @@ func runGlobal(r *rt.Rank, g *graph.Graph, seeds []graph.VID, st *State, bsp boo
 // property tests pin down.
 func runWith(r *rt.Rank, seeds []graph.VID, st Control, bsp bool,
 	relaxNeighbors func(r *rt.Rank, v graph.VID, src graph.VID, dist graph.Dist),
-	relaxStripe func(r *rt.Rank, m rt.Msg)) rt.TraversalStats {
+	relaxStripe func(r *rt.Rank, m rt.Msg),
+	parallelVisit rt.ParallelVisitFunc, parallelFlush rt.VisitFunc) rt.TraversalStats {
 	tr := &rt.Traversal{
-		Key: rt.DistKey,
-		BSP: bsp,
+		Key:           rt.DistKey,
+		BSP:           bsp,
+		ParallelVisit: parallelVisit,
+		ParallelFlush: parallelFlush,
 		Init: func(r *rt.Rank) {
 			for _, s := range seeds {
 				if r.Owns(s) {

@@ -28,7 +28,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"slices"
 
 	"dsteiner/internal/graph"
 	rt "dsteiner/internal/runtime"
@@ -48,9 +47,12 @@ import (
 // counters in the WorkerDone tail; v5 sessions add fault recovery — the
 // Setup tail carries the coordinator's SessionID and a worker that lost its
 // connection re-handshakes with FrameRejoin (proving session membership)
-// instead of a fresh Hello. Tree-mode queries use FrameSolve at
+// instead of a fresh Hello; v6 sessions add the parallel frontier — the
+// Setup tail carries the requested frontier mode and worker budget (each
+// worker resolves auto against its own GOMAXPROCS) and the WorkerDone tail
+// the per-query frontier counters. Tree-mode queries use FrameSolve at
 // every version, so v1/v2-pinned sessions keep serving them byte-identically.
-const Version uint32 = 5
+const Version uint32 = 6
 
 // MinVersion is the oldest wire-protocol version this build interoperates
 // with.
@@ -547,6 +549,23 @@ func uvarintLen(x uint64) int {
 // binary.AppendVarint does, without the append).
 func zigzag(x int64) uint64 { return uint64(x<<1) ^ uint64(x>>63) }
 
+// appendUv is binary.AppendUvarint with the one-, two- and three-byte
+// cases inlined: the v2 delta columns are overwhelmingly small values, so
+// the common cases skip the library call (and its length loop) entirely.
+// The emitted bytes are identical — this is the same LEB128 encoding.
+func appendUv(dst []byte, x uint64) []byte {
+	if x < 0x80 {
+		return append(dst, byte(x))
+	}
+	if x < 0x4000 {
+		return append(dst, byte(x)|0x80, byte(x>>7))
+	}
+	if x < 0x20_0000 {
+		return append(dst, byte(x)|0x80, byte(x>>7)|0x80, byte(x>>14))
+	}
+	return binary.AppendUvarint(dst, x)
+}
+
 // AppendMsgBatch2 appends a FrameMsgBatch2 payload: the compacted v2 form
 // of a visitor-message batch. The batch is sorted by (Target, From, Kind,
 // Dist, Seed) — delivery order within a batch carries no meaning (pinned by
@@ -609,31 +628,31 @@ func AppendMsgBatch2(dst []byte, dest int, msgs []rt.Msg) (out []byte, elided in
 	}
 	// Target column: first absolute, then ascending deltas.
 	prev := uint64(0)
-	for i, m := range msgs {
-		t := uint64(uint32(m.Target))
+	for i := range msgs {
+		t := uint64(uint32(msgs[i].Target))
 		if i == 0 {
-			dst = binary.AppendUvarint(dst, t)
+			dst = appendUv(dst, t)
 		} else {
-			dst = binary.AppendUvarint(dst, t-prev)
+			dst = appendUv(dst, t-prev)
 		}
 		prev = t
 	}
 	// Seed column: zigzag deltas from the previous seed.
 	prevS := int64(0)
-	for _, m := range msgs {
-		s := int64(int32(m.Seed))
-		dst = binary.AppendUvarint(dst, zigzag(s-prevS))
+	for i := range msgs {
+		s := int64(int32(msgs[i].Seed))
+		dst = appendUv(dst, zigzag(s-prevS))
 		prevS = s
 	}
 	// From column: zigzag delta against the same row's target.
-	for _, m := range msgs {
-		dst = binary.AppendUvarint(dst, zigzag(int64(int32(m.From))-int64(int32(m.Target))))
+	for i := range msgs {
+		dst = appendUv(dst, zigzag(int64(int32(msgs[i].From))-int64(int32(msgs[i].Target))))
 	}
 	// Dist column: zigzag deltas from the previous dist.
 	prevD := int64(0)
-	for _, m := range msgs {
-		x := int64(m.Dist)
-		dst = binary.AppendUvarint(dst, zigzag(x-prevD))
+	for i := range msgs {
+		x := int64(msgs[i].Dist)
+		dst = appendUv(dst, zigzag(x-prevD))
 		prevD = x
 	}
 	if !uniformKind {
@@ -645,26 +664,109 @@ func AppendMsgBatch2(dst []byte, dest int, msgs []rt.Msg) (out []byte, elided in
 }
 
 // sortMsgs orders a batch by (Target, From, Kind, Dist, Seed) — the v2
-// column layout's order, chosen so dominated offers become adjacent.
+// column layout's order, chosen so dominated offers become adjacent. It is
+// a hand-rolled unstable quicksort: the key covers every Msg field, so all
+// orderings of equal elements are byte-identical and stability buys
+// nothing, while the inlined comparison avoids the indirect call per
+// compare that slices.SortFunc pays on the Deliver hot path.
 func sortMsgs(msgs []rt.Msg) {
-	slices.SortFunc(msgs, func(a, b rt.Msg) int {
-		if a.Target != b.Target {
-			return int(a.Target) - int(b.Target)
+	if len(msgs) > 1 {
+		quickMsgs(msgs)
+	}
+}
+
+// msgKey packs a message's (Target, From) — the fields that decide nearly
+// every comparison — into one uint64 with both sign bits flipped, so a
+// single unsigned compare reproduces their signed lexicographic order.
+func msgKey(m *rt.Msg) uint64 {
+	const flip = 0x8000_0000_8000_0000
+	return (uint64(uint32(m.Target))<<32 | uint64(uint32(m.From))) ^ flip
+}
+
+// msgTieLess breaks a msgKey tie with the (Kind, Dist, Seed) tail of the
+// lexicographic order.
+func msgTieLess(a, b *rt.Msg) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.Seed < b.Seed
+}
+
+// msgLess is the (Target, From, Kind, Dist, Seed) lexicographic order.
+func msgLess(a, b *rt.Msg) bool {
+	ka, kb := msgKey(a), msgKey(b)
+	if ka != kb {
+		return ka < kb
+	}
+	return msgTieLess(a, b)
+}
+
+// msgLessK is msgLess against a fixed element whose key is precomputed —
+// the partition and insertion loops compare many candidates against one
+// pivot, so caching its key halves the packing work in the hot loops.
+func msgLessK(a *rt.Msg, kb uint64, b *rt.Msg) bool {
+	ka := msgKey(a)
+	if ka != kb {
+		return ka < kb
+	}
+	return msgTieLess(a, b)
+}
+
+// quickMsgs is a median-of-three quicksort that recurses into the smaller
+// partition and finishes short runs with insertion sort.
+func quickMsgs(a []rt.Msg) {
+	for len(a) > 12 {
+		mid, hi := len(a)/2, len(a)-1
+		if msgLess(&a[mid], &a[0]) {
+			a[mid], a[0] = a[0], a[mid]
 		}
-		if a.From != b.From {
-			return int(a.From) - int(b.From)
+		if msgLess(&a[hi], &a[0]) {
+			a[hi], a[0] = a[0], a[hi]
 		}
-		if a.Kind != b.Kind {
-			return int(a.Kind) - int(b.Kind)
+		if msgLess(&a[hi], &a[mid]) {
+			a[hi], a[mid] = a[mid], a[hi]
 		}
-		if a.Dist != b.Dist {
-			if a.Dist < b.Dist {
-				return -1
+		pivot := a[mid]
+		pk := msgKey(&pivot)
+		i, j := 0, hi
+		for i <= j {
+			for msgLessK(&a[i], pk, &pivot) {
+				i++
 			}
-			return 1
+			for mk := msgKey(&a[j]); mk > pk || (mk == pk && msgTieLess(&pivot, &a[j])); mk = msgKey(&a[j]) {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
 		}
-		return int(a.Seed) - int(b.Seed)
-	})
+		if j < len(a)-i {
+			quickMsgs(a[:j+1])
+			a = a[i:]
+		} else {
+			quickMsgs(a[i:])
+			a = a[:j+1]
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		m := a[i]
+		mk := msgKey(&m)
+		j := i - 1
+		for j >= 0 {
+			jk := msgKey(&a[j])
+			if mk > jk || (mk == jk && !msgTieLess(&m, &a[j])) {
+				break
+			}
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = m
+	}
 }
 
 // DecodeMsgBatch2 decodes a FrameMsgBatch2 body into buf (reused when it
